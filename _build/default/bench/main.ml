@@ -1,0 +1,146 @@
+(* The benchmark harness: regenerates every table and figure of the paper
+   (the reproduction proper), then runs Bechamel microbenchmarks of the
+   simulator's own host-side performance — one Test.make per table/figure,
+   each measuring a scaled-down regeneration of that artifact.
+
+     dune exec bench/main.exe                # everything
+     dune exec bench/main.exe -- tables      # only the paper tables/figures
+     dune exec bench/main.exe -- micro       # only the Bechamel suite
+*)
+
+open Olden_benchmarks
+module C = Olden_config
+
+let ppf = Format.std_formatter
+
+let rule () = Format.printf "%s@." (String.make 78 '-')
+
+let tables () =
+  rule ();
+  Tables.table1 ppf ();
+  rule ();
+  Format.printf
+    "Machine model: %d-byte pages, %d-byte lines, %d-bucket translation \
+     table (Figure 1); migration ~7x a line miss.@."
+    C.Geometry.page_bytes C.Geometry.line_bytes C.Geometry.hash_buckets;
+  rule ();
+  Tables.table2 ppf ();
+  rule ();
+  Tables.table3 ppf ();
+  rule ();
+  Tables.appendix_a ppf ();
+  rule ();
+  Tables.figure2 ppf ();
+  rule ();
+  Tables.figure3 ppf ();
+  rule ();
+  Tables.figure4 ppf ();
+  rule ();
+  Tables.figure5 ppf ();
+  rule ();
+  Tables.defaults ppf ();
+  rule ();
+  (* ablations called out in DESIGN.md *)
+  Format.printf
+    "Ablation: local-scheme return-invalidation refinement (Section 3.2)@.";
+  List.iter
+    (fun refinement ->
+      let cfg =
+        {
+          (C.make ~nprocs:32 ()) with
+          C.return_invalidate_refinement = refinement;
+        }
+      in
+      let o = Bisort.spec.Common.run cfg ~scale:32 in
+      Format.printf "  refinement=%-5b kernel=%s misses=%d flushes=%d@."
+        refinement
+        (Common.commas o.Common.kernel_cycles)
+        o.Common.kernel_stats.Stats.cache_misses
+        o.Common.kernel_stats.Stats.cache_flushes)
+    [ true; false ];
+  rule ();
+  Format.printf
+    "Break-even path-affinity (Section 4 footnote 3; Section 7's platform      thresholds)@.";
+  Breakeven.report ~n:2048 ppf ();
+  rule ();
+  Em3d.pp_sweep ppf (Em3d.remote_sweep ());
+  rule ()
+
+(* --- Bechamel microbenchmarks -------------------------------------------- *)
+
+let run_spec (s : Common.spec) ~scale ~nprocs =
+  let o = s.Common.run (C.make ~nprocs ()) ~scale in
+  assert o.Common.ok
+
+let bech_tests =
+  let open Bechamel in
+  [
+    (* Table 2's unit of work: one full benchmark simulation *)
+    Test.make ~name:"table2/treeadd-sim"
+      (Staged.stage (fun () -> run_spec Treeadd.spec ~scale:1024 ~nprocs:8));
+    Test.make ~name:"table2/em3d-sim"
+      (Staged.stage (fun () -> run_spec Em3d.spec ~scale:32 ~nprocs:8));
+    (* Table 3's unit of work: a coherence-heavy run *)
+    Test.make ~name:"table3/em3d-bilateral"
+      (Staged.stage (fun () ->
+           let o =
+             Em3d.spec.Common.run
+               (C.make ~nprocs:8 ~coherence:C.Bilateral ())
+               ~scale:32
+           in
+           assert o.Common.ok));
+    (* Figure 2's unit of work: a list traversal each way *)
+    Test.make ~name:"figure2/blocked-migrate"
+      (Staged.stage (fun () ->
+           ignore
+             (Listdist.run ~n:512 ~nprocs:8 ~layout:Listdist.Blocked
+                ~mechanism:C.Migrate ())));
+    Test.make ~name:"figure2/cyclic-cache"
+      (Staged.stage (fun () ->
+           ignore
+             (Listdist.run ~n:512 ~nprocs:8 ~layout:Listdist.Cyclic
+                ~mechanism:C.Cache ())));
+    (* Figures 3-5: the compiler path *)
+    Test.make ~name:"figure3-5/analyze+select"
+      (Staged.stage (fun () ->
+           ignore (Olden_compiler.Heuristic.of_source Tables.fig5_src)));
+  ]
+
+let micro () =
+  let open Bechamel in
+  let open Toolkit in
+  Format.printf
+    "Bechamel microbenchmarks (host-side cost of regenerating each artifact)@.";
+  let benchmark test =
+    let instances = Instance.[ monotonic_clock ] in
+    let cfg =
+      Benchmark.cfg ~limit:200 ~quota:(Time.second 1.0) ~kde:(Some 10) ()
+    in
+    Benchmark.all cfg instances test
+  in
+  let analyze raw =
+    let ols =
+      Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+    in
+    Analyze.all ols Instance.monotonic_clock raw
+  in
+  List.iter
+    (fun test ->
+      let results = analyze (benchmark test) in
+      Hashtbl.iter
+        (fun name result ->
+          match Bechamel.Analyze.OLS.estimates result with
+          | Some [ est ] -> Format.printf "  %-28s %12.0f ns/run@." name est
+          | _ -> Format.printf "  %-28s (no estimate)@." name)
+        results)
+    bech_tests
+
+let () =
+  let what = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
+  (match what with
+  | "tables" -> tables ()
+  | "micro" -> micro ()
+  | _ ->
+      tables ();
+      micro ());
+  Format.printf "done.@."

@@ -1,0 +1,193 @@
+(* Driver: run Olden benchmarks on the simulated machine and regenerate the
+   paper's tables and figures.
+
+     olden-run list
+     olden-run bench treeadd --procs 32 --scale 8 --coherence local
+     olden-run speedups em3d --scale 1
+     olden-run table1 | table2 | table3 | fig2 | fig3 | fig4 | fig5 | defaults
+*)
+
+open Cmdliner
+module C = Olden_config
+module B = Olden_benchmarks
+
+let ppf = Format.std_formatter
+
+(* --- Common options ----------------------------------------------------- *)
+
+let procs_t =
+  Arg.(value & opt int 32 & info [ "p"; "procs" ] ~docv:"P" ~doc:"Processor count.")
+
+let scale_t =
+  Arg.(
+    value & opt int 0
+    & info [ "s"; "scale" ] ~docv:"S"
+        ~doc:"Problem-size divisor (0 = the benchmark's default).")
+
+let coherence_t =
+  let parse s =
+    match C.coherence_of_string s with
+    | Some c -> Ok c
+    | None -> Error (`Msg "expected local, global, or bilateral")
+  in
+  let print ppf c = Format.pp_print_string ppf (C.coherence_to_string c) in
+  Arg.(
+    value
+    & opt (conv (parse, print)) C.Local
+    & info [ "c"; "coherence" ] ~docv:"SCHEME"
+        ~doc:"Coherence scheme: local, global, or bilateral.")
+
+let policy_t =
+  let parse s =
+    match C.policy_of_string s with
+    | Some p -> Ok p
+    | None -> Error (`Msg "expected heuristic, migrate-only, or cache-only")
+  in
+  let print ppf p = Format.pp_print_string ppf (C.policy_to_string p) in
+  Arg.(
+    value
+    & opt (conv (parse, print)) C.Heuristic
+    & info [ "m"; "policy" ] ~docv:"POLICY"
+        ~doc:"Mechanism policy: heuristic, migrate-only, or cache-only.")
+
+let name_t =
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"BENCHMARK")
+
+let find_spec name =
+  match B.Registry.find name with
+  | Some s -> s
+  | None ->
+      Format.eprintf "unknown benchmark %s; try: olden-run list@." name;
+      exit 2
+
+(* --- Commands ------------------------------------------------------------ *)
+
+let list_cmd =
+  let run () =
+    List.iter
+      (fun (s : B.Common.spec) ->
+        Format.printf "%-11s %-6s %-18s %s@." s.B.Common.name s.B.Common.choice
+          s.B.Common.problem s.B.Common.descr)
+      B.Registry.specs
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List the benchmarks.") Term.(const run $ const ())
+
+let sites_t =
+  Arg.(
+    value & flag
+    & info [ "sites" ] ~doc:"Print the per-site traffic profile.")
+
+let timeline_t =
+  Arg.(
+    value & flag
+    & info [ "t"; "timeline" ]
+        ~doc:"Render a text Gantt chart of processor activity.")
+
+let bench_cmd =
+  let run name procs scale coherence policy timeline sites =
+    let spec = find_spec name in
+    let scale = if scale = 0 then spec.B.Common.default_scale else scale in
+    let cfg = C.make ~nprocs:procs ~coherence ~policy () in
+    B.Common.record_timeline := timeline;
+    Olden_runtime.Site.reset_profiles ();
+    let o = spec.B.Common.run cfg ~scale in
+    B.Common.record_timeline := false;
+    Format.printf "%s on %d processor(s), scale 1/%d, %s coherence, %s policy@."
+      spec.B.Common.name procs scale
+      (C.coherence_to_string coherence)
+      (C.policy_to_string policy);
+    Format.printf "result: %s (%s)@." o.B.Common.checksum
+      (if o.B.Common.ok then "verified" else "VERIFICATION FAILED");
+    Format.printf "cycles: total %s, measured region %s@."
+      (B.Common.commas o.B.Common.total_cycles)
+      (B.Common.commas (B.Common.measured_cycles spec o));
+    Format.printf "%a@." Stats.pp (B.Common.measured_stats spec o);
+    (match (timeline, !B.Common.last_timeline) with
+    | true, Some chart -> Format.printf "%s" chart
+    | _ -> ());
+    if sites then begin
+      Format.printf "per-site profile (busiest first):@.";
+      List.iter
+        (fun s -> Format.printf "  %a@." Olden_runtime.Site.pp_profile s)
+        (Olden_runtime.Site.profile ())
+    end;
+    if not o.B.Common.ok then exit 1
+  in
+  Cmd.v
+    (Cmd.info "bench" ~doc:"Run one benchmark once and print its statistics.")
+    Term.(
+      const run $ name_t $ procs_t $ scale_t $ coherence_t $ policy_t
+      $ timeline_t $ sites_t)
+
+let csv_t =
+  Arg.(value & flag & info [ "csv" ] ~doc:"Emit comma-separated values.")
+
+let speedups_cmd =
+  let run name scale coherence csv =
+    let spec = find_spec name in
+    let row = B.Suite.speedups ~scale ~coherence spec in
+    if csv then begin
+      Format.printf "benchmark,choice,seq_cycles,procs,cycles,speedup@.";
+      List.iter
+        (fun (p, s, o) ->
+          Format.printf "%s,%s,%d,%d,%d,%.4f@." spec.B.Common.name
+            spec.B.Common.choice row.B.Suite.seq_cycles p
+            (B.Common.measured_cycles spec o)
+            s)
+        row.B.Suite.runs;
+      match row.B.Suite.migrate_only_32 with
+      | Some m ->
+          Format.printf "%s,migrate-only,%d,32,,%.4f@." spec.B.Common.name
+            row.B.Suite.seq_cycles m
+      | None -> ()
+    end
+    else Format.printf "%a@." B.Suite.pp_speedup_row row
+  in
+  Cmd.v
+    (Cmd.info "speedups"
+       ~doc:"Sequential baseline plus speedups on 1..32 processors.")
+    Term.(const run $ name_t $ scale_t $ coherence_t $ csv_t)
+
+let table_cmd name doc f =
+  Cmd.v (Cmd.info name ~doc) Term.(const (fun () -> f ppf ()) $ const ())
+
+let table2_cmd =
+  let run scale = B.Tables.table2 ~scale ppf () in
+  Cmd.v
+    (Cmd.info "table2" ~doc:"Regenerate Table 2 (speedups, all benchmarks).")
+    Term.(const run $ scale_t)
+
+let table3_cmd =
+  let run scale procs = B.Tables.table3 ~scale ~nprocs:procs ppf () in
+  Cmd.v
+    (Cmd.info "table3" ~doc:"Regenerate Table 3 (caching statistics).")
+    Term.(const run $ scale_t $ procs_t)
+
+let main =
+  Cmd.group
+    (Cmd.info "olden-run" ~version:"1.0"
+       ~doc:"Olden (PPoPP 1995) reproduction driver.")
+    [
+      list_cmd;
+      bench_cmd;
+      speedups_cmd;
+      table_cmd "table1" "Regenerate Table 1 (benchmark descriptions)."
+        B.Tables.table1;
+      table2_cmd;
+      table3_cmd;
+      table_cmd "fig2" "Regenerate Figure 2 (list distributions)."
+        (fun ppf () -> B.Tables.figure2 ppf ());
+      table_cmd "fig3" "Figure 3 (update matrix example)." B.Tables.figure3;
+      table_cmd "fig4" "Figure 4 (TreeAdd's combined affinity)."
+        B.Tables.figure4;
+      table_cmd "fig5" "Figure 5 (bottleneck detection)." B.Tables.figure5;
+      table_cmd "defaults" "Section 4.3 default behaviours." B.Tables.defaults;
+      table_cmd "appendixA"
+        "Appendix A: kernel cycles under the three coherence schemes."
+        (fun ppf () -> B.Tables.appendix_a ppf ());
+      table_cmd "breakeven"
+        "Break-even path-affinity sweep on the CM-5/NOW/DSM presets."
+        (fun ppf () -> B.Breakeven.report ~n:2048 ppf ());
+    ]
+
+let () = exit (Cmd.eval main)

@@ -1,0 +1,1 @@
+examples/coherence_demo.ml: Common Em3d Format List Olden_benchmarks Olden_config Stats

@@ -1,0 +1,1 @@
+examples/minilang_demo.ml: Format List Olden_compiler Olden_config Olden_interp Olden_runtime Stats Value

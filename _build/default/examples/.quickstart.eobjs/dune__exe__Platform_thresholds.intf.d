@@ -1,0 +1,1 @@
+examples/platform_thresholds.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Config Engine Format Gptr Olden Ops Site Stats Value

@@ -1,0 +1,37 @@
+(* The three cache-coherence schemes of Appendix A on one workload.
+
+     dune exec examples/coherence_demo.exe
+
+   EM3D makes a good demonstration: its neighbor values are cached, change
+   every half-step, and are re-read by other processors, so the protocols'
+   bookkeeping differences are visible.  The local-knowledge scheme pays
+   no coherence traffic but re-misses after its wholesale invalidations;
+   the global scheme (eager release consistency) sends invalidations at
+   every release and pays write-tracking on every store; the bilateral
+   scheme pays timestamp revalidations instead. *)
+
+open Olden_benchmarks
+
+let () =
+  let spec = Em3d.spec in
+  Format.printf
+    "EM3D on 32 processors under the three coherence schemes@.@.";
+  Format.printf "%-10s %12s %10s %10s %12s %12s %14s@." "scheme" "cycles"
+    "misses" "invalid." "inval-msgs" "revalid." "write-track";
+  List.iter
+    (fun coherence ->
+      let cfg = Olden_config.make ~nprocs:32 ~coherence () in
+      let o = spec.Common.run cfg ~scale:2 in
+      assert o.Common.ok;
+      let s = o.Common.kernel_stats in
+      Format.printf "%-10s %12s %10d %10d %12d %12d %14d@."
+        (Olden_config.coherence_to_string coherence)
+        (Common.commas o.Common.kernel_cycles)
+        s.Stats.cache_misses s.Stats.lines_invalidated
+        s.Stats.invalidation_messages s.Stats.revalidations
+        s.Stats.write_track_cycles)
+    [ Olden_config.Local; Olden_config.Global; Olden_config.Bilateral ];
+  Format.printf
+    "@.All three produce identical results; the local scheme usually wins \
+     on time@.because Olden programs write most shared data between \
+     migrations (Appendix A).@."

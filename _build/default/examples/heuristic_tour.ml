@@ -1,0 +1,18 @@
+(* A tour of the compile-time heuristic on the paper's own examples
+   (Figures 3, 4, and 5, plus the Section 4.3 defaults).
+
+     dune exec examples/heuristic_tour.exe
+
+   For each program we print the update matrices the dataflow analysis
+   computes for every control loop, and the mechanism the heuristic picks
+   for each dereference site. *)
+
+let () =
+  let ppf = Format.std_formatter in
+  Olden_benchmarks.Tables.figure3 ppf ();
+  Format.printf "@.";
+  Olden_benchmarks.Tables.figure4 ppf ();
+  Format.printf "@.";
+  Olden_benchmarks.Tables.figure5 ppf ();
+  Format.printf "@.";
+  Olden_benchmarks.Tables.defaults ppf ()

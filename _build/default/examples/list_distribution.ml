@@ -1,0 +1,29 @@
+(* Figure 2 of the paper: why one mechanism is not enough.
+
+     dune exec examples/list_distribution.exe
+
+   A list of N elements evenly divided over P processors is traversed once,
+   under each combination of layout (blocked / cyclic) and mechanism
+   (computation migration / software caching).  Migration wins on the
+   blocked layout (P-1 thread moves); caching wins on the cyclic layout
+   (where migration would move N-1 times). *)
+
+let () =
+  let n = 4096 and nprocs = 32 in
+  Format.printf "Traversing a %d-element list on %d processors@.@." n nprocs;
+  Format.printf
+    "paper's counts: blocked+migrate = P-1 = %d migrations;@.%17s cyclic+migrate = N-1 = %d migrations;@.%17s caching = N(P-1)/P = %d remote elements@.@."
+    (Olden_benchmarks.Listdist.predicted_migrations ~n ~nprocs
+       Olden_benchmarks.Listdist.Blocked)
+    ""
+    (Olden_benchmarks.Listdist.predicted_migrations ~n ~nprocs
+       Olden_benchmarks.Listdist.Cyclic)
+    ""
+    (Olden_benchmarks.Listdist.predicted_remote_fetches ~n ~nprocs);
+  let results = Olden_benchmarks.Listdist.all ~n ~nprocs () in
+  List.iter
+    (fun r -> Format.printf "%a@." Olden_benchmarks.Listdist.pp_result r)
+    results;
+  Format.printf
+    "@.Each mechanism wins on one layout: the compiler must choose per \
+     dereference.@."

@@ -1,0 +1,15 @@
+(* Section 7 of the paper: the migration-vs-caching trade-off is a
+   property of the machine, and ports of Olden would move the selection
+   threshold accordingly.
+
+     dune exec examples/platform_thresholds.exe
+
+   A list whose next pointers stay local with probability "affinity" is
+   traversed under both mechanisms on three cost models: the CM-5 (the
+   paper's machine, migration ~7x a miss), a network of workstations
+   (migration ~1x: it should be favored almost always), and a hardware-DSM
+   hybrid (migration ~35x a miss: caching almost always wins).  The
+   measured break-even affinities match 1 - miss/migration — ~86% on the
+   CM-5, exactly the paper's footnote 3. *)
+
+let () = Olden_benchmarks.Breakeven.report ~n:2048 Format.std_formatter ()

@@ -1,0 +1,1 @@
+lib/benchmarks/barneshut.ml: Array C Common Engine Float Gptr List Memory Olden_config Ops Printf Prng Site Value

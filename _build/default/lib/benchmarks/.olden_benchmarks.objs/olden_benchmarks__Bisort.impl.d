@@ -1,0 +1,1 @@
+lib/benchmarks/bisort.ml: Array C Common Engine Gptr List Memory Olden_config Ops Printf Prng Site Value

@@ -1,0 +1,1 @@
+lib/benchmarks/breakeven.ml: Array Common Engine Fmt Gptr List Olden_config Ops Prng Site

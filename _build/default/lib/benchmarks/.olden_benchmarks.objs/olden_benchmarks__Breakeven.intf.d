@@ -1,0 +1,1 @@
+lib/benchmarks/breakeven.mli: Format Olden_config

@@ -1,0 +1,1 @@
+lib/benchmarks/common.ml: Buffer Format List Machine Olden_compiler Olden_config Olden_runtime Printf Stats String

@@ -1,0 +1,1 @@
+lib/benchmarks/common.mli: Olden_compiler Olden_config Olden_runtime Stats

@@ -1,0 +1,1 @@
+lib/benchmarks/em3d.ml: Array C Common Engine Float Format Gptr List Memory Olden_config Ops Printf Prng Site Value

@@ -1,0 +1,1 @@
+lib/benchmarks/health.ml: Array C Common Engine Gptr List Memory Ops Printf Site Value

@@ -1,0 +1,1 @@
+lib/benchmarks/listdist.ml: Array C Common Engine Fmt Gptr Ops Site Stats

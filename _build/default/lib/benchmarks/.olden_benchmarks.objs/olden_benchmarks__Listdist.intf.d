@@ -1,0 +1,1 @@
+lib/benchmarks/listdist.mli: Format Olden_config

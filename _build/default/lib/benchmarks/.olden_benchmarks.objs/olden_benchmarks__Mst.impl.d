@@ -1,0 +1,1 @@
+lib/benchmarks/mst.ml: Array C Common Gptr Ops Printf Site Value

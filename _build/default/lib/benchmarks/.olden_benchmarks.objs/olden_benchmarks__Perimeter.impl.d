@@ -1,0 +1,1 @@
+lib/benchmarks/perimeter.ml: Array C Common Float Gptr List Ops Printf Site Value

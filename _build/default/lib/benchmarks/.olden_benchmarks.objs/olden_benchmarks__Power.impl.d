@@ -1,0 +1,1 @@
+lib/benchmarks/power.ml: Array C Common Float Gptr Ops Printf Site Value

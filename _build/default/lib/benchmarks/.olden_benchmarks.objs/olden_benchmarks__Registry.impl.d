@@ -1,0 +1,1 @@
+lib/benchmarks/registry.ml: Barneshut Bisort Common Em3d Health List Mst Perimeter Power String Suite Treeadd Tsp Voronoi

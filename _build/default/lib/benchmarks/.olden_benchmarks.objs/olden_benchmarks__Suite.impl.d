@@ -1,0 +1,1 @@
+lib/benchmarks/suite.ml: C Common Fmt List Printf String

@@ -1,0 +1,1 @@
+lib/benchmarks/tables.ml: Common Format List Listdist Olden_compiler Olden_config Printf Registry Stats String Suite

@@ -1,0 +1,1 @@
+lib/benchmarks/tables.mli: Common Format

@@ -1,0 +1,1 @@
+lib/benchmarks/treeadd.ml: C Common Gptr Ops Site Value

@@ -1,0 +1,1 @@
+lib/benchmarks/voronoi.ml: Array C Common Engine Float Gptr Hashtbl List Memory Olden_config Ops Printf Prng Set Site Value

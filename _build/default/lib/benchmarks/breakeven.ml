@@ -1,0 +1,116 @@
+(* The break-even path-affinity experiment (Section 4, footnote 3, and the
+   Section 7 discussion of other platforms).
+
+   A list is laid out so that each [next] pointer stays on its processor
+   with probability [affinity] and otherwise crosses to a random other
+   processor.  Traversing it with computation migration costs one
+   migration per crossing; with software caching it costs a line fetch
+   per remote element (elements are padded to a full line so spatial
+   locality does not blur the model).  The mechanisms break even at
+
+       affinity* ~ 1 - miss_cost / migration_cost
+
+   which is ~86% for the paper's 7x CM-5 ratio — just below the 90%
+   selection threshold.  On a network of workstations the ratio is small
+   and migration wins almost everywhere; with hardware DSM support the
+   ratio is large and caching wins almost everywhere (Section 7). *)
+
+open Common
+
+(* One element per cache line, so each remote element is one fetch. *)
+let node_words = Olden_config.Geometry.words_per_line
+let off_next = 0
+let off_value = 1
+
+type point = {
+  affinity : float;
+  migrate_cycles : int;
+  cache_cycles : int;
+}
+
+let traverse ?(n = 4096) ?(nprocs = 32) ?costs ~affinity ~mechanism () =
+  let costs =
+    match costs with Some c -> c | None -> Olden_config.default_costs
+  in
+  let cfg = Olden_config.make ~nprocs ~costs () in
+  let engine = Engine.create cfg in
+  let sum = ref 0 in
+  Engine.exec engine (fun () ->
+      let site_next = Site.make ~mech:mechanism "breakeven.next" in
+      let site_value = Site.make ~mech:mechanism "breakeven.value" in
+      let prng = Prng.create (int_of_float (affinity *. 1000.) + (7 * n)) in
+      (* owners: stay with probability [affinity], else hop somewhere else *)
+      let owners = Array.make n 0 in
+      for i = 1 to n - 1 do
+        owners.(i) <-
+          (if nprocs = 1 || Prng.float prng < affinity then owners.(i - 1)
+           else (owners.(i - 1) + 1 + Prng.int prng (nprocs - 1)) mod nprocs)
+      done;
+      let cells =
+        Array.init n (fun i -> Ops.alloc ~proc:owners.(i) node_words)
+      in
+      for i = n - 1 downto 0 do
+        Ops.store_int site_value cells.(i) off_value 1;
+        Ops.store_ptr site_next cells.(i) off_next
+          (if i = n - 1 then Gptr.null else cells.(i + 1))
+      done;
+      Ops.phase "kernel";
+      let rec walk p acc =
+        if Gptr.is_null p then acc
+        else begin
+          let v = Ops.load_int site_value p off_value in
+          Ops.work 4;
+          walk (Ops.load_ptr site_next p off_next) (acc + v)
+        end
+      in
+      sum := Ops.call (fun () -> walk cells.(0) 0));
+  assert (!sum = n);
+  fst (Engine.interval engine ~start:"kernel" ~stop:None)
+
+let measure ?n ?nprocs ?costs affinity =
+  {
+    affinity;
+    migrate_cycles =
+      traverse ?n ?nprocs ?costs ~affinity ~mechanism:Olden_config.Migrate ();
+    cache_cycles =
+      traverse ?n ?nprocs ?costs ~affinity ~mechanism:Olden_config.Cache ();
+  }
+
+let default_affinities =
+  [ 0.50; 0.60; 0.70; 0.75; 0.80; 0.84; 0.86; 0.88; 0.90; 0.92; 0.95; 0.98 ]
+
+let sweep ?n ?nprocs ?costs ?(affinities = default_affinities) () =
+  List.map (fun a -> measure ?n ?nprocs ?costs a) affinities
+
+(* First affinity at which migration is at least as fast as caching. *)
+let crossover points =
+  List.find_map
+    (fun p ->
+      if p.migrate_cycles <= p.cache_cycles then Some p.affinity else None)
+    points
+
+(* The model's prediction: migration per crossing vs a fetch per remote
+   element. *)
+let predicted (c : Olden_config.costs) =
+  1.
+  -. (float_of_int (Olden_config.miss_round_trip c)
+      /. float_of_int (Olden_config.migration_latency c))
+
+let pp_point ppf p =
+  Fmt.pf ppf "affinity %4.0f%%: migrate %9d cycles, cache %9d cycles  %s"
+    (100. *. p.affinity) p.migrate_cycles p.cache_cycles
+    (if p.migrate_cycles <= p.cache_cycles then "<- migrate wins" else "")
+
+let report ?n ?nprocs ppf () =
+  List.iter
+    (fun (name, costs) ->
+      let points = sweep ?n ?nprocs ~costs () in
+      Fmt.pf ppf "@.%s (migration/miss ratio %.1f, predicted break-even %.0f%%):@."
+        name
+        (Olden_config.Presets.migration_miss_ratio costs)
+        (100. *. predicted costs);
+      List.iter (fun p -> Fmt.pf ppf "  %a@." pp_point p) points;
+      match crossover points with
+      | Some a -> Fmt.pf ppf "  measured break-even: %.0f%%@." (100. *. a)
+      | None -> Fmt.pf ppf "  no break-even in the sweep (caching always wins)@.")
+    Olden_config.Presets.by_name

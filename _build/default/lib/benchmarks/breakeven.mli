@@ -1,0 +1,41 @@
+(** The break-even path-affinity experiment (Section 4 footnote 3 and the
+    Section 7 platform discussion).
+
+    A list whose [next] pointers stay local with probability [affinity] is
+    traversed under both mechanisms; they break even near
+    [1 - miss_cost / migration_cost] — about 86% for the paper's 7x CM-5
+    ratio, just under the 90% selection threshold.  The
+    {!Olden_config.Presets} cost models shift the crossover exactly as
+    Section 7 predicts for a NOW or a hardware-DSM port. *)
+
+type point = {
+  affinity : float;
+  migrate_cycles : int;
+  cache_cycles : int;
+}
+
+val traverse :
+  ?n:int -> ?nprocs:int -> ?costs:Olden_config.costs -> affinity:float ->
+  mechanism:Olden_config.mechanism -> unit -> int
+(** Kernel cycles for one traversal. *)
+
+val measure :
+  ?n:int -> ?nprocs:int -> ?costs:Olden_config.costs -> float -> point
+
+val default_affinities : float list
+
+val sweep :
+  ?n:int -> ?nprocs:int -> ?costs:Olden_config.costs ->
+  ?affinities:float list -> unit -> point list
+
+val crossover : point list -> float option
+(** First affinity at which migration is at least as fast as caching. *)
+
+val predicted : Olden_config.costs -> float
+(** The model: [1 - miss_round_trip / migration_latency]. *)
+
+val pp_point : Format.formatter -> point -> unit
+
+val report : ?n:int -> ?nprocs:int -> Format.formatter -> unit -> unit
+(** Sweep all three machine presets and print measured vs. predicted
+    break-even affinities. *)

@@ -1,0 +1,135 @@
+(* Shared infrastructure for the ten Olden benchmarks.
+
+   Every benchmark provides a [spec]: identity and problem-size strings
+   (Table 1), the paper's heuristic-choice column (Table 2), a
+   mini-language model of its kernel (so the compiler heuristic actually
+   chooses the mechanisms the OCaml kernel uses), and a driver that builds
+   the structure, runs the kernel between phase marks, and verifies the
+   result against a sequential reference. *)
+
+module C = Olden_config
+module Ops = Olden_runtime.Ops
+module Site = Olden_runtime.Site
+module Engine = Olden_runtime.Engine
+module Prng = Olden_runtime.Prng
+module Heuristic = Olden_compiler.Heuristic
+module Analysis = Olden_compiler.Analysis
+
+type outcome = {
+  ok : bool; (* result matches the sequential reference *)
+  checksum : string;
+  kernel_cycles : int;
+  total_cycles : int;
+  kernel_stats : Stats.t;
+  total_stats : Stats.t;
+}
+
+type spec = {
+  name : string;
+  descr : string; (* Table 1 description *)
+  problem : string; (* Table 1 problem size (at scale 1) *)
+  choice : string; (* paper's heuristic choice: "M" or "M+C" *)
+  whole_program : bool; (* Table 2's W marker *)
+  ir : string; (* mini-language model of the kernel *)
+  default_scale : int; (* problem-size divisor used by the bench harness *)
+  run : C.t -> scale:int -> outcome;
+}
+
+(* Cycles counted for Table 2: whole-program benchmarks (Power, Barnes-Hut,
+   Health) report total time, the rest kernel-only. *)
+let measured_cycles spec outcome =
+  if spec.whole_program then outcome.total_cycles else outcome.kernel_cycles
+
+let measured_stats spec outcome =
+  if spec.whole_program then outcome.total_stats else outcome.kernel_stats
+
+(* --- Driving a build/kernel program ----------------------------------- *)
+
+(* Driver hook: when set, [execute] records busy intervals and leaves a
+   rendered Gantt chart in [last_timeline] (used by olden-run's
+   --timeline). *)
+let record_timeline = ref false
+let last_timeline : string option ref = ref None
+
+(* The program receives the engine so its verification step can inspect
+   the heap directly (at host level, free of simulated cost). *)
+let execute (cfg : C.t) ~(program : Engine.t -> string * bool) : outcome =
+  let engine = Engine.create cfg in
+  if !record_timeline then
+    Machine.set_record_intervals (Engine.machine engine) true;
+  let result = ref ("", false) in
+  Engine.exec engine (fun () -> result := program engine);
+  if !record_timeline then
+    last_timeline :=
+      Some
+        (Format.asprintf "%a" (Olden_runtime.Timeline.render ?width:None)
+           (Engine.machine engine));
+  let report = Engine.report engine in
+  let kernel_cycles, kernel_stats =
+    match List.assoc_opt "kernel" report.Engine.phases with
+    | Some _ -> Engine.interval engine ~start:"kernel" ~stop:None
+    | None -> (report.Engine.makespan, report.Engine.stats)
+  in
+  let checksum, ok = !result in
+  {
+    ok;
+    checksum;
+    kernel_cycles;
+    total_cycles = report.Engine.makespan;
+    kernel_stats;
+    total_stats = report.Engine.stats;
+  }
+
+(* --- Coupling kernels to the compiler heuristic ------------------------ *)
+
+(* Run the heuristic on a benchmark's IR model and return a site factory:
+   the site for dereference [func.var->field] gets the mechanism the
+   heuristic chose for that dereference in the model.  [fallback] covers
+   dereferences the model does not contain (e.g. build-phase stores, which
+   the paper does not time). *)
+let sites_of_ir ir =
+  let sel = Heuristic.of_source ir in
+  let mech ~func ~var ~field ~fallback =
+    let found =
+      List.find_opt
+        (fun (d : Analysis.deref_info) ->
+          d.Analysis.deref_func = func
+          && d.Analysis.dbase = Some var
+          && d.Analysis.dfield = field)
+        sel.Heuristic.analysis.Analysis.derefs
+    in
+    match found with
+    | Some d -> Heuristic.mechanism_of_site sel d.Analysis.deref_id
+    | None -> fallback
+  in
+  (sel, mech)
+
+let site_of mech_fn ~func ~var ~field ~fallback =
+  Site.make
+    ~mech:(mech_fn ~func ~var ~field ~fallback)
+    (Printf.sprintf "%s.%s->%s" func var field)
+
+(* --- Data-distribution helpers ---------------------------------------- *)
+
+(* Processor owning block [i] of [n] when distributed blocked over
+   [nprocs] (Figure 2's blocked layout). *)
+let block_owner ~nprocs ~n i =
+  if n <= 0 then 0 else min (nprocs - 1) (i * nprocs / n)
+
+(* Cyclic layout (Figure 2). *)
+let cyclic_owner ~nprocs i = i mod nprocs
+
+(* Scaled problem size: never below [floor]. *)
+let scaled ~scale ~floor n = max floor (n / scale)
+
+(* Format helpers for table output. *)
+let commas n =
+  let s = string_of_int n in
+  let len = String.length s in
+  let b = Buffer.create (len + 4) in
+  String.iteri
+    (fun i ch ->
+      if i > 0 && (len - i) mod 3 = 0 then Buffer.add_char b ',';
+      Buffer.add_char b ch)
+    s;
+  Buffer.contents b

@@ -1,0 +1,90 @@
+(** Shared infrastructure for the ten Olden benchmarks.
+
+    Every benchmark provides a {!spec}: identity and problem-size strings
+    (Table 1), the paper's heuristic-choice column (Table 2), a
+    mini-language model of its kernel (so the compiler heuristic actually
+    chooses the mechanisms the OCaml kernel uses), and a driver that builds
+    the structure, runs the kernel between phase marks, and verifies the
+    result against a sequential reference. *)
+
+module C = Olden_config
+module Ops = Olden_runtime.Ops
+module Site = Olden_runtime.Site
+module Engine = Olden_runtime.Engine
+module Prng = Olden_runtime.Prng
+module Heuristic = Olden_compiler.Heuristic
+module Analysis = Olden_compiler.Analysis
+
+type outcome = {
+  ok : bool;  (** result matches the sequential reference *)
+  checksum : string;
+  kernel_cycles : int;
+  total_cycles : int;
+  kernel_stats : Stats.t;
+  total_stats : Stats.t;
+}
+
+type spec = {
+  name : string;
+  descr : string;  (** Table 1 description *)
+  problem : string;  (** Table 1 problem size (at scale 1) *)
+  choice : string;  (** paper's heuristic choice: "M" or "M+C" *)
+  whole_program : bool;  (** Table 2's W marker *)
+  ir : string;  (** mini-language model of the kernel *)
+  default_scale : int;  (** problem-size divisor used by the harness *)
+  run : C.t -> scale:int -> outcome;
+}
+
+val measured_cycles : spec -> outcome -> int
+(** Whole-program benchmarks report total time, the rest kernel-only. *)
+
+val measured_stats : spec -> outcome -> Stats.t
+
+val record_timeline : bool ref
+(** When set, {!execute} records busy intervals and leaves a rendered
+    Gantt chart in {!last_timeline} (a driver convenience). *)
+
+val last_timeline : string option ref
+
+val execute : C.t -> program:(Engine.t -> string * bool) -> outcome
+(** Run a benchmark program (which receives the engine so verification can
+    inspect the heap at host level) and package the outcome; the region
+    after an optional ["kernel"] phase mark is the measured kernel. *)
+
+val sites_of_ir :
+  string ->
+  Heuristic.t
+  * (func:string ->
+    var:string ->
+    field:string ->
+    fallback:C.mechanism ->
+    C.mechanism)
+(** Run the heuristic on a benchmark's IR model; the returned function maps
+    a dereference [func.var->field] to the mechanism the heuristic chose
+    ([fallback] covers dereferences the model does not contain). *)
+
+val site_of :
+  (func:string ->
+  var:string ->
+  field:string ->
+  fallback:C.mechanism ->
+  C.mechanism) ->
+  func:string ->
+  var:string ->
+  field:string ->
+  fallback:C.mechanism ->
+  Site.t
+(** Create a runtime site carrying the heuristic's mechanism. *)
+
+val block_owner : nprocs:int -> n:int -> int -> int
+(** Processor owning block [i] of [n] under a blocked distribution
+    (Figure 2). *)
+
+val cyclic_owner : nprocs:int -> int -> int
+(** Cyclic distribution (Figure 2). *)
+
+val scaled : scale:int -> floor:int -> int -> int
+(** [n / scale], but never below [floor]. *)
+
+val commas : int -> string
+(** [1234567] as ["1,234,567"]. *)

@@ -1,0 +1,99 @@
+(* Figure 2: the blocked vs. cyclic list distributions that motivate having
+   both mechanisms.
+
+   A list of N elements evenly divided among P processors is traversed
+   once.  Blocked: migration crosses a boundary only P-1 times, while
+   caching pays a remote fetch for N(P-1)/P of the elements.  Cyclic: every
+   next pointer crosses a boundary, so migration moves N-1 times while
+   caching still pays N(P-1)/P fetches.  The paper's counts are exact and
+   this module reproduces them, along with the resulting running times. *)
+
+open Common
+
+type layout = Blocked | Cyclic
+
+let layout_to_string = function Blocked -> "blocked" | Cyclic -> "cyclic"
+
+let off_next = 0
+let off_value = 1
+let node_words = 2
+
+type result = {
+  layout : layout;
+  mechanism : C.mechanism;
+  n : int;
+  nprocs : int;
+  cycles : int;
+  migrations : int;
+  remote_fetches : int; (* remote reads through the cache *)
+  sum : int;
+}
+
+(* Build the list with element i owned by [owner i]; returns the head. *)
+let build site_next site_value ~n ~owner =
+  let cells = Array.init n (fun i -> Ops.alloc ~proc:(owner i) node_words) in
+  for i = n - 1 downto 0 do
+    Ops.store_int site_value cells.(i) off_value (i + 1);
+    Ops.store_ptr site_next cells.(i) off_next
+      (if i = n - 1 then Gptr.null else cells.(i + 1))
+  done;
+  cells.(0)
+
+let rec walk site_next site_value p acc =
+  if Gptr.is_null p then acc
+  else begin
+    let v = Ops.load_int site_value p off_value in
+    Ops.work 4;
+    walk site_next site_value (Ops.load_ptr site_next p off_next) (acc + v)
+  end
+
+(* Traverse an N-element list under the given layout and mechanism. *)
+let run ?(n = 4096) ?(nprocs = 32) ~layout ~mechanism () =
+  let cfg = C.make ~nprocs () in
+  let engine = Engine.create cfg in
+  let sum = ref 0 in
+  Engine.exec engine (fun () ->
+      let site_next = Site.make ~mech:mechanism "listdist.next" in
+      let site_value = Site.make ~mech:mechanism "listdist.value" in
+      let owner =
+        match layout with
+        | Blocked -> fun i -> block_owner ~nprocs ~n i
+        | Cyclic -> fun i -> cyclic_owner ~nprocs i
+      in
+      let head = build site_next site_value ~n ~owner in
+      Ops.phase "kernel";
+      sum := Ops.call (fun () -> walk site_next site_value head 0));
+  let cycles, stats = Engine.interval engine ~start:"kernel" ~stop:None in
+  {
+    layout;
+    mechanism;
+    n;
+    nprocs;
+    cycles;
+    migrations = stats.Stats.migrations;
+    remote_fetches = stats.Stats.cacheable_reads_remote;
+    sum = !sum;
+  }
+
+(* The paper's predicted counts for a traversal. *)
+let predicted_migrations ~n ~nprocs = function
+  | Blocked -> nprocs - 1
+  | Cyclic ->
+      ignore nprocs;
+      n - 1
+
+let predicted_remote_fetches ~n ~nprocs = n * (nprocs - 1) / nprocs
+
+let all ?(n = 4096) ?(nprocs = 32) () =
+  [
+    run ~n ~nprocs ~layout:Blocked ~mechanism:C.Migrate ();
+    run ~n ~nprocs ~layout:Blocked ~mechanism:C.Cache ();
+    run ~n ~nprocs ~layout:Cyclic ~mechanism:C.Migrate ();
+    run ~n ~nprocs ~layout:Cyclic ~mechanism:C.Cache ();
+  ]
+
+let pp_result ppf r =
+  Fmt.pf ppf "%-8s %-8s cycles=%-10d migrations=%-6d remote-fetches=%-6d"
+    (layout_to_string r.layout)
+    (C.mechanism_to_string r.mechanism)
+    r.cycles r.migrations r.remote_fetches

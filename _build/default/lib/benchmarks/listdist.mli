@@ -1,0 +1,37 @@
+(** Figure 2: the blocked vs. cyclic list distributions that motivate
+    having both mechanisms.
+
+    A list of N elements evenly divided among P processors is traversed
+    once under each (layout, mechanism) combination.  Migration crosses a
+    boundary only P-1 times on the blocked layout but N-1 times on the
+    cyclic one; caching pays N(P-1)/P remote elements either way. *)
+
+type layout = Blocked | Cyclic
+
+val layout_to_string : layout -> string
+
+type result = {
+  layout : layout;
+  mechanism : Olden_config.mechanism;
+  n : int;
+  nprocs : int;
+  cycles : int;  (** traversal cycles (kernel only) *)
+  migrations : int;
+  remote_fetches : int;  (** remote reads through the cache *)
+  sum : int;  (** traversal result, for verification *)
+}
+
+val run :
+  ?n:int -> ?nprocs:int -> layout:layout ->
+  mechanism:Olden_config.mechanism -> unit -> result
+
+val predicted_migrations : n:int -> nprocs:int -> layout -> int
+(** The paper's counts: P-1 (blocked) or N-1 (cyclic). *)
+
+val predicted_remote_fetches : n:int -> nprocs:int -> int
+(** N(P-1)/P remote elements under caching. *)
+
+val all : ?n:int -> ?nprocs:int -> unit -> result list
+(** All four combinations. *)
+
+val pp_result : Format.formatter -> result -> unit

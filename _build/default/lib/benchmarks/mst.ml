@@ -1,0 +1,249 @@
+(* MST: Bentley's parallel minimum-spanning-tree algorithm (Table 1: 1K
+   nodes; heuristic choice M).
+
+   Vertices are distributed blocked over the processors, each processor
+   holding a linked list of its vertices.  Each of the N-1 phases applies
+   the "blue rule": every processor scans its local vertices, refreshing
+   their distance to the most recently inserted vertex (an edge-weight
+   hash-table lookup in Olden; here a pure weight function charged the same
+   lookup cost — the access pattern and costs are identical, without the
+   O(N^2) table build), and returns its local minimum; the coordinator
+   combines the P minima and inserts the winner.  The per-phase work is
+   O(N/P) per processor against O(P) migrations, so communication dominates
+   and speedup is poor and degrades with P, as the paper reports (the
+   migrations "serve mostly as a mechanism for synchronization").
+
+   The paper specifies explicit path-affinities for MST; the vertex list is
+   perfectly local (100%), and the per-processor scan is futurecalled. *)
+
+open Common
+
+let ir =
+  {|
+struct vertex {
+  vertex next @ 100;
+  int mindist;
+  int intree;
+  int id;
+}
+
+struct bucket {
+  vertex head @ 0;
+  bucket nextp @ 100;
+}
+
+int blue_rule(vertex v, int inserted) {
+  int best = 1000000000;
+  while (v != null) {
+    if (v->intree == 0) {
+      int d = v->mindist;
+      work(280);
+      if (d < best) { best = d; }
+      v->mindist = d;
+    }
+    v = v->next;
+  }
+  return best;
+}
+
+int do_all_blue_rule(bucket b, int inserted) {
+  if (b == null) { return 1000000000; }
+  int local = future blue_rule(b->head, inserted);
+  int rest = do_all_blue_rule(b->nextp, inserted);
+  int m = touch(local);
+  if (m < rest) { return m; }
+  return rest;
+}
+|}
+
+(* Vertex record: next, mindist, intree, id. *)
+let off_next = 0
+let off_mindist = 1
+let off_intree = 2
+let off_id = 3
+let vertex_words = 4
+
+(* Per-processor bucket: head of the local vertex list, next bucket. *)
+let off_head = 0
+let off_nextp = 1
+let bucket_words = 2
+
+type sites = {
+  s_next : Site.t;
+  s_mindist : Site.t;
+  s_intree : Site.t;
+  s_id : Site.t;
+  s_head : Site.t;
+  s_nextp : Site.t;
+}
+
+let make_sites () =
+  let _sel, mech = sites_of_ir ir in
+  let v = site_of mech ~func:"blue_rule" ~var:"v" ~fallback:C.Migrate in
+  let b = site_of mech ~func:"do_all_blue_rule" ~var:"b" ~fallback:C.Migrate in
+  {
+    s_next = v ~field:"next";
+    s_mindist = v ~field:"mindist";
+    s_intree = v ~field:"intree";
+    s_id = v ~field:"id";
+    s_head = b ~field:"head";
+    s_nextp = b ~field:"nextp";
+  }
+
+(* Edge weight: a deterministic hash of the vertex pair, standing in for
+   Olden's per-vertex hash tables (same lookup pattern, cost charged
+   below). *)
+let weight i j =
+  let i, j = if i < j then (i, j) else (j, i) in
+  let h = (i * 1000003) lxor (j * 998244353) in
+  let h = h lxor (h lsr 17) in
+  (h land 0xffff) + 1
+
+let hash_lookup_cost = 280
+let infinity_dist = 1_000_000_000
+
+(* --- Pure OCaml reference: Prim's algorithm over the same weights ----- *)
+
+let reference n =
+  let mindist = Array.make n infinity_dist in
+  let intree = Array.make n false in
+  intree.(0) <- true;
+  let total = ref 0 in
+  let inserted = ref 0 in
+  for _ = 1 to n - 1 do
+    let best = ref infinity_dist and besti = ref (-1) in
+    for v = 0 to n - 1 do
+      if not intree.(v) then begin
+        let d = min mindist.(v) (weight v !inserted) in
+        mindist.(v) <- d;
+        if d < !best then begin
+          best := d;
+          besti := v
+        end
+      end
+    done;
+    total := !total + !best;
+    intree.(!besti) <- true;
+    inserted := !besti
+  done;
+  !total
+
+(* --- The Olden program ------------------------------------------------- *)
+
+(* Build the vertex lists: vertex i on processor [block_owner i], chained
+   per processor, plus a chain of per-processor buckets rooted on
+   processor 0. *)
+let build sites n =
+  let nprocs = Ops.nprocs () in
+  let vertices =
+    Array.init n (fun i ->
+        let proc = block_owner ~nprocs ~n i in
+        let v = Ops.alloc ~proc vertex_words in
+        Ops.store_int sites.s_mindist v off_mindist infinity_dist;
+        Ops.store_int sites.s_intree v off_intree 0;
+        Ops.store_int sites.s_id v off_id i;
+        v)
+  in
+  (* chain vertices per processor, in increasing index order *)
+  let heads = Array.make nprocs Gptr.null in
+  for i = n - 1 downto 0 do
+    let proc = block_owner ~nprocs ~n i in
+    Ops.store_ptr sites.s_next vertices.(i) off_next heads.(proc);
+    heads.(proc) <- vertices.(i)
+  done;
+  (* bucket cells all live with the coordinator on processor 0: walking
+     the chain is local, and each futurecalled scan migrates to its
+     processor at its first vertex dereference *)
+  let buckets =
+    Array.init nprocs (fun p ->
+        let b = Ops.alloc ~proc:0 bucket_words in
+        Ops.store_ptr sites.s_head b off_head heads.(p);
+        b)
+  in
+  (* chain highest processor first: the coordinator (processor 0) spawns
+     the remote scans before falling into its own, which runs inline *)
+  for p = 0 to nprocs - 1 do
+    Ops.store_ptr sites.s_nextp buckets.(p) off_nextp
+      (if p = 0 then Gptr.null else buckets.(p - 1))
+  done;
+  (vertices, buckets.(nprocs - 1))
+
+(* One processor's blue-rule scan: walk the local vertex list, refresh
+   distances against the newly inserted vertex, return the local minimum
+   (encoded as dist * 2^20 + id so the coordinator can pick the argmin). *)
+let rec blue_rule sites v ~inserted best =
+  if Gptr.is_null v then best
+  else begin
+    let intree = Ops.load_int sites.s_intree v off_intree in
+    let best =
+      if intree = 0 then begin
+        let id = Ops.load_int sites.s_id v off_id in
+        let d0 = Ops.load_int sites.s_mindist v off_mindist in
+        Ops.work hash_lookup_cost;
+        let d = min d0 (weight id inserted) in
+        Ops.store_int sites.s_mindist v off_mindist d;
+        min best ((d lsl 20) lor id)
+      end
+      else best
+    in
+    blue_rule sites (Ops.load_ptr sites.s_next v off_next) ~inserted best
+  end
+
+(* Spawn one scan per processor; the body's first dereference (the bucket's
+   vertex-list head) migrates it to that processor. *)
+let rec do_all_blue_rule sites bucket ~inserted =
+  if Gptr.is_null bucket then max_int
+  else begin
+    let head = Ops.load_ptr sites.s_head bucket off_head in
+    let fut =
+      Ops.future (fun () ->
+          Value.Int (blue_rule sites head ~inserted max_int))
+    in
+    let rest =
+      do_all_blue_rule sites
+        (Ops.load_ptr sites.s_nextp bucket off_nextp)
+        ~inserted
+    in
+    min (Value.to_int (Ops.touch fut)) rest
+  end
+
+let kernel sites ~n ~vertices ~bucket0 =
+  let total = ref 0 in
+  let inserted = ref 0 in
+  for _ = 1 to n - 1 do
+    let enc =
+      Ops.call (fun () -> do_all_blue_rule sites bucket0 ~inserted:!inserted)
+    in
+    let best = enc lsr 20 and besti = enc land 0xfffff in
+    total := !total + best;
+    inserted := besti;
+    (* insert the winner: the coordinator updates it (and returns) *)
+    Ops.call (fun () ->
+        Ops.store_int sites.s_intree vertices.(besti) off_intree 1);
+    Ops.work 30
+  done;
+  !total
+
+let run cfg ~scale =
+  let n = scaled ~scale ~floor:64 1024 in
+  execute cfg ~program:(fun _engine ->
+      let sites = make_sites () in
+      let vertices, bucket0 = build sites n in
+      (* vertex 0 starts in the tree *)
+      Ops.store_int sites.s_intree vertices.(0) off_intree 1;
+      Ops.phase "kernel";
+      let total = Ops.call (fun () -> kernel sites ~n ~vertices ~bucket0) in
+      let expected = reference n in
+      (Printf.sprintf "mst=%d" total, total = expected))
+
+let spec =
+  {
+    name = "MST";
+    descr = "Computes the minimum spanning tree of a graph";
+    problem = "1K nodes";
+    choice = "M";
+    whole_program = false;
+    ir;
+    default_scale = 2;
+    run;
+  }

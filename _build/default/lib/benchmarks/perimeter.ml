@@ -1,0 +1,445 @@
+(* Perimeter: perimeter of a quadtree-encoded raster image (Samet),
+   Table 1: 4K x 4K image; heuristic choice M+C.
+
+   The image (a disk) is encoded as a region quadtree.  The perimeter of
+   the black region is computed by visiting every black leaf and, for each
+   of its four sides, finding the greater-or-equal-size adjacent neighbor
+   via parent pointers (Samet's algorithm) and counting the white cells
+   along the shared border.  The tree traversal visits all four children
+   and migrates; the neighbor finding may wander far from the current
+   subtree — parent links are given a low path-affinity hint (Perimeter is
+   one of the three benchmarks with explicit affinities in the paper), so
+   those dereferences are cached. *)
+
+open Common
+
+let ir =
+  {|
+struct quad {
+  quad parent @ 40;
+  quad child0 @ 60;
+  quad child1 @ 60;
+  quad child2 @ 60;
+  quad child3 @ 60;
+  int color;
+  int quadrant;
+}
+
+int adj_neighbor(quad q, int dir) {
+  quad p = q->parent;
+  if (p == null) { return 0; }
+  work(12);
+  return adj_neighbor(p, dir);
+}
+
+int count_border(quad n, int dir, int size) {
+  if (n == null) { return 0; }
+  if (n->color != 2) { work(20); return size; }
+  int a = count_border(n->child0, dir, size / 2);
+  int b = count_border(n->child1, dir, size / 2);
+  return a + b;
+}
+
+int perimeter(quad q, int size) {
+  if (q == null) { return 0; }
+  if (q->color == 2) {
+    int a = future perimeter(q->child0, size / 2);
+    int b = future perimeter(q->child1, size / 2);
+    int c = future perimeter(q->child2, size / 2);
+    int d = perimeter(q->child3, size / 2);
+    return touch(a) + touch(b) + touch(c) + d;
+  }
+  work(100);
+  int r = adj_neighbor(q, 0);
+  return r + count_border(q, 1, size);
+}
+|}
+
+(* Node record: [parent; child0..3; color; quadrant]. *)
+let off_parent = 0
+let off_child i = 1 + i
+let off_color = 5
+let off_quadrant = 6
+let node_words = 7
+
+let white = 0
+let black = 1
+let grey = 2
+
+type sites = {
+  s_child : Site.t; (* traversal: migrate *)
+  s_color : Site.t; (* own node fields during traversal: migrate *)
+  s_parent : Site.t; (* neighbor finding going up: cache *)
+  s_nchild : Site.t; (* neighbor finding descending the mirror path: cache *)
+  s_ncolor : Site.t; (* neighbor color checks: cache *)
+}
+
+let make_sites () =
+  let _sel, mech = sites_of_ir ir in
+  {
+    s_child =
+      site_of mech ~func:"perimeter" ~var:"q" ~field:"child0" ~fallback:C.Migrate;
+    s_color =
+      site_of mech ~func:"perimeter" ~var:"q" ~field:"color" ~fallback:C.Migrate;
+    s_parent =
+      site_of mech ~func:"adj_neighbor" ~var:"q" ~field:"parent" ~fallback:C.Cache;
+    s_nchild =
+      site_of mech ~func:"count_border" ~var:"n" ~field:"child0" ~fallback:C.Cache;
+    s_ncolor =
+      site_of mech ~func:"count_border" ~var:"n" ~field:"color" ~fallback:C.Cache;
+  }
+
+(* Quadrants: 0 = NW, 1 = NE, 2 = SW, 3 = SE; directions 0 = N, 1 = E,
+   2 = S, 3 = W. *)
+let adjacent ~dir ~quadrant =
+  match dir with
+  | 0 -> quadrant = 0 || quadrant = 1 (* north side *)
+  | 1 -> quadrant = 1 || quadrant = 3 (* east side *)
+  | 2 -> quadrant = 2 || quadrant = 3 (* south side *)
+  | _ -> quadrant = 0 || quadrant = 2 (* west side *)
+
+(* Mirror a quadrant across the axis of [dir]. *)
+let reflect ~dir ~quadrant =
+  match dir with
+  | 0 | 2 -> quadrant lxor 2 (* N/S: flip vertical *)
+  | _ -> quadrant lxor 1 (* E/W: flip horizontal *)
+
+let opposite dir = (dir + 2) mod 4
+
+(* The two child quadrants along side [dir]. *)
+let side_children dir =
+  match dir with
+  | 0 -> (0, 1)
+  | 1 -> (1, 3)
+  | 2 -> (2, 3)
+  | _ -> (0, 2)
+
+(* --- The images (the paper speaks of a *set* of raster images) --------- *)
+
+type region = Inside | Outside | Mixed
+
+type image_kind =
+  | Disk  (** one centred disc *)
+  | Ring  (** an annulus: inner and outer boundary *)
+  | Blobs  (** four overlapping discs *)
+
+let image_kind_to_string = function
+  | Disk -> "disk"
+  | Ring -> "ring"
+  | Blobs -> "blobs"
+
+(* Square-vs-disc classification: [dmin]/[dmax] are the squared distances
+   from the disc's centre to the nearest and farthest points of the
+   square. *)
+let square_range ~cx ~cy ~fx ~fy ~fs =
+  let clamp v lo hi = Float.max lo (Float.min v hi) in
+  let nx = clamp cx fx (fx +. fs) and ny = clamp cy fy (fy +. fs) in
+  let d2 px py =
+    let dx = px -. cx and dy = py -. cy in
+    (dx *. dx) +. (dy *. dy)
+  in
+  let dmin = d2 nx ny in
+  let corners =
+    [ (fx, fy); (fx +. fs, fy); (fx, fy +. fs); (fx +. fs, fy +. fs) ]
+  in
+  let dmax =
+    List.fold_left (fun acc (px, py) -> Float.max acc (d2 px py)) 0. corners
+  in
+  (dmin, dmax)
+
+let discs_of ~kind ~image =
+  let s = float_of_int image in
+  match kind with
+  | Disk | Ring -> [ (s /. 2., s /. 2., 0.375 *. s) ]
+  | Blobs ->
+      [
+        (0.35 *. s, 0.35 *. s, 0.22 *. s);
+        (0.65 *. s, 0.35 *. s, 0.18 *. s);
+        (0.40 *. s, 0.68 *. s, 0.20 *. s);
+        (0.68 *. s, 0.66 *. s, 0.15 *. s);
+      ]
+
+(* Black-pixel predicate, shared by the analytic classifier's pixel-level
+   fallback and nothing else (regions are classified analytically). *)
+let pixel_black ~kind ~image px py =
+  let inside_disc (cx, cy, r) =
+    let dx = px -. cx and dy = py -. cy in
+    (dx *. dx) +. (dy *. dy) <= r *. r
+  in
+  match kind with
+  | Disk | Blobs -> List.exists inside_disc (discs_of ~kind ~image)
+  | Ring ->
+      let s = float_of_int image in
+      let cx = s /. 2. and cy = s /. 2. in
+      let dx = px -. cx and dy = py -. cy in
+      let d2 = (dx *. dx) +. (dy *. dy) in
+      let ro = 0.375 *. s and ri = 0.20 *. s in
+      d2 <= ro *. ro && d2 >= ri *. ri
+
+let classify ?(kind = Disk) ~image ~x ~y ~size () =
+  let fx = float_of_int x and fy = float_of_int y and fs = float_of_int size in
+  let exact () =
+    if size = 1 then
+      if pixel_black ~kind ~image (fx +. 0.5) (fy +. 0.5) then Inside
+      else Outside
+    else Mixed
+  in
+  match kind with
+  | Disk -> (
+      let [@warning "-8"] [ (cx, cy, r) ] = discs_of ~kind ~image in
+      let dmin, dmax = square_range ~cx ~cy ~fx ~fy ~fs in
+      let r2 = r *. r in
+      if dmax <= r2 then Inside
+      else if dmin >= r2 then Outside
+      else exact ())
+  | Ring -> (
+      let [@warning "-8"] [ (cx, cy, ro) ] = discs_of ~kind ~image in
+      let ri = 0.20 *. float_of_int image in
+      let dmin, dmax = square_range ~cx ~cy ~fx ~fy ~fs in
+      let ro2 = ro *. ro and ri2 = ri *. ri in
+      if dmin >= ri2 && dmax <= ro2 then Inside
+      else if dmax <= ri2 || dmin >= ro2 then Outside
+      else exact ())
+  | Blobs ->
+      let discs = discs_of ~kind ~image in
+      let ranges =
+        List.map (fun (cx, cy, r) -> (square_range ~cx ~cy ~fx ~fy ~fs, r *. r)) discs
+      in
+      if List.exists (fun ((_, dmax), r2) -> dmax <= r2) ranges then Inside
+      else if List.for_all (fun ((dmin, _), r2) -> dmin >= r2) ranges then
+        Outside
+      else exact ()
+
+(* --- Host-side reference ----------------------------------------------- *)
+
+module Reference = struct
+  type quad = {
+    mutable parent : quad option;
+    children : quad option array; (* length 4; all None for leaves *)
+    color : int;
+    quadrant : int;
+  }
+
+  let rec build ~kind ~image ~x ~y ~size ~quadrant =
+    match classify ~kind ~image ~x ~y ~size () with
+    | Inside -> { parent = None; children = Array.make 4 None; color = black; quadrant }
+    | Outside -> { parent = None; children = Array.make 4 None; color = white; quadrant }
+    | Mixed ->
+        let half = size / 2 in
+        let node = { parent = None; children = Array.make 4 None; color = grey; quadrant } in
+        let mk i qx qy =
+          let c = build ~kind ~image ~x:qx ~y:qy ~size:half ~quadrant:i in
+          c.parent <- Some node;
+          node.children.(i) <- Some c
+        in
+        mk 0 x y;
+        mk 1 (x + half) y;
+        mk 2 x (y + half);
+        mk 3 (x + half) (y + half);
+        node
+
+  let rec adj_neighbor q dir =
+    match q.parent with
+    | None -> None
+    | Some p ->
+        if adjacent ~dir ~quadrant:q.quadrant then begin
+          match adj_neighbor p dir with
+          | None -> None
+          | Some m ->
+              if m.color <> grey then Some m
+              else m.children.(reflect ~dir ~quadrant:q.quadrant)
+        end
+        else p.children.(reflect ~dir ~quadrant:q.quadrant)
+
+  let rec count_border n dir size =
+    match n with
+    | None -> 0
+    | Some n ->
+        if n.color = white then size
+        else if n.color = black then 0
+        else begin
+          let a, b = side_children dir in
+          count_border n.children.(a) dir (size / 2)
+          + count_border n.children.(b) dir (size / 2)
+        end
+
+  let rec perimeter q size =
+    if q.color = grey then
+      Array.fold_left
+        (fun acc c -> match c with Some c -> acc + perimeter c (size / 2) | None -> acc)
+        0 q.children
+    else if q.color = black then begin
+      let contribution = ref 0 in
+      for dir = 0 to 3 do
+        match adj_neighbor q dir with
+        | None -> contribution := !contribution + size (* image border *)
+        | Some n ->
+            contribution := !contribution + count_border (Some n) (opposite dir) size
+      done;
+      !contribution
+    end
+    else 0
+
+  let run ?(kind = Disk) ~image () =
+    let root = build ~kind ~image ~x:0 ~y:0 ~size:image ~quadrant:0 in
+    perimeter root image
+end
+
+(* --- The Olden program ------------------------------------------------- *)
+
+let node_work = 100
+let neighbor_work = 40
+let border_work = 20
+
+(* Build the quadtree, distributing the top levels over the processor
+   range.  The black leaves cluster along the figure's boundary, so a
+   range-split placement would give the boundary quadrants' processors all
+   the work; instead the depth-3 regions (64 of them on a big image) are
+   dealt *cyclically* over the processors — the load-balancing flavour of
+   layout the paper expects the programmer to pick. *)
+(* Build the quadtree, distributing the top levels over the processor
+   range; the first-spawned children go to the far end (cf. TreeAdd). *)
+let build ?(kind = Disk) sites ~image =
+  let nprocs = Ops.nprocs () in
+  let rec go ~x ~y ~size ~quadrant ~parent ~lo ~hi =
+    let region = classify ~kind ~image ~x ~y ~size () in
+    let node = Ops.alloc ~proc:lo node_words in
+    Ops.store_ptr sites.s_parent node off_parent parent;
+    Ops.store_int sites.s_color node off_quadrant quadrant;
+    (match region with
+    | Inside -> Ops.store_int sites.s_color node off_color black
+    | Outside -> Ops.store_int sites.s_color node off_color white
+    | Mixed -> Ops.store_int sites.s_color node off_color grey);
+    (match region with
+    | Inside | Outside ->
+        for i = 0 to 3 do
+          Ops.store_ptr sites.s_child node (off_child i) Gptr.null
+        done
+    | Mixed ->
+        let half = size / 2 in
+        let coords =
+          [| (x, y); (x + half, y); (x, y + half); (x + half, y + half) |]
+        in
+        for i = 0 to 3 do
+          let span = hi - lo in
+          let j = 3 - i in
+          let clo = lo + (j * span / 4) in
+          let chi = lo + ((j + 1) * span / 4) in
+          let clo = min clo (nprocs - 1) in
+          let cx, cy = coords.(i) in
+          let child =
+            go ~x:cx ~y:cy ~size:half ~quadrant:i ~parent:node ~lo:clo
+              ~hi:(max chi (clo + 1))
+          in
+          Ops.store_ptr sites.s_child node (off_child i) child
+        done);
+    node
+  in
+  Ops.call (fun () ->
+      go ~x:0 ~y:0 ~size:image ~quadrant:0 ~parent:Gptr.null ~lo:0 ~hi:nprocs)
+
+(* Samet's greater-or-equal adjacent neighbor, via cached dereferences. *)
+let rec adj_neighbor sites q dir =
+  let p = Ops.load_ptr sites.s_parent q off_parent in
+  Ops.work neighbor_work;
+  if Gptr.is_null p then Gptr.null
+  else begin
+    let quadrant = Ops.load_int sites.s_ncolor q off_quadrant in
+    if adjacent ~dir ~quadrant then begin
+      let m = adj_neighbor sites p dir in
+      if Gptr.is_null m then Gptr.null
+      else begin
+        let mcolor = Ops.load_int sites.s_ncolor m off_color in
+        if mcolor <> grey then m
+        else Ops.load_ptr sites.s_nchild m (off_child (reflect ~dir ~quadrant))
+      end
+    end
+    else Ops.load_ptr sites.s_nchild p (off_child (reflect ~dir ~quadrant))
+  end
+
+let rec count_border sites n dir size =
+  if Gptr.is_null n then 0
+  else begin
+    let color = Ops.load_int sites.s_ncolor n off_color in
+    Ops.work border_work;
+    if color = white then size
+    else if color = black then 0
+    else begin
+      let a, b = side_children dir in
+      count_border sites (Ops.load_ptr sites.s_nchild n (off_child a)) dir (size / 2)
+      + count_border sites (Ops.load_ptr sites.s_nchild n (off_child b)) dir (size / 2)
+    end
+  end
+
+let rec perimeter sites q size ~span =
+  if Gptr.is_null q then 0
+  else begin
+    let color = Ops.load_int sites.s_color q off_color in
+    if color = grey then begin
+      if span >= 2 then begin
+        let futs =
+          Array.init 3 (fun i ->
+              let child = Ops.load_ptr sites.s_child q (off_child i) in
+              Ops.future (fun () ->
+                  Value.Int
+                    (perimeter sites child (size / 2) ~span:(max 1 (span / 4)))))
+        in
+        let last = Ops.load_ptr sites.s_child q (off_child 3) in
+        let d = perimeter sites last (size / 2) ~span:(max 1 (span / 4)) in
+        Array.fold_left (fun acc f -> acc + Value.to_int (Ops.touch f)) d futs
+      end
+      else begin
+        let sum = ref 0 in
+        for i = 0 to 3 do
+          let child = Ops.load_ptr sites.s_child q (off_child i) in
+          sum := !sum + perimeter sites child (size / 2) ~span:1
+        done;
+        !sum
+      end
+    end
+    else if color = black then begin
+      Ops.work node_work;
+      let contribution = ref 0 in
+      for dir = 0 to 3 do
+        let n = Ops.call (fun () -> adj_neighbor sites q dir) in
+        if Gptr.is_null n then contribution := !contribution + size
+        else
+          contribution :=
+            !contribution
+            + Ops.call (fun () -> count_border sites n (opposite dir) size)
+      done;
+      !contribution
+    end
+    else 0
+  end
+
+let image_for scale = max 64 (4096 / scale)
+
+let run_image ?(kind = Disk) cfg ~scale =
+  let image = image_for scale in
+  execute cfg ~program:(fun _engine ->
+      let sites = make_sites () in
+      let root = build ~kind sites ~image in
+      let nprocs = Ops.nprocs () in
+      Ops.phase "kernel";
+      let total =
+        Ops.call (fun () -> perimeter sites root image ~span:nprocs)
+      in
+      let expected = Reference.run ~kind ~image () in
+      ( Printf.sprintf "perimeter=%d (%s %dx%d)" total
+          (image_kind_to_string kind) image image,
+        total = expected ))
+
+let run cfg ~scale = run_image ~kind:Disk cfg ~scale
+
+let spec =
+  {
+    name = "Perimeter";
+    descr = "Computes the perimeter of a set of quad-tree encoded raster images";
+    problem = "4K x 4K image";
+    choice = "M+C";
+    whole_program = false;
+    ir;
+    default_scale = 2;
+    run;
+  }

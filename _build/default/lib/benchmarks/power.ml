@@ -1,0 +1,289 @@
+(* Power: the Power System Optimization problem of Lumetta et al. (Table 1:
+   10,000 customers; whole-program times, heuristic choice M).
+
+   The network is a fixed four-level tree: a root feeds 10 feeders, each
+   feeder 20 laterals, each lateral 5 branches, each branch 10 customer
+   leaves.  Each pricing iteration sums optimized customer demands up the
+   tree; the root then adjusts its price toward a capacity target.
+   Customers do substantial local floating-point work, so Olden's overheads
+   are small (the paper's one-processor speedup is 0.96).
+
+   Layout follows the Olden idiom that makes futurecalls spawn threads:
+   each level's list cells live on the processor that walks them, and each
+   cell points to a header on the processor that owns the subtree below.
+   The walker spawns a futurecall whose body's first dereference (of the
+   header) migrates, so the walker's continuation is stolen and the spawn
+   loop pipelines: one thread per feeder, then one per lateral. *)
+
+open Common
+
+let ir =
+  {|
+struct node {
+  node next @ 95;
+  node child @ 60;
+  float demand;
+  float coeff;
+}
+
+float compute_feeder(node cell, float price) {
+  if (cell == null) { return 0.0; }
+  float d = future compute_lateral(cell->child, price);
+  float rest = compute_feeder(cell->next, price);
+  return touch(d) + rest;
+}
+
+float compute_lateral(node n, float price) {
+  if (n == null) { return 0.0; }
+  float s = sum_leaves(n->child, price);
+  float rest = compute_lateral(n->next, price);
+  return s + rest;
+}
+
+float sum_leaves(node leaf, float price) {
+  if (leaf == null) { return 0.0; }
+  float d = leaf->coeff / price;
+  work(700);
+  return d + sum_leaves(leaf->next, price);
+}
+|}
+
+(* Node layout: every record is [next; child; demand; coeff]. *)
+let off_next = 0
+let off_child = 1
+let off_demand = 2
+let off_coeff = 3
+let node_words = 4
+
+type sites = {
+  s_next : Site.t;
+  s_child : Site.t;
+  s_coeff : Site.t;
+}
+
+let make_sites () =
+  let _sel, mech = sites_of_ir ir in
+  (* all levels traverse with migration (heuristic choice M); the feeder
+     walk's sites stand in for the identical walks at the other levels *)
+  let next = site_of mech ~func:"compute_feeder" ~var:"cell" ~fallback:C.Migrate in
+  let child = site_of mech ~func:"compute_feeder" ~var:"cell" ~fallback:C.Migrate in
+  let coeff = site_of mech ~func:"sum_leaves" ~var:"leaf" ~fallback:C.Migrate in
+  {
+    s_next = next ~field:"next";
+    s_child = child ~field:"child";
+    s_coeff = coeff ~field:"coeff";
+  }
+
+(* Network shape (Lumetta et al.): 10 x 20 x 5 x 10 = 10,000 customers. *)
+type shape = { feeders : int; laterals : int; branches : int; leaves : int }
+
+let paper_shape = { feeders = 10; laterals = 20; branches = 5; leaves = 10 }
+
+let shape_for scale =
+  let rec shrink sh scale =
+    if scale <= 1 then sh
+    else if sh.leaves > 5 then shrink { sh with leaves = sh.leaves / 2 } (scale / 2)
+    else if sh.branches > 2 then
+      shrink { sh with branches = sh.branches - 2 } (scale / 2)
+    else shrink { sh with laterals = max 4 (sh.laterals / 2) } (scale / 2)
+  in
+  shrink paper_shape scale
+
+let customers sh = sh.feeders * sh.laterals * sh.branches * sh.leaves
+let iterations = 8
+let leaf_work = 700
+let target_demand sh = 0.6 *. float_of_int (customers sh)
+let initial_price = 1.0
+
+(* Deterministic customer coefficient. *)
+let coeff_of ~lateral ~branch ~leaf =
+  let h = (lateral * 131) + (branch * 17) + leaf in
+  0.5 +. (float_of_int (h mod 1000) /. 1000.)
+
+(* --- Pure OCaml reference (same summation order) ---------------------- *)
+
+(* Lists are built head = highest index, and the walkers sum
+   head +. rest, so the reference folds indices downward,
+   right-associated. *)
+let rec sum_list k f =
+  if k < 0 then 0.
+  else begin
+    let self = f k in
+    let rest = sum_list (k - 1) f in
+    self +. rest
+  end
+
+let reference sh =
+  let price = ref initial_price in
+  let total = ref 0. in
+  for _ = 1 to iterations do
+    let p = !price in
+    let lateral_demand lateral =
+      sum_list (sh.branches - 1) (fun b ->
+          sum_list (sh.leaves - 1) (fun c ->
+              coeff_of ~lateral ~branch:b ~leaf:c /. p))
+    in
+    let feeder_demand f =
+      sum_list (sh.laterals - 1) (fun l ->
+          lateral_demand ((f * sh.laterals) + l))
+    in
+    total := sum_list (sh.feeders - 1) feeder_demand;
+    price := !price *. (!total /. target_demand sh)
+  done;
+  (!price, !total)
+
+(* --- Structure construction ------------------------------------------- *)
+
+type net = { feeder_cells : Gptr.t (* list on processor 0 *) }
+
+let alloc_node sites ~proc ~next ~child ~coeff =
+  let n = Ops.alloc ~proc node_words in
+  Ops.store_ptr sites.s_next n off_next next;
+  Ops.store_ptr sites.s_child n off_child child;
+  Ops.store_float sites.s_coeff n off_coeff coeff;
+  n
+
+(* Builds list cells for indices [count-1 .. 0] with the head being the
+   highest index, matching the reference's fold. *)
+let rec build_list sites ~proc ~count ~make =
+  if count = 0 then Gptr.null
+  else begin
+    let rest = build_list sites ~proc ~count:(count - 1) ~make in
+    let child, coeff = make (count - 1) in
+    alloc_node sites ~proc ~next:rest ~child ~coeff
+  end
+
+let build sites sh =
+  let nprocs = Ops.nprocs () in
+  let total_laterals = sh.feeders * sh.laterals in
+  let lateral_proc lateral = block_owner ~nprocs ~n:total_laterals lateral in
+  let feeder_proc f = lateral_proc (f * sh.laterals) in
+  let build_lateral_subtree ~proc ~lateral =
+    (* branch cells and customer leaves, all on the lateral's processor *)
+    let branches =
+      build_list sites ~proc ~count:sh.branches ~make:(fun b ->
+          let leaves =
+            build_list sites ~proc ~count:sh.leaves ~make:(fun c ->
+                (Gptr.null, coeff_of ~lateral ~branch:b ~leaf:c))
+          in
+          (leaves, 0.))
+    in
+    alloc_node sites ~proc ~next:Gptr.null ~child:branches ~coeff:0.
+  in
+  (* The build is parallel too (the paper notes the building phases show
+     excellent speedup): subtrees are built by futurecalled threads that
+     migrate to their subtree's processor at their first store. *)
+  let build_feeder ~feeder =
+    let fproc = feeder_proc feeder in
+    let futs =
+      Array.init sh.laterals (fun l ->
+          let lateral = (feeder * sh.laterals) + l in
+          Ops.future (fun () ->
+              Value.Ptr
+                (build_lateral_subtree ~proc:(lateral_proc lateral) ~lateral)))
+    in
+    let lateral_cells =
+      build_list sites ~proc:fproc ~count:sh.laterals ~make:(fun l ->
+          (Value.to_ptr (Ops.touch futs.(l)), 0.))
+    in
+    alloc_node sites ~proc:fproc ~next:Gptr.null ~child:lateral_cells ~coeff:0.
+  in
+  let feeder_futs =
+    Array.init sh.feeders (fun f ->
+        Ops.future (fun () -> Value.Ptr (build_feeder ~feeder:f)))
+  in
+  let feeder_cells =
+    build_list sites ~proc:0 ~count:sh.feeders ~make:(fun f ->
+        (Value.to_ptr (Ops.touch feeder_futs.(f)), 0.))
+  in
+  { feeder_cells }
+
+(* --- The demand pass --------------------------------------------------- *)
+
+(* Customer leaves: the local optimization, the benchmark's real work. *)
+let rec sum_leaves sites ~price leaf =
+  if Gptr.is_null leaf then 0.
+  else begin
+    let coeff = Ops.load_float sites.s_coeff leaf off_coeff in
+    Ops.work leaf_work;
+    let self = coeff /. price in
+    let rest = sum_leaves sites ~price (Ops.load_ptr sites.s_next leaf off_next) in
+    self +. rest
+  end
+
+let rec sum_branches sites ~price branch =
+  if Gptr.is_null branch then 0.
+  else begin
+    let leaves = Ops.load_ptr sites.s_child branch off_child in
+    let self = sum_leaves sites ~price leaves in
+    let rest =
+      sum_branches sites ~price (Ops.load_ptr sites.s_next branch off_next)
+    in
+    Ops.work 10;
+    self +. rest
+  end
+
+(* The body's first dereference (hdr->child) migrates to the lateral's
+   processor; everything below is local. *)
+let compute_lateral sites ~price hdr =
+  let branches = Ops.load_ptr sites.s_child hdr off_child in
+  sum_branches sites ~price branches
+
+(* Walk a cell list spawning one futurecall per cell; bodies migrate away,
+   so the walk's continuation is stolen and the spawns pipeline.  Touches
+   happen after the whole tail is processed, preserving summation order. *)
+let rec walk_spawning sites ~price ~body cell =
+  if Gptr.is_null cell then 0.
+  else begin
+    let hdr = Ops.load_ptr sites.s_child cell off_child in
+    let fut =
+      Ops.future (fun () -> Value.Float (body hdr))
+    in
+    let rest =
+      walk_spawning sites ~price ~body (Ops.load_ptr sites.s_next cell off_next)
+    in
+    Ops.work 10;
+    Value.to_float (Ops.touch fut) +. rest
+  end
+
+let compute_feeder sites ~price hdr =
+  let lateral_cells = Ops.load_ptr sites.s_child hdr off_child in
+  walk_spawning sites ~price lateral_cells ~body:(fun lateral_hdr ->
+      compute_lateral sites ~price lateral_hdr)
+
+let total_demand sites ~price net =
+  Ops.call (fun () ->
+      walk_spawning sites ~price net.feeder_cells ~body:(fun feeder_hdr ->
+          compute_feeder sites ~price feeder_hdr))
+
+let run cfg ~scale =
+  let sh = shape_for scale in
+  execute cfg ~program:(fun _engine ->
+      let sites = make_sites () in
+      let net = build sites sh in
+      Ops.phase "kernel";
+      let price = ref initial_price in
+      let total = ref 0. in
+      for _ = 1 to iterations do
+        let sum = total_demand sites ~price:!price net in
+        total := sum;
+        price := !price *. (sum /. target_demand sh)
+      done;
+      let ref_price, ref_total = reference sh in
+      let ok =
+        Float.abs (!price -. ref_price) <= 1e-9 *. Float.abs ref_price
+        && Float.abs (!total -. ref_total) <= 1e-9 *. Float.abs ref_total
+      in
+      (Printf.sprintf "price=%.6f demand=%.3f" !price !total, ok))
+
+let spec =
+  {
+    name = "Power";
+    descr = "Solves the Power System Optimization problem";
+    problem = "10,000 customers";
+    choice = "M";
+    whole_program = true;
+    ir;
+    default_scale = 1;
+    run;
+  }

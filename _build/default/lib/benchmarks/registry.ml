@@ -1,0 +1,23 @@
+(* The ten benchmarks of Table 1, in the paper's order. *)
+
+let specs : Common.spec list =
+  [
+    Treeadd.spec;
+    Power.spec;
+    Tsp.spec;
+    Mst.spec;
+    Bisort.spec;
+    Voronoi.spec;
+    Em3d.spec;
+    Barneshut.spec;
+    Perimeter.spec;
+    Health.spec;
+  ]
+
+let () = List.iter Suite.register specs
+
+let find name =
+  List.find_opt
+    (fun (s : Common.spec) ->
+      String.lowercase_ascii s.Common.name = String.lowercase_ascii name)
+    specs

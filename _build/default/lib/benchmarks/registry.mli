@@ -1,0 +1,7 @@
+(** The ten benchmarks of Table 1, in the paper's order, registered with
+    {!Suite}. *)
+
+val specs : Common.spec list
+
+val find : string -> Common.spec option
+(** Case-insensitive lookup by name. *)

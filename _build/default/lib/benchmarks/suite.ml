@@ -1,0 +1,73 @@
+(* The benchmark suite and the Table 2 harness: sequential baseline plus
+   speedups across processor counts, and the migrate-only ablation. *)
+
+open Common
+
+let all : spec list ref = ref []
+let register spec = all := spec :: !all
+let specs () = List.rev !all
+
+let find name =
+  List.find_opt
+    (fun s -> String.lowercase_ascii s.name = String.lowercase_ascii name)
+    (specs ())
+
+type speedup_row = {
+  spec : spec;
+  seq_cycles : int;
+  runs : (int * float * outcome) list; (* procs, speedup, outcome *)
+  migrate_only_32 : float option;
+}
+
+(* Run [spec] sequentially: same program, one processor, no Olden
+   overheads (Section 5's "true sequential implementation"). *)
+let sequential_cycles ?(scale = 0) ~coherence spec =
+  let scale = if scale = 0 then spec.default_scale else scale in
+  let cfg = C.sequential_of (C.make ~nprocs:1 ~coherence ()) in
+  let outcome = spec.run cfg ~scale in
+  if not outcome.ok then
+    failwith
+      (Printf.sprintf "%s: sequential run failed verification (%s)" spec.name
+         outcome.checksum);
+  (measured_cycles spec outcome, outcome)
+
+let speedups ?(scale = 0) ?(procs = [ 1; 2; 4; 8; 16; 32 ])
+    ?(coherence = C.Local) ?(migrate_only = true) spec : speedup_row =
+  let scale = if scale = 0 then spec.default_scale else scale in
+  let seq_cycles, _ = sequential_cycles ~scale ~coherence spec in
+  let runs =
+    List.map
+      (fun p ->
+        let cfg = C.make ~nprocs:p ~coherence () in
+        let outcome = spec.run cfg ~scale in
+        if not outcome.ok then
+          failwith
+            (Printf.sprintf "%s: verification failed on %d processors (%s)"
+               spec.name p outcome.checksum);
+        let cycles = measured_cycles spec outcome in
+        let speedup =
+          if cycles = 0 then 0. else float_of_int seq_cycles /. float_of_int cycles
+        in
+        (p, speedup, outcome))
+      procs
+  in
+  let migrate_only_32 =
+    if migrate_only then begin
+      let cfg = C.make ~nprocs:32 ~coherence ~policy:C.Migrate_only () in
+      let outcome = spec.run cfg ~scale in
+      if not outcome.ok then
+        failwith (spec.name ^ ": migrate-only verification failed");
+      let cycles = measured_cycles spec outcome in
+      Some (float_of_int seq_cycles /. float_of_int cycles)
+    end
+    else None
+  in
+  { spec; seq_cycles; runs; migrate_only_32 }
+
+let pp_speedup_row ppf row =
+  Fmt.pf ppf "%-11s %-4s %12s " row.spec.name row.spec.choice
+    (commas row.seq_cycles);
+  List.iter (fun (_, s, _) -> Fmt.pf ppf "%6.2f " s) row.runs;
+  match row.migrate_only_32 with
+  | Some m -> Fmt.pf ppf "%8.2f" m
+  | None -> Fmt.pf ppf "%8s" "-"

@@ -1,0 +1,33 @@
+(** The benchmark suite and the Table 2 harness: sequential baseline plus
+    speedups across processor counts, and the migrate-only ablation. *)
+
+val register : Common.spec -> unit
+val specs : unit -> Common.spec list
+val find : string -> Common.spec option
+
+type speedup_row = {
+  spec : Common.spec;
+  seq_cycles : int;  (** the true-sequential baseline *)
+  runs : (int * float * Common.outcome) list;  (** procs, speedup, outcome *)
+  migrate_only_32 : float option;  (** Table 2's last column *)
+}
+
+val sequential_cycles :
+  ?scale:int -> coherence:Olden_config.coherence -> Common.spec ->
+  int * Common.outcome
+(** Run the benchmark's sequential baseline (one processor, no Olden
+    overheads — Section 5's "true sequential implementation").
+    @raise Failure if verification fails. *)
+
+val speedups :
+  ?scale:int ->
+  ?procs:int list ->
+  ?coherence:Olden_config.coherence ->
+  ?migrate_only:bool ->
+  Common.spec ->
+  speedup_row
+(** One Table 2 row: baseline plus a run per processor count (default
+    1..32) plus the migrate-only run at 32 processors.  Every run is
+    verified. *)
+
+val pp_speedup_row : Format.formatter -> speedup_row -> unit

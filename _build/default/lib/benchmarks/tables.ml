@@ -1,0 +1,291 @@
+(* Regeneration of the paper's tables and figures (see EXPERIMENTS.md).
+
+   Table 1: benchmark descriptions.
+   Table 2: heuristic choice, sequential cycles, speedups for 1..32
+            processors, and the migrate-only speedup at 32.
+   Table 3: caching statistics for the M+C benchmarks on 32 processors
+            under the three coherence protocols.
+   Figure 2: blocked vs. cyclic list traversal under both mechanisms.
+   Figures 3-5 and the Section 4.3 defaults are compiler-side and are
+   printed from their IR models. *)
+
+module C = Olden_config
+
+let fprintf = Format.fprintf
+
+(* --- Table 1 ----------------------------------------------------------- *)
+
+let table1 ppf () =
+  fprintf ppf "Table 1: Benchmark Descriptions@.";
+  fprintf ppf "%-11s %-55s %s@." "Benchmark" "Description" "Problem Size";
+  List.iter
+    (fun (s : Common.spec) ->
+      fprintf ppf "%-11s %-55s %s@." s.Common.name s.Common.descr
+        s.Common.problem)
+    Registry.specs
+
+(* --- Table 2 ----------------------------------------------------------- *)
+
+let paper_table2 =
+  (* name, (speedups at 1,2,4,8,16,32), migrate-only at 32 (if reported) *)
+  [
+    ("TreeAdd", [ 0.73; 1.47; 2.93; 5.90; 11.81; 23.4 ], None);
+    ("Power", [ 0.96; 1.94; 3.81; 6.92; 14.85; 27.5 ], None);
+    ("TSP", [ 0.95; 1.92; 3.70; 6.70; 10.08; 15.8 ], None);
+    ("MST", [ 0.96; 1.36; 2.20; 3.43; 4.56; 5.14 ], None);
+    ("Bisort", [ 0.73; 1.35; 2.29; 3.52; 4.92; 6.33 ], Some 6.13);
+    ("Voronoi", [ 0.75; 1.38; 2.41; 4.23; 6.88; 8.76 ], Some 0.47);
+    ("EM3D", [ 0.86; 1.51; 2.69; 4.48; 6.72; 12.0 ], Some 0.05);
+    ("Barnes-Hut", [ 0.74; 1.42; 3.00; 5.29; 8.13; 11.2 ], Some 0.01);
+    ("Perimeter", [ 0.86; 1.70; 3.37; 6.09; 9.86; 14.1 ], Some 2.96);
+    ("Health", [ 0.73; 1.47; 2.93; 5.72; 11.09; 16.42 ], Some 16.52);
+  ]
+
+let table2 ?(scale = 0) ?(procs = [ 1; 2; 4; 8; 16; 32 ]) ?names ppf () =
+  let specs =
+    match names with
+    | None -> Registry.specs
+    | Some ns -> List.filter_map Registry.find ns
+  in
+  fprintf ppf "Table 2: Results (simulated; paper values in parentheses)@.";
+  fprintf ppf "%-11s %-6s %14s | %s | %s@." "Benchmark" "Choice" "Seq. cycles"
+    (String.concat " "
+       (List.map (fun p -> Printf.sprintf "   %5d" p) procs))
+    "M-only(32)";
+  List.iter
+    (fun (s : Common.spec) ->
+      let migrate_only = s.Common.choice = "M+C" in
+      let row = Suite.speedups ~scale ~procs ~migrate_only s in
+      let paper =
+        List.assoc_opt s.Common.name
+          (List.map (fun (n, sp, m) -> (n, (sp, m))) paper_table2)
+      in
+      fprintf ppf "%-11s %-6s %14s |" s.Common.name s.Common.choice
+        (Common.commas row.Suite.seq_cycles);
+      List.iter (fun (_, sp, _) -> fprintf ppf " %7.2f" sp) row.Suite.runs;
+      (match row.Suite.migrate_only_32 with
+      | Some m -> fprintf ppf " |  %7.2f" m
+      | None -> fprintf ppf " |  %7s" "-");
+      (match paper with
+      | Some (ps, m) ->
+          fprintf ppf "@.%11s %6s %14s |" "" "(paper)" "";
+          List.iter (fun v -> fprintf ppf " %7.2f" v) ps;
+          (match m with
+          | Some m -> fprintf ppf " |  %7.2f" m
+          | None -> fprintf ppf " |  %7s" "-")
+      | None -> ());
+      fprintf ppf "@.")
+    specs
+
+(* --- Table 3 ----------------------------------------------------------- *)
+
+type table3_row = {
+  t3_name : string;
+  writes : int;
+  writes_remote_pct : float;
+  reads : int;
+  reads_remote_pct : float;
+  miss_local : float;
+  miss_global : float;
+  miss_bilateral : float;
+  pages : int;
+}
+
+let table3_row ?(scale = 0) ?(nprocs = 32) (s : Common.spec) =
+  let miss coherence =
+    let scale = if scale = 0 then s.Common.default_scale else scale in
+    let cfg = C.make ~nprocs ~coherence () in
+    let o = s.Common.run cfg ~scale in
+    if not o.Common.ok then
+      failwith (s.Common.name ^ ": verification failed in Table 3 run");
+    (o, 100. *. Stats.remote_miss_fraction (Common.measured_stats s o))
+  in
+  let o_local, miss_local = miss C.Local in
+  let _, miss_global = miss C.Global in
+  let _, miss_bilateral = miss C.Bilateral in
+  let st = Common.measured_stats s o_local in
+  {
+    t3_name = s.Common.name;
+    writes = st.Stats.cacheable_writes;
+    writes_remote_pct = 100. *. Stats.remote_write_fraction st;
+    reads = st.Stats.cacheable_reads;
+    reads_remote_pct = 100. *. Stats.remote_read_fraction st;
+    miss_local;
+    miss_global;
+    miss_bilateral;
+    pages = st.Stats.pages_cached;
+  }
+
+let mc_specs () =
+  List.filter (fun (s : Common.spec) -> s.Common.choice = "M+C") Registry.specs
+
+let table3 ?(scale = 0) ?(nprocs = 32) ppf () =
+  fprintf ppf "Table 3: Caching Statistics on %d processors@." nprocs;
+  fprintf ppf "%-11s %12s %8s %12s %8s | %7s %7s %7s | %8s@." "Benchmark"
+    "Writes" "%Remote" "Reads" "%Remote" "local" "global" "bilat."
+    "Pages";
+  List.iter
+    (fun s ->
+      let r = table3_row ~scale ~nprocs s in
+      fprintf ppf "%-11s %12s %7.3f%% %12s %7.3f%% | %6.2f%% %6.2f%% %6.2f%% | %8d@."
+        r.t3_name (Common.commas r.writes) r.writes_remote_pct
+        (Common.commas r.reads) r.reads_remote_pct r.miss_local r.miss_global
+        r.miss_bilateral r.pages)
+    (mc_specs ())
+
+(* --- Appendix A: protocol running times -------------------------------- *)
+
+(* "the local knowledge scheme has the best running times for our
+   benchmark suite": kernel cycles per protocol for the M+C codes. *)
+let appendix_a ?(scale = 0) ?(nprocs = 32) ppf () =
+  fprintf ppf
+    "Appendix A: kernel cycles under the three coherence schemes (%d      processors)@."
+    nprocs;
+  fprintf ppf "%-11s %14s %14s %14s %10s@." "Benchmark" "local" "global"
+    "bilateral" "best";
+  List.iter
+    (fun (s : Common.spec) ->
+      let cycles coherence =
+        let scale = if scale = 0 then s.Common.default_scale else scale in
+        let cfg = C.make ~nprocs ~coherence () in
+        let o = s.Common.run cfg ~scale in
+        if not o.Common.ok then
+          failwith (s.Common.name ^ ": verification failed in Appendix A run");
+        Common.measured_cycles s o
+      in
+      let l = cycles C.Local
+      and g = cycles C.Global
+      and b = cycles C.Bilateral in
+      let best =
+        if l <= g && l <= b then "local"
+        else if g <= b then "global"
+        else "bilateral"
+      in
+      fprintf ppf "%-11s %14s %14s %14s %10s@." s.Common.name
+        (Common.commas l) (Common.commas g) (Common.commas b) best)
+    (mc_specs ())
+
+(* --- Figure 2 ----------------------------------------------------------- *)
+
+let figure2 ?(n = 4096) ?(nprocs = 32) ppf () =
+  fprintf ppf "Figure 2: list distributions, N=%d on %d processors@." n nprocs;
+  fprintf ppf
+    "predicted: blocked/migrate P-1 = %d migrations; cyclic/migrate N-1 = %d; \
+     caching N(P-1)/P = %d remote fetches@."
+    (Listdist.predicted_migrations ~n ~nprocs Listdist.Blocked)
+    (Listdist.predicted_migrations ~n ~nprocs Listdist.Cyclic)
+    (Listdist.predicted_remote_fetches ~n ~nprocs);
+  List.iter
+    (fun r -> fprintf ppf "%a@." Listdist.pp_result r)
+    (Listdist.all ~n ~nprocs ())
+
+(* --- Figures 3-5: the compiler-side examples ---------------------------- *)
+
+let fig3_src =
+  {|
+struct matrix {
+  matrix left @ 90;
+  matrix right @ 70;
+  int val;
+}
+void loop(matrix s, matrix t, matrix u) {
+  while (s != null) {
+    s = s->left;
+    t = t->right->left;
+    u = s->right;
+  }
+}
+|}
+
+let fig4_src =
+  {|
+struct tree {
+  tree left @ 90;
+  tree right @ 70;
+  int val;
+}
+int TreeAdd(tree t) {
+  if (t == null) { return 0; }
+  return TreeAdd(t->left) + TreeAdd(t->right) + t->val;
+}
+|}
+
+let fig5_src =
+  {|
+struct tree { tree left @ 95; tree right @ 95; list lst @ 95; }
+struct list { list next @ 95; int body; }
+void Traverse(tree t) {
+  if (t == null) { return; }
+  Traverse(t->left);
+  Traverse(t->right);
+}
+void WalkAndTraverse(list l, tree t) {
+  while (l != null) {
+    future Traverse(t);
+    l = l->next;
+  }
+}
+void Walk(list l) {
+  while (l != null) {
+    work(1);
+    l = l->next;
+  }
+}
+void TraverseAndWalk(tree t) {
+  if (t == null) { return; }
+  future TraverseAndWalk(t->left);
+  future TraverseAndWalk(t->right);
+  Walk(t->lst);
+}
+|}
+
+let show_selection ppf src =
+  let sel = Olden_compiler.Heuristic.of_source src in
+  List.iter
+    (fun l -> fprintf ppf "%a@." Olden_compiler.Analysis.pp_matrix l)
+    sel.Olden_compiler.Heuristic.analysis.Olden_compiler.Analysis.loops;
+  fprintf ppf "%a@." Olden_compiler.Heuristic.pp sel
+
+let figure3 ppf () =
+  fprintf ppf "Figure 3: induction variables in a simple loop@.";
+  show_selection ppf fig3_src
+
+let figure4 ppf () =
+  fprintf ppf "Figure 4: TreeAdd's recursive update (97%% combined affinity)@.";
+  show_selection ppf fig4_src
+
+let figure5 ppf () =
+  fprintf ppf
+    "Figure 5: WalkAndTraverse bottleneck vs TraverseAndWalk (no bottleneck)@.";
+  show_selection ppf fig5_src
+
+(* Section 4.3's default behaviours: list traversals cache, tree traversals
+   migrate, tree searches cache — all with default 70%% affinities. *)
+let defaults_src =
+  {|
+struct node { node next; node left; node right; int val; }
+int walk_list(node l) {
+  int n = 0;
+  while (l != null) {
+    n = n + l->val;
+    l = l->next;
+  }
+  return n;
+}
+int traverse_tree(node t) {
+  if (t == null) { return 0; }
+  return traverse_tree(t->left) + traverse_tree(t->right) + t->val;
+}
+node search_tree(node t, int key) {
+  while (t != null) {
+    if (t->val < key) { t = t->right; } else { t = t->left; }
+  }
+  return t;
+}
+|}
+
+let defaults ppf () =
+  fprintf ppf
+    "Section 4.3 defaults: lists cache, tree traversals migrate, tree \
+     searches cache@.";
+  show_selection ppf defaults_src

@@ -1,0 +1,58 @@
+(** Regeneration of the paper's tables and figures (see EXPERIMENTS.md).
+
+    Every function prints to the given formatter; the heavyweight ones run
+    the full benchmark suite and verify every run. *)
+
+val table1 : Format.formatter -> unit -> unit
+(** Benchmark descriptions and problem sizes. *)
+
+val paper_table2 : (string * float list * float option) list
+(** The paper's Table 2 numbers: per benchmark, speedups at 1..32
+    processors and the migrate-only speedup at 32 where reported. *)
+
+val table2 :
+  ?scale:int -> ?procs:int list -> ?names:string list ->
+  Format.formatter -> unit -> unit
+(** Speedups for every benchmark (or [names]), with the paper's row
+    printed underneath each measured row. *)
+
+type table3_row = {
+  t3_name : string;
+  writes : int;
+  writes_remote_pct : float;
+  reads : int;
+  reads_remote_pct : float;
+  miss_local : float;
+  miss_global : float;
+  miss_bilateral : float;
+  pages : int;
+}
+
+val table3_row : ?scale:int -> ?nprocs:int -> Common.spec -> table3_row
+(** One benchmark's caching statistics under all three protocols. *)
+
+val mc_specs : unit -> Common.spec list
+(** The six benchmarks using both mechanisms (Table 3's rows). *)
+
+val table3 : ?scale:int -> ?nprocs:int -> Format.formatter -> unit -> unit
+
+val appendix_a : ?scale:int -> ?nprocs:int -> Format.formatter -> unit -> unit
+(** Kernel cycles under the three coherence schemes: the "local knowledge
+    wins on time" comparison. *)
+
+val figure2 : ?n:int -> ?nprocs:int -> Format.formatter -> unit -> unit
+(** Blocked vs. cyclic list distributions. *)
+
+val fig3_src : string
+val fig4_src : string
+val fig5_src : string
+val defaults_src : string
+(** The paper's example programs, as mini-Olden sources. *)
+
+val show_selection : Format.formatter -> string -> unit
+(** Print the update matrices and mechanism selection for a source. *)
+
+val figure3 : Format.formatter -> unit -> unit
+val figure4 : Format.formatter -> unit -> unit
+val figure5 : Format.formatter -> unit -> unit
+val defaults : Format.formatter -> unit -> unit

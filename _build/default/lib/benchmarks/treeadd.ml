@@ -1,0 +1,117 @@
+(* TreeAdd: adds the values in a balanced binary tree (Table 1: 1024K
+   nodes).  The simplest of the suite: a divide-and-conquer sum where the
+   heuristic chooses migration for every dereference (Figure 4), and
+   subtrees distributed at a fixed depth give one large-grain thread per
+   subtree (Section 2). *)
+
+open Common
+
+(* The kernel as the compiler sees it.  Default affinities (70%): the two
+   recursive updates combine to 91%, above the 90% threshold, so the tree
+   traversal migrates. *)
+let ir =
+  {|
+struct tree {
+  tree left;
+  tree right;
+  int val;
+}
+
+int TreeAdd(tree t) {
+  if (t == null) { return 0; }
+  int l = future TreeAdd(t->left);
+  int r = TreeAdd(t->right);
+  return touch(l) + r + t->val;
+}
+|}
+
+(* Field offsets in the heap record. *)
+let off_left = 0
+let off_right = 1
+let off_val = 2
+let node_words = 3
+
+type sites = { s_left : Site.t; s_right : Site.t; s_val : Site.t }
+
+let make_sites () =
+  let _sel, mech = sites_of_ir ir in
+  let site = site_of mech ~func:"TreeAdd" ~fallback:C.Migrate in
+  {
+    s_left = site ~var:"t" ~field:"left";
+    s_right = site ~var:"t" ~field:"right";
+    s_val = site ~var:"t" ~field:"val";
+  }
+
+(* Per-node compute charge, calibrated so that Olden's pointer-test and
+   future overheads come to roughly a quarter of the node cost, matching
+   the paper's 1-processor speedup of ~0.73 (their CM-5 sequential time is
+   ~4.3us, about 140 cycles, per node). *)
+let node_work = 200
+
+(* Build a tree of [depth] levels, distributing subtrees over the
+   processor range [lo, hi).  The futurecalled (left) child goes to the
+   *other* half of the range: its first dereference then migrates, which is
+   what makes Olden spawn a thread for it, while the right child stays
+   local to the parent (Section 2's fixed-depth distribution).  Below a
+   single-processor range the whole subtree is local. *)
+let build sites depth =
+  let nprocs = Ops.nprocs () in
+  let rec go depth lo hi =
+    if depth = 0 then Gptr.null
+    else begin
+      let node = Ops.alloc ~proc:lo node_words in
+      let mid = (lo + hi) / 2 in
+      let left, right =
+        if hi - lo >= 2 then (go (depth - 1) mid hi, go (depth - 1) lo mid)
+        else (go (depth - 1) lo hi, go (depth - 1) lo hi)
+      in
+      Ops.store_ptr sites.s_left node off_left left;
+      Ops.store_ptr sites.s_right node off_right right;
+      Ops.store_int sites.s_val node off_val 1;
+      node
+    end
+  in
+  Ops.call (fun () -> go depth 0 nprocs)
+
+let rec tree_add sites t =
+  if Gptr.is_null t then 0
+  else begin
+    let left = Ops.load_ptr sites.s_left t off_left in
+    let right = Ops.load_ptr sites.s_right t off_right in
+    let fl =
+      Ops.future (fun () -> Value.Int (tree_add sites left))
+    in
+    let sum_right = Ops.call (fun () -> tree_add sites right) in
+    let v = Ops.load_int sites.s_val t off_val in
+    Ops.work node_work;
+    Value.to_int (Ops.touch fl) + sum_right + v
+  end
+
+let depth_for scale =
+  (* paper size: 2^20 - 1 nodes; each doubling of scale removes a level *)
+  let rec shrink depth scale =
+    if scale <= 1 || depth <= 4 then depth else shrink (depth - 1) (scale / 2)
+  in
+  shrink 20 scale
+
+let run cfg ~scale =
+  let depth = depth_for scale in
+  execute cfg ~program:(fun _engine ->
+      let sites = make_sites () in
+      let root = build sites depth in
+      Ops.phase "kernel";
+      let sum = Ops.call (fun () -> tree_add sites root) in
+      let expected = (1 lsl depth) - 1 in
+      (string_of_int sum, sum = expected))
+
+let spec =
+  {
+    name = "TreeAdd";
+    descr = "Adds the values in a tree";
+    problem = "1024K nodes";
+    choice = "M";
+    whole_program = false;
+    ir;
+    default_scale = 8;
+    run;
+  }

@@ -1,0 +1,392 @@
+(* TSP: estimate of the best Hamiltonian circuit, Karp's partitioning
+   heuristic (Table 1: 32K cities; heuristic choice M).
+
+   Cities live in a binary tree sorted by x coordinate (in-order),
+   distributed by subtree like TreeAdd.  Small partitions are toured
+   directly with greedy nearest-edge insertion (the quadratic work that
+   dominates); larger subproblems solve both halves (the first as a
+   futurecall) and then merge: the merge walks one tour to find the node
+   closest to the other tour's head, walks the second for the node closest
+   to that, and splices the two circular doubly-linked tours through the
+   subtree's root city.  The merge walks are sequential and touch a lot of
+   data per processor, so migration is the right mechanism throughout —
+   the paper notes caching would increase communication here. *)
+
+open Common
+
+let ir =
+  {|
+struct city {
+  city left @ 80;
+  city right @ 80;
+  city next @ 95;
+  city prev @ 95;
+  float x;
+  float y;
+}
+
+city tsp(city t, int sz) {
+  if (sz < 64) { work(600); return t; }
+  city l = future tsp(t->left, sz / 2);
+  city r = tsp(t->right, sz / 2);
+  return merge(touch(l), r, t);
+}
+
+city merge(city a, city b, city t) {
+  city p = a;
+  float best = 1000000.0;
+  while (p != null) {
+    float d = p->x - b->x;
+    work(25);
+    if (d < best) { best = d; }
+    p = p->next;
+  }
+  return a;
+}
+|}
+
+let off_left = 0
+let off_right = 1
+let off_next = 2
+let off_prev = 3
+let off_x = 4
+let off_y = 5
+let node_words = 6
+
+type sites = {
+  s_left : Site.t;
+  s_right : Site.t;
+  s_next : Site.t;
+  s_prev : Site.t;
+  s_x : Site.t;
+  s_y : Site.t;
+}
+
+let make_sites () =
+  let _sel, mech = sites_of_ir ir in
+  let t = site_of mech ~func:"tsp" ~var:"t" ~fallback:C.Migrate in
+  let w = site_of mech ~func:"merge" ~var:"p" ~fallback:C.Migrate in
+  {
+    s_left = t ~field:"left";
+    s_right = t ~field:"right";
+    s_next = w ~field:"next";
+    s_prev = w ~field:"prev";
+    s_x = w ~field:"x";
+    s_y = w ~field:"y";
+  }
+
+let conquer_threshold = 64
+let dist_work = 25
+let insert_work = 18
+
+let dist (x1, y1) (x2, y2) =
+  let dx = x1 -. x2 and dy = y1 -. y2 in
+  Float.sqrt ((dx *. dx) +. (dy *. dy))
+
+(* --- Host-side reference ----------------------------------------------- *)
+
+module Reference = struct
+  type city = {
+    id : int;
+    x : float;
+    y : float;
+    mutable left : city option;
+    mutable right : city option;
+    mutable next : city option;
+    mutable prev : city option;
+  }
+
+  let get = function Some c -> c | None -> assert false
+  let pos c = (c.x, c.y)
+
+  (* In-order balanced tree over cities sorted by x. *)
+  let rec build (cities : city array) lo hi =
+    if lo >= hi then None
+    else begin
+      let mid = (lo + hi) / 2 in
+      let c = cities.(mid) in
+      c.left <- build cities lo mid;
+      c.right <- build cities (mid + 1) hi;
+      Some c
+    end
+
+  let rec collect t acc =
+    match t with
+    | None -> acc
+    | Some c -> collect c.left (c :: collect c.right acc)
+
+  (* Greedy nearest-edge insertion over the subtree's cities. *)
+  let conquer t =
+    match collect t [] with
+    | [] -> assert false
+    | first :: rest ->
+        first.next <- Some first;
+        first.prev <- Some first;
+        List.iter
+          (fun c ->
+            (* find the tour edge (p, p.next) whose detour through c is
+               cheapest *)
+            let best = ref infinity and best_after = ref first in
+            let p = ref first in
+            let continue_ = ref true in
+            while !continue_ do
+              let q = get !p.next in
+              let detour =
+                dist (pos !p) (pos c) +. dist (pos c) (pos q)
+                -. dist (pos !p) (pos q)
+              in
+              if detour < !best then begin
+                best := detour;
+                best_after := !p
+              end;
+              p := q;
+              if !p == first then continue_ := false
+            done;
+            let a = !best_after in
+            let b = get a.next in
+            a.next <- Some c;
+            c.prev <- Some a;
+            c.next <- Some b;
+            b.prev <- Some c)
+          rest;
+        first
+
+  let merge a b t =
+    (* one scan: the node of tour [a] closest to [b]'s head; splice there
+       (the merge is linear in the larger tour, the paper's sequential
+       subtree walk) *)
+    let na = ref a and best = ref infinity in
+    let p = ref a and continue_ = ref true in
+    while !continue_ do
+      let d = dist (pos !p) (pos b) in
+      if d < !best then begin
+        best := d;
+        na := !p
+      end;
+      p := get !p.next;
+      if !p == a then continue_ := false
+    done;
+    let na = !na in
+    let nb = b in
+    let na_next = get na.next and nb_next = get nb.next in
+    na.next <- Some t;
+    t.prev <- Some na;
+    t.next <- Some nb_next;
+    nb_next.prev <- Some t;
+    nb.next <- Some na_next;
+    na_next.prev <- Some nb;
+    a
+
+  let rec tsp t sz =
+    let c = get t in
+    if sz <= conquer_threshold then conquer t
+    else begin
+      let l = tsp c.left (sz / 2) in
+      let r = tsp c.right (sz / 2) in
+      (* the root city is not in either half-tour; merge through it *)
+      merge l r c
+    end
+
+  let tour_length start =
+    let total = ref 0. and p = ref start and continue_ = ref true in
+    let count = ref 0 in
+    while !continue_ do
+      total := !total +. dist (pos !p) (pos (get !p.next));
+      incr count;
+      p := get !p.next;
+      if !p == start then continue_ := false
+    done;
+    (!total, !count)
+
+  let run points =
+    let cities =
+      Array.mapi
+        (fun i (x, y) ->
+          { id = i; x; y; left = None; right = None; next = None; prev = None })
+        points
+    in
+    let n = Array.length points in
+    let root = build cities 0 n in
+    let start = tsp root n in
+    tour_length start
+end
+
+(* --- The Olden program ------------------------------------------------- *)
+
+(* Build the x-sorted in-order tree; subtree ranges over processors,
+   futurecalled left child to the far half. *)
+let build sites (points : (float * float) array) =
+  let nprocs = Ops.nprocs () in
+  let rec go lo hi plo phi =
+    if lo >= hi then Gptr.null
+    else begin
+      let mid = (lo + hi) / 2 in
+      let node = Ops.alloc ~proc:plo node_words in
+      let x, y = points.(mid) in
+      let pmid = (plo + phi) / 2 in
+      let left, right =
+        if phi - plo >= 2 then (go lo mid pmid phi, go (mid + 1) hi plo pmid)
+        else (go lo mid plo phi, go (mid + 1) hi plo phi)
+      in
+      Ops.store_ptr sites.s_left node off_left left;
+      Ops.store_ptr sites.s_right node off_right right;
+      Ops.store_ptr sites.s_next node off_next Gptr.null;
+      Ops.store_ptr sites.s_prev node off_prev Gptr.null;
+      Ops.store_float sites.s_x node off_x x;
+      Ops.store_float sites.s_y node off_y y;
+      node
+    end
+  in
+  Ops.call (fun () -> go 0 (Array.length points) 0 nprocs)
+
+let coords sites c =
+  (Ops.load_float sites.s_x c off_x, Ops.load_float sites.s_y c off_y)
+
+let rec collect sites t acc =
+  if Gptr.is_null t then acc
+  else begin
+    let l = Ops.load_ptr sites.s_left t off_left in
+    let r = Ops.load_ptr sites.s_right t off_right in
+    collect sites l (t :: collect sites r acc)
+  end
+
+(* Greedy nearest-edge insertion; coordinates are read once per city, the
+   quadratic scan itself uses the local copies (registers/stack in Olden
+   terms) with its compute charged per comparison. *)
+let conquer sites t =
+  match collect sites t [] with
+  | [] -> assert false
+  | first :: rest ->
+      Ops.store_ptr sites.s_next first off_next first;
+      Ops.store_ptr sites.s_prev first off_prev first;
+      (* local mirror of the tour as a growing list of (ptr, pos) *)
+      let first_pos = coords sites first in
+      let tour = ref [ (first, first_pos) ] in
+      List.iter
+        (fun c ->
+          let cpos = coords sites c in
+          let best = ref infinity and best_after = ref (first, first_pos) in
+          (* walk the tour pairs (p, p.next) in order *)
+          let arr = Array.of_list !tour in
+          let k = Array.length arr in
+          Ops.work (dist_work * k);
+          for i = 0 to k - 1 do
+            let _, ppos = arr.(i) in
+            let _, qpos = arr.((i + 1) mod k) in
+            let detour = dist ppos cpos +. dist cpos qpos -. dist ppos qpos in
+            if detour < !best then begin
+              best := detour;
+              best_after := arr.(i)
+            end
+          done;
+          let a, _ = !best_after in
+          let b = Ops.load_ptr sites.s_next a off_next in
+          Ops.store_ptr sites.s_next a off_next c;
+          Ops.store_ptr sites.s_prev c off_prev a;
+          Ops.store_ptr sites.s_next c off_next b;
+          Ops.store_ptr sites.s_prev b off_prev c;
+          Ops.work insert_work;
+          (* keep the mirror in tour order: insert c after a *)
+          let rec ins = function
+            | [] -> []
+            | ((p, _) as hd) :: tl ->
+                if Gptr.equal p a then hd :: (c, cpos) :: tl else hd :: ins tl
+          in
+          tour := ins !tour)
+        rest;
+      first
+
+(* Walk tour [a] for the node closest to position [target]. *)
+let closest_on_tour sites start target =
+  let rec go p best best_node =
+    let d = dist (coords sites p) target in
+    Ops.work dist_work;
+    let best, best_node = if d < best then (d, p) else (best, best_node) in
+    let next = Ops.load_ptr sites.s_next p off_next in
+    if Gptr.equal next start then best_node else go next best best_node
+  in
+  go start infinity start
+
+let merge sites a b t =
+  let na = closest_on_tour sites a (coords sites b) in
+  let nb = b in
+  let na_next = Ops.load_ptr sites.s_next na off_next in
+  let nb_next = Ops.load_ptr sites.s_next nb off_next in
+  Ops.store_ptr sites.s_next na off_next t;
+  Ops.store_ptr sites.s_prev t off_prev na;
+  Ops.store_ptr sites.s_next t off_next nb_next;
+  Ops.store_ptr sites.s_prev nb_next off_prev t;
+  Ops.store_ptr sites.s_next nb off_next na_next;
+  Ops.store_ptr sites.s_prev na_next off_prev nb;
+  a
+
+let rec tsp sites t sz ~span =
+  if sz <= conquer_threshold then Ops.call (fun () -> conquer sites t)
+  else begin
+    let left = Ops.load_ptr sites.s_left t off_left in
+    let right = Ops.load_ptr sites.s_right t off_right in
+    let half = max 1 (span / 2) in
+    if span >= 2 then begin
+      let fut =
+        Ops.future (fun () -> Value.Ptr (tsp sites left (sz / 2) ~span:half))
+      in
+      let r = tsp sites right (sz / 2) ~span:half in
+      let l = Value.to_ptr (Ops.touch fut) in
+      Ops.call (fun () -> merge sites l r t)
+    end
+    else begin
+      let l = Ops.call (fun () -> tsp sites left (sz / 2) ~span:1) in
+      let r = Ops.call (fun () -> tsp sites right (sz / 2) ~span:1) in
+      Ops.call (fun () -> merge sites l r t)
+    end
+  end
+
+let size_for scale = scaled ~scale ~floor:255 32767
+
+let run cfg ~scale =
+  let n = size_for scale in
+  execute cfg ~program:(fun engine ->
+      let sites = make_sites () in
+      let prng = Prng.create cfg.Olden_config.seed in
+      let points = Array.init n (fun _ -> (Prng.float prng, Prng.float prng)) in
+      let root = build sites points in
+      let nprocs = Ops.nprocs () in
+      Ops.phase "kernel";
+      let start = Ops.call (fun () -> tsp sites root n ~span:nprocs) in
+      let expected_len, expected_count = Reference.run points in
+      (* validate the heap tour *)
+      let memory = Engine.memory engine in
+      let total = ref 0. and count = ref 0 and p = ref start in
+      let continue_ = ref true in
+      let pos c =
+        ( Value.to_float (Memory.load memory c off_x),
+          Value.to_float (Memory.load memory c off_y) )
+      in
+      while !continue_ do
+        let next = Value.to_ptr (Memory.load memory !p off_next) in
+        let prev_of_next = Value.to_ptr (Memory.load memory next off_prev) in
+        if not (Gptr.equal prev_of_next !p) then begin
+          count := -1;
+          continue_ := false
+        end
+        else begin
+          total := !total +. dist (pos !p) (pos next);
+          incr count;
+          p := next;
+          if Gptr.equal !p start then continue_ := false
+        end
+      done;
+      let ok = !count = n && !count = expected_count && Float.equal !total expected_len in
+      (Printf.sprintf "tour=%.4f cities=%d" !total !count, ok))
+
+let spec =
+  {
+    name = "TSP";
+    descr = "Computes an estimate of the best Hamiltonian circuit";
+    problem = "32K cities";
+    choice = "M";
+    whole_program = false;
+    ir;
+    default_scale = 1;
+    run;
+  }

@@ -1,0 +1,769 @@
+(* Voronoi: the Voronoi diagram of a point set (Table 1: 64K points;
+   heuristic choice M+C), computed as its dual — the Delaunay
+   triangulation — with the Guibas-Stolfi divide-and-conquer algorithm on
+   quad-edges.
+
+   The divide phase solves the two halves of the x-sorted points (the
+   first as a futurecall whose body migrates to the half's processors);
+   the conquer phase walks the convex hulls of the two subresults,
+   alternating between them irregularly while it knits them together.
+   As the paper describes, the heuristic pins the merge on the processor
+   that owns one subresult and brings the other in through the cache: all
+   quad-edge and point dereferences in the merge are cached, and only the
+   descent into a subproblem migrates.
+
+   A quad-edge record holds four directed edge parts; an edge reference is
+   (record, rotation).  Each part stores its onext reference (record and
+   rotation words) and its origin point. *)
+
+open Common
+
+let ir =
+  {|
+struct qedge {
+  qedge onextr @ 70;
+  point data @ 70;
+  int onextrot;
+  int alive;
+}
+
+struct point {
+  float x;
+  float y;
+}
+
+struct anchor {
+  anchor range @ 30;
+}
+
+int merge_hulls(qedge basel) {
+  int n = 0;
+  while (basel != null) {
+    qedge lcand = basel->onextr;
+    float x = lcand->data->x;
+    work(60);
+    basel = basel->onextr;
+    n = n + 1;
+  }
+  return n;
+}
+
+int delaunay(anchor a, int depth) {
+  if (depth == 0) { work(200); return 1; }
+  int l = future delaunay(a->range, depth - 1);
+  int r = delaunay(a->range, depth - 1);
+  int m = merge_hulls(null);
+  return touch(l) + r + m;
+}
+|}
+
+(* Edge record: 4 parts of [next_rec; next_rot; data] at offsets 3*rot,
+   plus an alive flag at offset 12. *)
+let part_next_rec rot = 3 * rot
+let part_next_rot rot = (3 * rot) + 1
+let part_data rot = (3 * rot) + 2
+let off_alive = 12
+let edge_words = 13
+
+let p_x = 0
+let p_y = 1
+let point_words = 2
+
+let anchor_words = 1
+
+type sites = {
+  s_next : Site.t; (* onext record/rot words: cache *)
+  s_data : Site.t; (* origin point pointers: cache *)
+  s_point : Site.t; (* point coordinates: cache *)
+  s_anchor : Site.t; (* per-range anchors: migrate (moves the builder) *)
+}
+
+let make_sites () =
+  let _sel, mech = sites_of_ir ir in
+  {
+    s_next =
+      site_of mech ~func:"merge_hulls" ~var:"basel" ~field:"onextr"
+        ~fallback:C.Cache;
+    s_data =
+      site_of mech ~func:"merge_hulls" ~var:"lcand" ~field:"data"
+        ~fallback:C.Cache;
+    s_point = Site.cache "voronoi.point.x";
+    s_anchor =
+      site_of mech ~func:"delaunay" ~var:"a" ~field:"range" ~fallback:C.Migrate;
+  }
+
+let ccw_work = 60
+let incircle_work = 150
+let makeedge_work = 80
+let splice_work = 50
+
+(* --- Host-side reference (the validated prototype) --------------------- *)
+
+module Reference = struct
+  type point = { px : float; py : float; idx : int }
+
+  type record_ = {
+    rid : int;
+    next : (record_ * int) array;
+    data : point option array;
+    mutable alive : bool;
+  }
+
+  type eref = record_ * int
+
+  let all_records : record_ list ref = ref []
+  let next_id = ref 0
+
+  let rot ((r, i) : eref) : eref = (r, (i + 1) land 3)
+  let sym ((r, i) : eref) : eref = (r, (i + 2) land 3)
+  let invrot ((r, i) : eref) : eref = (r, (i + 3) land 3)
+  let onext ((r, i) : eref) : eref = r.next.(i)
+  let oprev e = rot (onext (rot e))
+  let lnext e = rot (onext (invrot e))
+  let rprev e = onext (sym e)
+  let org ((r, i) : eref) = match r.data.(i) with Some p -> p | None -> assert false
+  let dest e = org (sym e)
+  let set_onext ((r, i) : eref) (t : eref) = r.next.(i) <- t
+
+  let dummy_record = { rid = -1; next = [||]; data = [||]; alive = false }
+
+  let make_edge a b : eref =
+    incr next_id;
+    let r =
+      {
+        rid = !next_id;
+        next = Array.make 4 (dummy_record, 0);
+        data = [| Some a; None; Some b; None |];
+        alive = true;
+      }
+    in
+    r.next.(0) <- (r, 0);
+    r.next.(1) <- (r, 3);
+    r.next.(2) <- (r, 2);
+    r.next.(3) <- (r, 1);
+    all_records := r :: !all_records;
+    (r, 0)
+
+  let splice a b =
+    let alpha = rot (onext a) and beta = rot (onext b) in
+    let ta = onext a and tb = onext b in
+    set_onext a tb;
+    set_onext b ta;
+    let talpha = onext alpha and tbeta = onext beta in
+    set_onext alpha tbeta;
+    set_onext beta talpha
+
+  let connect a b =
+    let e = make_edge (dest a) (org b) in
+    splice e (lnext a);
+    splice (sym e) b;
+    e
+
+  let delete_edge e =
+    splice e (oprev e);
+    splice (sym e) (oprev (sym e));
+    (fst e).alive <- false
+
+  let ccw a b c =
+    ((b.px -. a.px) *. (c.py -. a.py)) -. ((b.py -. a.py) *. (c.px -. a.px)) > 0.
+
+  let in_circle a b c d =
+    let az = (a.px *. a.px) +. (a.py *. a.py) in
+    let bz = (b.px *. b.px) +. (b.py *. b.py) in
+    let cz = (c.px *. c.px) +. (c.py *. c.py) in
+    let dz = (d.px *. d.px) +. (d.py *. d.py) in
+    let m11 = a.px -. d.px and m12 = a.py -. d.py and m13 = az -. dz in
+    let m21 = b.px -. d.px and m22 = b.py -. d.py and m23 = bz -. dz in
+    let m31 = c.px -. d.px and m32 = c.py -. d.py and m33 = cz -. dz in
+    (m11 *. ((m22 *. m33) -. (m23 *. m32)))
+    -. (m12 *. ((m21 *. m33) -. (m23 *. m31)))
+    +. (m13 *. ((m21 *. m32) -. (m22 *. m31)))
+    > 0.
+
+  let rightof p e = ccw p (dest e) (org e)
+  let leftof p e = ccw p (org e) (dest e)
+
+  let rec delaunay (pts : point array) lo hi : eref * eref =
+    let n = hi - lo in
+    if n = 2 then begin
+      let a = make_edge pts.(lo) pts.(lo + 1) in
+      (a, sym a)
+    end
+    else if n = 3 then begin
+      let s1 = pts.(lo) and s2 = pts.(lo + 1) and s3 = pts.(lo + 2) in
+      let a = make_edge s1 s2 in
+      let b = make_edge s2 s3 in
+      splice (sym a) b;
+      if ccw s1 s2 s3 then begin
+        let _c = connect b a in
+        (a, sym b)
+      end
+      else if ccw s1 s3 s2 then begin
+        let c = connect b a in
+        (sym c, c)
+      end
+      else (a, sym b)
+    end
+    else begin
+      let mid = (lo + hi) / 2 in
+      let ldo, ldi = delaunay pts lo mid in
+      let rdi, rdo = delaunay pts mid hi in
+      let ldi = ref ldi and rdi = ref rdi and ldo = ref ldo and rdo = ref rdo in
+      let continue_ = ref true in
+      while !continue_ do
+        if leftof (org !rdi) !ldi then ldi := lnext !ldi
+        else if rightof (org !ldi) !rdi then rdi := rprev !rdi
+        else continue_ := false
+      done;
+      let basel = ref (connect (sym !rdi) !ldi) in
+      if org !ldi == org !ldo then ldo := sym !basel;
+      if org !rdi == org !rdo then rdo := !basel;
+      let merging = ref true in
+      while !merging do
+        let valid e = rightof (dest e) !basel in
+        let lcand = ref (onext (sym !basel)) in
+        if valid !lcand then begin
+          while
+            in_circle (dest !basel) (org !basel) (dest !lcand)
+              (dest (onext !lcand))
+          do
+            let t = onext !lcand in
+            delete_edge !lcand;
+            lcand := t
+          done
+        end;
+        let rcand = ref (oprev !basel) in
+        if valid !rcand then begin
+          while
+            in_circle (dest !basel) (org !basel) (dest !rcand)
+              (dest (oprev !rcand))
+          do
+            let t = oprev !rcand in
+            delete_edge !rcand;
+            rcand := t
+          done
+        end;
+        if (not (valid !lcand)) && not (valid !rcand) then merging := false
+        else if
+          (not (valid !lcand))
+          || (valid !rcand
+             && in_circle (dest !lcand) (org !lcand) (org !rcand) (dest !rcand))
+        then basel := connect !rcand (sym !basel)
+        else basel := connect (sym !basel) (sym !lcand)
+      done;
+      (!ldo, !rdo)
+    end
+
+  (* The dual, mirrored: circumcentres of triangular left faces, in the
+     same enumeration order as the simulated extraction. *)
+  let circumcenter (ax, ay) (bx, by) (cx, cy) =
+    let d =
+      2. *. ((ax *. (by -. cy)) +. (bx *. (cy -. ay)) +. (cx *. (ay -. by)))
+    in
+    if Float.abs d < 1e-18 then None
+    else begin
+      let a2 = (ax *. ax) +. (ay *. ay) in
+      let b2 = (bx *. bx) +. (by *. by) in
+      let c2 = (cx *. cx) +. (cy *. cy) in
+      let ux =
+        ((a2 *. (by -. cy)) +. (b2 *. (cy -. ay)) +. (c2 *. (ay -. by))) /. d
+      in
+      let uy =
+        ((a2 *. (cx -. bx)) +. (b2 *. (ax -. cx)) +. (c2 *. (bx -. ax))) /. d
+      in
+      Some (ux, uy)
+    end
+
+  let voronoi_vertices alive =
+    let module S = Set.Make (struct
+      type t = int * int
+
+      let compare = compare
+    end) in
+    let seen = ref S.empty in
+    let vertices = ref [] in
+    (* records are cyclic: compare edge parts by id, never structurally *)
+    let same (r1, i1) (r2, i2) = r1.rid = r2.rid && i1 = i2 in
+    List.iter
+      (fun e ->
+        List.iter
+          (fun e ->
+            let rec cycle acc cur steps =
+              if steps > 4 then None
+              else begin
+                let next = lnext cur in
+                if same next e then Some (List.rev (cur :: acc))
+                else cycle (cur :: acc) next (steps + 1)
+              end
+            in
+            match cycle [] e 0 with
+            | Some ([ _; _; _ ] as face) ->
+                let part_key (r, i) = (r.rid * 4) + i in
+                let face_id =
+                  (List.fold_left (fun acc p -> min acc (part_key p)) max_int face, 0)
+                in
+                if not (S.mem face_id !seen) then begin
+                  seen := S.add face_id !seen;
+                  let pts =
+                    List.map (fun part -> let p = org part in (p.px, p.py)) face
+                  in
+                  let pts =
+                    match pts with
+                    | [ a; b; c ] ->
+                        if a <= b && a <= c then [ a; b; c ]
+                        else if b <= a && b <= c then [ b; c; a ]
+                        else [ c; a; b ]
+                    | l -> l
+                  in
+                  match pts with
+                  | [ a; b; c ] -> (
+                      match circumcenter a b c with
+                      | Some v -> vertices := v :: !vertices
+                      | None -> ())
+                  | _ -> ()
+                end
+            | _ -> ())
+          [ e; sym e ])
+      alive;
+    !vertices
+
+  (* Returns the alive (org, dest) index pairs plus the dual's vertices. *)
+  let run pts_raw =
+    all_records := [];
+    next_id := 0;
+    let pts =
+      Array.mapi (fun i (x, y) -> { px = x; py = y; idx = i }) pts_raw
+    in
+    ignore (delaunay pts 0 (Array.length pts));
+    let alive = List.filter (fun r -> r.alive) !all_records in
+    let pairs =
+      List.map
+        (fun r ->
+          let o = match r.data.(0) with Some p -> p.idx | None -> -1 in
+          let d = match r.data.(2) with Some p -> p.idx | None -> -1 in
+          (min o d, max o d))
+        alive
+    in
+    let dual = voronoi_vertices (List.map (fun r -> (r, 0)) alive) in
+    (List.sort compare pairs, dual)
+end
+
+(* --- The Olden program ------------------------------------------------- *)
+
+type eref = Gptr.t * int
+
+type state = {
+  sites : sites;
+  mutable records : Gptr.t list; (* every quad-edge record allocated *)
+  point_index : (Gptr.t, int) Hashtbl.t;
+}
+
+let rot ((r, i) : eref) : eref = (r, (i + 1) land 3)
+let sym ((r, i) : eref) : eref = (r, (i + 2) land 3)
+let invrot ((r, i) : eref) : eref = (r, (i + 3) land 3)
+
+let onext st ((r, i) : eref) : eref =
+  let rec_ = Ops.load_ptr st.sites.s_next r (part_next_rec i) in
+  let rot_ = Ops.load_int st.sites.s_next r (part_next_rot i) in
+  (rec_, rot_)
+
+let set_onext st ((r, i) : eref) ((tr, ti) : eref) =
+  Ops.store_ptr st.sites.s_next r (part_next_rec i) tr;
+  Ops.store_int st.sites.s_next r (part_next_rot i) ti
+
+let oprev st e = rot (onext st (rot e))
+let lnext st e = rot (onext st (invrot e))
+let rprev st e = onext st (sym e)
+
+let org st ((r, i) : eref) = Ops.load_ptr st.sites.s_data r (part_data i)
+let dest st e = org st (sym e)
+
+let coords st p =
+  ( Ops.load_float st.sites.s_point p p_x,
+    Ops.load_float st.sites.s_point p p_y )
+
+let make_edge st a b : eref =
+  let r = Ops.alloc ~proc:(Ops.self ()) edge_words in
+  st.records <- r :: st.records;
+  Ops.work makeedge_work;
+  set_onext st (r, 0) (r, 0);
+  set_onext st (r, 1) (r, 3);
+  set_onext st (r, 2) (r, 2);
+  set_onext st (r, 3) (r, 1);
+  Ops.store_ptr st.sites.s_data r (part_data 0) a;
+  Ops.store_ptr st.sites.s_data r (part_data 1) Gptr.null;
+  Ops.store_ptr st.sites.s_data r (part_data 2) b;
+  Ops.store_ptr st.sites.s_data r (part_data 3) Gptr.null;
+  Ops.store_int st.sites.s_data r off_alive 1;
+  (r, 0)
+
+let splice st a b =
+  Ops.work splice_work;
+  let alpha = rot (onext st a) and beta = rot (onext st b) in
+  let ta = onext st a and tb = onext st b in
+  set_onext st a tb;
+  set_onext st b ta;
+  let talpha = onext st alpha and tbeta = onext st beta in
+  set_onext st alpha tbeta;
+  set_onext st beta talpha
+
+let connect st a b =
+  let e = make_edge st (dest st a) (org st b) in
+  splice st e (lnext st a);
+  splice st (sym e) b;
+  e
+
+let delete_edge st e =
+  splice st e (oprev st e);
+  splice st (sym e) (oprev st (sym e));
+  Ops.store_int st.sites.s_data (fst e) off_alive 0
+
+let ccw st a b c =
+  let ax, ay = coords st a and bx, by = coords st b and cx, cy = coords st c in
+  Ops.work ccw_work;
+  ((bx -. ax) *. (cy -. ay)) -. ((by -. ay) *. (cx -. ax)) > 0.
+
+let in_circle st a b c d =
+  let ax, ay = coords st a and bx, by = coords st b in
+  let cx, cy = coords st c and dx, dy = coords st d in
+  Ops.work incircle_work;
+  let az = (ax *. ax) +. (ay *. ay) in
+  let bz = (bx *. bx) +. (by *. by) in
+  let cz = (cx *. cx) +. (cy *. cy) in
+  let dz = (dx *. dx) +. (dy *. dy) in
+  let m11 = ax -. dx and m12 = ay -. dy and m13 = az -. dz in
+  let m21 = bx -. dx and m22 = by -. dy and m23 = bz -. dz in
+  let m31 = cx -. dx and m32 = cy -. dy and m33 = cz -. dz in
+  (m11 *. ((m22 *. m33) -. (m23 *. m32)))
+  -. (m12 *. ((m21 *. m33) -. (m23 *. m31)))
+  +. (m13 *. ((m21 *. m32) -. (m22 *. m31)))
+  > 0.
+
+let rightof st p e = ccw st p (dest st e) (org st e)
+let leftof st p e = ccw st p (org st e) (dest st e)
+
+(* Points and range anchors are blocked over the processors; the anchor
+   dereference at the head of each subproblem migrates the builder to its
+   half. *)
+let rec delaunay st (points : Gptr.t array) (anchors : Gptr.t array) lo hi
+    ~span : eref * eref =
+  (* touch this range's anchor: moves the thread to the range's processor *)
+  ignore (Ops.load_ptr st.sites.s_anchor anchors.(lo) 0);
+  let n = hi - lo in
+  if n = 2 then begin
+    let a = make_edge st points.(lo) points.(lo + 1) in
+    (a, sym a)
+  end
+  else if n = 3 then begin
+    let s1 = points.(lo) and s2 = points.(lo + 1) and s3 = points.(lo + 2) in
+    let a = make_edge st s1 s2 in
+    let b = make_edge st s2 s3 in
+    splice st (sym a) b;
+    if ccw st s1 s2 s3 then begin
+      let _c = connect st b a in
+      (a, sym b)
+    end
+    else if ccw st s1 s3 s2 then begin
+      let c = connect st b a in
+      (sym c, c)
+    end
+    else (a, sym b)
+  end
+  else begin
+    let mid = (lo + hi) / 2 in
+    let half = max 1 (span / 2) in
+    let (ldo, ldi), (rdi, rdo) =
+      if span >= 2 then begin
+        (* futurecall the *right* half: its anchors live on the upper
+           processors, so the body's first dereference migrates and the
+           spawner's continuation (the local left half) is stolen *)
+        let fut =
+          Ops.future (fun () ->
+              let r, o = delaunay st points anchors mid hi ~span:half in
+              let cell = Ops.alloc ~proc:(Ops.self ()) 4 in
+              Ops.store_ptr st.sites.s_data cell 0 (fst r);
+              Ops.store_int st.sites.s_data cell 1 (snd r);
+              Ops.store_ptr st.sites.s_data cell 2 (fst o);
+              Ops.store_int st.sites.s_data cell 3 (snd o);
+              Value.Ptr cell)
+        in
+        let left = delaunay st points anchors lo mid ~span:half in
+        let cell = Value.to_ptr (Ops.touch fut) in
+        let rdi =
+          ( Ops.load_ptr st.sites.s_data cell 0,
+            Ops.load_int st.sites.s_data cell 1 )
+        in
+        let rdo =
+          ( Ops.load_ptr st.sites.s_data cell 2,
+            Ops.load_int st.sites.s_data cell 3 )
+        in
+        (left, (rdi, rdo))
+      end
+      else
+        ( delaunay st points anchors lo mid ~span:1,
+          delaunay st points anchors mid hi ~span:1 )
+    in
+    (* the merge: pinned here; remote subresults arrive through the cache *)
+    let ldi = ref ldi and rdi = ref rdi and ldo = ref ldo and rdo = ref rdo in
+    let continue_ = ref true in
+    while !continue_ do
+      if leftof st (org st !rdi) !ldi then ldi := lnext st !ldi
+      else if rightof st (org st !ldi) !rdi then rdi := rprev st !rdi
+      else continue_ := false
+    done;
+    let basel = ref (connect st (sym !rdi) !ldi) in
+    if Gptr.equal (org st !ldi) (org st !ldo) then ldo := sym !basel;
+    if Gptr.equal (org st !rdi) (org st !rdo) then rdo := !basel;
+    let merging = ref true in
+    while !merging do
+      let valid e = rightof st (dest st e) !basel in
+      let lcand = ref (onext st (sym !basel)) in
+      if valid !lcand then begin
+        while
+          in_circle st (dest st !basel) (org st !basel) (dest st !lcand)
+            (dest st (onext st !lcand))
+        do
+          let t = onext st !lcand in
+          delete_edge st !lcand;
+          lcand := t
+        done
+      end;
+      let rcand = ref (oprev st !basel) in
+      if valid !rcand then begin
+        while
+          in_circle st (dest st !basel) (org st !basel) (dest st !rcand)
+            (dest st (oprev st !rcand))
+        do
+          let t = oprev st !rcand in
+          delete_edge st !rcand;
+          rcand := t
+        done
+      end;
+      if (not (valid !lcand)) && not (valid !rcand) then merging := false
+      else if
+        (not (valid !lcand))
+        || (valid !rcand
+           && in_circle st (dest st !lcand) (org st !lcand) (org st !rcand)
+                (dest st !rcand))
+      then basel := connect st !rcand (sym !basel)
+      else basel := connect st (sym !basel) (sym !lcand)
+    done;
+    (!ldo, !rdo)
+  end
+
+(* --- The dual: the Voronoi diagram itself ------------------------------ *)
+
+(* Each bounded face of the Delaunay triangulation contributes one Voronoi
+   vertex — its circumcentre; each Delaunay edge crosses one Voronoi edge.
+   The faces are enumerated by walking each alive edge's left-face (lnext)
+   cycle; triangular cycles yield a vertex, the outer face (a longer
+   cycle) is skipped.  Runs on the simulated machine with cached reads,
+   like the merge. *)
+let circumcenter (ax, ay) (bx, by) (cx, cy) =
+  let d = 2. *. ((ax *. (by -. cy)) +. (bx *. (cy -. ay)) +. (cx *. (ay -. by))) in
+  if Float.abs d < 1e-18 then None
+  else begin
+    let a2 = (ax *. ax) +. (ay *. ay) in
+    let b2 = (bx *. bx) +. (by *. by) in
+    let c2 = (cx *. cx) +. (cy *. cy) in
+    let ux = ((a2 *. (by -. cy)) +. (b2 *. (cy -. ay)) +. (c2 *. (ay -. by))) /. d in
+    let uy = ((a2 *. (cx -. bx)) +. (b2 *. (ax -. cx)) +. (c2 *. (bx -. ax))) /. d in
+    Some (ux, uy)
+  end
+
+(* Enumerate Voronoi vertices: one per triangular left face, keyed by the
+   face's canonical (minimal) edge part so each face counts once within a
+   group (faces straddling groups are deduplicated by the caller). *)
+let voronoi_vertices st ~alive =
+  let module S = Set.Make (struct
+    type t = int * int
+
+    let compare = compare
+  end) in
+  let seen = ref S.empty in
+  let vertices = ref [] in
+  List.iter
+    (fun (e : eref) ->
+      List.iter
+        (fun e ->
+          (* walk the left-face cycle *)
+          let rec cycle acc cur steps =
+            if steps > 4 then None (* outer face: not a triangle *)
+            else begin
+              let next = lnext st cur in
+              if next = e then Some (List.rev (cur :: acc))
+              else cycle (cur :: acc) next (steps + 1)
+            end
+          in
+          match cycle [] e 0 with
+          | Some ([ _; _; _ ] as face) ->
+              let part_key (r, i) = (((r : Gptr.t) :> int) * 4) + i in
+              let face_id =
+                (List.fold_left (fun acc p -> min acc (part_key p)) max_int face, 0)
+              in
+              if not (S.mem face_id !seen) then begin
+                seen := S.add face_id !seen;
+                (* rotate the cycle so it starts at the lexicographically
+                   smallest origin point: intrinsic to the face, so the
+                   circumcentre's operand order is independent of discovery
+                   order and of the parallel schedule *)
+                let pts =
+                  List.map (fun part -> coords st (org st part)) face
+                in
+                Ops.work 120 (* circumcentre computation *);
+                let pts =
+                  match pts with
+                  | [ a; b; c ] ->
+                      if a <= b && a <= c then [ a; b; c ]
+                      else if b <= a && b <= c then [ b; c; a ]
+                      else [ c; a; b ]
+                  | l -> l
+                in
+                match pts with
+                | [ a; b; c ] -> (
+                    match circumcenter a b c with
+                    | Some v -> vertices := (face_id, v) :: !vertices
+                    | None -> ())
+                | _ -> ()
+              end
+          | _ -> ())
+        [ e; sym e ])
+    alive;
+  !vertices
+
+let points_for scale = scaled ~scale ~floor:64 65536
+
+let run cfg ~scale =
+  let n = points_for scale in
+  execute cfg ~program:(fun engine ->
+      let sites = make_sites () in
+      let nprocs = Ops.nprocs () in
+      let prng = Prng.create cfg.Olden_config.seed in
+      let raw = Array.init n (fun _ -> (Prng.float prng, Prng.float prng)) in
+      Array.sort compare raw;
+      let st = { sites; records = []; point_index = Hashtbl.create (2 * n) } in
+      let points =
+        Array.mapi
+          (fun i (x, y) ->
+            let p = Ops.alloc ~proc:(block_owner ~nprocs ~n i) point_words in
+            Ops.store_float sites.s_point p p_x x;
+            Ops.store_float sites.s_point p p_y y;
+            Hashtbl.replace st.point_index p i;
+            p)
+          raw
+      in
+      let anchors =
+        Array.init n (fun i ->
+            let a = Ops.alloc ~proc:(block_owner ~nprocs ~n i) anchor_words in
+            Ops.store_ptr sites.s_anchor a 0 Gptr.null;
+            a)
+      in
+      Ops.phase "kernel";
+      let _hull =
+        Ops.call (fun () -> delaunay st points anchors 0 n ~span:nprocs)
+      in
+      (* the diagram itself: circumcentres of the Delaunay faces.  One
+         thread per processor walks its own edges (migrating there first);
+         faces straddling groups are computed by each and deduplicated. *)
+      let pin = Site.migrate "voronoi.dual.pin" in
+      (* equal-size chunks of the edge records, contiguous in the address
+         space: balanced work with mostly-local reads.  Each chunk's walker
+         pins itself on the processor owning the chunk's records and does
+         its own alive-filtering there, locally. *)
+      let sorted =
+        List.sort
+          (fun r1 r2 -> compare ((r1 : Gptr.t) :> int) ((r2 : Gptr.t) :> int))
+          st.records
+      in
+      let total = List.length sorted in
+      let chunk_size = max 1 ((total + nprocs - 1) / nprocs) in
+      let groups = Array.make nprocs [] in
+      List.iteri
+        (fun i r ->
+          let c = min (nprocs - 1) (i / chunk_size) in
+          groups.(c) <- r :: groups.(c))
+        sorted;
+      let results = Array.make nprocs [] in
+      let dual =
+        Ops.call (fun () ->
+            let futs =
+              Array.mapi
+                (fun p group ->
+                  Ops.future (fun () ->
+                      (match group with
+                      | [] -> ()
+                      | r :: _ ->
+                          (* pin this walker on its chunk's processor *)
+                          ignore (Ops.load pin r off_alive);
+                          let alive =
+                            List.filter_map
+                              (fun r ->
+                                if
+                                  Ops.load_int st.sites.s_data r off_alive = 1
+                                then Some (r, 0)
+                                else None)
+                              group
+                          in
+                          results.(p) <- voronoi_vertices st ~alive);
+                      Value.Int 0))
+                groups
+            in
+            Array.iter (fun f -> ignore (Ops.touch f)) futs;
+            (* global dedup of faces computed by several groups *)
+            let module S = Set.Make (struct
+              type t = int * int
+
+              let compare = compare
+            end) in
+            let seen = ref S.empty in
+            let out = ref [] in
+            Array.iter
+              (List.iter (fun (face_id, v) ->
+                   if not (S.mem face_id !seen) then begin
+                     seen := S.add face_id !seen;
+                     out := v :: !out
+                   end))
+              results;
+            !out)
+      in
+      (* verification: alive-edge pair sets and the dual's vertices match
+         the reference exactly *)
+      let expected_pairs, expected_dual = Reference.run raw in
+      let memory = Engine.memory engine in
+      let pairs =
+        List.filter_map
+          (fun r ->
+            if Value.to_int (Memory.load memory r off_alive) = 1 then begin
+              let o = Value.to_ptr (Memory.load memory r (part_data 0)) in
+              let d = Value.to_ptr (Memory.load memory r (part_data 2)) in
+              let oi = Hashtbl.find st.point_index o in
+              let di = Hashtbl.find st.point_index d in
+              Some (min oi di, max oi di)
+            end
+            else None)
+          st.records
+        |> List.sort compare
+      in
+      let dual_matches =
+        List.length dual = List.length expected_dual
+        && List.for_all2
+             (fun (x1, y1) (x2, y2) -> Float.equal x1 x2 && Float.equal y1 y2)
+             (List.sort compare dual)
+             (List.sort compare expected_dual)
+      in
+      let ok = pairs = expected_pairs && dual_matches in
+      ( Printf.sprintf "points=%d edges=%d voronoi-vertices=%d" n
+          (List.length pairs) (List.length dual),
+        ok ))
+
+let spec =
+  {
+    name = "Voronoi";
+    descr = "Computes the Voronoi Diagram of a set of points";
+    problem = "64K points";
+    choice = "M+C";
+    whole_program = false;
+    ir;
+    default_scale = 8;
+    run;
+  }

@@ -1,0 +1,1 @@
+lib/cache/cache_system.ml: Array Directory Gptr List Machine Memory Olden_config Stats Translation Write_log

@@ -1,0 +1,1 @@
+lib/cache/cache_system.mli: Gptr Machine Memory Olden_config Translation Value Write_log

@@ -1,0 +1,1 @@
+lib/cache/directory.ml: Array Hashtbl List Olden_config

@@ -1,0 +1,1 @@
+lib/cache/translation.ml: Array List Olden_config Value

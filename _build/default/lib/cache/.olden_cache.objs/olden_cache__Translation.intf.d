@@ -1,0 +1,1 @@
+lib/cache/translation.mli: Value

@@ -1,0 +1,1 @@
+lib/cache/write_log.mli:

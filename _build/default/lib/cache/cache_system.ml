@@ -1,0 +1,269 @@
+(* The complete software-caching subsystem: one translation table per
+   processor, one home directory per processor, and the three coherence
+   protocols of the paper wired to the machine's cost model.
+
+   Reads and writes here are those the compiler assigned to the *caching*
+   mechanism; migration-mechanism references never reach this module. *)
+
+module G = Olden_config.Geometry
+module C = Olden_config
+
+type t = {
+  cfg : C.t;
+  machine : Machine.t;
+  memory : Memory.t;
+  tables : Translation.t array;
+  directories : Directory.t array;
+}
+
+let create cfg machine memory =
+  let n = cfg.C.nprocs in
+  {
+    cfg;
+    machine;
+    memory;
+    tables = Array.init n (fun _ -> Translation.create ());
+    directories = Array.init n (fun _ -> Directory.create ());
+  }
+
+let table t proc = t.tables.(proc)
+let stats t = Machine.stats t.machine
+let coherence t = t.cfg.C.coherence
+let costs t = t.cfg.C.costs
+
+(* Locate (or allocate, on first touch) the cache entry on [proc] for the
+   page containing word [addr] of processor [home]. *)
+let entry_for t ~proc ~home ~addr =
+  let gpage = (home lsl 16) lor G.page_of_word addr in
+  let tbl = t.tables.(proc) in
+  match Translation.find tbl gpage with
+  | Some e -> e
+  | None ->
+      let s = stats t in
+      s.Stats.pages_cached <- s.Stats.pages_cached + 1;
+      Translation.insert tbl ~gpage ~home ~page_index:(G.page_of_word addr)
+
+(* Bilateral: a suspect page must be revalidated against its home before
+   use; the home answers with the mask of lines written since the copy's
+   timestamp. *)
+let revalidate t ~proc (e : Translation.entry) =
+  let c = costs t in
+  ignore
+    (Machine.request_reply t.machine ~src:proc ~dst:e.home
+       ~service:c.C.timestamp_service);
+  let mask, ts =
+    Directory.stale_lines t.directories.(e.home) ~page_index:e.page_index
+      ~since:e.ts
+  in
+  let dropped = Translation.invalidate_lines e mask in
+  let s = stats t in
+  s.Stats.revalidations <- s.Stats.revalidations + 1;
+  s.Stats.lines_invalidated <- s.Stats.lines_invalidated + dropped;
+  e.ts <- ts;
+  e.suspect <- false
+
+(* Fetch one line from the home into the local copy. *)
+let fetch_line t ~proc (e : Translation.entry) ~line =
+  let c = costs t in
+  ignore
+    (Machine.request_reply t.machine ~src:proc ~dst:e.home
+       ~service:c.C.line_service);
+  Machine.count_bytes t.machine G.line_bytes;
+  let line_index = (e.page_index * G.lines_per_page) + line in
+  let words = Memory.read_line t.memory ~proc:e.home ~line_index in
+  let base = line * G.words_per_line in
+  Array.blit words 0 e.data base G.words_per_line;
+  Translation.set_line_valid e line;
+  (match coherence t with
+  | C.Global -> Directory.add_sharer t.directories.(e.home) ~page_index:e.page_index ~proc
+  | C.Bilateral | C.Local ->
+      (* sharers are not tracked, but sharedness drives write-track cost *)
+      let p = Directory.get t.directories.(e.home) e.page_index in
+      p.Directory.ever_shared <- true);
+  let s = stats t in
+  s.Stats.cache_misses <- s.Stats.cache_misses + 1
+
+(* A read through the caching mechanism on [proc].  The compiler-inserted
+   check tests locality first (as cheap as a migration site's test); only
+   remote addresses pay the hash-table probe. *)
+let read t ~proc gptr ~field =
+  let c = costs t in
+  Machine.advance t.machine proc c.C.pointer_test;
+  let s = stats t in
+  s.Stats.cacheable_reads <- s.Stats.cacheable_reads + 1;
+  let home = Gptr.proc gptr and addr = Gptr.addr gptr + field in
+  if home = proc then begin
+    Machine.advance t.machine proc c.C.local_ref;
+    Memory.load t.memory gptr field
+  end
+  else begin
+    Machine.advance t.machine proc c.C.cache_probe;
+    s.Stats.cacheable_reads_remote <- s.Stats.cacheable_reads_remote + 1;
+    let e = entry_for t ~proc ~home ~addr in
+    if e.suspect then revalidate t ~proc e;
+    let line = G.line_of_word addr in
+    if Translation.line_valid e line then
+      s.Stats.cache_hits <- s.Stats.cache_hits + 1
+    else fetch_line t ~proc e ~line;
+    Machine.advance t.machine proc c.C.local_ref;
+    e.data.(G.word_offset_in_page addr)
+  end
+
+(* Write-tracking overhead charged by the compiler-inserted code under the
+   global and bilateral schemes (Appendix A: 7 cycles for non-shared pages,
+   23 for shared ones). *)
+let charge_write_tracking t ~proc ~home ~page_index =
+  match coherence t with
+  | C.Local -> ()
+  | C.Global | C.Bilateral ->
+      let c = costs t in
+      let cost =
+        if Directory.is_shared t.directories.(home) page_index then
+          c.C.write_track_shared
+        else c.C.write_track_nonshared
+      in
+      Machine.advance t.machine proc cost;
+      let s = stats t in
+      s.Stats.write_track_cycles <- s.Stats.write_track_cycles + cost
+
+(* A write through the caching mechanism: write-through to the home,
+   updating the local copy if the line is cached.  The write is logged in
+   the thread's write log for later release processing. *)
+let write t ~proc gptr ~field v ~(log : Write_log.t) =
+  let c = costs t in
+  Machine.advance t.machine proc c.C.pointer_test;
+  let s = stats t in
+  s.Stats.cacheable_writes <- s.Stats.cacheable_writes + 1;
+  let home = Gptr.proc gptr and addr = Gptr.addr gptr + field in
+  let page_index = G.page_of_word addr and line = G.line_of_word addr in
+  charge_write_tracking t ~proc ~home ~page_index;
+  Memory.store t.memory gptr field v;
+  let gpage = (home lsl 16) lor page_index in
+  Write_log.record log ~gpage ~line ~home;
+  (match coherence t with
+  | C.Bilateral -> Directory.record_write t.directories.(home) ~page_index ~line
+  | C.Global | C.Local -> ());
+  if home = proc then Machine.advance t.machine proc c.C.local_ref
+  else begin
+    Machine.advance t.machine proc c.C.cache_probe;
+    s.Stats.cacheable_writes_remote <- s.Stats.cacheable_writes_remote + 1;
+    (* write-through: a one-way store message; the writer does not block *)
+    ignore (Machine.one_way t.machine ~src:proc ~dst:home ~service:c.C.store_service);
+    Machine.advance t.machine proc c.C.local_ref;
+    Machine.count_bytes t.machine (G.word_bytes + 8);
+    (* keep our own cached copy coherent with our write *)
+    match Translation.find t.tables.(proc) ((home lsl 16) lor page_index) with
+    | Some e when Translation.line_valid e line ->
+        e.data.(G.word_offset_in_page addr) <- v
+    | Some _ | None -> ()
+  end
+
+(* Also used by migration-mechanism writes: coherence must still know about
+   them (they are heap writes visible at a release), but they are not
+   counted as cacheable. *)
+let note_migrate_write t ~proc gptr ~field ~(log : Write_log.t) =
+  let home = Gptr.proc gptr and addr = Gptr.addr gptr + field in
+  let page_index = G.page_of_word addr and line = G.line_of_word addr in
+  charge_write_tracking t ~proc ~home ~page_index;
+  let gpage = (home lsl 16) lor page_index in
+  Write_log.record log ~gpage ~line ~home;
+  match coherence t with
+  | C.Bilateral -> Directory.record_write t.directories.(home) ~page_index ~line
+  | C.Global | C.Local -> ()
+
+(* --- Coherence events ---------------------------------------------- *)
+
+(* A migration arrives at [proc] (an acquire). *)
+let on_migration_received t ~proc =
+  let c = costs t in
+  let s = stats t in
+  match coherence t with
+  | C.Local ->
+      Machine.advance t.machine proc c.C.cache_flush;
+      s.Stats.cache_flushes <- s.Stats.cache_flushes + 1;
+      Translation.flush t.tables.(proc)
+  | C.Bilateral ->
+      Machine.advance t.machine proc c.C.cache_flush;
+      Translation.mark_all_suspect t.tables.(proc)
+  | C.Global -> ()
+
+(* A migration leaves [proc] carrying thread state with write log [log]
+   (a release). *)
+let on_migration_sent t ~proc ~(log : Write_log.t) =
+  let c = costs t in
+  let s = stats t in
+  (match coherence t with
+  | C.Local -> ()
+  | C.Global ->
+      (* eager release consistency: invalidate the written lines at every
+         sharer of each written page *)
+      List.iter
+        (fun (gpage, mask) ->
+          let home = gpage lsr 16 and page_index = gpage land 0xffff in
+          let sharers = Directory.sharers t.directories.(home) page_index in
+          List.iter
+            (fun sharer ->
+              if sharer <> proc then begin
+                ignore
+                  (Machine.one_way t.machine ~src:proc ~dst:sharer
+                     ~service:c.C.invalidate_line);
+                s.Stats.invalidation_messages <-
+                  s.Stats.invalidation_messages + 1;
+                match Translation.find t.tables.(sharer) gpage with
+                | None -> ()
+                | Some e ->
+                    let dropped = Translation.invalidate_lines e mask in
+                    s.Stats.lines_invalidated <-
+                      s.Stats.lines_invalidated + dropped
+              end)
+            sharers)
+        (Write_log.dirty_pages log);
+      Write_log.clear_dirty log
+  | C.Bilateral ->
+      (* stamp the written pages at their homes so revalidations notice *)
+      List.iter
+        (fun (gpage, _mask) ->
+          let home = gpage lsr 16 and page_index = gpage land 0xffff in
+          if home <> proc then begin
+            ignore
+              (Machine.one_way t.machine ~src:proc ~dst:home
+                 ~service:c.C.invalidate_line);
+            s.Stats.invalidation_messages <- s.Stats.invalidation_messages + 1
+          end;
+          Directory.bump_timestamp t.directories.(home) ~page_index)
+        (Write_log.dirty_pages log);
+      Write_log.clear_dirty log)
+
+(* A thread returns (return stub) to [proc]; under the local scheme's
+   refinement only lines homed at processors the thread wrote need to go
+   (Section 3.2). *)
+let on_return_received t ~proc ~(log : Write_log.t) =
+  let c = costs t in
+  let s = stats t in
+  match coherence t with
+  | C.Local ->
+      if t.cfg.C.return_invalidate_refinement then begin
+        let dropped =
+          Translation.invalidate_homes t.tables.(proc)
+            (Write_log.written_procs log)
+        in
+        Machine.advance t.machine proc
+          (c.C.invalidate_line * List.length (Write_log.written_procs log));
+        s.Stats.lines_invalidated <- s.Stats.lines_invalidated + dropped
+      end
+      else begin
+        Machine.advance t.machine proc c.C.cache_flush;
+        s.Stats.cache_flushes <- s.Stats.cache_flushes + 1;
+        Translation.flush t.tables.(proc)
+      end
+  | C.Bilateral ->
+      Machine.advance t.machine proc c.C.cache_flush;
+      Translation.mark_all_suspect t.tables.(proc)
+  | C.Global -> ()
+
+let average_chain_length t =
+  let n = Array.length t.tables in
+  let sum =
+    Array.fold_left (fun acc tbl -> acc +. Translation.average_chain_length tbl) 0. t.tables
+  in
+  sum /. float_of_int n

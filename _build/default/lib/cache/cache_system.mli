@@ -1,0 +1,52 @@
+(** The complete software-caching subsystem: one translation table per
+    processor, one home directory per processor, and the paper's three
+    coherence protocols wired to the machine's cost model.
+
+    Reads and writes here are those the compiler assigned to the *caching*
+    mechanism; migration-mechanism references never reach this module
+    (except {!note_migrate_write}, which keeps coherence informed of heap
+    writes made through migration sites). *)
+
+type t
+
+val create : Olden_config.t -> Machine.t -> Memory.t -> t
+
+val table : t -> int -> Translation.t
+(** A processor's translation table (exposed for tests and tools). *)
+
+val read : t -> proc:int -> Gptr.t -> field:int -> Value.t
+(** A read through the caching mechanism: locality test, then either a
+    direct local load or a cache lookup with a line fetch on a miss.
+    Charges all costs to the machine. *)
+
+val write : t -> proc:int -> Gptr.t -> field:int -> Value.t ->
+  log:Write_log.t -> unit
+(** A write through the caching mechanism: write-through to the home
+    (updating the writer's own cached copy if present), write-tracking
+    costs under the global/bilateral schemes, and write-log recording. *)
+
+val note_migrate_write : t -> proc:int -> Gptr.t -> field:int ->
+  log:Write_log.t -> unit
+(** Record a heap write made through a migration site: it is not counted
+    as cacheable traffic, but coherence must still see it at the next
+    release. *)
+
+(** {2 Coherence events} *)
+
+val on_migration_received : t -> proc:int -> unit
+(** An acquire: local scheme flushes the whole cache; bilateral marks all
+    pages suspect; global does nothing. *)
+
+val on_migration_sent : t -> proc:int -> log:Write_log.t -> unit
+(** A release: global pushes line invalidations to sharers of the written
+    pages; bilateral stamps the written pages at their homes; local does
+    nothing.  Clears the log's dirty set. *)
+
+val on_return_received : t -> proc:int -> log:Write_log.t -> unit
+(** A thread (or future result) arrives back: the local scheme invalidates
+    only lines homed at processors the thread wrote (the Section 3.2
+    refinement; a full flush when the refinement is disabled); bilateral
+    marks all pages suspect. *)
+
+val average_chain_length : t -> float
+(** Mean translation-table chain length across processors. *)

@@ -1,0 +1,81 @@
+(* Home-side per-page bookkeeping.
+
+   The local-knowledge scheme needs none of this.  The global scheme tracks
+   sharers (recorded when the home services cache requests) so that a
+   releasing thread's written lines can be invalidated eagerly.  The
+   bilateral scheme keeps a timestamp per page, plus per-line write stamps
+   so a revalidating sharer can be told exactly which lines to drop
+   (Appendix A). *)
+
+type page = {
+  mutable sharers : int list; (* processors holding a copy (global scheme) *)
+  mutable ts : int; (* current timestamp (bilateral scheme) *)
+  line_ts : int array; (* per-line stamp of the last release-visible write *)
+  mutable ever_shared : bool; (* drives the 7-vs-23-cycle write-track cost *)
+}
+
+type t = {
+  pages : (int, page) Hashtbl.t; (* local page index -> record *)
+}
+
+let create () = { pages = Hashtbl.create 64 }
+
+let get t page_index =
+  match Hashtbl.find_opt t.pages page_index with
+  | Some p -> p
+  | None ->
+      let p =
+        {
+          sharers = [];
+          ts = 0;
+          line_ts = Array.make Olden_config.Geometry.lines_per_page 0;
+          ever_shared = false;
+        }
+      in
+      Hashtbl.add t.pages page_index p;
+      p
+
+let add_sharer t ~page_index ~proc =
+  let p = get t page_index in
+  p.ever_shared <- true;
+  if not (List.mem proc p.sharers) then p.sharers <- proc :: p.sharers
+
+let remove_sharer t ~page_index ~proc =
+  match Hashtbl.find_opt t.pages page_index with
+  | None -> ()
+  | Some p -> p.sharers <- List.filter (fun q -> q <> proc) p.sharers
+
+let sharers t page_index =
+  match Hashtbl.find_opt t.pages page_index with
+  | None -> []
+  | Some p -> p.sharers
+
+let is_shared t page_index =
+  match Hashtbl.find_opt t.pages page_index with
+  | None -> false
+  | Some p -> p.ever_shared
+
+(* Record a write-through arriving at the home: stamp the line with the
+   next (not yet released) timestamp so a reader validated at the current
+   timestamp will be told to drop it. *)
+let record_write t ~page_index ~line =
+  let p = get t page_index in
+  p.line_ts.(line) <- p.ts + 1
+
+(* A release (outgoing migration) makes the logged writes visible:
+   advance the page timestamp past all pending stamps. *)
+let bump_timestamp t ~page_index =
+  let p = get t page_index in
+  p.ts <- p.ts + 1
+
+(* Bilateral revalidation: given the sharer's last-validated timestamp,
+   return the mask of lines written since then and the current timestamp. *)
+let stale_lines t ~page_index ~since =
+  match Hashtbl.find_opt t.pages page_index with
+  | None -> (0, 0)
+  | Some p ->
+      let mask = ref 0 in
+      Array.iteri
+        (fun line ts -> if ts > since then mask := !mask lor (1 lsl line))
+        p.line_ts;
+      (!mask, p.ts)

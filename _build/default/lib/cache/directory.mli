@@ -1,0 +1,39 @@
+(** Home-side per-page bookkeeping (Appendix A).
+
+    The local-knowledge scheme needs none of this.  The global scheme
+    tracks sharers (recorded when the home services cache requests) so a
+    releasing thread's written lines can be invalidated eagerly.  The
+    bilateral scheme keeps a timestamp per page plus per-line write stamps
+    so a revalidating sharer is told exactly which lines to drop. *)
+
+type page = {
+  mutable sharers : int list;  (** processors holding a copy (global) *)
+  mutable ts : int;  (** current timestamp (bilateral) *)
+  line_ts : int array;  (** per-line stamp of the last release-visible write *)
+  mutable ever_shared : bool;  (** drives the 7-vs-23-cycle write-track cost *)
+}
+
+type t
+
+val create : unit -> t
+
+val get : t -> int -> page
+(** The record for a local page index, created on demand. *)
+
+val add_sharer : t -> page_index:int -> proc:int -> unit
+val remove_sharer : t -> page_index:int -> proc:int -> unit
+val sharers : t -> int -> int list
+
+val is_shared : t -> int -> bool
+(** Whether the page was ever fetched by a remote processor. *)
+
+val record_write : t -> page_index:int -> line:int -> unit
+(** A write-through arrived: stamp the line with the next (unreleased)
+    timestamp. *)
+
+val bump_timestamp : t -> page_index:int -> unit
+(** A release makes the logged writes visible. *)
+
+val stale_lines : t -> page_index:int -> since:int -> int * int
+(** [(mask, ts)]: lines written after timestamp [since], and the current
+    timestamp — the home's answer to a bilateral revalidation. *)

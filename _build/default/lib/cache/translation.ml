@@ -1,0 +1,115 @@
+(* Olden's software cache translation table (Figure 1).
+
+   A 1024-bucket hash table; each bucket holds a short list of page
+   entries (average chain length is about one in the paper's experience).
+   Each entry describes one cached 2 KB remote page: a tag identifying the
+   global page, 32 per-line valid bits, and the local copy of the data.
+   The cache is fully associative and write-through; it grows with use and
+   is only emptied by coherence events, mirroring Olden's use of all local
+   memory as cache. *)
+
+module G = Olden_config.Geometry
+
+type entry = {
+  gpage : int; (* global page id (tag) *)
+  home : int; (* owning processor *)
+  page_index : int; (* page number within the home's section *)
+  mutable valid : int; (* bitmask over the 32 lines *)
+  data : Value.t array; (* local copy, words_per_page words *)
+  mutable suspect : bool; (* bilateral: must revalidate before next use *)
+  mutable ts : int; (* bilateral: home timestamp at last validation *)
+}
+
+type t = {
+  buckets : entry list array;
+  mutable entries : int;
+  mutable lookups : int;
+}
+
+let create () = { buckets = Array.make G.hash_buckets []; entries = 0; lookups = 0 }
+
+let bucket_of gpage = gpage land (G.hash_buckets - 1)
+
+let find t gpage =
+  t.lookups <- t.lookups + 1;
+  let rec search = function
+    | [] -> None
+    | e :: rest -> if e.gpage = gpage then Some e else search rest
+  in
+  search t.buckets.(bucket_of gpage)
+
+(* Allocate a (fully invalid) entry for [gpage]; performed at page
+   granularity on the first miss to the page, as in Blizzard-S. *)
+let insert t ~gpage ~home ~page_index =
+  let e =
+    {
+      gpage;
+      home;
+      page_index;
+      valid = 0;
+      data = Array.make G.words_per_page Value.Nil;
+      suspect = false;
+      ts = 0;
+    }
+  in
+  let b = bucket_of gpage in
+  t.buckets.(b) <- e :: t.buckets.(b);
+  t.entries <- t.entries + 1;
+  e
+
+let line_valid e line = e.valid land (1 lsl line) <> 0
+let set_line_valid e line = e.valid <- e.valid lor (1 lsl line)
+let invalidate_line e line = e.valid <- e.valid land lnot (1 lsl line)
+
+let invalidate_lines e mask =
+  let before = e.valid in
+  e.valid <- e.valid land lnot mask;
+  (* number of lines actually invalidated *)
+  let rec pop m acc = if m = 0 then acc else pop (m lsr 1) (acc + (m land 1)) in
+  pop (before land mask) 0
+
+(* Local-knowledge scheme: clear the whole cache on migration receipt.
+   Entries are dropped (and will be re-allocated on next use); [entries]
+   deliberately keeps counting ever-created entries via the caller. *)
+let flush t =
+  Array.fill t.buckets 0 (Array.length t.buckets) []
+
+(* Mark every cached page suspect (bilateral scheme, on migration receipt:
+   "marks all of its pages, so that they miss on the first access"). *)
+let mark_all_suspect t =
+  Array.iter (List.iter (fun e -> e.suspect <- true)) t.buckets
+
+(* Invalidate every line whose home processor is in [procs] (the local
+   scheme's return refinement). Returns the number of lines invalidated. *)
+let invalidate_homes t procs =
+  let count = ref 0 in
+  Array.iter
+    (List.iter (fun e ->
+         if List.mem e.home procs then begin
+           let rec pop m acc =
+             if m = 0 then acc else pop (m lsr 1) (acc + (m land 1))
+           in
+           count := !count + pop e.valid 0;
+           e.valid <- 0
+         end))
+    t.buckets;
+  !count
+
+let iter t f = Array.iter (List.iter f) t.buckets
+
+let entry_count t =
+  let n = ref 0 in
+  iter t (fun _ -> incr n);
+  !n
+
+let average_chain_length t =
+  let used = ref 0 and total = ref 0 in
+  Array.iter
+    (fun l ->
+      let n = List.length l in
+      if n > 0 then begin
+        incr used;
+        total := !total + n
+      end)
+    t.buckets;
+  if !used = 0 then 0. else float_of_int !total /. float_of_int !used

@@ -1,0 +1,54 @@
+(** Olden's software-cache translation table (Figure 1 of the paper).
+
+    A 1024-bucket hash table of page entries; each entry describes one
+    cached remote 2 KB page: a tag identifying the global page, 32
+    per-line valid bits, and the local copy of the data.  The cache is
+    fully associative and write-through; it grows with use (Olden uses all
+    of local memory as cache) and is emptied only by coherence events. *)
+
+type entry = {
+  gpage : int;  (** global page id (the tag) *)
+  home : int;  (** owning processor *)
+  page_index : int;  (** page number within the home's section *)
+  mutable valid : int;  (** bitmask over the 32 lines *)
+  data : Value.t array;  (** local copy, words_per_page words *)
+  mutable suspect : bool;  (** bilateral: revalidate before next use *)
+  mutable ts : int;  (** bilateral: home timestamp at last validation *)
+}
+
+type t
+
+val create : unit -> t
+
+val find : t -> int -> entry option
+(** Hash lookup by global page id. *)
+
+val insert : t -> gpage:int -> home:int -> page_index:int -> entry
+(** Allocate a fully-invalid entry (page-granularity allocation on first
+    miss, as in Blizzard-S). *)
+
+val line_valid : entry -> int -> bool
+val set_line_valid : entry -> int -> unit
+val invalidate_line : entry -> int -> unit
+
+val invalidate_lines : entry -> int -> int
+(** Invalidate the lines in a bitmask; returns how many were valid. *)
+
+val flush : t -> unit
+(** Drop every entry: the local-knowledge scheme's wholesale invalidation
+    on migration receipt. *)
+
+val mark_all_suspect : t -> unit
+(** Bilateral scheme, on migration receipt: every page misses on its first
+    access and revalidates against its home. *)
+
+val invalidate_homes : t -> int list -> int
+(** Invalidate every line homed at one of the given processors (the local
+    scheme's return refinement); returns the number of lines dropped. *)
+
+val iter : t -> (entry -> unit) -> unit
+val entry_count : t -> int
+
+val average_chain_length : t -> float
+(** Mean bucket-chain length over non-empty buckets (the paper reports
+    this is about one in practice). *)

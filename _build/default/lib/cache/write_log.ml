@@ -1,0 +1,48 @@
+(* Per-thread record of heap writes, kept at line granularity.
+
+   The global- and bilateral-knowledge coherence schemes need to know, at
+   each outgoing migration (a "release"), which lines the thread wrote; the
+   local scheme's return refinement needs the set of processors whose
+   memories the thread wrote (Section 3.2). *)
+
+module Page_map = Map.Make (Int)
+
+type t = {
+  mutable dirty : int Page_map.t; (* global page id -> bitmask of lines *)
+  mutable written_procs : int list; (* sorted, distinct *)
+}
+
+let create () = { dirty = Page_map.empty; written_procs = [] }
+
+let record t ~gpage ~line ~home =
+  let bit = 1 lsl line in
+  t.dirty <-
+    Page_map.update gpage
+      (function None -> Some bit | Some m -> Some (m lor bit))
+      t.dirty;
+  if not (List.mem home t.written_procs) then
+    t.written_procs <- List.sort compare (home :: t.written_procs)
+
+let dirty_pages t = Page_map.bindings t.dirty
+let written_procs t = t.written_procs
+let is_empty t = Page_map.is_empty t.dirty
+
+(* Called after a release has pushed/stamped the logged writes. *)
+let clear_dirty t = t.dirty <- Page_map.empty
+
+let line_count t =
+  Page_map.fold
+    (fun _ mask acc ->
+      let rec pop m acc = if m = 0 then acc else pop (m lsr 1) (acc + (m land 1)) in
+      acc + pop mask 0)
+    t.dirty 0
+
+(* Acquiring another thread's result makes its writes part of what this
+   thread "has written" for later release/return invalidation purposes
+   (transitive causality through future touches). *)
+let absorb_written_procs t ~from =
+  List.iter
+    (fun p ->
+      if not (List.mem p t.written_procs) then
+        t.written_procs <- List.sort compare (p :: t.written_procs))
+    from.written_procs

@@ -1,0 +1,34 @@
+(** Per-thread record of heap writes, at line granularity.
+
+    The global- and bilateral-knowledge coherence schemes consume the dirty
+    set at each outgoing migration (a release); the local scheme's return
+    refinement needs the set of processors whose memories the thread wrote
+    (Section 3.2 of the paper). *)
+
+type t
+
+val create : unit -> t
+
+val record : t -> gpage:int -> line:int -> home:int -> unit
+(** Log one written line of global page [gpage] homed at [home]. *)
+
+val dirty_pages : t -> (int * int) list
+(** [(gpage, line bitmask)] pairs written since the last release. *)
+
+val written_procs : t -> int list
+(** Sorted distinct processors the thread has written — cumulative, never
+    cleared (a thread "might have updated" them at any earlier point). *)
+
+val is_empty : t -> bool
+(** No dirty lines pending release. *)
+
+val clear_dirty : t -> unit
+(** Called after a release has pushed or stamped the logged writes. *)
+
+val line_count : t -> int
+(** Number of dirty lines pending. *)
+
+val absorb_written_procs : t -> from:t -> unit
+(** Acquiring another thread's result makes its writes part of this
+    thread's causal past: merge the written-processor sets so a later
+    release/return covers them too. *)

@@ -1,0 +1,1 @@
+lib/compiler/affinity.ml: Fmt List Olden_config Printf

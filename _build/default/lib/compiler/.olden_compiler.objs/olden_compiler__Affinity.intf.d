@@ -1,0 +1,1 @@
+lib/compiler/affinity.mli: Format

@@ -1,0 +1,1 @@
+lib/compiler/analysis.ml: Affinity Ast Fmt Fun Hashtbl List Map Option Set String

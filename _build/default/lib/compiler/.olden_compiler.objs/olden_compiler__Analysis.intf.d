@@ -1,0 +1,1 @@
+lib/compiler/analysis.mli: Ast Format

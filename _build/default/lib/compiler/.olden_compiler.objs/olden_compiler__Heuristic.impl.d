@@ -1,0 +1,1 @@
+lib/compiler/heuristic.ml: Analysis Ast Fmt Hashtbl List Olden_config Parser Printf

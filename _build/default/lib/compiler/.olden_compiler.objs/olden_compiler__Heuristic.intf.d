@@ -1,0 +1,1 @@
+lib/compiler/heuristic.mli: Analysis Ast Format Hashtbl Olden_config

@@ -1,0 +1,1 @@
+lib/compiler/lexer.ml: List Printf String

@@ -1,0 +1,1 @@
+lib/compiler/typecheck.ml: Ast Hashtbl List Map Printf String

@@ -1,0 +1,1 @@
+lib/compiler/typecheck.mli: Ast

@@ -1,0 +1,36 @@
+(* Path-affinity arithmetic (Sections 4.1-4.2).
+
+   A path-affinity is the probability that following a pointer path stays
+   on the local processor.  The combination rules:
+
+   - a path of several fields multiplies the per-field affinities;
+   - an if-join averages the two branches' updates (assume each branch is
+     taken half the time);
+   - multiple updates via recursion combine as the probability that at
+     least one is local: 1 - prod (1 - a_i). *)
+
+type t = float
+
+let check a =
+  if a < 0. || a > 1. then invalid_arg (Printf.sprintf "affinity %g out of [0,1]" a);
+  a
+
+let of_percent p = check (p /. 100.)
+let to_percent a = 100. *. a
+
+(* t = t->f1->f2: affinities along a path multiply. *)
+let along_path fields = check (List.fold_left ( *. ) 1. fields)
+
+(* Join point at the end of an if-then-else. *)
+let join a b = check ((a +. b) /. 2.)
+
+(* Multiple recursive-call updates: probability at least one is local
+   (Figure 4: left 90%, right 70% -> 1 - 0.1*0.3 = 97%). *)
+let recursion_combine = function
+  | [] -> invalid_arg "Affinity.recursion_combine: no updates"
+  | affs -> check (1. -. List.fold_left (fun acc a -> acc *. (1. -. a)) 1. affs)
+
+let default = Olden_config.Heuristic_params.default_affinity
+let threshold = Olden_config.Heuristic_params.threshold
+
+let pp ppf a = Fmt.pf ppf "%g%%" (to_percent a)

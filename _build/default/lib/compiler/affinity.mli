@@ -1,0 +1,32 @@
+(** Path-affinity arithmetic (Sections 4.1-4.2 of the paper).
+
+    A path-affinity is the probability that following a pointer path stays
+    on the local processor.  Affinities are hints: wrong values cost
+    performance, never correctness. *)
+
+type t = float
+(** Always in [\[0, 1\]]; constructors check. *)
+
+val of_percent : float -> t
+val to_percent : t -> float
+
+val along_path : t list -> t
+(** A path of several fields: the per-field affinities multiply. *)
+
+val join : t -> t -> t
+(** The if-join rule: average the two branches' updates (each branch
+    assumed taken half the time). *)
+
+val recursion_combine : t list -> t
+(** Multiple updates via recursive calls: the probability at least one is
+    local, [1 - prod (1 - a_i)] (Figure 4: left 90% and right 70% combine
+    to 97%). @raise Invalid_argument on the empty list. *)
+
+val default : t
+(** The default path-affinity, 70% (Section 4.3). *)
+
+val threshold : t
+(** The migration threshold, 90% (Section 4.3; the break-even affinity for
+    a 7x migration/miss cost ratio is about 86%). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,529 @@
+(* Update-matrix analysis (Section 4.2).
+
+   For every control loop — iterative [while] loops and the recursion of a
+   self-recursive function — we compute an update matrix: entry (s, t) is
+   the path-affinity with which [s]'s value at the end of an iteration is
+   [t]'s value from the beginning of the iteration, dereferenced through a
+   path of fields.  Diagonal entries identify induction variables.
+
+   The analysis is a single abstract iteration of the loop body over the
+   domain
+
+     absval ::= Path (origin, affinity) | Unknown
+
+   with the paper's combination rules: field paths multiply affinities,
+   if-joins average (and drop updates that do not occur in both branches),
+   and multiple recursive-call updates combine as 1 - prod (1 - a_i).
+
+   Exactness is not required: a wrong matrix yields a slower program, never
+   a wrong one (Section 4.1). *)
+
+open Ast
+module Env = Map.Make (String)
+module Sset = Set.Make (String)
+
+(* [Path (origin, affinity, nderefs)]: the value is [origin]'s value at
+   loop entry followed by [nderefs] field dereferences whose affinities
+   multiply to [affinity].  Identity paths (nderefs = 0) are tracked for
+   argument binding but are not structure-traversing updates. *)
+type absval = Path of string * float * int | Unknown
+
+type loop_info = {
+  lid : loop_id;
+  in_func : string;
+  parent : loop_id option; (* innermost enclosing control loop *)
+  matrix : (string * string * float) list; (* updatee, origin, affinity *)
+  parallel : bool; (* contains futurecalls: may be parallelized *)
+}
+
+type call_info = {
+  callee : string;
+  caller : string;
+  call_loop : loop_id option; (* innermost loop containing the call *)
+  arg_values : absval list; (* abstract argument values at the call *)
+  is_future : bool;
+}
+
+type deref_info = {
+  deref_id : int;
+  dfield : string;
+  dbase : string option; (* syntactic base variable of the chain *)
+  deref_loop : loop_id option;
+  deref_func : string;
+}
+
+type t = {
+  prog : program;
+  loops : loop_info list;
+  calls : call_info list;
+  derefs : deref_info list;
+}
+
+(* --- The abstract interpreter ---------------------------------------- *)
+
+(* Interprocedural return summaries (the paper's planned extension toward
+   access-path matrices): a function whose every top-level return yields a
+   path from the same parameter is summarized as (param index, affinity,
+   dereference count); calls to it then propagate paths instead of
+   producing Unknown.  Summaries are computed to a small fixpoint. *)
+type summary = (int * float * int) option
+
+type walk_state = {
+  prog_ : program;
+  fname : string;
+  summaries : (string, summary) Hashtbl.t;
+  mutable loops_acc : loop_info list;
+  mutable calls_acc : call_info list;
+  mutable derefs_acc : deref_info list;
+  mutable rec_sites : (absval list * bool) list; (* recursive call sites *)
+  mutable returns_acc : absval list; (* top-level return values *)
+}
+
+(* Environment pair: abstract values and variable types. *)
+type env = { vals : absval Env.t; typs : typ Env.t }
+
+let lookup_val env v =
+  match Env.find_opt v env.vals with Some a -> a | None -> Unknown
+
+let lookup_typ env v = Env.find_opt v env.typs
+
+let struct_of_typ = function Tstruct s -> Some s | Tint | Tfloat | Tvoid -> None
+
+(* Only pointer (struct-typed) variables can traverse the structure. *)
+let is_pointer_var env v =
+  match lookup_typ env v with Some t -> is_pointer_type t | None -> false
+
+(* Evaluate an expression, collecting dereference and call sites, and
+   returning its abstract value and type. *)
+let rec eval st ~loop_stack env e : absval * typ option =
+  match e with
+  | Null -> (Unknown, None)
+  | Int_lit _ -> (Unknown, Some Tint)
+  | Float_lit _ -> (Unknown, Some Tfloat)
+  | Var v -> (lookup_val env v, lookup_typ env v)
+  | Deref d ->
+      let base_val, base_typ = eval st ~loop_stack env d.d_base in
+      st.derefs_acc <-
+        {
+          deref_id = d.d_id;
+          dfield = d.d_field;
+          dbase = base_var d.d_base;
+          deref_loop = (match loop_stack with l :: _ -> Some l | [] -> None);
+          deref_func = st.fname;
+        }
+        :: st.derefs_acc;
+      let field_typ, field_aff =
+        match Option.bind base_typ struct_of_typ with
+        | None -> (None, Affinity.default)
+        | Some sname -> (
+            match find_struct st.prog_ sname with
+            | None -> (None, Affinity.default)
+            | Some sd -> (
+                match find_field sd d.d_field with
+                | None -> (None, Affinity.default)
+                | Some fd ->
+                    ( Some fd.fd_type,
+                      match fd.fd_affinity with
+                      | Some a -> a
+                      | None -> Affinity.default )))
+      in
+      let v =
+        match base_val with
+        | Path (origin, a, n) -> Path (origin, a *. field_aff, n + 1)
+        | Unknown -> Unknown
+      in
+      (v, field_typ)
+  | Call (f, args) | Future_call (f, args) ->
+      let is_future = match e with Future_call _ -> true | _ -> false in
+      let arg_vals =
+        List.map (fun a -> fst (eval st ~loop_stack env a)) args
+      in
+      st.calls_acc <-
+        {
+          callee = f;
+          caller = st.fname;
+          call_loop = (match loop_stack with l :: _ -> Some l | [] -> None);
+          arg_values = arg_vals;
+          is_future;
+        }
+        :: st.calls_acc;
+      if f = st.fname then st.rec_sites <- (arg_vals, is_future) :: st.rec_sites;
+      let ret_typ =
+        match find_func st.prog_ f with
+        | Some fn -> Some fn.f_ret
+        | None -> None
+      in
+      let ret_val =
+        if is_future then Unknown (* value only available after touch *)
+        else
+          match Hashtbl.find_opt st.summaries f with
+          | Some (Some (i, a, n)) -> (
+              match List.nth_opt arg_vals i with
+              | Some (Path (o, a0, n0)) -> Path (o, a0 *. a, n0 + n)
+              | Some Unknown | None -> Unknown)
+          | Some None | None -> Unknown
+      in
+      (ret_val, ret_typ)
+  | Touch e' ->
+      let _, t = eval st ~loop_stack env e' in
+      (Unknown, t)
+  | Unop (_, e') ->
+      ignore (eval st ~loop_stack env e');
+      (Unknown, Some Tint)
+  | Binop (_, a, b) ->
+      ignore (eval st ~loop_stack env a);
+      ignore (eval st ~loop_stack env b);
+      (Unknown, Some Tint)
+  | Alloc_on (sname, pe) ->
+      ignore (eval st ~loop_stack env pe);
+      (Unknown, Some (Tstruct sname))
+  | Builtin (_, args) ->
+      List.iter (fun a -> ignore (eval st ~loop_stack env a)) args;
+      (Unknown, Some Tint)
+
+(* Result of walking a block: [None] means every path returned. *)
+type flow = (env * Sset.t) option
+
+let merge_if (input : env) (a : flow) (b : flow) : flow =
+  match (a, b) with
+  | None, None -> None
+  | Some r, None | None, Some r -> Some r
+  | Some (env_t, asg_t), Some (env_f, asg_f) ->
+      let assigned = Sset.union asg_t asg_f in
+      let vals =
+        Env.merge
+          (fun v _ _ ->
+            let in_t = Sset.mem v asg_t and in_f = Sset.mem v asg_f in
+            if not (in_t || in_f) then Env.find_opt v input.vals
+            else if in_t && in_f then
+              (* update present in both branches: average the affinities *)
+              match (Env.find_opt v env_t.vals, Env.find_opt v env_f.vals) with
+              | Some (Path (o1, a1, n1)), Some (Path (o2, a2, n2))
+                when o1 = o2 ->
+                  Some (Path (o1, Affinity.join a1 a2, max n1 n2))
+              | _ -> Some Unknown
+            else
+              (* update missing from one branch: omit it (Section 4.2) *)
+              Some Unknown)
+          env_t.vals env_f.vals
+      in
+      Some ({ vals; typs = input.typs }, assigned)
+
+let rec walk_block st ~loop_stack (env : env) (block : block) : flow =
+  List.fold_left
+    (fun (flow : flow) stmt ->
+      match flow with
+      | None -> None (* unreachable after return *)
+      | Some (env, assigned) -> walk_stmt st ~loop_stack env assigned stmt)
+    (Some (env, Sset.empty))
+    block
+
+and walk_stmt st ~loop_stack env assigned stmt : flow =
+  match stmt with
+  | Decl (t, v, init) ->
+      let value =
+        match init with
+        | None -> Unknown
+        | Some e -> fst (eval st ~loop_stack env e)
+      in
+      Some
+        ( { vals = Env.add v value env.vals; typs = Env.add v t env.typs },
+          Sset.add v assigned )
+  | Assign (v, e) ->
+      let value = fst (eval st ~loop_stack env e) in
+      Some
+        ({ env with vals = Env.add v value env.vals }, Sset.add v assigned)
+  | Field_assign (d, e) ->
+      (* a heap write: collect the dereference and argument sites, the
+         variable environment is unchanged *)
+      ignore (eval st ~loop_stack env (Deref d));
+      ignore (eval st ~loop_stack env e);
+      Some (env, assigned)
+  | Expr e ->
+      ignore (eval st ~loop_stack env e);
+      Some (env, assigned)
+  | Return e ->
+      (match e with
+      | Some e ->
+          let v, _ = eval st ~loop_stack env e in
+          let inside_while =
+            List.exists
+              (function Lwhile _ -> true | Lrec _ -> false)
+              loop_stack
+          in
+          if not inside_while then st.returns_acc <- v :: st.returns_acc
+      | None -> ());
+      None
+  | If (c, th, el) ->
+      ignore (eval st ~loop_stack env c);
+      let ft = walk_block st ~loop_stack env th in
+      let fe = walk_block st ~loop_stack env el in
+      let ft = Option.map (fun (e, a) -> (e, Sset.union assigned a)) ft in
+      let fe = Option.map (fun (e, a) -> (e, Sset.union assigned a)) fe in
+      merge_if env ft fe
+  | While w ->
+      analyze_while st ~loop_stack env w;
+      (* after the loop, anything it assigns is unknown *)
+      let body_assigned = assigned_vars w.w_body in
+      let vals =
+        Sset.fold (fun v m -> Env.add v Unknown m) body_assigned env.vals
+      in
+      Some ({ env with vals }, Sset.union assigned body_assigned)
+
+(* Analyze one while loop: a single abstract iteration of the body from the
+   identity environment (every variable in scope at loop entry is a unit
+   path from itself), yielding the loop's update matrix. *)
+and analyze_while st ~loop_stack env (w : while_loop) =
+  let lid = Lwhile w.w_id in
+  let scope_vars = Env.fold (fun v _ s -> Sset.add v s) env.vals Sset.empty in
+  let identity_vals =
+    Sset.fold (fun v m -> Env.add v (Path (v, 1.0, 0)) m) scope_vars Env.empty
+  in
+  let env0 = { vals = identity_vals; typs = env.typs } in
+  ignore (eval st ~loop_stack:(lid :: loop_stack) env0 w.w_cond);
+  let out =
+    walk_block st ~loop_stack:(lid :: loop_stack) env0 w.w_body
+  in
+  let matrix =
+    match out with
+    | None -> [] (* body always returns: not really a loop *)
+    | Some (env_out, assigned) ->
+        Sset.fold
+          (fun v acc ->
+            if Sset.mem v scope_vars && is_pointer_var env v then
+              (* identity updates (no dereference) do not traverse the
+                 structure and are not recorded *)
+              match Env.find_opt v env_out.vals with
+              | Some (Path (origin, a, n)) when n >= 1 ->
+                  (v, origin, a) :: acc
+              | Some (Path _ | Unknown) | None -> acc
+            else acc)
+          assigned []
+  in
+  st.loops_acc <-
+    {
+      lid;
+      in_func = st.fname;
+      parent = (match loop_stack with l :: _ -> Some l | [] -> None);
+      matrix = List.rev matrix;
+      parallel = block_has_future w.w_body;
+    }
+    :: st.loops_acc
+
+(* Variables assigned anywhere in a block (including nested loops). *)
+and assigned_vars (block : block) : Sset.t =
+  List.fold_left
+    (fun acc stmt ->
+      match stmt with
+      | Decl (_, v, _) | Assign (v, _) -> Sset.add v acc
+      | Field_assign _ | Expr _ | Return _ -> acc
+      | If (_, th, el) ->
+          Sset.union acc (Sset.union (assigned_vars th) (assigned_vars el))
+      | While w -> Sset.union acc (assigned_vars w.w_body))
+    Sset.empty block
+
+(* Futurecalls appearing directly in this loop body (not inside a nested
+   while loop, whose parallelism is its own; [deep] includes them, for
+   recursion control loops that span the whole function body). *)
+and block_has_future ?(deep = false) (block : block) : bool =
+  let rec in_expr = function
+    | Future_call _ -> true
+    | Null | Int_lit _ | Float_lit _ | Var _ -> false
+    | Deref d -> in_expr d.d_base
+    | Call (_, args) | Builtin (_, args) -> List.exists in_expr args
+    | Touch e | Unop (_, e) -> in_expr e
+    | Binop (_, a, b) -> in_expr a || in_expr b
+    | Alloc_on (_, e) -> in_expr e
+  in
+  List.exists
+    (function
+      | Decl (_, _, Some e) | Assign (_, e) | Expr e | Return (Some e) ->
+          in_expr e
+      | Field_assign (d, e) -> in_expr (Deref d) || in_expr e
+      | Decl (_, _, None) | Return None -> false
+      | If (c, th, el) ->
+          in_expr c || block_has_future ~deep th || block_has_future ~deep el
+      | While w -> deep && (in_expr w.w_cond || block_has_future ~deep w.w_body))
+    block
+
+(* Whether [f] calls itself directly (the prototype's interprocedural
+   analysis is limited to self-recursion, like the paper's). *)
+let is_recursive (f : func) =
+  let rec in_expr = function
+    | Call (g, args) | Future_call (g, args) ->
+        g = f.f_name || List.exists in_expr args
+    | Null | Int_lit _ | Float_lit _ | Var _ -> false
+    | Deref d -> in_expr d.d_base
+    | Builtin (_, args) -> List.exists in_expr args
+    | Touch e | Unop (_, e) -> in_expr e
+    | Binop (_, a, b) -> in_expr a || in_expr b
+    | Alloc_on (_, e) -> in_expr e
+  in
+  let rec in_block b =
+    List.exists
+      (function
+        | Decl (_, _, Some e) | Assign (_, e) | Expr e | Return (Some e) ->
+            in_expr e
+        | Field_assign (d, e) -> in_expr (Deref d) || in_expr e
+        | Decl (_, _, None) | Return None -> false
+        | If (c, th, el) -> in_expr c || in_block th || in_block el
+        | While w -> in_expr w.w_cond || in_block w.w_body)
+      b
+  in
+  in_block f.f_body
+
+let analyze_func prog summaries (f : func) =
+  let st =
+    {
+      prog_ = prog;
+      fname = f.f_name;
+      summaries;
+      loops_acc = [];
+      calls_acc = [];
+      derefs_acc = [];
+      rec_sites = [];
+      returns_acc = [];
+    }
+  in
+  let recursive = is_recursive f in
+  let rec_lid = Lrec f.f_name in
+  let loop_stack = if recursive then [ rec_lid ] else [] in
+  let typs =
+    List.fold_left (fun m (t, v) -> Env.add v t m) Env.empty f.f_params
+  in
+  let vals =
+    List.fold_left
+      (fun m (_, v) -> Env.add v (Path (v, 1.0, 0)) m)
+      Env.empty f.f_params
+  in
+  ignore (walk_block st ~loop_stack { vals; typs } f.f_body);
+  (* the recursion control loop: parameter updates at recursive calls,
+     combined across call sites as 1 - prod (1 - a_i) (Figure 4) *)
+  if recursive then begin
+    let pointer_params =
+      List.filter (fun (t, _) -> is_pointer_type t) f.f_params
+    in
+    ignore pointer_params;
+    let param_names =
+      List.map (fun (t, v) -> (v, is_pointer_type t)) f.f_params
+    in
+    let matrix =
+      List.concat_map
+        (fun (i, (p, is_ptr)) ->
+          (* collect, per origin, the affinities this parameter is updated
+             with across all recursive call sites; identity and non-pointer
+             bindings are not structure-traversing updates *)
+          let updates =
+            if not is_ptr then []
+            else
+              List.filter_map
+                (fun (args, _) ->
+                  match List.nth_opt args i with
+                  | Some (Path (o, a, n)) when n >= 1 -> Some (o, a)
+                  | Some (Path _ | Unknown) | None -> None)
+                st.rec_sites
+          in
+          let origins = List.sort_uniq compare (List.map fst updates) in
+          List.map
+            (fun o ->
+              let affs =
+                List.filter_map
+                  (fun (o', a) -> if o' = o then Some a else None)
+                  updates
+              in
+              (p, o, Affinity.recursion_combine affs))
+            origins)
+        (List.mapi (fun i p -> (i, p)) param_names)
+    in
+    (* the recursion's control loop spans the whole body: any futurecall
+       in it makes the loop parallelizable *)
+    let parallel =
+      List.exists (fun (_, fut) -> fut) st.rec_sites
+      || block_has_future ~deep:true f.f_body
+    in
+    st.loops_acc <-
+      { lid = rec_lid; in_func = f.f_name; parent = None; matrix; parallel }
+      :: st.loops_acc
+  end;
+  (* summarize: every collected return is a path from the same parameter;
+     alternative returns average, as at an if-join *)
+  let summary =
+    let param_index o =
+      let rec index i = function
+        | [] -> None
+        | (_, p) :: rest -> if p = o then Some i else index (i + 1) rest
+      in
+      index 0 f.f_params
+    in
+    match st.returns_acc with
+    | [] -> None
+    | vs ->
+        let paths =
+          List.map
+            (function
+              | Path (o, a, n) -> (
+                  match param_index o with
+                  | Some i -> Some (i, a, n)
+                  | None -> None)
+              | Unknown -> None)
+            vs
+        in
+        if List.exists (fun p -> p = None) paths then None
+        else begin
+          match List.filter_map Fun.id paths with
+          | [] -> None
+          | (i0, _, _) :: _ as all ->
+              if List.for_all (fun (i, _, _) -> i = i0) all then begin
+                let k = List.length all in
+                let a =
+                  List.fold_left (fun acc (_, a, _) -> acc +. a) 0. all
+                  /. float_of_int k
+                in
+                let n = List.fold_left (fun m (_, _, n) -> max m n) 0 all in
+                Some (i0, a, n)
+              end
+              else None
+        end
+  in
+  Hashtbl.replace summaries f.f_name summary;
+  (st.loops_acc, st.calls_acc, st.derefs_acc)
+
+let analyze (prog : program) : t =
+  let summaries : (string, summary) Hashtbl.t = Hashtbl.create 8 in
+  let one_pass () =
+    List.fold_left
+      (fun (ls, cs, ds) f ->
+        let l, c, d = analyze_func prog summaries f in
+        (l @ ls, c @ cs, d @ ds))
+      ([], [], []) prog.funcs
+  in
+  (* summaries feed call sites in later passes; two warm-up rounds reach a
+     fixpoint for non-pathological programs (summaries only shrink after
+     that, and a stale over-approximation costs performance, not
+     correctness) *)
+  ignore (one_pass ());
+  ignore (one_pass ());
+  let loops, calls, derefs = one_pass () in
+  {
+    prog;
+    loops = List.rev loops;
+    calls = List.rev calls;
+    derefs = List.rev derefs;
+  }
+
+let find_loop t lid = List.find_opt (fun l -> l.lid = lid) t.loops
+
+(* Induction variables: diagonal entries of the matrix (Section 4.2). *)
+let induction_variables (l : loop_info) =
+  List.filter_map
+    (fun (s, o, a) -> if s = o then Some (s, a) else None)
+    l.matrix
+
+let pp_matrix ppf (l : loop_info) =
+  Fmt.pf ppf "@[<v 2>update matrix of %s (in %s)%s:@,%a@]"
+    (loop_id_to_string l.lid) l.in_func
+    (if l.parallel then " [parallelizable]" else "")
+    Fmt.(
+      list ~sep:cut (fun ppf (s, o, a) ->
+          pf ppf "%s <- %s  @@ %a" s o Affinity.pp a))
+    l.matrix

@@ -1,0 +1,64 @@
+(** Update-matrix analysis (Section 4.2 of the paper).
+
+    For every control loop — iterative [while] loops and the recursion of
+    a self-recursive function — computes an update matrix: entry [(s, t)]
+    is the path-affinity with which [s]'s value at the end of an iteration
+    is [t]'s value from the beginning, dereferenced through a path of
+    fields.  Diagonal entries identify induction variables.
+
+    The analysis is one abstract iteration of each loop body over the
+    domain [Path (origin, affinity, nderefs) | Unknown], with the paper's
+    combination rules: field paths multiply, if-joins average (and drop
+    updates absent from a branch), multiple recursive-call updates combine
+    as [1 - prod (1 - a_i)].  Identity bindings (no dereference) and
+    non-pointer variables are not structure-traversing updates.
+
+    Exactness is not required: a wrong matrix yields a slower program,
+    never a wrong one (Section 4.1). *)
+
+type absval =
+  | Path of string * float * int
+      (** origin variable at loop entry, product affinity, dereference
+          count *)
+  | Unknown
+
+type loop_info = {
+  lid : Ast.loop_id;
+  in_func : string;
+  parent : Ast.loop_id option;  (** innermost enclosing control loop *)
+  matrix : (string * string * float) list;
+      (** (updatee, origin, affinity) entries *)
+  parallel : bool;  (** contains futurecalls: may be parallelized *)
+}
+
+type call_info = {
+  callee : string;
+  caller : string;
+  call_loop : Ast.loop_id option;  (** innermost loop containing the call *)
+  arg_values : absval list;  (** abstract argument values at the call *)
+  is_future : bool;
+}
+
+type deref_info = {
+  deref_id : int;
+  dfield : string;
+  dbase : string option;  (** syntactic base variable of the chain *)
+  deref_loop : Ast.loop_id option;
+  deref_func : string;
+}
+
+type t = {
+  prog : Ast.program;
+  loops : loop_info list;
+  calls : call_info list;
+  derefs : deref_info list;
+}
+
+val analyze : Ast.program -> t
+
+val find_loop : t -> Ast.loop_id -> loop_info option
+
+val induction_variables : loop_info -> (string * float) list
+(** Diagonal matrix entries: variables updated by themselves. *)
+
+val pp_matrix : Format.formatter -> loop_info -> unit

@@ -1,0 +1,217 @@
+(* Abstract syntax for the annotated C subset Olden takes as input
+   (Section 2): structs with path-affinity hints on pointer fields,
+   futurecall/touch annotations, and ALLOC with explicit placement.
+
+   Every pointer dereference carries a unique id; the heuristic's output is
+   a mechanism per dereference site, keyed by that id. *)
+
+type typ =
+  | Tint
+  | Tfloat
+  | Tvoid
+  | Tstruct of string (* struct-typed variables are heap pointers *)
+
+type unop = Neg | Not
+
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Mod
+  | Eq
+  | Ne
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | And
+  | Or
+
+type expr =
+  | Null
+  | Int_lit of int
+  | Float_lit of float
+  | Var of string
+  | Deref of deref (* e->f, a heap read *)
+  | Call of string * expr list
+  | Future_call of string * expr list (* futurecall f(args) *)
+  | Touch of expr
+  | Unop of unop * expr
+  | Binop of binop * expr * expr
+  | Alloc_on of string * expr (* ALLOC(StructName, processor) *)
+  | Builtin of string * expr list (* self(), nprocs(), rand(n) *)
+
+and deref = { d_id : int; d_base : expr; d_field : string }
+
+type stmt =
+  | Decl of typ * string * expr option
+  | Assign of string * expr
+  | Field_assign of deref * expr (* e->f = e2, a heap write *)
+  | If of expr * block * block
+  | While of while_loop
+  | Return of expr option
+  | Expr of expr
+
+and while_loop = { w_id : int; w_cond : expr; w_body : block }
+
+and block = stmt list
+
+type field_decl = {
+  fd_name : string;
+  fd_type : typ;
+  fd_affinity : float option; (* path-affinity hint, pointer fields only *)
+}
+
+type struct_decl = { sd_name : string; sd_fields : field_decl list }
+
+type func = {
+  f_name : string;
+  f_ret : typ;
+  f_params : (typ * string) list;
+  f_body : block;
+}
+
+type program = { structs : struct_decl list; funcs : func list }
+
+(* A control loop (Section 4.2): an iterative loop or the recursion of a
+   self-recursive function. *)
+type loop_id = Lwhile of int | Lrec of string
+
+let loop_id_to_string = function
+  | Lwhile i -> Printf.sprintf "while#%d" i
+  | Lrec f -> Printf.sprintf "rec(%s)" f
+
+(* --- Lookups --------------------------------------------------------- *)
+
+let find_struct p name = List.find_opt (fun s -> s.sd_name = name) p.structs
+let find_func p name = List.find_opt (fun f -> f.f_name = name) p.funcs
+
+let find_field sd name =
+  List.find_opt (fun f -> f.fd_name = name) sd.sd_fields
+
+(* Path-affinity of [field] of struct [sname]; the paper's default is 70%
+   (Section 4.3). *)
+let affinity_of p ~sname ~field =
+  match find_struct p sname with
+  | None -> Olden_config.Heuristic_params.default_affinity
+  | Some sd -> (
+      match find_field sd field with
+      | Some { fd_affinity = Some a; _ } -> a
+      | Some _ | None -> Olden_config.Heuristic_params.default_affinity)
+
+(* Field index (word offset) of [field] in struct [sname]. *)
+let field_offset p ~sname ~field =
+  match find_struct p sname with
+  | None -> None
+  | Some sd ->
+      let rec index i = function
+        | [] -> None
+        | f :: rest -> if f.fd_name = field then Some i else index (i + 1) rest
+      in
+      index 0 sd.sd_fields
+
+let struct_words p sname =
+  match find_struct p sname with
+  | None -> None
+  | Some sd -> Some (List.length sd.sd_fields)
+
+let is_pointer_type = function
+  | Tstruct _ -> true
+  | Tint | Tfloat | Tvoid -> false
+
+(* The syntactic base variable of a dereference chain: t->right->left is a
+   dereference "of" t (Section 4's per-variable mechanism assignment). *)
+let rec base_var = function
+  | Var v -> Some v
+  | Deref d -> base_var d.d_base
+  | Null | Int_lit _ | Float_lit _ | Call _ | Future_call _ | Touch _
+  | Unop _ | Binop _ | Alloc_on _ | Builtin _ ->
+      None
+
+(* --- Pretty-printing ------------------------------------------------- *)
+
+let typ_to_string = function
+  | Tint -> "int"
+  | Tfloat -> "float"
+  | Tvoid -> "void"
+  | Tstruct s -> s
+
+let binop_to_string = function
+  | Add -> "+"
+  | Sub -> "-"
+  | Mul -> "*"
+  | Div -> "/"
+  | Mod -> "%"
+  | Eq -> "=="
+  | Ne -> "!="
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+  | And -> "&&"
+  | Or -> "||"
+
+let rec pp_expr ppf = function
+  | Null -> Fmt.string ppf "null"
+  | Int_lit i -> Fmt.int ppf i
+  | Float_lit f -> Fmt.pf ppf "%h" f
+  | Var v -> Fmt.string ppf v
+  | Deref d -> Fmt.pf ppf "%a->%s" pp_expr d.d_base d.d_field
+  | Call (f, args) -> Fmt.pf ppf "%s(%a)" f pp_args args
+  | Future_call (f, args) -> Fmt.pf ppf "future %s(%a)" f pp_args args
+  | Touch e -> Fmt.pf ppf "touch(%a)" pp_expr e
+  | Unop (Neg, e) -> Fmt.pf ppf "(-%a)" pp_expr e
+  | Unop (Not, e) -> Fmt.pf ppf "(!%a)" pp_expr e
+  | Binop (op, a, b) ->
+      Fmt.pf ppf "(%a %s %a)" pp_expr a (binop_to_string op) pp_expr b
+  | Alloc_on (s, e) -> Fmt.pf ppf "alloc(%s, %a)" s pp_expr e
+  | Builtin (f, args) -> Fmt.pf ppf "%s(%a)" f pp_args args
+
+and pp_args ppf args = Fmt.(list ~sep:(any ", ") pp_expr) ppf args
+
+let rec pp_stmt ppf = function
+  | Decl (t, v, None) -> Fmt.pf ppf "%s %s;" (typ_to_string t) v
+  | Decl (t, v, Some e) ->
+      Fmt.pf ppf "%s %s = %a;" (typ_to_string t) v pp_expr e
+  | Assign (v, e) -> Fmt.pf ppf "%s = %a;" v pp_expr e
+  | Field_assign (d, e) ->
+      Fmt.pf ppf "%a->%s = %a;" pp_expr d.d_base d.d_field pp_expr e
+  | If (c, th, []) ->
+      Fmt.pf ppf "@[<v 2>if (%a) {@,%a@]@,}" pp_expr c pp_block th
+  | If (c, th, el) ->
+      Fmt.pf ppf "@[<v 2>if (%a) {@,%a@]@,@[<v 2>} else {@,%a@]@,}" pp_expr c
+        pp_block th pp_block el
+  | While w ->
+      Fmt.pf ppf "@[<v 2>while (%a) {@,%a@]@,}" pp_expr w.w_cond pp_block
+        w.w_body
+  | Return None -> Fmt.string ppf "return;"
+  | Return (Some e) -> Fmt.pf ppf "return %a;" pp_expr e
+  | Expr e -> Fmt.pf ppf "%a;" pp_expr e
+
+and pp_block ppf b = Fmt.(list ~sep:cut pp_stmt) ppf b
+
+let pp_func ppf f =
+  let pp_param ppf (t, v) = Fmt.pf ppf "%s %s" (typ_to_string t) v in
+  Fmt.pf ppf "@[<v 2>%s %s(%a) {@,%a@]@,}" (typ_to_string f.f_ret) f.f_name
+    Fmt.(list ~sep:(any ", ") pp_param)
+    f.f_params pp_block f.f_body
+
+let pp_struct ppf sd =
+  let pp_field ppf fd =
+    match fd.fd_affinity with
+    | Some a ->
+        Fmt.pf ppf "%s %s @@ %g;" (typ_to_string fd.fd_type) fd.fd_name
+          (100. *. a)
+    | None -> Fmt.pf ppf "%s %s;" (typ_to_string fd.fd_type) fd.fd_name
+  in
+  Fmt.pf ppf "@[<v 2>struct %s {@,%a@]@,}" sd.sd_name
+    Fmt.(list ~sep:cut pp_field)
+    sd.sd_fields
+
+let pp_program ppf p =
+  Fmt.pf ppf "@[<v>%a@,@,%a@]"
+    Fmt.(list ~sep:(any "@,@,") pp_struct)
+    p.structs
+    Fmt.(list ~sep:(any "@,@,") pp_func)
+    p.funcs

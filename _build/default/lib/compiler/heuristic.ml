@@ -1,0 +1,360 @@
+(* Mechanism selection (Section 4.3).
+
+   Pass 1 — each control loop in isolation: select the induction variable
+   whose self-update has the strongest affinity.  Computation migration is
+   chosen for it if that affinity reaches the threshold (90%) or the loop
+   is parallelizable (threads are only created at migrations); otherwise
+   its dereferences are cached.  A loop with no induction variable inherits
+   its parent's migration variable.  Every other pointer variable is
+   cached.
+
+   Pass 2 — interactions between nested loops: migration inside a parallel
+   loop serializes on the owner of the inner structure's root if the inner
+   induction variable's initial value does not change across outer
+   iterations (Figure 5's WalkAndTraverse).  The approximation: if the
+   inner loop's induction variable (or, across a call boundary, the actual
+   argument feeding it) is not updated by the parent loop, demote the inner
+   loop's choice to caching. *)
+
+open Ast
+
+type choice = {
+  c_lid : loop_id;
+  c_func : string;
+  c_variable : string option; (* the selected induction variable *)
+  c_affinity : float option;
+  mutable c_mechanism : Olden_config.mechanism;
+  mutable c_reason : string;
+}
+
+type t = {
+  analysis : Analysis.t;
+  choices : choice list;
+  site_mechanisms : (int * Olden_config.mechanism) list; (* per deref id *)
+  bottlenecks : (loop_id * string) list; (* demoted loops and why *)
+}
+
+let threshold = Olden_config.Heuristic_params.threshold
+
+(* --- Pass 1: per-loop selection -------------------------------------- *)
+
+let choose_for_loop ?(threshold = threshold) analysis
+    (l : Analysis.loop_info) parent_choice =
+  let diag = Analysis.induction_variables l in
+  match diag with
+  | [] -> (
+      (* no induction variable: follow the parent's migration variable *)
+      match parent_choice with
+      | Some pc when pc.c_mechanism = Olden_config.Migrate ->
+          {
+            c_lid = l.lid;
+            c_func = l.in_func;
+            c_variable = pc.c_variable;
+            c_affinity = None;
+            c_mechanism = Olden_config.Migrate;
+            c_reason = "no induction variable; inherits parent's selection";
+          }
+      | Some _ | None ->
+          {
+            c_lid = l.lid;
+            c_func = l.in_func;
+            c_variable = None;
+            c_affinity = None;
+            c_mechanism = Olden_config.Cache;
+            c_reason = "no induction variable; all dereferences cached";
+          })
+  | _ ->
+      let v, a =
+        List.fold_left
+          (fun (bv, ba) (v, a) -> if a > ba then (v, a) else (bv, ba))
+          (fst (List.hd diag), snd (List.hd diag))
+          (List.tl diag)
+      in
+      ignore analysis;
+      if a >= threshold then
+        {
+          c_lid = l.lid;
+          c_func = l.in_func;
+          c_variable = Some v;
+          c_affinity = Some a;
+          c_mechanism = Olden_config.Migrate;
+          c_reason =
+            Printf.sprintf "affinity %.0f%% >= threshold %.0f%%" (100. *. a)
+              (100. *. threshold);
+        }
+      else if l.parallel then
+        {
+          c_lid = l.lid;
+          c_func = l.in_func;
+          c_variable = Some v;
+          c_affinity = Some a;
+          c_mechanism = Olden_config.Migrate;
+          c_reason =
+            Printf.sprintf
+              "affinity %.0f%% below threshold but loop is parallelizable"
+              (100. *. a);
+        }
+      else
+        {
+          c_lid = l.lid;
+          c_func = l.in_func;
+          c_variable = Some v;
+          c_affinity = Some a;
+          c_mechanism = Olden_config.Cache;
+          c_reason =
+            Printf.sprintf "affinity %.0f%% < threshold %.0f%%" (100. *. a)
+              (100. *. threshold);
+        }
+
+(* Process loops parents-first so inheritance works. *)
+let rec choice_for ?threshold analysis memo (l : Analysis.loop_info) =
+  match Hashtbl.find_opt memo l.Analysis.lid with
+  | Some c -> c
+  | None ->
+      let parent_choice =
+        match l.Analysis.parent with
+        | None -> None
+        | Some pid -> (
+            match Analysis.find_loop analysis pid with
+            | None -> None
+            | Some pl -> Some (choice_for ?threshold analysis memo pl))
+      in
+      let c = choose_for_loop ?threshold analysis l parent_choice in
+      Hashtbl.replace memo l.Analysis.lid c;
+      c
+
+(* --- Pass 2: bottleneck detection ------------------------------------ *)
+
+(* Is variable [v] updated by loop [l] (it appears as an updatee)? *)
+let updated_in (l : Analysis.loop_info) v =
+  List.exists (fun (s, _, _) -> s = v) l.Analysis.matrix
+
+(* Ancestor chain of a loop, innermost first, excluding the loop itself. *)
+let rec ancestors analysis lid =
+  match Analysis.find_loop analysis lid with
+  | None -> []
+  | Some l -> (
+      match l.Analysis.parent with
+      | None -> []
+      | Some pid -> (
+          match Analysis.find_loop analysis pid with
+          | None -> []
+          | Some pl -> pl :: ancestors analysis pid))
+
+(* Which functions execute (transitively) inside a parallelizable loop:
+   their loops can bottleneck on a shared root even when the parallel loop
+   is several calls away (Barnes-Hut's tree walk below the per-body loop
+   below the parallel spawn).  Fixpoint over the call graph. *)
+let parallel_context_functions analysis =
+  let ctx : (string, unit) Hashtbl.t = Hashtbl.create 8 in
+  let loop_parallel_inclusive lid =
+    match Analysis.find_loop analysis lid with
+    | None -> false
+    | Some l ->
+        l.Analysis.parallel
+        || List.exists (fun a -> a.Analysis.parallel) (ancestors analysis lid)
+  in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun (c : Analysis.call_info) ->
+        if c.Analysis.callee <> c.Analysis.caller then begin
+          let in_ctx =
+            (match c.Analysis.call_loop with
+            | Some lid -> loop_parallel_inclusive lid
+            | None -> false)
+            || Hashtbl.mem ctx c.Analysis.caller
+          in
+          if in_ctx && not (Hashtbl.mem ctx c.Analysis.callee) then begin
+            Hashtbl.add ctx c.Analysis.callee ();
+            changed := true
+          end
+        end)
+      analysis.Analysis.calls
+  done;
+  ctx
+
+let bottleneck_pass analysis choices =
+  let ctx_funcs = parallel_context_functions analysis in
+  let in_parallel_context (l : Analysis.loop_info) =
+    List.exists
+      (fun a -> a.Analysis.parallel)
+      (ancestors analysis l.Analysis.lid)
+    || Hashtbl.mem ctx_funcs l.Analysis.in_func
+  in
+  let demoted = ref [] in
+  let demote c why =
+    c.c_mechanism <- Olden_config.Cache;
+    c.c_reason <- why;
+    demoted := (c.c_lid, why) :: !demoted
+  in
+  List.iter
+    (fun c ->
+      match (c.c_mechanism, c.c_variable) with
+      | Olden_config.Cache, _ | _, None -> ()
+      | Olden_config.Migrate, Some v -> (
+          match Analysis.find_loop analysis c.c_lid with
+          | None -> ()
+          | Some l ->
+              (* Case 1: nested directly below a parallelizable loop in the
+                 same function, with [v] not refreshed on the way down. *)
+              let direct_bottleneck =
+                match ancestors analysis l.Analysis.lid with
+                | [] -> false
+                | chain ->
+                    List.exists (fun a -> a.Analysis.parallel) chain
+                    && not (List.exists (fun a -> updated_in a v) chain)
+              in
+              (* Case 2: the loop heads its function, which is called in a
+                 parallel context with an argument for [v] that does not
+                 vary across the caller's iterations. *)
+              let call_bottleneck =
+                l.Analysis.parent = None
+                && in_parallel_context l
+                &&
+                let fname = l.Analysis.in_func in
+                let param_index =
+                  match Ast.find_func analysis.Analysis.prog fname with
+                  | None -> None
+                  | Some f ->
+                      let rec index i = function
+                        | [] -> None
+                        | (_, p) :: rest ->
+                            if p = v then Some i else index (i + 1) rest
+                      in
+                      index 0 f.f_params
+                in
+                match param_index with
+                | None -> false
+                | Some idx ->
+                    List.exists
+                      (fun (cinfo : Analysis.call_info) ->
+                        cinfo.Analysis.callee = fname
+                        && cinfo.Analysis.caller <> fname
+                        &&
+                        match List.nth_opt cinfo.Analysis.arg_values idx with
+                        | Some (Analysis.Path (origin, _, _)) -> (
+                            (* invariant unless an enclosing loop of the
+                               call refreshes the origin every iteration *)
+                            match cinfo.Analysis.call_loop with
+                            | None -> true
+                            | Some lid ->
+                                let loops =
+                                  match Analysis.find_loop analysis lid with
+                                  | Some pl -> pl :: ancestors analysis lid
+                                  | None -> []
+                                in
+                                not
+                                  (List.exists
+                                     (fun pl -> updated_in pl origin)
+                                     loops))
+                        | Some Analysis.Unknown | None ->
+                            (* a computed argument generally varies *)
+                            false)
+                      analysis.Analysis.calls
+              in
+              if direct_bottleneck || call_bottleneck then
+                demote c
+                  "induction variable's initial value is invariant across a \
+                   parallel loop: migration would serialize on a shared root"))
+    choices;
+  List.rev !demoted
+
+(* --- Per-site mechanism assignment ----------------------------------- *)
+
+(* The chain of enclosing loops of a loop id, innermost first. *)
+let rec loop_chain analysis lid =
+  match Analysis.find_loop analysis lid with
+  | None -> []
+  | Some l -> (
+      l
+      ::
+      (match l.Analysis.parent with
+      | None -> []
+      | Some pid -> loop_chain analysis pid))
+
+let site_mechanism analysis memo (d : Analysis.deref_info) =
+  match (d.Analysis.dbase, d.Analysis.deref_loop) with
+  | None, _ | _, None ->
+      (* dereference outside any control loop, or through a temporary:
+         a single access is cheaper through the cache *)
+      Olden_config.Cache
+  | Some v, Some lid ->
+      let chain = loop_chain analysis lid in
+      let migrates =
+        List.exists
+          (fun l ->
+            match Hashtbl.find_opt memo l.Analysis.lid with
+            | Some c ->
+                c.c_mechanism = Olden_config.Migrate && c.c_variable = Some v
+            | None -> false)
+          chain
+      in
+      if migrates then Olden_config.Migrate else Olden_config.Cache
+
+(* [threshold] overrides the 90% default — the knob a port to another
+   machine would turn (Section 7; the programmer-facing equivalent is
+   scaling the affinities). *)
+let select ?threshold (analysis : Analysis.t) : t =
+  let memo = Hashtbl.create 16 in
+  let choices =
+    List.map
+      (fun l -> choice_for ?threshold analysis memo l)
+      analysis.Analysis.loops
+  in
+  let bottlenecks = bottleneck_pass analysis choices in
+  let site_mechanisms =
+    List.map
+      (fun d -> (d.Analysis.deref_id, site_mechanism analysis memo d))
+      analysis.Analysis.derefs
+  in
+  { analysis; choices; site_mechanisms; bottlenecks }
+
+let of_program ?threshold prog = select ?threshold (Analysis.analyze prog)
+let of_source ?threshold src = of_program ?threshold (Parser.parse_program src)
+
+let mechanism_of_site t deref_id =
+  match List.assoc_opt deref_id t.site_mechanisms with
+  | Some m -> m
+  | None -> Olden_config.Cache
+
+(* Overall characterization, for Table 2's "heuristic choice" column:
+   M if every site migrates or none caches remote data, M+C if both
+   mechanisms are in use. *)
+let uses_migration t =
+  List.exists (fun (_, m) -> m = Olden_config.Migrate) t.site_mechanisms
+
+let uses_caching t =
+  List.exists (fun (_, m) -> m = Olden_config.Cache) t.site_mechanisms
+
+let pp_choice ppf c =
+  Fmt.pf ppf "%s (%s): %s%s -> %s  [%s]"
+    (loop_id_to_string c.c_lid)
+    c.c_func
+    (match c.c_variable with Some v -> v | None -> "<none>")
+    (match c.c_affinity with
+    | Some a -> Printf.sprintf " @%.0f%%" (100. *. a)
+    | None -> "")
+    (Olden_config.mechanism_to_string c.c_mechanism)
+    c.c_reason
+
+let pp ppf t =
+  Fmt.pf ppf "@[<v>%a@,@,@[<v 2>site mechanisms:@,%a@]@]"
+    Fmt.(list ~sep:cut pp_choice)
+    t.choices
+    Fmt.(
+      list ~sep:cut (fun ppf (id, m) ->
+          let d =
+            List.find_opt
+              (fun d -> d.Analysis.deref_id = id)
+              t.analysis.Analysis.derefs
+          in
+          match d with
+          | Some d ->
+              pf ppf "#%d %s->%s (%s): %s" id
+                (match d.Analysis.dbase with Some v -> v | None -> "_")
+                d.Analysis.dfield d.Analysis.deref_func
+                (Olden_config.mechanism_to_string m)
+          | None -> pf ppf "#%d: %s" id (Olden_config.mechanism_to_string m)))
+    t.site_mechanisms

@@ -1,0 +1,59 @@
+(** Mechanism selection (Section 4.3 of the paper).
+
+    Pass 1 considers each control loop in isolation: the induction
+    variable with the strongest self-update affinity gets computation
+    migration if that affinity reaches the 90% threshold or the loop is
+    parallelizable (threads are only created at migrations); every other
+    variable is cached; a loop with no induction variable inherits its
+    parent's migration variable.
+
+    Pass 2 detects bottlenecks: migration inside a (possibly transitively
+    enclosing) parallelizable loop serializes on the owner of the inner
+    structure's root when the inner induction variable's initial value is
+    invariant across the outer iterations (Figure 5's WalkAndTraverse);
+    such loops are demoted to caching. *)
+
+type choice = {
+  c_lid : Ast.loop_id;
+  c_func : string;
+  c_variable : string option;  (** the selected induction variable *)
+  c_affinity : float option;
+  mutable c_mechanism : Olden_config.mechanism;
+  mutable c_reason : string;  (** human-readable justification *)
+}
+
+type t = {
+  analysis : Analysis.t;
+  choices : choice list;  (** one per control loop *)
+  site_mechanisms : (int * Olden_config.mechanism) list;
+      (** mechanism per dereference id *)
+  bottlenecks : (Ast.loop_id * string) list;  (** demoted loops and why *)
+}
+
+val threshold : float
+(** The 90% selection threshold. *)
+
+val updated_in : Analysis.loop_info -> string -> bool
+(** Whether a variable appears as an updatee in a loop's matrix. *)
+
+val parallel_context_functions : Analysis.t -> (string, unit) Hashtbl.t
+(** Functions that execute (transitively) inside a parallelizable loop —
+    the call-graph fixpoint behind pass 2. *)
+
+val select : ?threshold:float -> Analysis.t -> t
+(** [threshold] overrides the 90% default — the knob a port to another
+    machine would turn (Section 7). *)
+
+val of_program : ?threshold:float -> Ast.program -> t
+val of_source : ?threshold:float -> string -> t
+
+val mechanism_of_site : t -> int -> Olden_config.mechanism
+(** The mechanism for a dereference id (caching for unknown ids). *)
+
+val uses_migration : t -> bool
+val uses_caching : t -> bool
+(** Whether any site uses each mechanism — Table 2's "M" vs "M+C"
+    column. *)
+
+val pp_choice : Format.formatter -> choice -> unit
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,156 @@
+(* Lexer for the mini-Olden language.  Hand-rolled over a string buffer;
+   tracks line/column for error reporting. *)
+
+type token =
+  | INT of int
+  | FLOAT of float
+  | IDENT of string
+  | KW of string (* struct int float void if else while return null future touch alloc *)
+  | PUNCT of string (* -> == != <= >= && || + - * / % < > = ! ( ) { } ; , @ *)
+  | EOF
+
+type t = {
+  src : string;
+  mutable pos : int;
+  mutable line : int;
+  mutable col : int;
+  mutable peeked : (token * int * int) option;
+}
+
+exception Error of string
+
+let keywords =
+  [
+    "struct"; "int"; "float"; "void"; "if"; "else"; "while"; "for";
+    "return"; "null"; "future"; "touch"; "alloc";
+  ]
+
+let create src = { src; pos = 0; line = 1; col = 1; peeked = None }
+
+let fail lx msg =
+  raise (Error (Printf.sprintf "line %d, col %d: %s" lx.line lx.col msg))
+
+let peek_char lx =
+  if lx.pos < String.length lx.src then Some lx.src.[lx.pos] else None
+
+let advance lx =
+  (match peek_char lx with
+  | Some '\n' ->
+      lx.line <- lx.line + 1;
+      lx.col <- 1
+  | Some _ -> lx.col <- lx.col + 1
+  | None -> ());
+  lx.pos <- lx.pos + 1
+
+let rec skip_ws lx =
+  match peek_char lx with
+  | Some (' ' | '\t' | '\r' | '\n') ->
+      advance lx;
+      skip_ws lx
+  | Some '/' when lx.pos + 1 < String.length lx.src -> (
+      match lx.src.[lx.pos + 1] with
+      | '/' ->
+          while peek_char lx <> None && peek_char lx <> Some '\n' do
+            advance lx
+          done;
+          skip_ws lx
+      | '*' ->
+          advance lx;
+          advance lx;
+          let rec loop () =
+            match peek_char lx with
+            | None -> fail lx "unterminated comment"
+            | Some '*' when lx.pos + 1 < String.length lx.src
+                            && lx.src.[lx.pos + 1] = '/' ->
+                advance lx;
+                advance lx
+            | Some _ ->
+                advance lx;
+                loop ()
+          in
+          loop ();
+          skip_ws lx
+      | _ -> ())
+  | Some _ | None -> ()
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+let is_digit c = c >= '0' && c <= '9'
+
+let lex_number lx =
+  let start = lx.pos in
+  while (match peek_char lx with Some c -> is_digit c | None -> false) do
+    advance lx
+  done;
+  let is_float =
+    match peek_char lx with
+    | Some '.' when lx.pos + 1 < String.length lx.src && is_digit lx.src.[lx.pos + 1] ->
+        advance lx;
+        while (match peek_char lx with Some c -> is_digit c | None -> false) do
+          advance lx
+        done;
+        true
+    | _ -> false
+  in
+  let text = String.sub lx.src start (lx.pos - start) in
+  if is_float then FLOAT (float_of_string text) else INT (int_of_string text)
+
+let lex_ident lx =
+  let start = lx.pos in
+  while (match peek_char lx with Some c -> is_ident_char c | None -> false) do
+    advance lx
+  done;
+  let text = String.sub lx.src start (lx.pos - start) in
+  if List.mem text keywords then KW text else IDENT text
+
+let two_char_puncts = [ "->"; "=="; "!="; "<="; ">="; "&&"; "||" ]
+let one_char_puncts = "+-*/%<>=!(){};,@"
+
+let lex_punct lx =
+  let two =
+    if lx.pos + 1 < String.length lx.src then
+      Some (String.sub lx.src lx.pos 2)
+    else None
+  in
+  match two with
+  | Some s when List.mem s two_char_puncts ->
+      advance lx;
+      advance lx;
+      PUNCT s
+  | Some _ | None -> (
+      match peek_char lx with
+      | Some c when String.contains one_char_puncts c ->
+          advance lx;
+          PUNCT (String.make 1 c)
+      | Some c -> fail lx (Printf.sprintf "unexpected character %C" c)
+      | None -> EOF)
+
+let next_token lx =
+  match lx.peeked with
+  | Some (tok, _, _) ->
+      lx.peeked <- None;
+      tok
+  | None -> (
+      skip_ws lx;
+      match peek_char lx with
+      | None -> EOF
+      | Some c when is_digit c -> lex_number lx
+      | Some c when is_ident_start c -> lex_ident lx
+      | Some _ -> lex_punct lx)
+
+let peek_token lx =
+  match lx.peeked with
+  | Some (tok, _, _) -> tok
+  | None ->
+      let line = lx.line and col = lx.col in
+      let tok = next_token lx in
+      lx.peeked <- Some (tok, line, col);
+      tok
+
+let token_to_string = function
+  | INT i -> string_of_int i
+  | FLOAT f -> string_of_float f
+  | IDENT s -> s
+  | KW s -> s
+  | PUNCT s -> Printf.sprintf "'%s'" s
+  | EOF -> "<eof>"

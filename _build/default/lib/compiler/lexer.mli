@@ -1,0 +1,30 @@
+(** Lexer for the mini-Olden language. *)
+
+type token =
+  | INT of int
+  | FLOAT of float
+  | IDENT of string
+  | KW of string
+  | PUNCT of string
+  | EOF
+
+type t = {
+  src : string;
+  mutable pos : int;
+  mutable line : int;
+  mutable col : int;
+  mutable peeked : (token * int * int) option;
+}
+
+exception Error of string
+
+val keywords : string list
+
+val create : string -> t
+
+val next_token : t -> token
+(** @raise Error on an unexpected character or unterminated comment. *)
+
+val peek_token : t -> token
+
+val token_to_string : token -> string

@@ -1,0 +1,389 @@
+(* Recursive-descent parser for the mini-Olden language.
+
+   Grammar sketch:
+
+     program   ::= (struct_decl | func)*
+     struct    ::= "struct" IDENT "{" (type IDENT ("@" NUM)? ";")* "}" ";"?
+     func      ::= type IDENT "(" params ")" block
+     block     ::= "{" stmt* "}"
+     stmt      ::= type IDENT ("=" expr)? ";"
+                 | IDENT "=" expr ";"
+                 | postfix "->" IDENT "=" expr ";"   (field store)
+                 | "if" "(" expr ")" block ("else" (block | if-stmt))?
+                 | "while" "(" expr ")" block
+                 | "for" "(" stmt expr ";" IDENT "=" expr ")" block
+                       (desugared to init + while)
+                 | "return" expr? ";"
+                 | expr ";"
+     expr      ::= precedence-climbing over || && == != < <= > >= + - * / %
+     primary   ::= INT | FLOAT | "null" | IDENT | call | "future" call
+                 | "touch" "(" expr ")" | "alloc" "(" IDENT "," expr ")"
+                 | "(" expr ")" | "!" primary | "-" primary
+     postfix   ::= primary ("->" IDENT)*
+
+   Dereference sites are numbered in parse order, so a given source text
+   always yields the same site ids. *)
+
+open Ast
+
+exception Error of string
+
+type state = {
+  lx : Lexer.t;
+  mutable next_deref : int;
+  mutable next_while : int;
+}
+
+let fail st msg =
+  raise
+    (Error
+       (Printf.sprintf "line %d: %s (next token: %s)" st.lx.Lexer.line msg
+          (Lexer.token_to_string (Lexer.peek_token st.lx))))
+
+let fresh_deref st base field =
+  let id = st.next_deref in
+  st.next_deref <- id + 1;
+  { d_id = id; d_base = base; d_field = field }
+
+let fresh_while st cond body =
+  let id = st.next_while in
+  st.next_while <- id + 1;
+  { w_id = id; w_cond = cond; w_body = body }
+
+let eat st tok =
+  let got = Lexer.next_token st.lx in
+  if got <> tok then
+    fail st
+      (Printf.sprintf "expected %s, got %s" (Lexer.token_to_string tok)
+         (Lexer.token_to_string got))
+
+let eat_punct st s = eat st (Lexer.PUNCT s)
+
+let ident st =
+  match Lexer.next_token st.lx with
+  | Lexer.IDENT s -> s
+  | t -> fail st ("expected identifier, got " ^ Lexer.token_to_string t)
+
+(* A type name: a base-type keyword or a struct name. *)
+let parse_typ st =
+  match Lexer.next_token st.lx with
+  | Lexer.KW "int" -> Tint
+  | Lexer.KW "float" -> Tfloat
+  | Lexer.KW "void" -> Tvoid
+  | Lexer.IDENT s -> Tstruct s
+  | t -> fail st ("expected type, got " ^ Lexer.token_to_string t)
+
+let looks_like_typ = function
+  | Lexer.KW ("int" | "float" | "void") -> true
+  | Lexer.IDENT _ -> true
+  | _ -> false
+
+let builtins = [ "self"; "nprocs"; "rand"; "work"; "print" ]
+
+let rec parse_primary st =
+  match Lexer.next_token st.lx with
+  | Lexer.INT i -> Int_lit i
+  | Lexer.FLOAT f -> Float_lit f
+  | Lexer.KW "null" -> Null
+  | Lexer.KW "future" -> (
+      match parse_postfix st with
+      | Call (f, args) -> Future_call (f, args)
+      | _ -> fail st "future must be applied to a call")
+  | Lexer.KW "touch" ->
+      eat_punct st "(";
+      let e = parse_expr st in
+      eat_punct st ")";
+      Touch e
+  | Lexer.KW "alloc" ->
+      eat_punct st "(";
+      let s = ident st in
+      eat_punct st ",";
+      let e = parse_expr st in
+      eat_punct st ")";
+      Alloc_on (s, e)
+  | Lexer.IDENT name -> (
+      match Lexer.peek_token st.lx with
+      | Lexer.PUNCT "(" ->
+          eat_punct st "(";
+          let args = parse_args st in
+          eat_punct st ")";
+          if List.mem name builtins then Builtin (name, args)
+          else Call (name, args)
+      | _ -> Var name)
+  | Lexer.PUNCT "(" ->
+      let e = parse_expr st in
+      eat_punct st ")";
+      e
+  | Lexer.PUNCT "!" -> Unop (Not, parse_postfix st)
+  | Lexer.PUNCT "-" -> Unop (Neg, parse_postfix st)
+  | t -> fail st ("expected expression, got " ^ Lexer.token_to_string t)
+
+and parse_args st =
+  match Lexer.peek_token st.lx with
+  | Lexer.PUNCT ")" -> []
+  | _ ->
+      let rec loop acc =
+        let e = parse_expr st in
+        match Lexer.peek_token st.lx with
+        | Lexer.PUNCT "," ->
+            eat_punct st ",";
+            loop (e :: acc)
+        | _ -> List.rev (e :: acc)
+      in
+      loop []
+
+and parse_postfix st =
+  let rec loop e =
+    match Lexer.peek_token st.lx with
+    | Lexer.PUNCT "->" ->
+        eat_punct st "->";
+        let f = ident st in
+        loop (Deref (fresh_deref st e f))
+    | _ -> e
+  in
+  loop (parse_primary st)
+
+and parse_expr st = parse_binop st 0
+
+and parse_binop st min_prec =
+  let prec = function
+    | "||" -> Some (1, Or)
+    | "&&" -> Some (2, And)
+    | "==" -> Some (3, Eq)
+    | "!=" -> Some (3, Ne)
+    | "<" -> Some (4, Lt)
+    | "<=" -> Some (4, Le)
+    | ">" -> Some (4, Gt)
+    | ">=" -> Some (4, Ge)
+    | "+" -> Some (5, Add)
+    | "-" -> Some (5, Sub)
+    | "*" -> Some (6, Mul)
+    | "/" -> Some (6, Div)
+    | "%" -> Some (6, Mod)
+    | _ -> None
+  in
+  let lhs = parse_postfix st in
+  let rec loop lhs =
+    match Lexer.peek_token st.lx with
+    | Lexer.PUNCT p -> (
+        match prec p with
+        | Some (pr, op) when pr >= min_prec ->
+            eat_punct st p;
+            let rhs = parse_binop st (pr + 1) in
+            loop (Binop (op, lhs, rhs))
+        | Some _ | None -> lhs)
+    | _ -> lhs
+  in
+  loop lhs
+
+let rec parse_stmts st : Ast.stmt list =
+  match Lexer.peek_token st.lx with
+  | Lexer.KW "for" ->
+      (* for (init; cond; step) { body }  ==>  init; while (cond) { body; step } *)
+      eat st (Lexer.KW "for");
+      eat_punct st "(";
+      let init = parse_stmt st in
+      let cond = parse_expr st in
+      eat_punct st ";";
+      let step_var = ident st in
+      eat_punct st "=";
+      let step_expr = parse_expr st in
+      eat_punct st ")";
+      let body = parse_block st in
+      [ init; While (fresh_while st cond (body @ [ Assign (step_var, step_expr) ])) ]
+  | _ -> [ parse_stmt st ]
+
+and parse_stmt st =
+  match Lexer.peek_token st.lx with
+  | Lexer.KW "if" ->
+      eat st (Lexer.KW "if");
+      eat_punct st "(";
+      let c = parse_expr st in
+      eat_punct st ")";
+      let th = parse_block st in
+      let el =
+        match Lexer.peek_token st.lx with
+        | Lexer.KW "else" -> (
+            eat st (Lexer.KW "else");
+            match Lexer.peek_token st.lx with
+            | Lexer.KW "if" -> [ parse_stmt st ] (* else-if chain *)
+            | _ -> parse_block st)
+        | _ -> []
+      in
+      If (c, th, el)
+  | Lexer.KW "while" ->
+      eat st (Lexer.KW "while");
+      eat_punct st "(";
+      let c = parse_expr st in
+      eat_punct st ")";
+      let body = parse_block st in
+      While (fresh_while st c body)
+  | Lexer.KW "return" ->
+      eat st (Lexer.KW "return");
+      let e =
+        match Lexer.peek_token st.lx with
+        | Lexer.PUNCT ";" -> None
+        | _ -> Some (parse_expr st)
+      in
+      eat_punct st ";";
+      Return e
+  | Lexer.KW ("int" | "float" | "void") ->
+      let t = parse_typ st in
+      let v = ident st in
+      let init =
+        match Lexer.peek_token st.lx with
+        | Lexer.PUNCT "=" ->
+            eat_punct st "=";
+            Some (parse_expr st)
+        | _ -> None
+      in
+      eat_punct st ";";
+      Decl (t, v, init)
+  | Lexer.IDENT _ -> parse_ident_stmt st
+  | _ ->
+      let e = parse_expr st in
+      eat_punct st ";";
+      Expr e
+
+(* A statement starting with an identifier is ambiguous: it may be a
+   declaration ("tree t = ...;"), an assignment ("t = ...;"), a field
+   store ("t->next = ...;"), or an expression statement ("f(x);").
+   Disambiguate by parsing the leading expression and inspecting what
+   follows. *)
+and parse_ident_stmt st =
+  let first = ident st in
+  match Lexer.peek_token st.lx with
+  | Lexer.IDENT v ->
+      (* "Struct var [= e];" declaration *)
+      ignore (Lexer.next_token st.lx);
+      let init =
+        match Lexer.peek_token st.lx with
+        | Lexer.PUNCT "=" ->
+            eat_punct st "=";
+            Some (parse_expr st)
+        | _ -> None
+      in
+      eat_punct st ";";
+      Decl (Tstruct first, v, init)
+  | Lexer.PUNCT "=" ->
+      eat_punct st "=";
+      let e = parse_expr st in
+      eat_punct st ";";
+      Assign (first, e)
+  | _ ->
+      (* resume postfix parsing from the identifier *)
+      let base =
+        match Lexer.peek_token st.lx with
+        | Lexer.PUNCT "(" ->
+            eat_punct st "(";
+            let args = parse_args st in
+            eat_punct st ")";
+            if List.mem first builtins then Builtin (first, args)
+            else Call (first, args)
+        | _ -> Var first
+      in
+      let rec loop e =
+        match Lexer.peek_token st.lx with
+        | Lexer.PUNCT "->" ->
+            eat_punct st "->";
+            let f = ident st in
+            loop (Deref (fresh_deref st e f))
+        | _ -> e
+      in
+      let e = loop base in
+      (match Lexer.peek_token st.lx with
+      | Lexer.PUNCT "=" -> (
+          eat_punct st "=";
+          let rhs = parse_expr st in
+          eat_punct st ";";
+          match e with
+          | Deref d -> Field_assign (d, rhs)
+          | _ -> fail st "left-hand side of assignment must be a field")
+      | _ ->
+          (* an expression statement; allow trailing binary operators *)
+          let e =
+            match Lexer.peek_token st.lx with
+            | Lexer.PUNCT ";" -> e
+            | _ -> fail st "expected ';' or '='"
+          in
+          eat_punct st ";";
+          Expr e)
+
+and parse_block st =
+  eat_punct st "{";
+  let rec loop acc =
+    match Lexer.peek_token st.lx with
+    | Lexer.PUNCT "}" ->
+        eat_punct st "}";
+        List.rev acc
+    | Lexer.EOF -> fail st "unterminated block"
+    | _ -> loop (List.rev_append (parse_stmts st) acc)
+  in
+  loop []
+
+let parse_field st =
+  let t = parse_typ st in
+  let name = ident st in
+  let affinity =
+    match Lexer.peek_token st.lx with
+    | Lexer.PUNCT "@" -> (
+        eat_punct st "@";
+        match Lexer.next_token st.lx with
+        | Lexer.INT i -> Some (float_of_int i /. 100.)
+        | Lexer.FLOAT f -> Some (f /. 100.)
+        | t -> fail st ("expected affinity, got " ^ Lexer.token_to_string t))
+    | _ -> None
+  in
+  eat_punct st ";";
+  { fd_name = name; fd_type = t; fd_affinity = affinity }
+
+let parse_struct st =
+  eat st (Lexer.KW "struct");
+  let name = ident st in
+  eat_punct st "{";
+  let rec loop acc =
+    match Lexer.peek_token st.lx with
+    | Lexer.PUNCT "}" ->
+        eat_punct st "}";
+        List.rev acc
+    | _ -> loop (parse_field st :: acc)
+  in
+  let fields = loop [] in
+  (match Lexer.peek_token st.lx with
+  | Lexer.PUNCT ";" -> eat_punct st ";"
+  | _ -> ());
+  { sd_name = name; sd_fields = fields }
+
+let parse_func st =
+  let ret = parse_typ st in
+  let name = ident st in
+  eat_punct st "(";
+  let rec params acc =
+    match Lexer.peek_token st.lx with
+    | Lexer.PUNCT ")" -> List.rev acc
+    | _ ->
+        let t = parse_typ st in
+        let v = ident st in
+        let acc = (t, v) :: acc in
+        (match Lexer.peek_token st.lx with
+        | Lexer.PUNCT "," -> eat_punct st ","
+        | _ -> ());
+        params acc
+  in
+  let ps = params [] in
+  eat_punct st ")";
+  let body = parse_block st in
+  { f_name = name; f_ret = ret; f_params = ps; f_body = body }
+
+let parse_program src =
+  let st = { lx = Lexer.create src; next_deref = 0; next_while = 0 } in
+  let rec loop structs funcs =
+    match Lexer.peek_token st.lx with
+    | Lexer.EOF -> { structs = List.rev structs; funcs = List.rev funcs }
+    | Lexer.KW "struct" -> loop (parse_struct st :: structs) funcs
+    | t when looks_like_typ t || t = Lexer.KW "void" ->
+        loop structs (parse_func st :: funcs)
+    | t ->
+        fail st ("expected struct or function, got " ^ Lexer.token_to_string t)
+  in
+  loop [] []

@@ -1,0 +1,12 @@
+(** Recursive-descent parser for the mini-Olden language: a restricted C
+    with structs carrying [@] path-affinity hints, [future]/[touch]
+    annotations, and placed [alloc] (Section 2 of the paper).
+
+    Dereference sites and while loops are numbered in parse order, so a
+    given source text always yields the same ids. *)
+
+exception Error of string
+
+val parse_program : string -> Ast.program
+(** @raise Error on a syntax error (with a line number).
+    @raise Lexer.Error on a lexical error. *)

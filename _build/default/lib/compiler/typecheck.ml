@@ -1,0 +1,137 @@
+(* A light type checker for the mini-Olden language.
+
+   Its main product is the static struct type of every dereference's base
+   expression, which the interpreter needs to turn field names into word
+   offsets.  It also rejects programs with unknown structs, fields,
+   functions, or obviously ill-typed dereferences — errors the real Olden
+   front end (lcc) would catch. *)
+
+open Ast
+module Env = Map.Make (String)
+
+exception Type_error of string
+
+type info = {
+  deref_struct : (int, string) Hashtbl.t; (* deref id -> base struct name *)
+}
+
+let err fmt = Printf.ksprintf (fun s -> raise (Type_error s)) fmt
+
+let rec type_expr prog info (env : typ Env.t) (e : expr) : typ =
+  match e with
+  | Null -> Tvoid (* null unifies with any pointer *)
+  | Int_lit _ -> Tint
+  | Float_lit _ -> Tfloat
+  | Var v -> (
+      match Env.find_opt v env with
+      | Some t -> t
+      | None -> err "unbound variable %s" v)
+  | Deref d -> (
+      let bt = type_expr prog info env d.d_base in
+      match bt with
+      | Tstruct sname -> (
+          match find_struct prog sname with
+          | None -> err "unknown struct %s" sname
+          | Some sd -> (
+              match find_field sd d.d_field with
+              | None -> err "struct %s has no field %s" sname d.d_field
+              | Some fd ->
+                  Hashtbl.replace info.deref_struct d.d_id sname;
+                  fd.fd_type))
+      | Tint | Tfloat | Tvoid ->
+          err "dereference of non-pointer expression (field %s)" d.d_field)
+  | Call (f, args) | Future_call (f, args) -> (
+      match find_func prog f with
+      | None -> err "unknown function %s" f
+      | Some fn ->
+          if List.length args <> List.length fn.f_params then
+            err "%s expects %d argument(s), got %d" f
+              (List.length fn.f_params) (List.length args);
+          List.iter (fun a -> ignore (type_expr prog info env a)) args;
+          fn.f_ret)
+  | Touch e' -> type_expr prog info env e'
+  | Unop (_, e') -> type_expr prog info env e'
+  | Binop (op, a, b) -> (
+      let ta = type_expr prog info env a in
+      let tb = type_expr prog info env b in
+      match op with
+      | Add | Sub | Mul | Div | Mod -> (
+          match (ta, tb) with
+          | Tfloat, _ | _, Tfloat -> Tfloat
+          | _ -> Tint)
+      | Eq | Ne | Lt | Le | Gt | Ge | And | Or -> Tint)
+  | Alloc_on (sname, pe) ->
+      if find_struct prog sname = None then err "unknown struct %s" sname;
+      ignore (type_expr prog info env pe);
+      Tstruct sname
+  | Builtin (name, args) -> (
+      List.iter (fun a -> ignore (type_expr prog info env a)) args;
+      match name with
+      | "self" | "nprocs" | "rand" -> Tint
+      | "work" | "print" -> Tvoid
+      | other -> err "unknown builtin %s" other)
+
+let rec check_block prog info env (b : block) : typ Env.t =
+  List.fold_left (check_stmt prog info) env b
+
+and check_stmt prog info env (s : stmt) : typ Env.t =
+  match s with
+  | Decl (t, v, init) ->
+      (match t with
+      | Tstruct sname when find_struct prog sname = None ->
+          err "unknown struct %s in declaration of %s" sname v
+      | _ -> ());
+      (match init with
+      | Some e -> ignore (type_expr prog info env e)
+      | None -> ());
+      Env.add v t env
+  | Assign (v, e) ->
+      if not (Env.mem v env) then err "assignment to unbound variable %s" v;
+      ignore (type_expr prog info env e);
+      env
+  | Field_assign (d, e) ->
+      ignore (type_expr prog info env (Deref d));
+      ignore (type_expr prog info env e);
+      env
+  | If (c, th, el) ->
+      ignore (type_expr prog info env c);
+      ignore (check_block prog info env th);
+      ignore (check_block prog info env el);
+      env
+  | While w ->
+      ignore (type_expr prog info env w.w_cond);
+      ignore (check_block prog info env w.w_body);
+      env
+  | Return (Some e) ->
+      ignore (type_expr prog info env e);
+      env
+  | Return None -> env
+  | Expr e ->
+      ignore (type_expr prog info env e);
+      env
+
+let check (prog : program) : info =
+  let info = { deref_struct = Hashtbl.create 64 } in
+  (* struct well-formedness *)
+  List.iter
+    (fun sd ->
+      List.iter
+        (fun fd ->
+          match fd.fd_type with
+          | Tstruct s when find_struct prog s = None ->
+              err "struct %s: field %s has unknown type %s" sd.sd_name
+                fd.fd_name s
+          | Tvoid -> err "struct %s: field %s cannot be void" sd.sd_name fd.fd_name
+          | _ -> ())
+        sd.sd_fields)
+    prog.structs;
+  List.iter
+    (fun f ->
+      let env =
+        List.fold_left (fun m (t, v) -> Env.add v t m) Env.empty f.f_params
+      in
+      ignore (check_block prog info env f.f_body))
+    prog.funcs;
+  info
+
+let struct_of_deref info d_id = Hashtbl.find_opt info.deref_struct d_id

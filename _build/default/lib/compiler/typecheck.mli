@@ -1,0 +1,16 @@
+(** A light type checker for the mini-Olden language.
+
+    Its main product is the static struct type of every dereference's base
+    expression, which the interpreter needs to turn field names into word
+    offsets; it also rejects unknown structs/fields/functions and
+    ill-typed dereferences. *)
+
+exception Type_error of string
+
+type info
+
+val check : Ast.program -> info
+(** @raise Type_error on an ill-typed program. *)
+
+val struct_of_deref : info -> int -> string option
+(** Struct name of the base expression of a dereference id. *)

@@ -1,0 +1,252 @@
+(* Machine description and cost model for the simulated CM-5.
+
+   All costs are in cycles of the simulated machine.  The calibration
+   anchor, taken from the paper (Section 4, footnote 3), is that a thread
+   migration costs about seven times a cache-line miss.  Everything else is
+   set to plausible CM-5 magnitudes; the reproduction targets ratios, not
+   absolute times. *)
+
+type coherence =
+  | Local (* invalidate own cache on migration receipt; no traffic *)
+  | Global (* eager release consistency: track sharers, send invalidations *)
+  | Bilateral (* per-page timestamps; revalidate suspect pages on first miss *)
+
+type mechanism =
+  | Migrate
+  | Cache
+
+type policy =
+  | Heuristic (* per-site mechanism chosen by the compiler heuristic *)
+  | Migrate_only (* force migration at every remote reference (Table 2, last column) *)
+  | Cache_only (* force software caching at every remote reference *)
+
+let coherence_to_string = function
+  | Local -> "local"
+  | Global -> "global"
+  | Bilateral -> "bilateral"
+
+let coherence_of_string = function
+  | "local" -> Some Local
+  | "global" -> Some Global
+  | "bilateral" -> Some Bilateral
+  | _ -> None
+
+let mechanism_to_string = function
+  | Migrate -> "migrate"
+  | Cache -> "cache"
+
+let policy_to_string = function
+  | Heuristic -> "heuristic"
+  | Migrate_only -> "migrate-only"
+  | Cache_only -> "cache-only"
+
+let policy_of_string = function
+  | "heuristic" -> Some Heuristic
+  | "migrate-only" | "migrate_only" | "migrate" -> Some Migrate_only
+  | "cache-only" | "cache_only" | "cache" -> Some Cache_only
+  | _ -> None
+
+(* Heap geometry (Section 3.2): 2 KB pages, 64 B lines, 32 lines per page,
+   1024-bucket translation table, 32-bit words. *)
+module Geometry = struct
+  let word_bytes = 4
+  let line_bytes = 64
+  let page_bytes = 2048
+  let words_per_line = line_bytes / word_bytes (* 16 *)
+  let words_per_page = page_bytes / word_bytes (* 512 *)
+  let lines_per_page = page_bytes / line_bytes (* 32 *)
+  let hash_buckets = 1024
+
+  let page_of_word w = w / words_per_page
+  let line_of_word w = w mod words_per_page / words_per_line
+  let line_index_of_word w = w / words_per_line
+  let word_offset_in_page w = w mod words_per_page
+end
+
+type costs = {
+  local_ref : int; (* a plain local load/store *)
+  pointer_test : int; (* compiler-inserted locality check on a migrate site *)
+  cache_probe : int; (* hash-table lookup + tag/valid check on a cache site *)
+  net_latency : int; (* one-way message latency *)
+  line_service : int; (* home handler time to service a line fetch *)
+  store_service : int; (* home handler time to apply a write-through store *)
+  alloc_service : int; (* home handler time for a remote ALLOC *)
+  alloc_local : int; (* local allocation cost *)
+  migrate_send : int; (* serialize registers + PC + frame and inject *)
+  migrate_recv : int; (* install frame, restart thread *)
+  return_send : int; (* return stub: registers + return address, no frame *)
+  return_recv : int;
+  future_spawn : int; (* push continuation on the work list *)
+  future_touch : int; (* test + possible block *)
+  steal : int; (* pop a continuation from the local work list *)
+  cache_flush : int; (* local scheme: invalidate entire cache *)
+  invalidate_line : int; (* apply one line invalidation *)
+  write_track_nonshared : int; (* Appendix A: 7 instructions *)
+  write_track_shared : int; (* Appendix A: 23 instructions *)
+  timestamp_service : int; (* bilateral: home compares timestamps *)
+}
+
+let default_costs =
+  {
+    local_ref = 1;
+    pointer_test = 3;
+    cache_probe = 12;
+    net_latency = 150;
+    line_service = 100;
+    store_service = 40;
+    alloc_service = 60;
+    alloc_local = 10;
+    (* One-way migration experienced latency:
+       migrate_send + net_latency + migrate_recv = 2800 = 7 * line miss (400).
+       Injection is cheap (active messages); the receiver pays to install
+       the frame and restart the thread, which also serializes arrivals at
+       a hot target. *)
+    migrate_send = 250;
+    migrate_recv = 2400;
+    return_send = 200;
+    return_recv = 1050;
+    future_spawn = 25;
+    future_touch = 8;
+    steal = 30;
+    cache_flush = 120;
+    invalidate_line = 6;
+    write_track_nonshared = 7;
+    write_track_shared = 23;
+    timestamp_service = 60;
+  }
+
+(* Cost of a full line miss round trip, excluding handler queueing. *)
+let miss_round_trip c = (2 * c.net_latency) + c.line_service
+
+(* Experienced one-way migration latency, excluding queueing at the target. *)
+let migration_latency c = c.migrate_send + c.net_latency + c.migrate_recv
+
+type t = {
+  nprocs : int;
+  costs : costs;
+  coherence : coherence;
+  policy : policy;
+  handler_contention : bool;
+      (* model serialization of active-message handlers at the home node *)
+  return_invalidate_refinement : bool;
+      (* local scheme: on return, invalidate only lines homed at processors
+         the returning thread wrote, instead of flushing *)
+  sequential : bool;
+      (* baseline mode: one processor, no pointer tests, no future overhead *)
+  trace : bool; (* emit per-event log lines via Logs *)
+  seed : int;
+}
+
+let default =
+  {
+    nprocs = 32;
+    costs = default_costs;
+    coherence = Local;
+    policy = Heuristic;
+    handler_contention = false;
+    return_invalidate_refinement = true;
+    sequential = false;
+    trace = false;
+    seed = 0x01de5 land 0xffff;
+  }
+
+let make ?(nprocs = 32) ?(costs = default_costs) ?(coherence = Local)
+    ?(policy = Heuristic) ?(handler_contention = false)
+    ?(return_invalidate_refinement = true) ?(trace = false) ?(seed = 42) () =
+  {
+    nprocs;
+    costs;
+    coherence;
+    policy;
+    handler_contention;
+    return_invalidate_refinement;
+    sequential = false;
+    trace;
+    seed;
+  }
+
+(* The sequential baseline is the same program compiled without Olden:
+   one processor, no locality tests, no cache probes, no future machinery. *)
+let sequential_of t =
+  {
+    t with
+    nprocs = 1;
+    sequential = true;
+    costs =
+      {
+        t.costs with
+        pointer_test = 0;
+        cache_probe = 0;
+        future_spawn = 0;
+        future_touch = 0;
+        steal = 0;
+      };
+  }
+
+(* Compiler heuristic parameters (Section 4.3). *)
+module Heuristic_params = struct
+  let threshold = 0.90
+  let default_affinity = 0.70
+end
+
+(* Machine presets (Section 7): the mechanism trade-off shifts with the
+   platform.  A network of workstations has such a high message latency
+   that migration (one move, then local work) is favored; a machine with
+   hardware shared-memory support makes misses so cheap that caching is
+   favored.  The break-even path-affinity — and hence where the selection
+   threshold belongs — follows the migration/miss cost ratio. *)
+module Presets = struct
+  (* The paper's platform: migration = 7 x miss (Section 4, footnote 3). *)
+  let cm5 = default_costs
+
+  (* Network of workstations: millisecond-class software messaging.  The
+     fixed per-message software overhead dwarfs per-line service, so a
+     migration costs only ~2 x a miss and pays off at much lower
+     affinities. *)
+  let now =
+    {
+      default_costs with
+      net_latency = 6000;
+      line_service = 800;
+      store_service = 400;
+      migrate_send = 2000;
+      migrate_recv = 6000;
+      return_send = 1500;
+      return_recv = 3000;
+    }
+
+  (* Hybrid hardware-DSM (Alewife / FLASH / Typhoon-class): fine-grain
+     access control makes a line miss ~40 cycles while moving a thread
+     still costs a software trap, so migration = ~35 x a miss and caching
+     is almost always right. *)
+  let hardware_dsm =
+    {
+      default_costs with
+      pointer_test = 1;
+      cache_probe = 2;
+      net_latency = 12;
+      line_service = 16;
+      store_service = 8;
+      migrate_send = 200;
+      migrate_recv = 1200;
+      return_send = 150;
+      return_recv = 600;
+    }
+
+  let by_name = [ ("cm5", cm5); ("now", now); ("hardware-dsm", hardware_dsm) ]
+
+  (* One-way migration latency over line-miss round trip: the ratio that
+     sets the break-even affinity (see Olden_benchmarks.Breakeven). *)
+  let migration_miss_ratio c =
+    float_of_int (c.migrate_send + c.net_latency + c.migrate_recv)
+    /. float_of_int ((2 * c.net_latency) + c.line_service)
+end
+
+let pp ppf t =
+  Format.fprintf ppf
+    "@[<v>nprocs=%d coherence=%s policy=%s contention=%b refinement=%b \
+     seq=%b@]"
+    t.nprocs
+    (coherence_to_string t.coherence)
+    (policy_to_string t.policy) t.handler_contention
+    t.return_invalidate_refinement t.sequential

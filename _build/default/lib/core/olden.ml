@@ -1,0 +1,33 @@
+(* Public facade of the Olden reproduction.
+
+   A user program is an ordinary OCaml function that performs its heap
+   traffic through [Ops] and is executed on the simulated machine by
+   [Engine.run]:
+
+   {[
+     let cfg = Olden.Config.make ~nprocs:8 () in
+     let report =
+       Olden.Engine.run cfg (fun () ->
+         let site = Olden.Site.migrate "demo.t->next" in
+         ...)
+     in
+     Format.printf "makespan: %d cycles@." report.Olden.Engine.makespan
+   ]} *)
+
+module Config = Olden_config
+module Geometry = Olden_config.Geometry
+module Gptr = Gptr
+module Value = Value
+module Memory = Memory
+module Machine = Machine
+module Stats = Stats
+module Write_log = Olden_cache.Write_log
+module Translation = Olden_cache.Translation
+module Directory = Olden_cache.Directory
+module Cache_system = Olden_cache.Cache_system
+module Site = Olden_runtime.Site
+module Ops = Olden_runtime.Ops
+module Engine = Olden_runtime.Engine
+module Effects = Olden_runtime.Effects
+module Prng = Olden_runtime.Prng
+module Timeline = Olden_runtime.Timeline

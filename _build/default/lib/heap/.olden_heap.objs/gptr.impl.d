@@ -1,0 +1,1 @@
+lib/heap/gptr.ml: Format Hashtbl Int Olden_config Printf

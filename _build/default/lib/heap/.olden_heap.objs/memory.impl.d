@@ -1,0 +1,1 @@
+lib/heap/memory.ml: Array Gptr Olden_config Printf Value

@@ -1,0 +1,1 @@
+lib/heap/value.ml: Float Format Gptr Printf

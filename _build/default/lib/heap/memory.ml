@@ -1,0 +1,86 @@
+(* The distributed heap: one section per processor (Section 2).
+
+   Each section is a growable word array with a bump allocator.  ALLOC
+   rounds no sizes: Olden allocates objects contiguously; the cache layer
+   imposes the page/line structure on top of plain word addresses. *)
+
+type section = {
+  mutable cells : Value.t array;
+  mutable used : int; (* bump pointer, in words *)
+}
+
+type t = { sections : section array }
+
+let initial_section_words = 4096
+
+let create ~nprocs =
+  if nprocs <= 0 then invalid_arg "Memory.create: nprocs must be positive";
+  {
+    sections =
+      Array.init nprocs (fun _ ->
+          { cells = Array.make initial_section_words Value.Nil; used = 0 });
+  }
+
+let nprocs t = Array.length t.sections
+
+let ensure_capacity s words =
+  let needed = s.used + words in
+  if needed > Array.length s.cells then begin
+    let cap = ref (Array.length s.cells) in
+    while !cap < needed do
+      cap := !cap * 2
+    done;
+    let cells = Array.make !cap Value.Nil in
+    Array.blit s.cells 0 cells 0 s.used;
+    s.cells <- cells
+  end
+
+(* Allocate [words] words on processor [proc]; returns the global pointer
+   to the first word.  This is Olden's ALLOC library routine. *)
+let alloc t ~proc words =
+  if proc < 0 || proc >= nprocs t then
+    invalid_arg (Printf.sprintf "Memory.alloc: no processor %d" proc);
+  if words <= 0 then invalid_arg "Memory.alloc: size must be positive";
+  let s = t.sections.(proc) in
+  ensure_capacity s words;
+  let addr = s.used in
+  s.used <- s.used + words;
+  Gptr.make ~proc ~addr
+
+let words_used t proc = t.sections.(proc).used
+
+let check t p field =
+  let proc = Gptr.proc p and addr = Gptr.addr p + field in
+  if proc >= nprocs t then
+    invalid_arg (Printf.sprintf "Memory: %s: no processor" (Gptr.to_string p));
+  let s = t.sections.(proc) in
+  if addr < 0 || addr >= s.used then
+    invalid_arg
+      (Printf.sprintf "Memory: %s+%d: address out of allocated range"
+         (Gptr.to_string p) field);
+  (s, addr)
+
+(* Direct (home) accesses; the runtime charges their costs. *)
+
+let load t p field =
+  let s, addr = check t p field in
+  s.cells.(addr)
+
+let store t p field v =
+  let s, addr = check t p field in
+  s.cells.(addr) <- v
+
+(* Read a line's worth of words starting at the line containing [word_addr]
+   on [proc]; used by the cache to fill a line.  Words past the section's
+   bump pointer read as Nil (the line straddles unallocated space). *)
+let read_line t ~proc ~line_index =
+  let words = Olden_config.Geometry.words_per_line in
+  let base = line_index * words in
+  let s = t.sections.(proc) in
+  Array.init words (fun i ->
+      let a = base + i in
+      if a < s.used then s.cells.(a) else Value.Nil)
+
+let word_at t ~proc ~addr =
+  let s = t.sections.(proc) in
+  if addr < s.used then s.cells.(addr) else Value.Nil

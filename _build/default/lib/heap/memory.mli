@@ -1,0 +1,35 @@
+(** The distributed heap: one section per processor (Section 2).
+
+    Each section is a growable word array with a bump allocator; ALLOC
+    hands out contiguous word ranges.  The page/line structure the cache
+    uses is pure address arithmetic on top (see
+    {!Olden_config.Geometry}). *)
+
+type t
+
+val create : nprocs:int -> t
+(** @raise Invalid_argument if [nprocs <= 0]. *)
+
+val nprocs : t -> int
+
+val alloc : t -> proc:int -> int -> Gptr.t
+(** [alloc t ~proc words] allocates [words] words on [proc] — Olden's
+    ALLOC library routine.  @raise Invalid_argument on a bad processor or
+    non-positive size. *)
+
+val words_used : t -> int -> int
+(** Current bump-pointer position of a processor's section. *)
+
+val load : t -> Gptr.t -> int -> Value.t
+(** [load t p field] reads the word at [p + field].
+    @raise Invalid_argument outside the allocated range. *)
+
+val store : t -> Gptr.t -> int -> Value.t -> unit
+
+val read_line : t -> proc:int -> line_index:int -> Value.t array
+(** The 16 words of one cache line of a section; words beyond the bump
+    pointer read as [Nil] (a fetched line may straddle unallocated
+    space). *)
+
+val word_at : t -> proc:int -> addr:int -> Value.t
+(** Raw word access by local address; unallocated words read as [Nil]. *)

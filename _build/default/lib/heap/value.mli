@@ -1,0 +1,35 @@
+(** Heap cell contents.
+
+    Every heap word holds one of these.  Keeping the representation
+    explicit (rather than raw integers) lets the cache store typed line
+    copies and lets tests compare whole memories structurally. *)
+
+type t =
+  | Nil  (** an uninitialized word / null pointer *)
+  | Int of int
+  | Float of float
+  | Ptr of Gptr.t
+
+val equal : t -> t -> bool
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+
+(** Accessors fail loudly: a benchmark reading the wrong field type is a
+    bug we want to see immediately. *)
+
+val to_int : t -> int
+(** @raise Invalid_argument unless [Int]. *)
+
+val to_float : t -> float
+(** [Int] promotes; @raise Invalid_argument otherwise unless [Float]. *)
+
+val to_ptr : t -> Gptr.t
+(** [Nil] reads as {!Gptr.null}; @raise Invalid_argument unless [Ptr]. *)
+
+val of_bool : bool -> t
+(** [Int 1] / [Int 0]. *)
+
+val to_bool : t -> bool
+(** [Int 0] and [Nil] are false; any other [Int] is true.
+    @raise Invalid_argument on [Float]/[Ptr]. *)

@@ -1,0 +1,1 @@
+lib/interp/interp.ml: Analysis Ast Buffer Gptr Hashtbl Heuristic List Olden_compiler Olden_config Olden_runtime Parser Printf Typecheck Value

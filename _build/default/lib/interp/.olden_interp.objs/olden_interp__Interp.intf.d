@@ -1,0 +1,1 @@
+lib/interp/interp.mli: Hashtbl Olden_compiler Olden_config Olden_runtime Value

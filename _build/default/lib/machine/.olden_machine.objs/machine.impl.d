@@ -1,0 +1,1 @@
+lib/machine/machine.ml: Array Format List Olden_config Stats

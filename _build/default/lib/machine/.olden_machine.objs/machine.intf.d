@@ -1,0 +1,1 @@
+lib/machine/machine.mli: Format Olden_config Stats

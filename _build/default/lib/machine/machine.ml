@@ -1,0 +1,105 @@
+(* The simulated distributed-memory machine.
+
+   Deterministic discrete-event timing: each processor carries a cycle
+   clock for its compute thread, plus a separate availability time for its
+   active-message handler.  Handler occupancy models the serialization of
+   requests at a hot home node (the bottleneck of Section 4.3) without
+   having to rewind the home's compute clock; handler cycles are assumed to
+   be interleaved with computation, which matches the CM-5's interrupt-driven
+   active messages closely enough for the ratios we reproduce. *)
+
+type t = {
+  cfg : Olden_config.t;
+  clock : int array; (* per-processor compute clock, cycles *)
+  handler_free : int array; (* time the AM handler becomes free *)
+  busy : int array; (* total busy cycles, for utilization accounting *)
+  stats : Stats.t;
+  mutable intervals : (int * int * int) list;
+      (* busy intervals (proc, start, stop), newest first, when recording *)
+  mutable record_intervals : bool;
+}
+
+let create cfg =
+  let n = cfg.Olden_config.nprocs in
+  {
+    cfg;
+    clock = Array.make n 0;
+    handler_free = Array.make n 0;
+    busy = Array.make n 0;
+    stats = Stats.create ();
+    intervals = [];
+    record_intervals = false;
+  }
+
+let set_record_intervals t flag = t.record_intervals <- flag
+let busy_intervals t = List.rev t.intervals
+
+let nprocs t = t.cfg.Olden_config.nprocs
+let costs t = t.cfg.Olden_config.costs
+let stats t = t.stats
+let now t proc = t.clock.(proc)
+
+(* Charge [cycles] of computation on [proc]. *)
+let advance t proc cycles =
+  if cycles < 0 then invalid_arg "Machine.advance: negative cost";
+  let start = t.clock.(proc) in
+  t.clock.(proc) <- start + cycles;
+  t.busy.(proc) <- t.busy.(proc) + cycles;
+  if t.record_intervals && cycles > 0 then
+    t.intervals <- (proc, start, start + cycles) :: t.intervals
+
+(* Move a processor's clock forward to [time] (idle waiting, e.g. a thread
+   arriving at a processor that has nothing else to do). *)
+let wait_until t proc time =
+  if time > t.clock.(proc) then t.clock.(proc) <- time
+
+(* A request/reply round trip from [src] to the handler of [dst].  The
+   requester blocks; the reply arrives after network latency both ways plus
+   handler service, plus any queueing if the handler is busy.  Returns the
+   reply arrival time and advances the requester's clock to it. *)
+let request_reply t ~src ~dst ~service =
+  let c = costs t in
+  let arrive = t.clock.(src) + c.Olden_config.net_latency in
+  let start =
+    if t.cfg.Olden_config.handler_contention then
+      max arrive t.handler_free.(dst)
+    else arrive
+  in
+  t.handler_free.(dst) <- start + service;
+  let reply = start + service + c.Olden_config.net_latency in
+  t.stats.Stats.messages <- t.stats.Stats.messages + 2;
+  t.clock.(src) <- reply;
+  reply
+
+(* A one-way message whose effect is applied at the destination handler;
+   the sender does not block.  Returns the time the handler finishes. *)
+let one_way t ~src ~dst ~service =
+  let c = costs t in
+  let arrive = t.clock.(src) + c.Olden_config.net_latency in
+  let start =
+    if t.cfg.Olden_config.handler_contention then
+      max arrive t.handler_free.(dst)
+    else arrive
+  in
+  t.handler_free.(dst) <- start + service;
+  t.stats.Stats.messages <- t.stats.Stats.messages + 1;
+  start + service
+
+let count_bytes t n = t.stats.Stats.bytes <- t.stats.Stats.bytes + n
+
+(* Finishing time of the whole run. *)
+let makespan t = Array.fold_left max 0 t.clock
+
+let total_busy t = Array.fold_left ( + ) 0 t.busy
+
+let utilization t =
+  let span = makespan t in
+  if span = 0 then 1.
+  else float_of_int (total_busy t) /. float_of_int (span * nprocs t)
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>makespan=%d utilization=%.3f@,%a@]" (makespan t)
+    (utilization t) Stats.pp t.stats
+
+let busy_cycles t = Array.copy t.busy
+let clocks t = Array.copy t.clock

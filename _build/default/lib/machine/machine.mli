@@ -1,0 +1,61 @@
+(** The simulated distributed-memory machine.
+
+    Deterministic discrete-event timing: each processor carries a cycle
+    clock for its compute thread plus a separate availability time for its
+    active-message handler.  Handler occupancy (when enabled) models the
+    serialization of requests at a hot home node without rewinding the
+    home's compute clock: handler cycles interleave with computation, as
+    with the CM-5's interrupt-driven active messages. *)
+
+type t
+
+val create : Olden_config.t -> t
+
+val nprocs : t -> int
+val costs : t -> Olden_config.costs
+val stats : t -> Stats.t
+
+val now : t -> int -> int
+(** Current cycle count of a processor's compute clock. *)
+
+val advance : t -> int -> int -> unit
+(** [advance t proc cycles] charges computation.
+    @raise Invalid_argument on a negative cost. *)
+
+val wait_until : t -> int -> int -> unit
+(** Move a processor's clock forward to a time (idle waiting); never moves
+    it backward and charges no busy time. *)
+
+val request_reply : t -> src:int -> dst:int -> service:int -> int
+(** A blocking round trip from [src] to the handler of [dst]: network
+    latency both ways plus handler service, plus queueing when
+    [handler_contention] is on.  Advances [src]'s clock to the reply time
+    and returns it. *)
+
+val one_way : t -> src:int -> dst:int -> service:int -> int
+(** A non-blocking message; returns the time the handler finishes. *)
+
+val count_bytes : t -> int -> unit
+(** Account payload bytes to the statistics. *)
+
+val makespan : t -> int
+(** Finishing time of the whole run (max over clocks). *)
+
+val total_busy : t -> int
+
+val utilization : t -> float
+(** [total_busy / (makespan * nprocs)]. *)
+
+val busy_cycles : t -> int array
+(** Per-processor busy time (a copy). *)
+
+val clocks : t -> int array
+(** Per-processor clocks (a copy). *)
+
+val set_record_intervals : t -> bool -> unit
+(** Enable recording of per-processor busy intervals (for timelines). *)
+
+val busy_intervals : t -> (int * int * int) list
+(** Recorded [(proc, start, stop)] busy intervals, in charge order. *)
+
+val pp : Format.formatter -> t -> unit

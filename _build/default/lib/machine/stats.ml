@@ -1,0 +1,112 @@
+(* Counters accumulated over one simulated run.
+
+   These feed Table 2 (migration counts, overheads) and Table 3 (cacheable
+   reads/writes, remote fractions, miss rates, pages cached). *)
+
+type t = {
+  mutable migrations : int;
+  mutable returns : int;
+  mutable futures : int;
+  mutable touches : int;
+  mutable steals : int;
+  mutable local_refs : int;
+  mutable cacheable_reads : int; (* reads at caching sites *)
+  mutable cacheable_reads_remote : int;
+  mutable cacheable_writes : int;
+  mutable cacheable_writes_remote : int;
+  mutable cache_hits : int;
+  mutable cache_misses : int;
+  mutable cache_flushes : int;
+  mutable lines_invalidated : int;
+  mutable invalidation_messages : int;
+  mutable revalidations : int; (* bilateral timestamp checks *)
+  mutable pages_cached : int; (* distinct page entries ever created *)
+  mutable remote_allocs : int;
+  mutable messages : int;
+  mutable bytes : int;
+  mutable write_track_cycles : int;
+}
+
+let create () =
+  {
+    migrations = 0;
+    returns = 0;
+    futures = 0;
+    touches = 0;
+    steals = 0;
+    local_refs = 0;
+    cacheable_reads = 0;
+    cacheable_reads_remote = 0;
+    cacheable_writes = 0;
+    cacheable_writes_remote = 0;
+    cache_hits = 0;
+    cache_misses = 0;
+    cache_flushes = 0;
+    lines_invalidated = 0;
+    invalidation_messages = 0;
+    revalidations = 0;
+    pages_cached = 0;
+    remote_allocs = 0;
+    messages = 0;
+    bytes = 0;
+    write_track_cycles = 0;
+  }
+
+(* Snapshot for phase-relative measurements. *)
+let copy t = { t with migrations = t.migrations }
+
+(* Counter-wise difference [b - a]; used to isolate a kernel phase. *)
+let diff b a =
+  {
+    migrations = b.migrations - a.migrations;
+    returns = b.returns - a.returns;
+    futures = b.futures - a.futures;
+    touches = b.touches - a.touches;
+    steals = b.steals - a.steals;
+    local_refs = b.local_refs - a.local_refs;
+    cacheable_reads = b.cacheable_reads - a.cacheable_reads;
+    cacheable_reads_remote = b.cacheable_reads_remote - a.cacheable_reads_remote;
+    cacheable_writes = b.cacheable_writes - a.cacheable_writes;
+    cacheable_writes_remote =
+      b.cacheable_writes_remote - a.cacheable_writes_remote;
+    cache_hits = b.cache_hits - a.cache_hits;
+    cache_misses = b.cache_misses - a.cache_misses;
+    cache_flushes = b.cache_flushes - a.cache_flushes;
+    lines_invalidated = b.lines_invalidated - a.lines_invalidated;
+    invalidation_messages = b.invalidation_messages - a.invalidation_messages;
+    revalidations = b.revalidations - a.revalidations;
+    pages_cached = b.pages_cached - a.pages_cached;
+    remote_allocs = b.remote_allocs - a.remote_allocs;
+    messages = b.messages - a.messages;
+    bytes = b.bytes - a.bytes;
+    write_track_cycles = b.write_track_cycles - a.write_track_cycles;
+  }
+
+let remote_read_fraction t =
+  if t.cacheable_reads = 0 then 0.
+  else float_of_int t.cacheable_reads_remote /. float_of_int t.cacheable_reads
+
+let remote_write_fraction t =
+  if t.cacheable_writes = 0 then 0.
+  else
+    float_of_int t.cacheable_writes_remote /. float_of_int t.cacheable_writes
+
+(* "% of remote references that miss" (Table 3). *)
+let remote_miss_fraction t =
+  let remote = t.cacheable_reads_remote + t.cacheable_writes_remote in
+  if remote = 0 then 0. else float_of_int t.cache_misses /. float_of_int remote
+
+let pp ppf t =
+  Format.fprintf ppf
+    "@[<v>migrations=%d returns=%d futures=%d touches=%d steals=%d@,\
+     cacheable: reads=%d (%.2f%% remote) writes=%d (%.2f%% remote)@,\
+     cache: hits=%d misses=%d flushes=%d pages=%d@,\
+     invalidations: lines=%d msgs=%d revalidations=%d@,\
+     messages=%d bytes=%d write-track-cycles=%d@]"
+    t.migrations t.returns t.futures t.touches t.steals t.cacheable_reads
+    (100. *. remote_read_fraction t)
+    t.cacheable_writes
+    (100. *. remote_write_fraction t)
+    t.cache_hits t.cache_misses t.cache_flushes t.pages_cached
+    t.lines_invalidated t.invalidation_messages t.revalidations t.messages
+    t.bytes t.write_track_cycles

@@ -1,0 +1,49 @@
+(** Counters accumulated over one simulated run.
+
+    These feed Table 2 (migration and future counts) and Table 3
+    (cacheable reads/writes, remote fractions, miss rates, pages cached)
+    of the paper.  All fields are mutable; the runtime and cache layers
+    update them in place. *)
+
+type t = {
+  mutable migrations : int;  (** computation migrations sent *)
+  mutable returns : int;  (** return-stub migrations sent *)
+  mutable futures : int;  (** futurecalls executed *)
+  mutable touches : int;
+  mutable steals : int;  (** continuations popped from work lists *)
+  mutable local_refs : int;  (** local references through migrate sites *)
+  mutable cacheable_reads : int;  (** reads at caching sites (any locality) *)
+  mutable cacheable_reads_remote : int;
+  mutable cacheable_writes : int;
+  mutable cacheable_writes_remote : int;
+  mutable cache_hits : int;
+  mutable cache_misses : int;  (** line fetches *)
+  mutable cache_flushes : int;  (** whole-cache invalidations (local scheme) *)
+  mutable lines_invalidated : int;
+  mutable invalidation_messages : int;
+  mutable revalidations : int;  (** bilateral timestamp checks *)
+  mutable pages_cached : int;  (** distinct page entries ever created *)
+  mutable remote_allocs : int;
+  mutable messages : int;
+  mutable bytes : int;
+  mutable write_track_cycles : int;  (** Appendix A write-tracking overhead *)
+}
+
+val create : unit -> t
+
+val copy : t -> t
+(** Snapshot, for phase-relative measurements. *)
+
+val diff : t -> t -> t
+(** [diff b a] is the counter-wise difference [b - a]. *)
+
+val remote_read_fraction : t -> float
+(** Fraction of cacheable reads that referenced remote memory (Table 3). *)
+
+val remote_write_fraction : t -> float
+
+val remote_miss_fraction : t -> float
+(** Fraction of remote cacheable references that missed (Table 3's
+    "% of remote references that miss"). *)
+
+val pp : Format.formatter -> t -> unit

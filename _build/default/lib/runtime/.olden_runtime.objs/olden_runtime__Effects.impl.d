@@ -1,0 +1,1 @@
+lib/runtime/effects.ml: Effect Gptr Olden_cache Site Value

@@ -1,0 +1,1 @@
+lib/runtime/engine.ml: Array Effect Effects Event_queue Fun Gptr List Machine Memory Olden_cache Olden_config Option Printf Site Stack Stats String

@@ -1,0 +1,1 @@
+lib/runtime/engine.mli: Machine Memory Olden_cache Olden_config Stats

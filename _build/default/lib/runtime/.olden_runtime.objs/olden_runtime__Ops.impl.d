@@ -1,0 +1,1 @@
+lib/runtime/ops.ml: Effect Effects Value

@@ -1,0 +1,1 @@
+lib/runtime/ops.mli: Effects Gptr Site Value

@@ -1,0 +1,1 @@
+lib/runtime/site.ml: Format Hashtbl List Olden_config

@@ -1,0 +1,1 @@
+lib/runtime/site.mli: Format Olden_config

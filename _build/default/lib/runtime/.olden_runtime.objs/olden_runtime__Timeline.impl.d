@@ -1,0 +1,1 @@
+lib/runtime/timeline.ml: Array Format List Machine

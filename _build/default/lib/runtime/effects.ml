@@ -1,0 +1,44 @@
+(* The operations a simulated Olden thread can perform, expressed as OCaml
+   effects.  Effect handlers give us exactly what Olden implements in SPARC
+   assembly: the ability to capture a running thread's state (a one-shot
+   continuation), ship it to another processor, and resume it there.
+
+   Threads and futures are defined here because both the performers
+   ([Ops]) and the handler ([Engine]) need them. *)
+
+(* A simulated thread: carries the write log the coherence protocols need
+   at releases (outgoing migrations) and returns. *)
+type thread = { tid : int; log : Olden_cache.Write_log.t }
+
+type cell_state =
+  | Done of Value.t
+  | Pending of waiter list
+
+and waiter = {
+  wk : (Value.t, unit) Effect.Deep.continuation;
+  wproc : int; (* processor the toucher was on; it resumes there *)
+  wthread : thread;
+}
+
+(* A future cell ("return continuation on the work list" plus result slot).
+   The resolver's identity is kept so touching the result is an acquire
+   with respect to the resolving thread's writes (the paper's "virtual
+   locks" cover the data a thread wrote). *)
+and fut = {
+  fid : int;
+  mutable state : cell_state;
+  mutable resolver_proc : int;
+  mutable resolver_log : Olden_cache.Write_log.t option;
+}
+
+type _ Effect.t +=
+  | Work : int -> unit Effect.t (* charge compute cycles *)
+  | Alloc : int * int -> Gptr.t Effect.t (* ALLOC (proc, words) *)
+  | Load : Site.t * Gptr.t * int -> Value.t Effect.t (* site, base, field *)
+  | Store : Site.t * Gptr.t * int * Value.t -> unit Effect.t
+  | Future : (unit -> Value.t) -> fut Effect.t (* futurecall *)
+  | Touch : fut -> Value.t Effect.t
+  | Self : int Effect.t (* current processor *)
+  | Nprocs : int Effect.t
+  | Return_to : int -> unit Effect.t (* return stub target *)
+  | Phase : string -> unit Effect.t (* barrier + measurement boundary *)

@@ -1,0 +1,496 @@
+(* The Olden runtime: a deterministic discrete-event simulation of SPMD
+   execution with computation migration, software caching, futures, and
+   future stealing.
+
+   Each simulated thread is an OCaml fiber.  Performing an effect hands
+   control to the handler below, which charges costs to the simulated
+   machine and either resumes the fiber immediately (local work, cache
+   accesses) or captures the continuation and schedules its resumption
+   elsewhere / later (migrations, return stubs, touches of unresolved
+   futures).  A processor left idle by an outgoing migration pops the most
+   recent continuation from its own work list — Olden's future stealing.
+
+   Scheduling is by globally minimal start time, with sequence numbers
+   breaking ties, so a run is a pure function of the program and the
+   configuration. *)
+
+module C = Olden_config
+module Cache = Olden_cache.Cache_system
+module Write_log = Olden_cache.Write_log
+open Effects
+
+exception Null_dereference of string
+exception Deadlock of string
+
+type task = { thread : thread; go : unit -> unit }
+
+type work_item = { pushed_at : int; wseq : int; wtask : task }
+
+type phase_mark = { pname : string; at : int; snapshot : Stats.t }
+
+type t = {
+  cfg : C.t;
+  machine : Machine.t;
+  memory : Memory.t;
+  cache : Cache.t;
+  events : task Event_queue.t array; (* per processor *)
+  worklists : work_item Stack.t array; (* per processor, LIFO *)
+  mutable seq : int;
+  mutable cur_proc : int;
+  mutable cur_thread : thread;
+  mutable next_tid : int;
+  mutable next_fid : int;
+  mutable blocked : int; (* parked touch waiters *)
+  mutable phases : phase_mark list; (* newest first *)
+  mutable finished : bool;
+}
+
+let create cfg =
+  let machine = Machine.create cfg in
+  let memory = Memory.create ~nprocs:cfg.C.nprocs in
+  let dummy_thread = { tid = 0; log = Write_log.create () } in
+  {
+    cfg;
+    machine;
+    memory;
+    cache = Cache.create cfg machine memory;
+    events = Array.init cfg.C.nprocs (fun _ -> Event_queue.create ());
+    worklists = Array.init cfg.C.nprocs (fun _ -> Stack.create ());
+    seq = 0;
+    cur_proc = 0;
+    cur_thread = dummy_thread;
+    next_tid = 1;
+    next_fid = 0;
+    blocked = 0;
+    phases = [];
+    finished = false;
+  }
+
+let memory t = t.memory
+let machine t = t.machine
+let cache t = t.cache
+let stats t = Machine.stats t.machine
+let costs t = t.cfg.C.costs
+
+let new_thread t =
+  let tid = t.next_tid in
+  t.next_tid <- tid + 1;
+  { tid; log = Write_log.create () }
+
+let next_seq t =
+  t.seq <- t.seq + 1;
+  t.seq
+
+let schedule_event t ~proc ~ready_at task =
+  Event_queue.push t.events.(proc) ~ready_at ~seq:(next_seq t) task
+
+let push_work t ~proc task =
+  Stack.push
+    { pushed_at = Machine.now t.machine proc; wseq = next_seq t; wtask = task }
+    t.worklists.(proc)
+
+let now t = Machine.now t.machine t.cur_proc
+let advance t cycles = Machine.advance t.machine t.cur_proc cycles
+
+(* Low-tech event tracing, enabled by [cfg.trace]; the message is built
+   lazily so tracing is free when off. *)
+let trace t msg =
+  if t.cfg.C.trace then
+    Printf.eprintf "[t=%8d p=%2d tid=%d] %s\n%!" (now t) t.cur_proc
+      t.cur_thread.tid (msg ())
+
+(* A toucher acquiring a result resolved on another processor must not see
+   stale copies of what the resolver wrote: the same invalidation applies
+   as when a thread returns (Section 3.2). *)
+let acquire_result t ~proc ~(toucher : thread) (cell : fut) =
+  match cell.resolver_log with
+  | Some log ->
+      if cell.resolver_proc <> proc then
+        Cache.on_return_received t.cache ~proc ~log;
+      (* the resolver's writes become part of the toucher's causal past:
+         a later release by the toucher must cover them too *)
+      Write_log.absorb_written_procs toucher.log ~from:log
+  | None -> ()
+
+(* Resolve a future: a release point for the resolving thread (its writes
+   become visible through the cell), then wake every parked toucher on its
+   own processor (remote wakeups pay a notification latency). *)
+let resolve t (cell : fut) v =
+  match cell.state with
+  | Done _ -> failwith "Engine: future resolved twice"
+  | Pending waiters ->
+      cell.state <- Done v;
+      trace t (fun () ->
+          Printf.sprintf "resolve fut#%d (%d waiter(s))" cell.fid
+            (List.length waiters));
+      Cache.on_migration_sent t.cache ~proc:t.cur_proc ~log:t.cur_thread.log;
+      cell.resolver_proc <- t.cur_proc;
+      cell.resolver_log <- Some t.cur_thread.log;
+      let c = costs t in
+      List.iter
+        (fun w ->
+          t.blocked <- t.blocked - 1;
+          let delay = if w.wproc <> t.cur_proc then c.C.net_latency else 0 in
+          schedule_event t ~proc:w.wproc ~ready_at:(now t + delay)
+            {
+              thread = w.wthread;
+              go =
+                (fun () ->
+                  acquire_result t ~proc:w.wproc ~toucher:w.wthread cell;
+                  Effect.Deep.continue w.wk v);
+            })
+        (List.rev waiters)
+
+(* Effective mechanism at a site, after the policy override (Table 2's
+   migrate-only column; cache-only ablation). *)
+let effective_mechanism t (site : Site.t) =
+  match t.cfg.C.policy with
+  | C.Heuristic -> site.Site.mech
+  | C.Migrate_only -> C.Migrate
+  | C.Cache_only -> C.Cache
+
+(* Suspend the current fiber and ship it to [target]: a computation
+   migration.  [on_arrival] completes the interrupted operation there. *)
+let migrate_to t ~target ~(k : ('a, unit) Effect.Deep.continuation)
+    ~(complete : unit -> 'a) =
+  let c = costs t in
+  let s = stats t in
+  s.Stats.migrations <- s.Stats.migrations + 1;
+  let thread = t.cur_thread in
+  trace t (fun () -> Printf.sprintf "migrate -> %d" target);
+  (* an outgoing migration is a release point *)
+  Cache.on_migration_sent t.cache ~proc:t.cur_proc ~log:thread.log;
+  advance t c.C.migrate_send;
+  Machine.count_bytes t.machine 256 (* registers + PC + frame *);
+  let ready_at = now t + c.C.net_latency in
+  schedule_event t ~proc:target ~ready_at
+    {
+      thread;
+      go =
+        (fun () ->
+          Machine.advance t.machine target c.C.migrate_recv;
+          (* an incoming migration is an acquire point *)
+          Cache.on_migration_received t.cache ~proc:target;
+          Effect.Deep.continue k (complete ()));
+    }
+
+let rec handler t : (unit, unit) Effect.Deep.handler =
+  let effc : type a. a Effect.t -> ((a, unit) Effect.Deep.continuation -> unit) option =
+    function
+    | Work n ->
+        Some
+          (fun k ->
+            advance t n;
+            Effect.Deep.continue k ())
+    | Self -> Some (fun k -> Effect.Deep.continue k t.cur_proc)
+    | Nprocs -> Some (fun k -> Effect.Deep.continue k t.cfg.C.nprocs)
+    | Alloc (proc, words) ->
+        Some
+          (fun k ->
+            let c = costs t in
+            (* ALLOC needs no round trip even for a remote processor: each
+               allocator owns chunks of every heap section, so the address
+               is computed locally (Section 2's ALLOC library routine). *)
+            if proc = t.cur_proc then advance t c.C.alloc_local
+            else begin
+              (stats t).Stats.remote_allocs <-
+                (stats t).Stats.remote_allocs + 1;
+              advance t (c.C.alloc_local + c.C.alloc_service)
+            end;
+            Effect.Deep.continue k (Memory.alloc t.memory ~proc words))
+    | Load (site, g, field) ->
+        Some
+          (fun k ->
+            if Gptr.is_null g then
+              raise (Null_dereference (Site.name site));
+            let c = costs t in
+            site.Site.loads <- site.Site.loads + 1;
+            if t.cfg.C.sequential then begin
+              advance t c.C.local_ref;
+              Effect.Deep.continue k (Memory.load t.memory g field)
+            end
+            else begin
+              if Gptr.proc g <> t.cur_proc then
+                site.Site.remote <- site.Site.remote + 1;
+              match effective_mechanism t site with
+              | C.Cache ->
+                  let before = (stats t).Stats.cache_misses in
+                  let v = Cache.read t.cache ~proc:t.cur_proc g ~field in
+                  site.Site.misses <-
+                    site.Site.misses + (stats t).Stats.cache_misses - before;
+                  Effect.Deep.continue k v
+              | C.Migrate ->
+                  advance t c.C.pointer_test;
+                  let home = Gptr.proc g in
+                  if home = t.cur_proc then begin
+                    advance t c.C.local_ref;
+                    (stats t).Stats.local_refs <-
+                      (stats t).Stats.local_refs + 1;
+                    Effect.Deep.continue k (Memory.load t.memory g field)
+                  end
+                  else begin
+                    site.Site.migrations <- site.Site.migrations + 1;
+                    migrate_to t ~target:home ~k ~complete:(fun () ->
+                        Machine.advance t.machine home c.C.local_ref;
+                        Memory.load t.memory g field)
+                  end
+            end)
+    | Store (site, g, field, v) ->
+        Some
+          (fun k ->
+            if Gptr.is_null g then
+              raise (Null_dereference (Site.name site));
+            let c = costs t in
+            site.Site.stores <- site.Site.stores + 1;
+            if t.cfg.C.sequential then begin
+              advance t c.C.local_ref;
+              Memory.store t.memory g field v;
+              Effect.Deep.continue k ()
+            end
+            else begin
+              if Gptr.proc g <> t.cur_proc then
+                site.Site.remote <- site.Site.remote + 1;
+              match effective_mechanism t site with
+              | C.Cache ->
+                  Cache.write t.cache ~proc:t.cur_proc g ~field v
+                    ~log:t.cur_thread.log;
+                  Effect.Deep.continue k ()
+              | C.Migrate ->
+                  advance t c.C.pointer_test;
+                  let home = Gptr.proc g in
+                  if home = t.cur_proc then begin
+                    advance t c.C.local_ref;
+                    (stats t).Stats.local_refs <-
+                      (stats t).Stats.local_refs + 1;
+                    Memory.store t.memory g field v;
+                    Cache.note_migrate_write t.cache ~proc:t.cur_proc g ~field
+                      ~log:t.cur_thread.log;
+                    Effect.Deep.continue k ()
+                  end
+                  else begin
+                    site.Site.migrations <- site.Site.migrations + 1;
+                    migrate_to t ~target:home ~k ~complete:(fun () ->
+                        Machine.advance t.machine home c.C.local_ref;
+                        Memory.store t.memory g field v;
+                        Cache.note_migrate_write t.cache ~proc:home g ~field
+                          ~log:t.cur_thread.log)
+                  end
+            end)
+    | Future body ->
+        Some
+          (fun k ->
+            let c = costs t in
+            let s = stats t in
+            s.Stats.futures <- s.Stats.futures + 1;
+            advance t c.C.future_spawn;
+            t.next_fid <- t.next_fid + 1;
+            let cell =
+              {
+                fid = t.next_fid;
+                state = Pending [];
+                resolver_proc = -1;
+                resolver_log = None;
+              }
+            in
+            trace t (fun () -> Printf.sprintf "future fut#%d spawned" cell.fid);
+            (* Save the return continuation on this processor's work list.
+               If it is stolen it becomes a new thread (with a fresh write
+               log); if the body completes without migrating, the processor
+               pops it right back — Olden's cheap no-migration path. *)
+            let parent_thread = new_thread t in
+            push_work t ~proc:t.cur_proc
+              {
+                thread = parent_thread;
+                go = (fun () -> Effect.Deep.continue k cell);
+              };
+            (* The body is evaluated directly by the current thread, as
+               Olden's futurecall does; only a migration during it hands
+               control back to the scheduler. *)
+            Effect.Deep.match_with
+              (fun () ->
+                let v = body () in
+                resolve t cell v)
+              () (handler t))
+    | Touch cell ->
+        Some
+          (fun k ->
+            let c = costs t in
+            let s = stats t in
+            s.Stats.touches <- s.Stats.touches + 1;
+            advance t c.C.future_touch;
+            match cell.state with
+            | Done v ->
+                acquire_result t ~proc:t.cur_proc ~toucher:t.cur_thread cell;
+                Effect.Deep.continue k v
+            | Pending waiters ->
+                trace t (fun () -> Printf.sprintf "touch fut#%d: park" cell.fid);
+                t.blocked <- t.blocked + 1;
+                cell.state <-
+                  Pending
+                    ({ wk = k; wproc = t.cur_proc; wthread = t.cur_thread }
+                    :: waiters))
+    | Return_to target ->
+        Some
+          (fun k ->
+            if target = t.cur_proc then Effect.Deep.continue k ()
+            else begin
+              let c = costs t in
+              let s = stats t in
+              s.Stats.returns <- s.Stats.returns + 1;
+              let thread = t.cur_thread in
+              (* a return is also a release point *)
+              Cache.on_migration_sent t.cache ~proc:t.cur_proc
+                ~log:thread.log;
+              advance t c.C.return_send;
+              Machine.count_bytes t.machine 64 (* registers + return addr *);
+              let ready_at = now t + c.C.net_latency in
+              schedule_event t ~proc:target ~ready_at
+                {
+                  thread;
+                  go =
+                    (fun () ->
+                      Machine.advance t.machine target c.C.return_recv;
+                      Cache.on_return_received t.cache ~proc:target
+                        ~log:thread.log;
+                      Effect.Deep.continue k ());
+                }
+            end)
+    | Phase name ->
+        Some
+          (fun k ->
+            (* measurement boundary: all processors synchronize *)
+            let m = Machine.makespan t.machine in
+            for p = 0 to t.cfg.C.nprocs - 1 do
+              Machine.wait_until t.machine p m
+            done;
+            t.phases <-
+              { pname = name; at = m; snapshot = Stats.copy (stats t) }
+              :: t.phases;
+            Effect.Deep.continue k ())
+    | _ -> None
+  in
+  { retc = Fun.id; exnc = raise; effc }
+
+(* --- The scheduler loop -------------------------------------------- *)
+
+type source = Src_event | Src_work
+
+(* Pick the next item to run: globally minimal start time.  At equal start
+   times a processor steals from its own work list before accepting an
+   arrived migration: futurecall continuations unfold depth-first and keep
+   generating parallelism, so draining them first is what keeps spawn
+   chains from being starved by arriving bodies (the continuation was
+   saved by a thread that already owned the processor).  Remaining ties
+   fall back to readiness time, then creation order, for determinism. *)
+let step t =
+  let n = t.cfg.C.nprocs in
+  let best = ref None in
+  let consider start avail prio seq proc src =
+    let key = (start, prio, avail, seq) in
+    let better =
+      match !best with None -> true | Some (k, _, _) -> key < k
+    in
+    if better then best := Some (key, proc, src)
+  in
+  for p = 0 to n - 1 do
+    let clock = Machine.now t.machine p in
+    (match Event_queue.peek t.events.(p) with
+    | Some it ->
+        consider
+          (max clock it.Event_queue.ready_at)
+          it.Event_queue.ready_at 1 it.Event_queue.seq p Src_event
+    | None -> ());
+    match Stack.top_opt t.worklists.(p) with
+    | Some w -> consider (max clock w.pushed_at) w.pushed_at 0 w.wseq p Src_work
+    | None -> ()
+  done;
+  match !best with
+  | None -> false
+  | Some ((start, _, _, _), proc, src) ->
+      Machine.wait_until t.machine proc start;
+      let task =
+        match src with
+        | Src_event -> (
+            match Event_queue.pop t.events.(proc) with
+            | Some it -> it.Event_queue.payload
+            | None -> assert false)
+        | Src_work ->
+            let w = Stack.pop t.worklists.(proc) in
+            if t.cfg.C.trace then
+              Printf.eprintf "[t=%8d p=%2d] steal (tid=%d)\n%!"
+                (Machine.now t.machine proc) proc w.wtask.thread.tid;
+            let s = stats t in
+            s.Stats.steals <- s.Stats.steals + 1;
+            Machine.advance t.machine proc (costs t).C.steal;
+            w.wtask
+      in
+      t.cur_proc <- proc;
+      t.cur_thread <- task.thread;
+      task.go ();
+      true
+
+(* Run [program] to completion as the initial thread on processor 0. *)
+let exec t program =
+  let main_thread = new_thread t in
+  schedule_event t ~proc:0 ~ready_at:0
+    {
+      thread = main_thread;
+      go =
+        (fun () ->
+          Effect.Deep.match_with
+            (fun () ->
+              program ();
+              t.finished <- true)
+            () (handler t));
+    };
+  while step t do
+    ()
+  done;
+  if t.blocked > 0 then
+    raise
+      (Deadlock
+         (Printf.sprintf "%d thread(s) parked on unresolved futures"
+            t.blocked));
+  if not t.finished then raise (Deadlock "main thread never completed")
+
+type report = {
+  makespan : int;
+  stats : Stats.t;
+  utilization : float;
+  avg_chain_length : float;
+  phases : (string * int) list; (* in program order *)
+}
+
+let report (t : t) =
+  {
+    makespan = Machine.makespan t.machine;
+    stats = Machine.stats t.machine;
+    utilization = Machine.utilization t.machine;
+    avg_chain_length = Cache.average_chain_length t.cache;
+    phases = List.rev_map (fun p -> (p.pname, p.at)) t.phases;
+  }
+
+let phase_snapshots (t : t) =
+  List.rev_map (fun p -> (p.pname, p.at, p.snapshot)) t.phases
+
+let run cfg program =
+  let t = create cfg in
+  exec t program;
+  report t
+
+(* Duration and statistics of the region between phase marks [start] and
+   [stop] (or the end of the run). *)
+let interval t ~start ~stop =
+  let marks = phase_snapshots t in
+  let find name =
+    List.find_opt (fun (n, _, _) -> String.equal n name) marks
+  in
+  match find start with
+  | None -> invalid_arg ("Engine.interval: no phase " ^ start)
+  | Some (_, t0, s0) ->
+      let t1, s1 =
+        match Option.bind stop find with
+        | Some (_, t1, s1) -> (t1, s1)
+        | None -> (Machine.makespan t.machine, Machine.stats t.machine)
+      in
+      (t1 - t0, Stats.diff s1 s0)

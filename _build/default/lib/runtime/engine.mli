@@ -1,0 +1,60 @@
+(** The Olden runtime: a deterministic discrete-event simulation of SPMD
+    execution with computation migration, software caching, futures, and
+    future stealing.
+
+    Each simulated thread is an OCaml fiber.  Performing an {!Ops}
+    operation hands control to the handler, which charges costs to the
+    simulated machine and either resumes the fiber immediately (local
+    work, cache accesses) or captures the continuation and schedules its
+    resumption elsewhere or later (migrations, return stubs, touches of
+    unresolved futures).  A processor left idle by an outgoing migration
+    pops the most recent continuation from its own work list — Olden's
+    future stealing.
+
+    Scheduling runs items in globally minimal start-time order with
+    deterministic tie-breaking, so a run is a pure function of the program
+    and the configuration. *)
+
+exception Null_dereference of string
+(** Raised when a program dereferences {!Gptr.null}; carries the site
+    name. *)
+
+exception Deadlock of string
+(** Raised when execution drains with parked touches outstanding, or the
+    main thread never completes. *)
+
+type t
+
+val create : Olden_config.t -> t
+
+val memory : t -> Memory.t
+(** The distributed heap — direct access for post-run verification (reads
+    through this interface are free of simulated cost). *)
+
+val machine : t -> Machine.t
+val cache : t -> Olden_cache.Cache_system.t
+
+val exec : t -> (unit -> unit) -> unit
+(** Run a program to completion as the initial thread on processor 0.
+    Exceptions raised by the program propagate. *)
+
+type report = {
+  makespan : int;  (** finishing time in cycles *)
+  stats : Stats.t;
+  utilization : float;
+  avg_chain_length : float;  (** translation-table chains (Figure 1) *)
+  phases : (string * int) list;  (** phase marks, in program order *)
+}
+
+val report : t -> report
+
+val phase_snapshots : t -> (string * int * Stats.t) list
+(** Each phase mark with the statistics snapshot taken at it. *)
+
+val interval : t -> start:string -> stop:string option -> int * Stats.t
+(** Duration and statistics of the region between two phase marks (or
+    from [start] to the end of the run).
+    @raise Invalid_argument if [start] was never marked. *)
+
+val run : Olden_config.t -> (unit -> unit) -> report
+(** [create] + [exec] + [report]. *)

@@ -1,0 +1,71 @@
+(* A binary min-heap of scheduler items keyed by (ready_at, seq).
+
+   The sequence number makes the simulation fully deterministic: two items
+   ready at the same cycle pop in creation order. *)
+
+type 'a item = { ready_at : int; seq : int; payload : 'a }
+
+type 'a t = { mutable arr : 'a item array; mutable size : int }
+
+let create () = { arr = [||]; size = 0 }
+
+let is_empty q = q.size = 0
+let length q = q.size
+
+let before a b = a.ready_at < b.ready_at || (a.ready_at = b.ready_at && a.seq < b.seq)
+
+let grow q =
+  let cap = max 16 (2 * Array.length q.arr) in
+  let arr = Array.make cap q.arr.(0) in
+  Array.blit q.arr 0 arr 0 q.size;
+  q.arr <- arr
+
+let push q ~ready_at ~seq payload =
+  let it = { ready_at; seq; payload } in
+  if q.size = Array.length q.arr then
+    if q.size = 0 then q.arr <- Array.make 16 it else grow q;
+  q.arr.(q.size) <- it;
+  q.size <- q.size + 1;
+  (* sift up *)
+  let i = ref (q.size - 1) in
+  while
+    !i > 0
+    &&
+    let parent = (!i - 1) / 2 in
+    before q.arr.(!i) q.arr.(parent)
+  do
+    let parent = (!i - 1) / 2 in
+    let tmp = q.arr.(parent) in
+    q.arr.(parent) <- q.arr.(!i);
+    q.arr.(!i) <- tmp;
+    i := parent
+  done
+
+let peek q = if q.size = 0 then None else Some q.arr.(0)
+
+let pop q =
+  if q.size = 0 then None
+  else begin
+    let top = q.arr.(0) in
+    q.size <- q.size - 1;
+    if q.size > 0 then begin
+      q.arr.(0) <- q.arr.(q.size);
+      (* sift down *)
+      let i = ref 0 in
+      let continue = ref true in
+      while !continue do
+        let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+        let smallest = ref !i in
+        if l < q.size && before q.arr.(l) q.arr.(!smallest) then smallest := l;
+        if r < q.size && before q.arr.(r) q.arr.(!smallest) then smallest := r;
+        if !smallest = !i then continue := false
+        else begin
+          let tmp = q.arr.(!smallest) in
+          q.arr.(!smallest) <- q.arr.(!i);
+          q.arr.(!i) <- tmp;
+          i := !smallest
+        end
+      done
+    end;
+    Some top
+  end

@@ -1,0 +1,40 @@
+(* The operations available to an Olden program.  These are what the Olden
+   compiler emits calls to; benchmark kernels are written directly against
+   this interface. *)
+
+let work n = Effect.perform (Effects.Work n)
+let self () = Effect.perform Effects.Self
+let nprocs () = Effect.perform Effects.Nprocs
+
+(* ALLOC: allocate [words] words on processor [proc] (Section 2). *)
+let alloc ~proc words = Effect.perform (Effects.Alloc (proc, words))
+let alloc_local words = alloc ~proc:(self ()) words
+
+(* A heap read/write through dereference site [site]. *)
+let load site g field = Effect.perform (Effects.Load (site, g, field))
+let store site g field v = Effect.perform (Effects.Store (site, g, field, v))
+
+let load_ptr site g field = Value.to_ptr (load site g field)
+let load_int site g field = Value.to_int (load site g field)
+let load_float site g field = Value.to_float (load site g field)
+
+let store_ptr site g field p = store site g field (Value.Ptr p)
+let store_int site g field i = store site g field (Value.Int i)
+let store_float site g field f = store site g field (Value.Float f)
+
+(* futurecall / touch (Section 2). *)
+let future body = Effect.perform (Effects.Future body)
+let touch fut = Effect.perform (Effects.Touch fut)
+
+(* A procedure-call boundary: Olden's return stub.  If the callee migrated,
+   the thread returns to the caller's processor when the call completes;
+   if it never migrated, the stub costs nothing. *)
+let call f =
+  let origin = self () in
+  let result = f () in
+  if self () <> origin then Effect.perform (Effects.Return_to origin);
+  result
+
+(* Measurement boundary: synchronize all processors and mark the time;
+   used to separate structure building from the measured kernel. *)
+let phase name = Effect.perform (Effects.Phase name)

@@ -1,0 +1,21 @@
+(** Deterministic splitmix64 PRNG.
+
+    All workload generation draws from this so every simulation is
+    reproducible from its seed, independent of the OCaml stdlib. *)
+
+type t
+
+val create : int -> t
+
+val next_int64 : t -> int64
+
+val int : t -> int -> int
+(** Uniform in [\[0, bound)]. @raise Invalid_argument if [bound <= 0]. *)
+
+val float : t -> float
+(** Uniform in [\[0, 1)]. *)
+
+val bool : t -> bool
+
+val split : t -> t
+(** An independent stream (for per-processor generators). *)

@@ -1,0 +1,74 @@
+(* A dereference site: one textual pointer dereference in the source
+   program.  The compiler (here, the heuristic in [Olden_compiler], or the
+   paper's published choice) assigns each site the mechanism used for
+   remote references through it.  Sites are registered so a driver can list
+   or override them. *)
+
+type t = {
+  sid : int;
+  sname : string; (* e.g. "treeadd.t->left" *)
+  mutable mech : Olden_config.mechanism;
+  (* per-site profile, filled by the engine *)
+  mutable loads : int;
+  mutable stores : int;
+  mutable remote : int; (* remote references through this site *)
+  mutable migrations : int; (* migrations this site caused *)
+  mutable misses : int; (* cache-line fetches this site caused *)
+}
+
+let registry : (int, t) Hashtbl.t = Hashtbl.create 64
+let counter = ref 0
+
+let make ?(mech = Olden_config.Migrate) sname =
+  incr counter;
+  let s =
+    { sid = !counter; sname; mech; loads = 0; stores = 0; remote = 0;
+      migrations = 0; misses = 0 }
+  in
+  Hashtbl.replace registry s.sid s;
+  s
+
+let reset_profiles () =
+  Hashtbl.iter
+    (fun _ s ->
+      s.loads <- 0;
+      s.stores <- 0;
+      s.remote <- 0;
+      s.migrations <- 0;
+      s.misses <- 0)
+    registry
+
+(* Sites with traffic, busiest first. *)
+let profile () =
+  Hashtbl.fold (fun _ s acc -> if s.loads + s.stores > 0 then s :: acc else acc)
+    registry []
+  |> List.sort (fun a b -> compare (b.loads + b.stores) (a.loads + a.stores))
+
+let migrate sname = make ~mech:Olden_config.Migrate sname
+let cache sname = make ~mech:Olden_config.Cache sname
+
+let set_mechanism s mech = s.mech <- mech
+let mechanism s = s.mech
+let name s = s.sname
+
+let all () =
+  Hashtbl.fold (fun _ s acc -> s :: acc) registry []
+  |> List.sort (fun a b -> compare a.sid b.sid)
+
+let pp ppf s =
+  Format.fprintf ppf "%s:%s" s.sname
+    (Olden_config.mechanism_to_string s.mech)
+
+(* Communication cycles this site has cost (migrations plus line
+   fetches), under the given cost model. *)
+let comm_cycles (c : Olden_config.costs) s =
+  (s.migrations * Olden_config.migration_latency c)
+  + (s.misses * Olden_config.miss_round_trip c)
+
+let pp_profile ppf s =
+  Format.fprintf ppf
+    "%-32s %-8s loads=%-9d stores=%-9d remote=%-8d migr=%-6d misses=%-6d comm=%d"
+    s.sname
+    (Olden_config.mechanism_to_string s.mech)
+    s.loads s.stores s.remote s.migrations s.misses
+    (comm_cycles Olden_config.default_costs s)

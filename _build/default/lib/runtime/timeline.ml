@@ -1,0 +1,54 @@
+(* A text Gantt chart of processor activity.
+
+   Renders the busy intervals recorded by the machine into one row per
+   processor and a fixed number of time buckets; each cell shows how busy
+   the processor was during that slice of the run.  Makes load imbalance,
+   serial phases, and spawn waves visible at a glance:
+
+     p 0 |################.....#########################################|
+     p 1 |....##########################################................|
+*)
+
+let glyph_of_fraction f =
+  if f <= 0.01 then '.'
+  else if f < 0.35 then '-'
+  else if f < 0.75 then '+'
+  else '#'
+
+(* Per-processor busy fraction per bucket. *)
+let buckets ~nprocs ~makespan ~width intervals =
+  let grid = Array.make_matrix nprocs width 0 in
+  let bucket_len = max 1 (makespan / width) in
+  List.iter
+    (fun (proc, start, stop) ->
+      let b0 = min (width - 1) (start / bucket_len) in
+      let b1 = min (width - 1) ((stop - 1) / bucket_len) in
+      for b = b0 to b1 do
+        let lo = max start (b * bucket_len) in
+        let hi = min stop ((b + 1) * bucket_len) in
+        if hi > lo then grid.(proc).(b) <- grid.(proc).(b) + (hi - lo)
+      done)
+    intervals;
+  (grid, bucket_len)
+
+let render ?(width = 64) ppf (machine : Machine.t) =
+  let nprocs = Machine.nprocs machine in
+  let makespan = max 1 (Machine.makespan machine) in
+  let intervals = Machine.busy_intervals machine in
+  if intervals = [] then
+    Format.fprintf ppf
+      "(no busy intervals recorded: enable recording before the run)@."
+  else begin
+    let grid, bucket_len = buckets ~nprocs ~makespan ~width intervals in
+    Format.fprintf ppf
+      "timeline: %d cycles across %d buckets of %d cycles ('#' busy, '.' idle)@."
+      makespan width bucket_len;
+    for p = 0 to nprocs - 1 do
+      Format.fprintf ppf "p%2d |" p;
+      for b = 0 to width - 1 do
+        let f = float_of_int grid.(p).(b) /. float_of_int bucket_len in
+        Format.pp_print_char ppf (glyph_of_fraction f)
+      done;
+      Format.fprintf ppf "|@."
+    done
+  end

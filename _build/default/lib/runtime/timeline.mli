@@ -1,0 +1,10 @@
+(** A text Gantt chart of processor activity, rendered from the busy
+    intervals recorded by {!Machine} (enable with
+    {!Machine.set_record_intervals} before the run). *)
+
+val buckets :
+  nprocs:int -> makespan:int -> width:int -> (int * int * int) list ->
+  int array array * int
+(** [(grid, bucket_len)]: busy cycles per processor per time bucket. *)
+
+val render : ?width:int -> Format.formatter -> Machine.t -> unit

@@ -1,0 +1,1 @@
+test/test_benchmarks.ml: Alcotest Barneshut Breakeven Common Em3d Health List Listdist Mst Olden_benchmarks Olden_config Perimeter Power Printf Registry Stats Suite Tables Treeadd Voronoi

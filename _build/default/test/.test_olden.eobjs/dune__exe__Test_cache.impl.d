@@ -1,0 +1,1 @@
+test/test_cache.ml: Alcotest Array Cache_system Config Directory Gen List Machine Memory Olden Printf QCheck QCheck_alcotest Stats Translation Value Write_log

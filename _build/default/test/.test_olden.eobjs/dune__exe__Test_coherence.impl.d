@@ -1,0 +1,1 @@
+test/test_coherence.ml: Array Config Engine List Olden Ops Printf QCheck QCheck_alcotest Site Value

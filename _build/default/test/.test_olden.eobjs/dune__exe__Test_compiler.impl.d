@@ -1,0 +1,1 @@
+test/test_compiler.ml: Affinity Alcotest Analysis Ast Float Format Heuristic Lexer List Olden_benchmarks Olden_compiler Olden_config Parser QCheck QCheck_alcotest Typecheck

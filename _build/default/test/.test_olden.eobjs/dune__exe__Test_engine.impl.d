@@ -1,0 +1,1 @@
+test/test_engine.ml: Alcotest Config Engine Gptr List Olden Olden_runtime Ops Prng QCheck QCheck_alcotest Site Stats Value

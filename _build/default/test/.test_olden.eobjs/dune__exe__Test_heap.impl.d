@@ -1,0 +1,1 @@
+test/test_heap.ml: Alcotest Array Config Gptr List Memory Olden Printf QCheck QCheck_alcotest Value

@@ -1,0 +1,1 @@
+test/test_interp.ml: Alcotest Array Filename List Olden_compiler Olden_config Olden_interp Olden_runtime Printf QCheck QCheck_alcotest Stats String Sys Value

@@ -1,0 +1,1 @@
+test/test_machine.ml: Alcotest Array Config Gen List Machine Olden Olden_runtime QCheck QCheck_alcotest Stats

@@ -1,0 +1,634 @@
+(* The compiler side: lexer, parser, type checker, affinity algebra,
+   update-matrix analysis, and the selection heuristic — including every
+   worked example in the paper (Figures 3-5, the Section 4.3 defaults). *)
+
+open Olden_compiler
+module C = Olden_config
+
+let check = Alcotest.check
+let bool = Alcotest.bool
+let int = Alcotest.int
+let string = Alcotest.string
+
+(* --- Lexer ---------------------------------------------------------------- *)
+
+let tokens src =
+  let lx = Lexer.create src in
+  let rec go acc =
+    match Lexer.next_token lx with
+    | Lexer.EOF -> List.rev acc
+    | t -> go (t :: acc)
+  in
+  go []
+
+let test_lexer_basics () =
+  check int "token count" 10 (List.length (tokens "int x = 41 + foo(y);"));
+  check bool "keywords recognized" true
+    (tokens "while" = [ Lexer.KW "while" ]);
+  check bool "two-char punct" true (tokens "->" = [ Lexer.PUNCT "->" ]);
+  check bool "floats" true (tokens "1.5" = [ Lexer.FLOAT 1.5 ]);
+  check bool "comments skipped" true
+    (tokens "a // line\n b /* block */ c"
+    = [ Lexer.IDENT "a"; Lexer.IDENT "b"; Lexer.IDENT "c" ])
+
+let test_lexer_errors () =
+  Alcotest.check_raises "bad char" (Lexer.Error "line 1, col 1: unexpected character '#'")
+    (fun () -> ignore (tokens "#"))
+
+(* --- Parser ---------------------------------------------------------------- *)
+
+let parse = Parser.parse_program
+
+let test_parser_struct () =
+  let p = parse "struct t { t next @ 85; int v; }" in
+  match p.Ast.structs with
+  | [ sd ] ->
+      check string "name" "t" sd.Ast.sd_name;
+      check int "fields" 2 (List.length sd.Ast.sd_fields);
+      let f = List.hd sd.Ast.sd_fields in
+      check bool "affinity" true (f.Ast.fd_affinity = Some 0.85)
+  | _ -> Alcotest.fail "expected one struct"
+
+let test_parser_stmts () =
+  let p =
+    parse
+      {|
+struct t { t next; int v; }
+int f(t x, int k) {
+  int acc = 0;
+  while (x != null) {
+    acc = acc + x->v * 2;
+    if (acc > k) { x->v = 0; } else { x->v = 1; }
+    x = x->next;
+  }
+  return acc;
+}
+|}
+  in
+  match p.Ast.funcs with
+  | [ f ] ->
+      check string "name" "f" f.Ast.f_name;
+      check int "params" 2 (List.length f.Ast.f_params);
+      check int "statements" 3 (List.length f.Ast.f_body)
+  | _ -> Alcotest.fail "expected one function"
+
+let test_parser_precedence () =
+  let p = parse "int f() { return 1 + 2 * 3 < 7 && 1 == 1; }" in
+  match (List.hd p.Ast.funcs).Ast.f_body with
+  | [ Ast.Return (Some (Ast.Binop (Ast.And, lhs, _))) ] -> (
+      match lhs with
+      | Ast.Binop (Ast.Lt, Ast.Binop (Ast.Add, _, Ast.Binop (Ast.Mul, _, _)), _)
+        ->
+          ()
+      | _ -> Alcotest.fail "precedence shape")
+  | _ -> Alcotest.fail "expected return of && expression"
+
+let test_parser_future_touch_alloc () =
+  let p =
+    parse
+      {|
+struct t { t next; }
+t g(t x) { return x; }
+t f(t x) {
+  t y = future g(x->next);
+  t z = alloc(t, self());
+  z->next = touch(y);
+  return z;
+}
+|}
+  in
+  check int "functions" 2 (List.length p.Ast.funcs)
+
+let test_parser_deref_ids_deterministic () =
+  let src = "struct t { t a; t b; } void f(t x) { x->a->b = x->b; }" in
+  let count p =
+    let sel = Heuristic.of_program p in
+    List.length sel.Heuristic.analysis.Analysis.derefs
+  in
+  check int "same ids both parses" (count (parse src)) (count (parse src));
+  check int "three derefs" 3 (count (parse src))
+
+let test_parser_errors () =
+  check bool "missing semicolon rejected" true
+    (match parse "int f() { return 1 }" with
+    | exception Parser.Error _ -> true
+    | _ -> false);
+  check bool "future of non-call rejected" true
+    (match parse "int f() { int x = future 3; return x; }" with
+    | exception Parser.Error _ -> true
+    | _ -> false)
+
+let test_pretty_print_reparses () =
+  let src =
+    {|
+struct tree { tree left @ 90; tree right @ 70; int val; }
+int TreeAdd(tree t) {
+  if (t == null) { return 0; }
+  int l = future TreeAdd(t->left);
+  int r = TreeAdd(t->right);
+  return touch(l) + r + t->val;
+}
+|}
+  in
+  let p1 = parse src in
+  let printed = Format.asprintf "%a" Ast.pp_program p1 in
+  let p2 = parse printed in
+  check int "same struct count" (List.length p1.Ast.structs)
+    (List.length p2.Ast.structs);
+  (* the reparse must produce the same selection *)
+  let sel1 = Heuristic.of_program p1 and sel2 = Heuristic.of_program p2 in
+  check int "same site count"
+    (List.length sel1.Heuristic.site_mechanisms)
+    (List.length sel2.Heuristic.site_mechanisms);
+  List.iter2
+    (fun (_, m1) (_, m2) -> check bool "same mechanism" true (m1 = m2))
+    sel1.Heuristic.site_mechanisms sel2.Heuristic.site_mechanisms
+
+(* A random-AST printer/parser round trip: pretty-printing any program and
+   reparsing it is a fixpoint (printing is id-free, so we compare printed
+   forms). *)
+let gen_program =
+  QCheck.Gen.(
+    let var = oneofl [ "x"; "y"; "z" ] in
+    let ptr_field = oneofl [ "a"; "b" ] in
+    let rec gen_pexpr n =
+      if n = 0 then map (fun v -> Ast.Var v) var
+      else
+        frequency
+          [
+            (2, map (fun v -> Ast.Var v) var);
+            ( 3,
+              map2
+                (fun base f ->
+                  Ast.Deref { Ast.d_id = 0; d_base = base; d_field = f })
+                (gen_pexpr (n - 1)) ptr_field );
+          ]
+    in
+    let gen_iexpr n =
+      if n = 0 then map (fun i -> Ast.Int_lit i) (0 -- 99)
+      else
+        frequency
+          [
+            (2, map (fun i -> Ast.Int_lit i) (0 -- 99));
+            ( 2,
+              map
+                (fun base ->
+                  Ast.Deref { Ast.d_id = 0; d_base = base; d_field = "v" })
+                (gen_pexpr (n - 1)) );
+            ( 1,
+              map2
+                (fun a b -> Ast.Binop (Ast.Add, a, b))
+                (map (fun i -> Ast.Int_lit i) (0 -- 9))
+                (map (fun i -> Ast.Int_lit i) (0 -- 9)) );
+          ]
+    in
+    let rec gen_stmt n =
+      if n = 0 then map (fun v -> Ast.Return (Some (Ast.Var v))) var
+      else
+        frequency
+          [
+            (2, map2 (fun v e -> Ast.Assign (v, e)) var (gen_pexpr 1));
+            ( 2,
+              map2
+                (fun base e ->
+                  Ast.Field_assign
+                    ({ Ast.d_id = 0; d_base = base; d_field = "v" }, e))
+                (gen_pexpr 1) (gen_iexpr 1) );
+            ( 1,
+              map3
+                (fun c th el -> Ast.If (c, [ th ], [ el ]))
+                (gen_iexpr 1) (gen_stmt (n - 1)) (gen_stmt (n - 1)) );
+            ( 1,
+              map2
+                (fun c body ->
+                  Ast.While { Ast.w_id = 0; w_cond = c; w_body = [ body ] })
+                (gen_iexpr 1) (gen_stmt (n - 1)) );
+          ]
+    in
+    let* body = list_size (1 -- 6) (gen_stmt 2) in
+    return
+      {
+        Ast.structs =
+          [
+            {
+              Ast.sd_name = "t";
+              sd_fields =
+                [
+                  { Ast.fd_name = "a"; fd_type = Ast.Tstruct "t"; fd_affinity = Some 0.8 };
+                  { Ast.fd_name = "b"; fd_type = Ast.Tstruct "t"; fd_affinity = None };
+                  { Ast.fd_name = "v"; fd_type = Ast.Tint; fd_affinity = None };
+                ];
+            };
+          ];
+        funcs =
+          [
+            {
+              Ast.f_name = "f";
+              f_ret = Ast.Tvoid;
+              f_params =
+                [ (Ast.Tstruct "t", "x"); (Ast.Tstruct "t", "y"); (Ast.Tstruct "t", "z") ];
+              f_body = body;
+            };
+          ];
+      })
+
+let prop_pp_parse_roundtrip =
+  QCheck.Test.make ~name:"pretty-print / parse round trip" ~count:200
+    (QCheck.make
+       ~print:(fun p -> Format.asprintf "%a" Ast.pp_program p)
+       gen_program)
+    (fun prog ->
+      let printed = Format.asprintf "%a" Ast.pp_program prog in
+      let reparsed = parse printed in
+      let reprinted = Format.asprintf "%a" Ast.pp_program reparsed in
+      printed = reprinted)
+
+(* --- Type checker ----------------------------------------------------------- *)
+
+let test_typecheck_accepts () =
+  let p =
+    parse
+      "struct t { t next; int v; } int f(t x) { if (x == null) { return 0; } \
+       return x->v + f(x->next); }"
+  in
+  ignore (Typecheck.check p)
+
+let typecheck_rejects src =
+  match Typecheck.check (parse src) with
+  | exception Typecheck.Type_error _ -> true
+  | _ -> false
+
+let test_typecheck_rejects () =
+  check bool "unknown field" true
+    (typecheck_rejects "struct t { int v; } int f(t x) { return x->w; }");
+  check bool "unbound variable" true
+    (typecheck_rejects "int f() { return y; }");
+  check bool "deref of int" true
+    (typecheck_rejects "struct t { int v; } int f(int x) { return x->v; }");
+  check bool "unknown function" true (typecheck_rejects "int f() { return g(); }");
+  check bool "arity mismatch" true
+    (typecheck_rejects "int g(int a) { return a; } int f() { return g(); }")
+
+(* --- Affinity algebra --------------------------------------------------------- *)
+
+let test_affinity_rules () =
+  Alcotest.check (Alcotest.float 1e-9) "path product" 0.63
+    (Affinity.along_path [ 0.9; 0.7 ]);
+  Alcotest.check (Alcotest.float 1e-9) "join average" 0.8 (Affinity.join 0.9 0.7);
+  (* Figure 4: 1 - (1-0.9)(1-0.7) = 0.97 *)
+  Alcotest.check (Alcotest.float 1e-9) "recursion combine" 0.97
+    (Affinity.recursion_combine [ 0.9; 0.7 ]);
+  (* the defaults: two 70% recursive calls -> 91%, above the 90% threshold *)
+  Alcotest.check (Alcotest.float 1e-9) "default tree traversal" 0.91
+    (Affinity.recursion_combine [ 0.7; 0.7 ])
+
+let prop_affinity_bounds =
+  QCheck.Test.make ~name:"affinity combinators stay in [0,1]" ~count:300
+    QCheck.(pair (float_bound_inclusive 1.) (float_bound_inclusive 1.))
+    (fun (a, b) ->
+      let in01 x = x >= 0. && x <= 1. in
+      in01 (Affinity.join a b)
+      && in01 (Affinity.recursion_combine [ a; b ])
+      && in01 (Affinity.along_path [ a; b ])
+      && Affinity.recursion_combine [ a; b ] >= Float.max a b -. 1e-12
+      && Affinity.along_path [ a; b ] <= Float.min a b +. 1e-12)
+
+(* --- Update matrices (Figures 3 and 4) ---------------------------------------- *)
+
+let loop_matrix src lid =
+  let a = Analysis.analyze (parse src) in
+  match Analysis.find_loop a lid with
+  | Some l -> l
+  | None -> Alcotest.failf "no loop %s" (Ast.loop_id_to_string lid)
+
+let fig3 =
+  {|
+struct matrix { matrix left @ 90; matrix right @ 70; int val; }
+void loop(matrix s, matrix t, matrix u) {
+  while (s != null) {
+    s = s->left;
+    t = t->right->left;
+    u = s->right;
+  }
+}
+|}
+
+let test_figure3_matrix () =
+  let l = loop_matrix fig3 (Ast.Lwhile 0) in
+  let entry s o = List.find_opt (fun (a, b, _) -> a = s && b = o) l.Analysis.matrix in
+  (match entry "s" "s" with
+  | Some (_, _, a) -> Alcotest.check (Alcotest.float 1e-9) "(s,s)" 0.9 a
+  | None -> Alcotest.fail "missing (s,s)");
+  (match entry "t" "t" with
+  | Some (_, _, a) -> Alcotest.check (Alcotest.float 1e-9) "(t,t)" 0.63 a
+  | None -> Alcotest.fail "missing (t,t)");
+  (* u is updated by s, not by itself: no diagonal entry for u *)
+  check bool "(u,u) absent" true (entry "u" "u" = None);
+  check bool "(u,s) present" true (entry "u" "s" <> None);
+  (* induction variables are exactly s and t *)
+  let ind = List.map fst (Analysis.induction_variables l) in
+  check bool "induction variables" true (List.sort compare ind = [ "s"; "t" ])
+
+let fig4 =
+  {|
+struct tree { tree left @ 90; tree right @ 70; int val; }
+int TreeAdd(tree t) {
+  if (t == null) { return 0; }
+  return TreeAdd(t->left) + TreeAdd(t->right) + t->val;
+}
+|}
+
+let test_figure4_matrix () =
+  let l = loop_matrix fig4 (Ast.Lrec "TreeAdd") in
+  match Analysis.induction_variables l with
+  | [ ("t", a) ] -> Alcotest.check (Alcotest.float 1e-9) "97%" 0.97 a
+  | _ -> Alcotest.fail "expected t as the only induction variable"
+
+let test_join_omission_rule () =
+  (* an update missing from one branch of an if is omitted (Section 4.2) *)
+  let src =
+    {|
+struct t { t next @ 90; int v; }
+void f(t x, int k) {
+  while (x != null) {
+    if (k > 0) { x = x->next; }
+    k = k - 1;
+  }
+}
+|}
+  in
+  let l = loop_matrix src (Ast.Lwhile 0) in
+  check bool "one-sided update omitted" true (Analysis.induction_variables l = [])
+
+let test_join_averaging_rule () =
+  let src =
+    {|
+struct t { t a @ 90; t b @ 50; int v; }
+void f(t x) {
+  while (x != null) {
+    if (x->v > 0) { x = x->a; } else { x = x->b; }
+  }
+}
+|}
+  in
+  let l = loop_matrix src (Ast.Lwhile 0) in
+  match Analysis.induction_variables l with
+  | [ ("x", a) ] -> Alcotest.check (Alcotest.float 1e-9) "averaged" 0.7 a
+  | _ -> Alcotest.fail "expected x averaged across branches"
+
+let test_identity_update_excluded () =
+  (* x = x (no dereference) is not a structure-traversing update; scalars
+     passed through recursion are not induction variables either *)
+  let src =
+    {|
+struct t { t next; int v; }
+int f(t x, float price) {
+  if (x == null) { return 0; }
+  return f(x->next, price);
+}
+|}
+  in
+  let l = loop_matrix src (Ast.Lrec "f") in
+  let vars = List.map fst (Analysis.induction_variables l) in
+  check bool "only x" true (vars = [ "x" ])
+
+(* --- Selection heuristic (Figure 5, Section 4.3) -------------------------------- *)
+
+let mech_of sel ~func ~var ~field =
+  let d =
+    List.find
+      (fun (d : Analysis.deref_info) ->
+        d.Analysis.deref_func = func
+        && d.Analysis.dbase = Some var
+        && d.Analysis.dfield = field)
+      sel.Heuristic.analysis.Analysis.derefs
+  in
+  Heuristic.mechanism_of_site sel d.Analysis.deref_id
+
+let test_figure5_bottleneck () =
+  let sel = Heuristic.of_source Olden_benchmarks.Tables.fig5_src in
+  (* WalkAndTraverse's inner tree traversal is demoted to caching *)
+  check bool "Traverse cached under parallel walk" true
+    (mech_of sel ~func:"Traverse" ~var:"t" ~field:"left" = C.Cache);
+  (* TraverseAndWalk's own recursion still migrates *)
+  check bool "TraverseAndWalk migrates" true
+    (mech_of sel ~func:"TraverseAndWalk" ~var:"t" ~field:"left" = C.Migrate);
+  (* the list walk fed a fresh list per node is not a bottleneck *)
+  check bool "Walk migrates (fed t->lst, which varies)" true
+    (mech_of sel ~func:"Walk" ~var:"l" ~field:"next" = C.Migrate);
+  check int "exactly one demotion" 1 (List.length sel.Heuristic.bottlenecks)
+
+let test_defaults_behaviour () =
+  (* Section 4.3: with default affinities, list traversals cache, tree
+     traversals migrate, tree searches cache *)
+  let sel = Heuristic.of_source Olden_benchmarks.Tables.defaults_src in
+  check bool "list traversal cached" true
+    (mech_of sel ~func:"walk_list" ~var:"l" ~field:"next" = C.Cache);
+  check bool "tree traversal migrates" true
+    (mech_of sel ~func:"traverse_tree" ~var:"t" ~field:"left" = C.Migrate);
+  check bool "tree search cached" true
+    (mech_of sel ~func:"search_tree" ~var:"t" ~field:"left" = C.Cache)
+
+let test_parallelizable_below_threshold_migrates () =
+  (* a parallel loop with low affinity still migrates: threads are only
+     created at migrations (Section 4.3) *)
+  let src =
+    {|
+struct t { t next @ 10; int v; }
+int visit(t x) { return x->v; }
+void f(t l) {
+  while (l != null) {
+    future visit(l);
+    l = l->next;
+  }
+}
+|}
+  in
+  let sel = Heuristic.of_source src in
+  check bool "parallelizable loop migrates despite 10%" true
+    (mech_of sel ~func:"f" ~var:"l" ~field:"next" = C.Migrate)
+
+let test_transitive_bottleneck () =
+  (* Barnes-Hut's shape: the parallel loop is two calls above the tree
+     walk, and the tree root is invariant — still a bottleneck *)
+  let sel = Heuristic.of_source Olden_benchmarks.Barneshut.ir in
+  check bool "gravsub demoted to cache" true
+    (mech_of sel ~func:"gravsub" ~var:"n" ~field:"child0" = C.Cache);
+  check bool "body-list walk still migrates" true
+    (mech_of sel ~func:"do_bodies" ~var:"cursor" ~field:"next" = C.Migrate)
+
+let test_no_induction_inherits_parent () =
+  let src =
+    {|
+struct t { t next @ 95; t other; int v; }
+void f(t l) {
+  while (l != null) {
+    t u = l->other;
+    while (u != null) {
+      u = null;
+    }
+    l = l->next;
+  }
+}
+|}
+  in
+  let sel = Heuristic.of_source src in
+  let inner =
+    List.find
+      (fun c -> c.Heuristic.c_lid = Ast.Lwhile 1)
+      sel.Heuristic.choices
+  in
+  (* the inner loop assigns u = null (no induction variable): it inherits
+     the parent's migration variable *)
+  check bool "inherits parent's selection" true
+    (inner.Heuristic.c_mechanism = C.Migrate
+    && inner.Heuristic.c_variable = Some "l")
+
+let test_at_most_one_migration_variable () =
+  (* two equally good induction variables: only one gets migration *)
+  let src =
+    {|
+struct t { t next @ 95; int v; }
+void f(t a, t b) {
+  while (a != null) {
+    a = a->next;
+    b = b->next;
+  }
+}
+|}
+  in
+  let sel = Heuristic.of_source src in
+  let ma = mech_of sel ~func:"f" ~var:"a" ~field:"next" in
+  let mb = mech_of sel ~func:"f" ~var:"b" ~field:"next" in
+  check bool "exactly one migrates" true
+    ((ma = C.Migrate) <> (mb = C.Migrate))
+
+let test_threshold_sensitivity () =
+  (* the DESIGN.md ablation: moving the threshold flips decisions exactly
+     where the affinities say it should *)
+  let src = Olden_benchmarks.Tables.defaults_src in
+  (* at the default 90%: lists cache (70%), tree traversals migrate (91%) *)
+  let sel90 = Heuristic.of_source src in
+  check bool "90%: list cached" true
+    (mech_of sel90 ~func:"walk_list" ~var:"l" ~field:"next" = C.Cache);
+  (* at 65%: the 70% list walk clears the bar and migrates *)
+  let sel65 = Heuristic.of_source ~threshold:0.65 src in
+  check bool "65%: list migrates" true
+    (mech_of sel65 ~func:"walk_list" ~var:"l" ~field:"next" = C.Migrate);
+  (* at 95%: the 91% tree traversal no longer qualifies and is cached *)
+  let sel95 = Heuristic.of_source ~threshold:0.95 src in
+  check bool "95%: tree traversal cached" true
+    (mech_of sel95 ~func:"traverse_tree" ~var:"t" ~field:"left" = C.Cache);
+  (* parallelizable loops migrate regardless of the threshold *)
+  let par =
+    {|
+struct t { t next @ 10; int v; }
+int visit(t x) { return x->v; }
+void f(t l) {
+  while (l != null) {
+    future visit(l);
+    l = l->next;
+  }
+}
+|}
+  in
+  let selp = Heuristic.of_source ~threshold:0.99 par in
+  check bool "parallelizable immune to threshold" true
+    (mech_of selp ~func:"f" ~var:"l" ~field:"next" = C.Migrate)
+
+let test_return_summaries () =
+  (* the interprocedural extension: a traversal through a helper function
+     is still recognized as an induction variable *)
+  let src =
+    {|
+struct t { t next @ 95; int v; }
+t step(t x) { return x->next; }
+t identity(t x) { return x; }
+t two(t x) { return x->next->next; }
+int walk(t l) {
+  while (l != null) { l = step(l); }
+  return 0;
+}
+int walk2(t l) {
+  while (l != null) { l = two(identity(l)); }
+  return 0;
+}
+int opaque(t l) {
+  while (l != null) { l = alloc_like(l); }
+  return 0;
+}
+t alloc_like(t x) { if (x->v > 0) { return x->next; } return alloc(t, 0); }
+|}
+  in
+  let sel = Heuristic.of_source src in
+  let choice lid =
+    List.find (fun c -> c.Heuristic.c_lid = lid) sel.Heuristic.choices
+  in
+  let c0 = choice (Ast.Lwhile 0) in
+  check bool "helper-stepped walk is induction at 95%" true
+    (c0.Heuristic.c_variable = Some "l" && c0.Heuristic.c_mechanism = C.Migrate);
+  let c1 = choice (Ast.Lwhile 1) in
+  (* 0.95 * 0.95 = 90.25% through two composed helpers *)
+  check bool "composed helpers still induction" true
+    (c1.Heuristic.c_variable = Some "l" && c1.Heuristic.c_mechanism = C.Migrate);
+  let c2 = choice (Ast.Lwhile 2) in
+  (* a helper that sometimes allocates has no usable summary *)
+  check bool "opaque helper yields no induction" true
+    (c2.Heuristic.c_variable = None)
+
+let test_benchmark_choices_match_paper () =
+  (* Table 2's "heuristic choice" column, from each benchmark's IR model *)
+  List.iter
+    (fun (s : Olden_benchmarks.Common.spec) ->
+      let sel = Heuristic.of_source s.Olden_benchmarks.Common.ir in
+      let m = Heuristic.uses_migration sel in
+      let c = Heuristic.uses_caching sel in
+      match s.Olden_benchmarks.Common.choice with
+      | "M" ->
+          check bool (s.Olden_benchmarks.Common.name ^ " uses migration") true m
+      | "M+C" ->
+          check bool
+            (s.Olden_benchmarks.Common.name ^ " uses both mechanisms")
+            true (m && c)
+      | other -> Alcotest.failf "unexpected choice %s" other)
+    Olden_benchmarks.Registry.specs
+
+let suite =
+  [
+    Alcotest.test_case "lexer basics" `Quick test_lexer_basics;
+    Alcotest.test_case "lexer errors" `Quick test_lexer_errors;
+    Alcotest.test_case "parser struct" `Quick test_parser_struct;
+    Alcotest.test_case "parser statements" `Quick test_parser_stmts;
+    Alcotest.test_case "parser precedence" `Quick test_parser_precedence;
+    Alcotest.test_case "parser future/touch/alloc" `Quick
+      test_parser_future_touch_alloc;
+    Alcotest.test_case "deref ids deterministic" `Quick
+      test_parser_deref_ids_deterministic;
+    Alcotest.test_case "parser errors" `Quick test_parser_errors;
+    Alcotest.test_case "pretty-print reparses" `Quick test_pretty_print_reparses;
+    QCheck_alcotest.to_alcotest prop_pp_parse_roundtrip;
+    Alcotest.test_case "typecheck accepts" `Quick test_typecheck_accepts;
+    Alcotest.test_case "typecheck rejects" `Quick test_typecheck_rejects;
+    Alcotest.test_case "affinity rules" `Quick test_affinity_rules;
+    QCheck_alcotest.to_alcotest prop_affinity_bounds;
+    Alcotest.test_case "figure 3 matrix" `Quick test_figure3_matrix;
+    Alcotest.test_case "figure 4 matrix" `Quick test_figure4_matrix;
+    Alcotest.test_case "join omission rule" `Quick test_join_omission_rule;
+    Alcotest.test_case "join averaging rule" `Quick test_join_averaging_rule;
+    Alcotest.test_case "identity updates excluded" `Quick
+      test_identity_update_excluded;
+    Alcotest.test_case "figure 5 bottleneck" `Quick test_figure5_bottleneck;
+    Alcotest.test_case "section 4.3 defaults" `Quick test_defaults_behaviour;
+    Alcotest.test_case "parallelizable below threshold" `Quick
+      test_parallelizable_below_threshold_migrates;
+    Alcotest.test_case "transitive bottleneck" `Quick test_transitive_bottleneck;
+    Alcotest.test_case "no induction inherits parent" `Quick
+      test_no_induction_inherits_parent;
+    Alcotest.test_case "at most one migration variable" `Quick
+      test_at_most_one_migration_variable;
+    Alcotest.test_case "threshold sensitivity" `Quick
+      test_threshold_sensitivity;
+    Alcotest.test_case "return summaries" `Quick test_return_summaries;
+    Alcotest.test_case "benchmark choices match paper" `Quick
+      test_benchmark_choices_match_paper;
+  ]

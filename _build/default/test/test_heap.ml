@@ -1,0 +1,171 @@
+(* Heap layer: global pointers, values, per-processor memories, geometry. *)
+
+open Olden
+module G = Config.Geometry
+
+let check = Alcotest.check
+let int = Alcotest.int
+let bool = Alcotest.bool
+
+(* --- Gptr --------------------------------------------------------------- *)
+
+let test_gptr_roundtrip () =
+  List.iter
+    (fun (proc, addr) ->
+      let p = Gptr.make ~proc ~addr in
+      check int "proc" proc (Gptr.proc p);
+      check int "addr" addr (Gptr.addr p);
+      check bool "not null" false (Gptr.is_null p))
+    [ (0, 0); (0, 1); (31, 0); (31, Gptr.max_addr); (511, 12345); (1, 511) ]
+
+let test_gptr_null () =
+  check bool "null is null" true (Gptr.is_null Gptr.null);
+  Alcotest.check_raises "proc of null" (Invalid_argument "Gptr.proc: null pointer")
+    (fun () -> ignore (Gptr.proc Gptr.null));
+  (* proc 0 / addr 0 must be distinguishable from null *)
+  check bool "zero pointer is not null" false
+    (Gptr.is_null (Gptr.make ~proc:0 ~addr:0))
+
+let test_gptr_offset () =
+  let p = Gptr.make ~proc:3 ~addr:100 in
+  let q = Gptr.offset p 28 in
+  check int "offset proc" 3 (Gptr.proc q);
+  check int "offset addr" 128 (Gptr.addr q)
+
+let test_gptr_bounds () =
+  Alcotest.check_raises "negative proc"
+    (Invalid_argument "Gptr.make: processor -1 out of range") (fun () ->
+      ignore (Gptr.make ~proc:(-1) ~addr:0));
+  Alcotest.check_raises "huge addr"
+    (Invalid_argument
+       (Printf.sprintf "Gptr.make: address %d out of range" (Gptr.max_addr + 1)))
+    (fun () -> ignore (Gptr.make ~proc:0 ~addr:(Gptr.max_addr + 1)))
+
+let prop_gptr_roundtrip =
+  QCheck.Test.make ~name:"gptr encode/decode roundtrip" ~count:500
+    QCheck.(pair (int_bound (Gptr.max_procs - 1)) (int_bound Gptr.max_addr))
+    (fun (proc, addr) ->
+      let p = Gptr.make ~proc ~addr in
+      Gptr.proc p = proc && Gptr.addr p = addr && not (Gptr.is_null p))
+
+let prop_gptr_equal_iff_same =
+  QCheck.Test.make ~name:"gptr equality is structural" ~count:500
+    QCheck.(
+      quad (int_bound 63) (int_bound 4095) (int_bound 63) (int_bound 4095))
+    (fun (p1, a1, p2, a2) ->
+      let x = Gptr.make ~proc:p1 ~addr:a1 and y = Gptr.make ~proc:p2 ~addr:a2 in
+      Gptr.equal x y = (p1 = p2 && a1 = a2))
+
+(* --- Value --------------------------------------------------------------- *)
+
+let test_value_accessors () =
+  check int "to_int" 42 (Value.to_int (Value.Int 42));
+  check (Alcotest.float 0.) "to_float of int" 3. (Value.to_float (Value.Int 3));
+  check bool "nil to_ptr is null" true (Gptr.is_null (Value.to_ptr Value.Nil));
+  check bool "bool roundtrip" true (Value.to_bool (Value.of_bool true));
+  check bool "equal" true (Value.equal (Value.Float 1.5) (Value.Float 1.5));
+  check bool "distinct constructors differ" false
+    (Value.equal (Value.Int 0) Value.Nil)
+
+let test_value_errors () =
+  Alcotest.check_raises "int of ptr"
+    (Invalid_argument "Value.to_int: <1,2>") (fun () ->
+      ignore (Value.to_int (Value.Ptr (Gptr.make ~proc:1 ~addr:2))))
+
+(* --- Memory -------------------------------------------------------------- *)
+
+let test_memory_alloc_store_load () =
+  let m = Memory.create ~nprocs:4 in
+  let a = Memory.alloc m ~proc:2 3 in
+  check int "owner" 2 (Gptr.proc a);
+  Memory.store m a 0 (Value.Int 7);
+  Memory.store m a 2 (Value.Ptr a);
+  check bool "load word 0" true (Value.equal (Value.Int 7) (Memory.load m a 0));
+  check bool "load word 1 default nil" true
+    (Value.equal Value.Nil (Memory.load m a 1));
+  check bool "load word 2" true (Value.equal (Value.Ptr a) (Memory.load m a 2))
+
+let test_memory_bump_allocation () =
+  let m = Memory.create ~nprocs:2 in
+  let a = Memory.alloc m ~proc:0 4 in
+  let b = Memory.alloc m ~proc:0 4 in
+  let c = Memory.alloc m ~proc:1 4 in
+  check int "sequential addresses" (Gptr.addr a + 4) (Gptr.addr b);
+  check int "independent sections" 0 (Gptr.addr c);
+  check int "words used" 8 (Memory.words_used m 0)
+
+let test_memory_bounds () =
+  let m = Memory.create ~nprocs:2 in
+  let a = Memory.alloc m ~proc:0 2 in
+  Alcotest.check_raises "out of range"
+    (Invalid_argument
+       (Printf.sprintf "Memory: %s+2: address out of allocated range"
+          (Gptr.to_string a)))
+    (fun () -> ignore (Memory.load m a 2))
+
+let test_memory_growth () =
+  let m = Memory.create ~nprocs:1 in
+  (* force several section doublings *)
+  let last = ref Gptr.null in
+  for _ = 1 to 10000 do
+    last := Memory.alloc m ~proc:0 3
+  done;
+  Memory.store m !last 2 (Value.Int 99);
+  check int "value survives growth" 99 (Value.to_int (Memory.load m !last 2))
+
+let test_read_line () =
+  let m = Memory.create ~nprocs:1 in
+  let a = Memory.alloc m ~proc:0 G.words_per_line in
+  for i = 0 to G.words_per_line - 1 do
+    Memory.store m a i (Value.Int i)
+  done;
+  let line = Memory.read_line m ~proc:0 ~line_index:0 in
+  check int "line width" G.words_per_line (Array.length line);
+  Array.iteri (fun i v -> check int "line word" i (Value.to_int v)) line;
+  (* a line past the bump pointer reads as Nil *)
+  let beyond = Memory.read_line m ~proc:0 ~line_index:5 in
+  Array.iter (fun v -> check bool "nil" true (Value.equal Value.Nil v)) beyond
+
+(* --- Geometry ------------------------------------------------------------ *)
+
+let test_geometry () =
+  check int "words per line" 16 G.words_per_line;
+  check int "words per page" 512 G.words_per_page;
+  check int "lines per page" 32 G.lines_per_page;
+  check int "hash buckets" 1024 G.hash_buckets;
+  check int "page of word" 2 (G.page_of_word 1025);
+  check int "line of word within page" 0 (G.line_of_word 1025);
+  check int "line of word" 31 (G.line_of_word ((512 * 7) + 511));
+  check int "word offset in page" 1 (G.word_offset_in_page 1025)
+
+let prop_geometry_consistent =
+  QCheck.Test.make ~name:"page/line arithmetic consistent" ~count:500
+    QCheck.(int_bound 1_000_000)
+    (fun w ->
+      let page = G.page_of_word w
+      and line = G.line_of_word w
+      and off = G.word_offset_in_page w in
+      (page * G.words_per_page) + off = w
+      && line = off / G.words_per_line
+      && G.line_index_of_word w = (page * G.lines_per_page) + line)
+
+let suite =
+  [
+    Alcotest.test_case "gptr roundtrip" `Quick test_gptr_roundtrip;
+    Alcotest.test_case "gptr null" `Quick test_gptr_null;
+    Alcotest.test_case "gptr offset" `Quick test_gptr_offset;
+    Alcotest.test_case "gptr bounds" `Quick test_gptr_bounds;
+    QCheck_alcotest.to_alcotest prop_gptr_roundtrip;
+    QCheck_alcotest.to_alcotest prop_gptr_equal_iff_same;
+    Alcotest.test_case "value accessors" `Quick test_value_accessors;
+    Alcotest.test_case "value errors" `Quick test_value_errors;
+    Alcotest.test_case "memory alloc/store/load" `Quick
+      test_memory_alloc_store_load;
+    Alcotest.test_case "memory bump allocation" `Quick
+      test_memory_bump_allocation;
+    Alcotest.test_case "memory bounds" `Quick test_memory_bounds;
+    Alcotest.test_case "memory growth" `Quick test_memory_growth;
+    Alcotest.test_case "read_line" `Quick test_read_line;
+    Alcotest.test_case "geometry" `Quick test_geometry;
+    QCheck_alcotest.to_alcotest prop_geometry_consistent;
+  ]

@@ -1,0 +1,279 @@
+(* The mini-Olden interpreter: the full parse -> typecheck -> analyze ->
+   execute path on the simulated machine. *)
+
+module I = Olden_interp.Interp
+module C = Olden_config
+
+let check = Alcotest.check
+let int = Alcotest.int
+let bool = Alcotest.bool
+let string = Alcotest.string
+
+let run ?(nprocs = 4) src =
+  I.run_source (C.make ~nprocs ()) src
+
+let ret src = Value.to_int (run src).I.return_value
+
+let test_arithmetic () =
+  check int "arith" 17 (ret "int main() { return 2 + 3 * 5; }");
+  check int "division" 3 (ret "int main() { return 10 / 3; }");
+  check int "modulo" 1 (ret "int main() { return 10 % 3; }");
+  check int "unary minus" (-4) (ret "int main() { return -4; }");
+  check int "comparison chain" 1
+    (ret "int main() { return 1 < 2 && 2 <= 2 && 3 > 2 && 2 >= 2 && 1 != 2; }")
+
+let test_float_arithmetic () =
+  let r = run "float main() { return 1.5 * 4.0; }" in
+  Alcotest.check (Alcotest.float 1e-9) "float" 6. (Value.to_float r.I.return_value)
+
+let test_control_flow () =
+  check int "if/else" 2 (ret "int main() { if (0 > 1) { return 1; } else { return 2; } }");
+  check int "while" 45
+    (ret
+       "int main() { int s = 0; int i = 0; while (i < 10) { s = s + i; i = i \
+        + 1; } return s; }")
+
+let test_short_circuit () =
+  (* && must not evaluate its right operand when the left is false;
+     a null dereference there would crash *)
+  check int "short circuit" 7
+    (ret
+       {|
+struct t { int v; }
+int main() {
+  t x = null;
+  if (x != null && x->v > 0) { return 1; }
+  return 7;
+}
+|})
+
+let test_heap_structures () =
+  check int "list sum" 6
+    (ret
+       {|
+struct cell { cell next; int v; }
+int main() {
+  cell a = alloc(cell, 0);
+  cell b = alloc(cell, 0);
+  cell c = alloc(cell, 0);
+  a->v = 1; b->v = 2; c->v = 3;
+  a->next = b; b->next = c; c->next = null;
+  int s = 0;
+  cell p = a;
+  while (p != null) { s = s + p->v; p = p->next; }
+  return s;
+}
+|})
+
+let test_recursion () =
+  check int "fib" 55
+    (ret
+       "int fib(int n) { if (n < 2) { return n; } return fib(n - 1) + fib(n - \
+        2); } int main() { return fib(10); }")
+
+let test_futures () =
+  check int "future/touch" 30
+    (ret
+       {|
+struct t { int v; }
+int work10(int x) { work(100); return x * 10; }
+int main() {
+  int f = future work10(1);
+  int g = future work10(2);
+  return touch(f) + touch(g);
+}
+|})
+
+let treeadd_src depth =
+  Printf.sprintf
+    {|
+struct tree { tree left; tree right; int val; }
+tree build(int depth, int lo, int hi) {
+  tree t = alloc(tree, lo);
+  t->val = 1;
+  if (depth == 0) { t->left = null; t->right = null; }
+  else {
+    int mid = (lo + hi) / 2;
+    if (hi - lo < 2) { mid = lo; }
+    t->left = build(depth - 1, mid, hi);
+    t->right = build(depth - 1, lo, mid);
+  }
+  return t;
+}
+int TreeAdd(tree t) {
+  if (t == null) { return 0; }
+  work(200);
+  int l = future TreeAdd(t->left);
+  int r = TreeAdd(t->right);
+  return touch(l) + r + t->val;
+}
+int main() { return TreeAdd(build(%d, 0, nprocs())); }
+|}
+    depth
+
+let test_treeadd_parallel_matches () =
+  let expected = (1 lsl 9) - 1 in
+  List.iter
+    (fun nprocs ->
+      check int
+        (Printf.sprintf "treeadd on %d procs" nprocs)
+        expected
+        (Value.to_int (run ~nprocs (treeadd_src 8)).I.return_value))
+    [ 1; 2; 8 ]
+
+let test_treeadd_speeds_up () =
+  let span nprocs =
+    (run ~nprocs (treeadd_src 10)).I.report.Olden_runtime.Engine.makespan
+  in
+  check bool "8 procs beat 1" true (span 8 * 2 < span 1)
+
+let test_for_loop_and_else_if () =
+  check int "for loop with else-if" 1221
+    (ret
+       {|
+int main() {
+  int s = 0;
+  for (int i = 0; i < 10; i = i + 1) {
+    if (i % 3 == 0) { s = s + i; }
+    else if (i % 3 == 1) { s = s + 100 * i; }
+    else { s = s + 1; }
+  }
+  return s;
+}
+|});
+  (* a for-loop traversal is still a control loop for the heuristic *)
+  let sel =
+    Olden_compiler.Heuristic.of_source
+      {|
+struct t { t next @ 95; int v; }
+int f(t l) {
+  int s = 0;
+  for (t p = l; p != null; p = p->next) {
+    s = s + p->v;
+  }
+  return s;
+}
+|}
+  in
+  let c = List.hd sel.Olden_compiler.Heuristic.choices in
+  check bool "for-loop induction variable found" true
+    (c.Olden_compiler.Heuristic.c_variable = Some "p")
+
+let test_print_output () =
+  let r = run "int main() { print(1 + 1); print(7); return 0; }" in
+  check string "print" "2\n7\n" r.I.output
+
+let test_rand_deterministic () =
+  let src = "int main() { return rand(1000) + rand(1000); }" in
+  check int "same seed, same draws" (ret src) (ret src)
+
+let test_runtime_null_error () =
+  check bool "null deref raises" true
+    (match run "struct t { int v; } int main() { t x = null; return x->v; }" with
+    | exception Olden_runtime.Engine.Null_dereference _ -> true
+    | _ -> false)
+
+let test_division_by_zero () =
+  check bool "division by zero" true
+    (match run "int main() { return 1 / 0; }" with
+    | exception I.Runtime_error _ -> true
+    | _ -> false)
+
+let test_interp_uses_heuristic_sites () =
+  (* the mini TreeAdd migrates: running on several processors must show
+     migrations, not cache traffic, on the traversal *)
+  let r = run ~nprocs:8 (treeadd_src 8) in
+  let stats = r.I.report.Olden_runtime.Engine.stats in
+  check bool "migrations happened" true (stats.Stats.migrations > 0)
+
+(* Randomized arithmetic programs: the interpreter agrees with a direct
+   OCaml evaluation of the same expression tree. *)
+type aexp =
+  | Lit of int
+  | Add of aexp * aexp
+  | Sub of aexp * aexp
+  | Mul of aexp * aexp
+  | Neg of aexp
+
+let rec aexp_to_src = function
+  | Lit i -> string_of_int i
+  | Add (a, b) -> Printf.sprintf "(%s + %s)" (aexp_to_src a) (aexp_to_src b)
+  | Sub (a, b) -> Printf.sprintf "(%s - %s)" (aexp_to_src a) (aexp_to_src b)
+  | Mul (a, b) -> Printf.sprintf "(%s * %s)" (aexp_to_src a) (aexp_to_src b)
+  | Neg a -> Printf.sprintf "(-%s)" (aexp_to_src a)
+
+let rec aexp_eval = function
+  | Lit i -> i
+  | Add (a, b) -> aexp_eval a + aexp_eval b
+  | Sub (a, b) -> aexp_eval a - aexp_eval b
+  | Mul (a, b) -> aexp_eval a * aexp_eval b
+  | Neg a -> -aexp_eval a
+
+let gen_aexp =
+  QCheck.Gen.(
+    sized_size (0 -- 6) (fix (fun self n ->
+        if n = 0 then map (fun i -> Lit i) (0 -- 50)
+        else
+          frequency
+            [
+              (1, map (fun i -> Lit i) (0 -- 50));
+              (2, map2 (fun a b -> Add (a, b)) (self (n / 2)) (self (n / 2)));
+              (2, map2 (fun a b -> Sub (a, b)) (self (n / 2)) (self (n / 2)));
+              (1, map2 (fun a b -> Mul (a, b)) (self (n / 2)) (self (n / 2)));
+              (1, map (fun a -> Neg a) (self (n - 1)));
+            ])))
+
+let prop_arithmetic_agrees =
+  QCheck.Test.make ~name:"random arithmetic agrees with OCaml" ~count:150
+    (QCheck.make ~print:aexp_to_src gen_aexp)
+    (fun e ->
+      let src = Printf.sprintf "int main() { return %s; }" (aexp_to_src e) in
+      ret src = aexp_eval e)
+
+let test_example_programs () =
+  (* every shipped mini-Olden program parses, type-checks, and runs *)
+  let dir = "../../../examples/programs" in
+  let dir = if Sys.file_exists dir then dir else "examples/programs" in
+  if Sys.file_exists dir then begin
+    let files =
+      Sys.readdir dir |> Array.to_list
+      |> List.filter (fun f -> Filename.check_suffix f ".olden")
+      |> List.sort compare
+    in
+    check bool "programs shipped" true (List.length files >= 3);
+    List.iter
+      (fun f ->
+        let path = Filename.concat dir f in
+        let ic = open_in path in
+        let src = really_input_string ic (in_channel_length ic) in
+        close_in ic;
+        let r = run ~nprocs:4 src in
+        check bool (f ^ " ran") true
+          (String.length r.I.output > 0
+          || not (Value.equal r.I.return_value Value.Nil)))
+      files
+  end
+
+let suite =
+  [
+    Alcotest.test_case "arithmetic" `Quick test_arithmetic;
+    Alcotest.test_case "float arithmetic" `Quick test_float_arithmetic;
+    Alcotest.test_case "control flow" `Quick test_control_flow;
+    Alcotest.test_case "short circuit" `Quick test_short_circuit;
+    Alcotest.test_case "heap structures" `Quick test_heap_structures;
+    Alcotest.test_case "recursion" `Quick test_recursion;
+    Alcotest.test_case "futures" `Quick test_futures;
+    Alcotest.test_case "treeadd parallel matches" `Quick
+      test_treeadd_parallel_matches;
+    Alcotest.test_case "treeadd speeds up" `Quick test_treeadd_speeds_up;
+    Alcotest.test_case "for loop and else-if" `Quick
+      test_for_loop_and_else_if;
+    Alcotest.test_case "print output" `Quick test_print_output;
+    Alcotest.test_case "rand deterministic" `Quick test_rand_deterministic;
+    Alcotest.test_case "null dereference" `Quick test_runtime_null_error;
+    Alcotest.test_case "division by zero" `Quick test_division_by_zero;
+    Alcotest.test_case "interp uses heuristic sites" `Quick
+      test_interp_uses_heuristic_sites;
+    QCheck_alcotest.to_alcotest prop_arithmetic_agrees;
+    Alcotest.test_case "example programs" `Slow test_example_programs;
+  ]

@@ -1,0 +1,155 @@
+(* Machine layer: clocks, messaging, handler occupancy, statistics. *)
+
+open Olden
+
+let check = Alcotest.check
+let int = Alcotest.int
+
+let mk ?(nprocs = 4) ?(contention = false) () =
+  Machine.create (Config.make ~nprocs ~handler_contention:contention ())
+
+let test_advance () =
+  let m = mk () in
+  Machine.advance m 0 100;
+  Machine.advance m 0 50;
+  Machine.advance m 2 30;
+  check int "clock 0" 150 (Machine.now m 0);
+  check int "clock 2" 30 (Machine.now m 2);
+  check int "clock untouched" 0 (Machine.now m 1);
+  check int "makespan" 150 (Machine.makespan m);
+  check int "busy total" 180 (Machine.total_busy m)
+
+let test_wait_until () =
+  let m = mk () in
+  Machine.advance m 1 10;
+  Machine.wait_until m 1 100;
+  check int "clock lifted" 100 (Machine.now m 1);
+  Machine.wait_until m 1 50;
+  check int "never moves backward" 100 (Machine.now m 1);
+  (* waiting is idle time, not busy time *)
+  check int "busy is only the advance" 10 (Machine.total_busy m)
+
+let test_request_reply () =
+  let m = mk () in
+  let c = Config.default_costs in
+  let reply = Machine.request_reply m ~src:0 ~dst:1 ~service:100 in
+  check int "round trip" ((2 * c.Config.net_latency) + 100) reply;
+  check int "requester blocked until reply" reply (Machine.now m 0);
+  check int "home compute clock untouched" 0 (Machine.now m 1);
+  check int "two messages" 2 (Machine.stats m).Stats.messages
+
+let test_handler_contention () =
+  let m = mk ~contention:true () in
+  let c = Config.default_costs in
+  (* two requests from different processors to the same home queue up *)
+  let r1 = Machine.request_reply m ~src:0 ~dst:2 ~service:100 in
+  let r2 = Machine.request_reply m ~src:1 ~dst:2 ~service:100 in
+  check int "first unqueued" ((2 * c.Config.net_latency) + 100) r1;
+  check int "second waits for the handler"
+    ((2 * c.Config.net_latency) + 200)
+    r2
+
+let test_no_contention_flag () =
+  let m = mk ~contention:false () in
+  let r1 = Machine.request_reply m ~src:0 ~dst:2 ~service:100 in
+  let r2 = Machine.request_reply m ~src:1 ~dst:2 ~service:100 in
+  check int "handlers overlap when contention is off" r1 r2
+
+let test_one_way () =
+  let m = mk () in
+  let c = Config.default_costs in
+  let done_at = Machine.one_way m ~src:0 ~dst:3 ~service:40 in
+  check int "delivery time" (c.Config.net_latency + 40) done_at;
+  check int "sender does not block" 0 (Machine.now m 0);
+  check int "one message" 1 (Machine.stats m).Stats.messages
+
+let test_utilization () =
+  let m = mk ~nprocs:2 () in
+  Machine.advance m 0 100;
+  Machine.advance m 1 50;
+  Alcotest.check (Alcotest.float 1e-9) "utilization" 0.75 (Machine.utilization m)
+
+let test_stats_copy_diff () =
+  let s = Stats.create () in
+  s.Stats.migrations <- 5;
+  s.Stats.cache_misses <- 7;
+  let snap = Stats.copy s in
+  s.Stats.migrations <- 9;
+  s.Stats.cache_misses <- 11;
+  check int "copy is a snapshot" 5 snap.Stats.migrations;
+  let d = Stats.diff s snap in
+  check int "diff migrations" 4 d.Stats.migrations;
+  check int "diff misses" 4 d.Stats.cache_misses
+
+let test_stats_fractions () =
+  let s = Stats.create () in
+  s.Stats.cacheable_reads <- 100;
+  s.Stats.cacheable_reads_remote <- 25;
+  s.Stats.cacheable_writes <- 50;
+  s.Stats.cacheable_writes_remote <- 10;
+  s.Stats.cache_misses <- 7;
+  Alcotest.check (Alcotest.float 1e-9) "remote read fraction" 0.25
+    (Stats.remote_read_fraction s);
+  Alcotest.check (Alcotest.float 1e-9) "remote write fraction" 0.2
+    (Stats.remote_write_fraction s);
+  Alcotest.check (Alcotest.float 1e-9) "remote miss fraction" 0.2
+    (Stats.remote_miss_fraction s)
+
+let prop_busy_le_makespan_times_procs =
+  QCheck.Test.make ~name:"busy <= makespan * nprocs" ~count:200
+    QCheck.(list_of_size Gen.(1 -- 50) (pair (int_bound 3) (int_bound 1000)))
+    (fun ops ->
+      let m = mk () in
+      List.iter (fun (p, c) -> Machine.advance m p c) ops;
+      Machine.total_busy m <= Machine.makespan m * 4)
+
+let suite =
+  [
+    Alcotest.test_case "advance" `Quick test_advance;
+    Alcotest.test_case "wait_until" `Quick test_wait_until;
+    Alcotest.test_case "request_reply" `Quick test_request_reply;
+    Alcotest.test_case "handler contention" `Quick test_handler_contention;
+    Alcotest.test_case "contention flag off" `Quick test_no_contention_flag;
+    Alcotest.test_case "one_way" `Quick test_one_way;
+    Alcotest.test_case "utilization" `Quick test_utilization;
+    Alcotest.test_case "stats copy/diff" `Quick test_stats_copy_diff;
+    Alcotest.test_case "stats fractions" `Quick test_stats_fractions;
+    QCheck_alcotest.to_alcotest prop_busy_le_makespan_times_procs;
+  ]
+
+let test_timeline_buckets () =
+  (* busy cycles land in the right buckets and are conserved *)
+  let intervals = [ (0, 0, 100); (0, 150, 250); (1, 90, 110) ] in
+  let grid, bucket_len =
+    Olden_runtime.Timeline.buckets ~nprocs:2 ~makespan:400 ~width:4 intervals
+  in
+  check int "bucket length" 100 bucket_len;
+  check int "p0 bucket 0" 100 grid.(0).(0);
+  check int "p0 bucket 1" 50 grid.(0).(1);
+  check int "p0 bucket 2" 50 grid.(0).(2);
+  check int "p0 bucket 3" 0 grid.(0).(3);
+  check int "p1 straddles buckets" 10 grid.(1).(0);
+  check int "p1 second part" 10 grid.(1).(1);
+  let total =
+    Array.fold_left
+      (fun acc row -> Array.fold_left ( + ) acc row)
+      0
+      [| grid.(0); grid.(1) |]
+  in
+  check int "conserved" (100 + 100 + 20) total
+
+let test_interval_recording () =
+  let m = mk ~nprocs:2 () in
+  Machine.set_record_intervals m true;
+  Machine.advance m 0 40;
+  Machine.advance m 1 10;
+  Machine.advance m 0 5;
+  check Alcotest.bool "intervals recorded in order" true
+    (Machine.busy_intervals m = [ (0, 0, 40); (1, 0, 10); (0, 40, 45) ])
+
+let suite =
+  suite
+  @ [
+      Alcotest.test_case "timeline buckets" `Quick test_timeline_buckets;
+      Alcotest.test_case "interval recording" `Quick test_interval_recording;
+    ]

@@ -1,0 +1,14 @@
+(* Test runner for the whole reproduction. *)
+
+let () =
+  Alcotest.run "olden"
+    [
+      ("heap", Test_heap.suite);
+      ("machine", Test_machine.suite);
+      ("cache", Test_cache.suite);
+      ("engine", Test_engine.suite);
+      ("coherence", Test_coherence.suite);
+      ("compiler", Test_compiler.suite);
+      ("interp", Test_interp.suite);
+      ("benchmarks", Test_benchmarks.suite);
+    ]
