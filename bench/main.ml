@@ -6,6 +6,7 @@
      dune exec bench/main.exe                # everything
      dune exec bench/main.exe -- tables      # only the paper tables/figures
      dune exec bench/main.exe -- micro       # only the Bechamel suite
+     dune exec bench/main.exe -- snapshots   # only BENCH_table2.json
 *)
 
 open Olden_benchmarks
@@ -14,6 +15,42 @@ module C = Olden_config
 let ppf = Format.std_formatter
 
 let rule () = Format.printf "%s@." (String.make 78 '-')
+
+(* Machine-readable counterpart of Table 2: one olden-metrics/v1 snapshot
+   per benchmark (8 processors, harness scale, traced so the snapshot
+   includes event-derived histograms), written to BENCH_table2.json in
+   the working directory. *)
+let metrics_snapshots () =
+  let module Json = Olden_trace.Json in
+  let nprocs = 8 in
+  let rows =
+    List.map
+      (fun (s : Common.spec) ->
+        let cfg = C.make ~nprocs () in
+        let scale = s.Common.default_scale in
+        Common.record_trace := true;
+        Olden_runtime.Site.reset_profiles ();
+        let o = s.Common.run cfg ~scale in
+        Common.record_trace := false;
+        let events = Option.value ~default:[||] !Common.last_trace in
+        Common.metrics_snapshot ~events s ~cfg ~scale o)
+      Registry.specs
+  in
+  let file = "BENCH_table2.json" in
+  let oc = open_out file in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc
+        (Json.to_pretty_string
+           (Json.Obj
+              [
+                ("schema", Json.String "olden-metrics-table/v1");
+                ("nprocs", Json.Int nprocs);
+                ("benchmarks", Json.List rows);
+              ])));
+  Format.printf "metrics snapshots: %s (%d benchmarks, %d processors)@." file
+    (List.length rows) nprocs
 
 let tables () =
   rule ();
@@ -64,6 +101,8 @@ let tables () =
   Breakeven.report ~n:2048 ppf ();
   rule ();
   Em3d.pp_sweep ppf (Em3d.remote_sweep ());
+  rule ();
+  metrics_snapshots ();
   rule ()
 
 (* --- Bechamel microbenchmarks -------------------------------------------- *)
@@ -140,6 +179,7 @@ let () =
   (match what with
   | "tables" -> tables ()
   | "micro" -> micro ()
+  | "snapshots" -> metrics_snapshots ()
   | _ ->
       tables ();
       micro ());

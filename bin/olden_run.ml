@@ -77,6 +77,79 @@ let sites_t =
     value & flag
     & info [ "sites" ] ~doc:"Print the per-site traffic profile.")
 
+(* --- Trace / metrics output --------------------------------------------- *)
+
+let trace_file_t =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Write the run's event stream as Chrome trace_event JSON \
+           (load in Perfetto or chrome://tracing).")
+
+let jsonl_file_t =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace-jsonl" ] ~docv:"FILE"
+        ~doc:"Write the run's event stream as JSON Lines, one event per line.")
+
+let metrics_file_t =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics-json" ] ~docv:"FILE"
+        ~doc:
+          "Write a machine-readable metrics snapshot (olden-metrics/v1): \
+           Stats counters plus per-processor and per-site breakdowns and \
+           event-derived histograms.")
+
+let with_out file f =
+  let oc =
+    try open_out file
+    with Sys_error msg ->
+      Format.eprintf "olden-run: cannot write output file (%s)@." msg;
+      exit 2
+  in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> f oc)
+
+(* Run one benchmark with the trace collector installed when any output
+   asks for events; returns the outcome and the (possibly empty) stream. *)
+let run_collected (spec : B.Common.spec) cfg ~scale ~want_events =
+  B.Common.record_trace := want_events;
+  Olden_runtime.Site.reset_profiles ();
+  let o = spec.B.Common.run cfg ~scale in
+  B.Common.record_trace := false;
+  let events =
+    if want_events then Option.value ~default:[||] !B.Common.last_trace
+    else [||]
+  in
+  (o, events)
+
+let write_trace_outputs ~procs ~events ~trace_file ~jsonl_file ~metrics_file
+    mk_snapshot =
+  Option.iter
+    (fun file ->
+      with_out file (fun oc ->
+          Olden_trace.Chrome_trace.write oc ~nprocs:procs events);
+      Format.printf "trace: %s (%d events, Chrome trace_event JSON)@." file
+        (Array.length events))
+    trace_file;
+  Option.iter
+    (fun file ->
+      with_out file (fun oc -> Olden_trace.Jsonl.write oc events);
+      Format.printf "trace: %s (%d events, JSONL)@." file
+        (Array.length events))
+    jsonl_file;
+  Option.iter
+    (fun file ->
+      with_out file (fun oc ->
+          output_string oc
+            (Olden_trace.Json.to_pretty_string (mk_snapshot events)));
+      Format.printf "metrics: %s@." file)
+    metrics_file
+
 let timeline_t =
   Arg.(
     value & flag
@@ -84,13 +157,17 @@ let timeline_t =
         ~doc:"Render a text Gantt chart of processor activity.")
 
 let bench_cmd =
-  let run name procs scale coherence policy timeline sites =
+  let run name procs scale coherence policy timeline sites trace_file
+      jsonl_file metrics_file =
     let spec = find_spec name in
     let scale = if scale = 0 then spec.B.Common.default_scale else scale in
     let cfg = C.make ~nprocs:procs ~coherence ~policy () in
     B.Common.record_timeline := timeline;
-    Olden_runtime.Site.reset_profiles ();
-    let o = spec.B.Common.run cfg ~scale in
+    let want_events =
+      Option.is_some trace_file || Option.is_some jsonl_file
+      || Option.is_some metrics_file
+    in
+    let o, events = run_collected spec cfg ~scale ~want_events in
     B.Common.record_timeline := false;
     Format.printf "%s on %d processor(s), scale 1/%d, %s coherence, %s policy@."
       spec.B.Common.name procs scale
@@ -111,13 +188,51 @@ let bench_cmd =
         (fun s -> Format.printf "  %a@." Olden_runtime.Site.pp_profile s)
         (Olden_runtime.Site.profile ())
     end;
+    write_trace_outputs ~procs ~events ~trace_file ~jsonl_file ~metrics_file
+      (fun events -> B.Common.metrics_snapshot ~events spec ~cfg ~scale o);
     if not o.B.Common.ok then exit 1
   in
   Cmd.v
     (Cmd.info "bench" ~doc:"Run one benchmark once and print its statistics.")
     Term.(
       const run $ name_t $ procs_t $ scale_t $ coherence_t $ policy_t
-      $ timeline_t $ sites_t)
+      $ timeline_t $ sites_t $ trace_file_t $ jsonl_file_t $ metrics_file_t)
+
+let head_t =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "head" ] ~docv:"N"
+        ~doc:"Also print the first $(docv) raw events.")
+
+let trace_cmd =
+  let run name procs scale coherence policy trace_file jsonl_file metrics_file
+      head =
+    let spec = find_spec name in
+    let scale = if scale = 0 then spec.B.Common.default_scale else scale in
+    let cfg = C.make ~nprocs:procs ~coherence ~policy () in
+    let o, events = run_collected spec cfg ~scale ~want_events:true in
+    Format.printf "%s on %d processor(s), scale 1/%d, %s coherence, %s policy@."
+      spec.B.Common.name procs scale
+      (C.coherence_to_string coherence)
+      (C.policy_to_string policy);
+    Format.printf "result: %s (%s)@." o.B.Common.checksum
+      (if o.B.Common.ok then "verified" else "VERIFICATION FAILED");
+    Format.printf "%a"
+      (fun ppf -> Olden_trace.Summary.pp ~site_name:B.Common.site_name ?head ppf)
+      events;
+    write_trace_outputs ~procs ~events ~trace_file ~jsonl_file ~metrics_file
+      (fun events -> B.Common.metrics_snapshot ~events spec ~cfg ~scale o);
+    if not o.B.Common.ok then exit 1
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "Run one benchmark with event tracing on and print a digest of the \
+          stream; --trace/--trace-jsonl/--metrics-json write exporter files.")
+    Term.(
+      const run $ name_t $ procs_t $ scale_t $ coherence_t $ policy_t
+      $ trace_file_t $ jsonl_file_t $ metrics_file_t $ head_t)
 
 let csv_t =
   Arg.(value & flag & info [ "csv" ] ~doc:"Emit comma-separated values.")
@@ -170,6 +285,7 @@ let main =
     [
       list_cmd;
       bench_cmd;
+      trace_cmd;
       speedups_cmd;
       table_cmd "table1" "Regenerate Table 1 (benchmark descriptions)."
         B.Tables.table1;

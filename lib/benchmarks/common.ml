@@ -14,6 +14,8 @@ module Engine = Olden_runtime.Engine
 module Prng = Olden_runtime.Prng
 module Heuristic = Olden_compiler.Heuristic
 module Analysis = Olden_compiler.Analysis
+module Trace = Olden_trace.Trace
+module Json = Olden_trace.Json
 
 type outcome = {
   ok : bool; (* result matches the sequential reference *)
@@ -51,6 +53,17 @@ let measured_stats spec outcome =
 let record_timeline = ref false
 let last_timeline : string option ref = ref None
 
+(* Driver hook: when set, [execute] installs a trace collector for the
+   duration of the run and leaves the event stream in [last_trace].  When
+   clear, [execute] leaves the sink alone, so a caller may instead wrap
+   the whole run in [Trace.collect] itself.  [execute] always leaves the
+   machine's per-processor busy cycles and final clocks behind for
+   metrics snapshots. *)
+let record_trace = ref false
+let last_trace : Trace.event array option ref = ref None
+let last_busy : int array ref = ref [||]
+let last_clocks : int array ref = ref [||]
+
 (* The program receives the engine so its verification step can inspect
    the heap directly (at host level, free of simulated cost). *)
 let execute (cfg : C.t) ~(program : Engine.t -> string * bool) : outcome =
@@ -58,7 +71,22 @@ let execute (cfg : C.t) ~(program : Engine.t -> string * bool) : outcome =
   if !record_timeline then
     Machine.set_record_intervals (Engine.machine engine) true;
   let result = ref ("", false) in
-  Engine.exec engine (fun () -> result := program engine);
+  let collector =
+    if !record_trace then begin
+      let c = Trace.Collector.create () in
+      Trace.install (Trace.Collector.add c);
+      Some c
+    end
+    else None
+  in
+  Fun.protect
+    ~finally:(fun () -> if Option.is_some collector then Trace.uninstall ())
+    (fun () -> Engine.exec engine (fun () -> result := program engine));
+  (match collector with
+  | Some c -> last_trace := Some (Trace.Collector.events c)
+  | None -> ());
+  last_busy := Machine.busy_cycles (Engine.machine engine);
+  last_clocks := Machine.clocks (Engine.machine engine);
   if !record_timeline then
     last_timeline :=
       Some
@@ -79,6 +107,76 @@ let execute (cfg : C.t) ~(program : Engine.t -> string * bool) : outcome =
     kernel_stats;
     total_stats = report.Engine.stats;
   }
+
+(* --- Metrics snapshots -------------------------------------------------- *)
+
+(* Site-id -> name lookup against the global registry, for labelling
+   per-site metrics and trace summaries. *)
+let site_name sid =
+  List.find_opt (fun (s : Site.t) -> s.Site.sid = sid) (Site.all ())
+  |> Option.map (fun (s : Site.t) -> s.Site.sname)
+
+(* The machine-readable counterpart of [olden-run bench]'s report
+   (schema: docs/OBSERVABILITY.md).  Always carries the run identity,
+   Stats counters, the per-processor busy/clock arrays left by [execute],
+   and the per-site profile; when an event stream is supplied the
+   event-derived metrics registry (per-kind/per-proc/per-site counters and
+   latency/burst histograms) is included under "metrics". *)
+let metrics_snapshot ?events (spec : spec) ~(cfg : C.t) ~scale (o : outcome) :
+    Json.t =
+  let per_proc =
+    List.init (Array.length !last_busy) (fun p ->
+        Json.Obj
+          [
+            ("proc", Json.Int p);
+            ("busy_cycles", Json.Int !last_busy.(p));
+            ("clock", Json.Int !last_clocks.(p));
+          ])
+  in
+  let per_site =
+    List.map
+      (fun (s : Site.t) ->
+        Json.Obj
+          [
+            ("sid", Json.Int s.Site.sid);
+            ("name", Json.String s.Site.sname);
+            ("mechanism", Json.String (C.mechanism_to_string s.Site.mech));
+            ("loads", Json.Int s.Site.loads);
+            ("stores", Json.Int s.Site.stores);
+            ("remote", Json.Int s.Site.remote);
+            ("migrations", Json.Int s.Site.migrations);
+            ("misses", Json.Int s.Site.misses);
+            ("comm_cycles", Json.Int (Site.comm_cycles cfg.C.costs s));
+          ])
+      (Site.all ())
+  in
+  let event_metrics =
+    match events with
+    | None -> []
+    | Some evs ->
+        [ ("metrics", Olden_trace.Metrics.to_json
+                        (Olden_trace.Recorder.of_events ~site_name evs)) ]
+  in
+  Json.Obj
+    ([
+       ("schema", Json.String "olden-metrics/v1");
+       ("benchmark", Json.String spec.name);
+       ("choice", Json.String spec.choice);
+       ("nprocs", Json.Int cfg.C.nprocs);
+       ("scale", Json.Int scale);
+       ("coherence", Json.String (C.coherence_to_string cfg.C.coherence));
+       ("policy", Json.String (C.policy_to_string cfg.C.policy));
+       ("verified", Json.Bool o.ok);
+       ("checksum", Json.String o.checksum);
+       ("measured_cycles", Json.Int (measured_cycles spec o));
+       ("kernel_cycles", Json.Int o.kernel_cycles);
+       ("total_cycles", Json.Int o.total_cycles);
+       ("stats", Stats.to_json (measured_stats spec o));
+       ("total_stats", Stats.to_json o.total_stats);
+       ("per_proc", Json.List per_proc);
+       ("per_site", Json.List per_site);
+     ]
+    @ event_metrics)
 
 (* --- Coupling kernels to the compiler heuristic ------------------------ *)
 

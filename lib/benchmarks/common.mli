@@ -14,6 +14,8 @@ module Engine = Olden_runtime.Engine
 module Prng = Olden_runtime.Prng
 module Heuristic = Olden_compiler.Heuristic
 module Analysis = Olden_compiler.Analysis
+module Trace = Olden_trace.Trace
+module Json = Olden_trace.Json
 
 type outcome = {
   ok : bool;  (** result matches the sequential reference *)
@@ -45,6 +47,30 @@ val record_timeline : bool ref
     Gantt chart in {!last_timeline} (a driver convenience). *)
 
 val last_timeline : string option ref
+
+val record_trace : bool ref
+(** When set, {!execute} installs a trace collector for the run and
+    leaves the event stream in {!last_trace}.  When clear the sink is
+    left alone, so a caller may wrap the run in [Trace.collect] itself. *)
+
+val last_trace : Trace.event array option ref
+
+val last_busy : int array ref
+(** Per-processor busy cycles of the most recent {!execute}. *)
+
+val last_clocks : int array ref
+(** Per-processor final clocks of the most recent {!execute}. *)
+
+val site_name : int -> string option
+(** Site-id to name lookup against the global registry (for trace
+    summaries and per-site metric labels). *)
+
+val metrics_snapshot :
+  ?events:Trace.event array -> spec -> cfg:C.t -> scale:int -> outcome -> Json.t
+(** Machine-readable run report (schema ["olden-metrics/v1"], documented
+    in docs/OBSERVABILITY.md): run identity, Stats counters,
+    per-processor busy/clock arrays, per-site profile, and — when an
+    event stream is supplied — the event-derived metrics registry. *)
 
 val execute : C.t -> program:(Engine.t -> string * bool) -> outcome
 (** Run a benchmark program (which receives the engine so verification can

@@ -7,6 +7,7 @@
 
 module G = Olden_config.Geometry
 module C = Olden_config
+module Trace = Olden_trace.Trace
 
 type t = {
   cfg : C.t;
@@ -23,13 +24,25 @@ let create cfg machine memory =
     machine;
     memory;
     tables = Array.init n (fun _ -> Translation.create ());
-    directories = Array.init n (fun _ -> Directory.create ());
+    directories =
+      Array.init n (fun home ->
+          (* the home's clock stamps the directory's own trace events *)
+          Directory.create ~home
+            ~clock:(fun () -> Machine.now machine home)
+            ());
   }
 
 let table t proc = t.tables.(proc)
 let stats t = Machine.stats t.machine
 let coherence t = t.cfg.C.coherence
 let costs t = t.cfg.C.costs
+
+(* Stamp an event with [proc]'s clock and the engine-deposited thread /
+   site context.  Only ever called under a [Trace.is_on] guard. *)
+let emit t ~proc kind =
+  Trace.emit
+    { Trace.time = Machine.now t.machine proc; proc; tid = Trace.thread ();
+      site = Trace.site (); kind }
 
 (* Locate (or allocate, on first touch) the cache entry on [proc] for the
    page containing word [addr] of processor [home]. *)
@@ -59,6 +72,9 @@ let revalidate t ~proc (e : Translation.entry) =
   let s = stats t in
   s.Stats.revalidations <- s.Stats.revalidations + 1;
   s.Stats.lines_invalidated <- s.Stats.lines_invalidated + dropped;
+  if Trace.is_on () then
+    emit t ~proc
+      (Trace.Revalidate { home = e.home; page = e.page_index; dropped });
   e.ts <- ts;
   e.suspect <- false
 
@@ -81,7 +97,10 @@ let fetch_line t ~proc (e : Translation.entry) ~line =
       let p = Directory.get t.directories.(e.home) e.page_index in
       p.Directory.ever_shared <- true);
   let s = stats t in
-  s.Stats.cache_misses <- s.Stats.cache_misses + 1
+  s.Stats.cache_misses <- s.Stats.cache_misses + 1;
+  if Trace.is_on () then
+    emit t ~proc
+      (Trace.Cache_miss { home = e.home; page = e.page_index; line })
 
 (* A read through the caching mechanism on [proc].  The compiler-inserted
    check tests locality first (as cheap as a migration site's test); only
@@ -102,8 +121,12 @@ let read t ~proc gptr ~field =
     let e = entry_for t ~proc ~home ~addr in
     if e.suspect then revalidate t ~proc e;
     let line = G.line_of_word addr in
-    if Translation.line_valid e line then
-      s.Stats.cache_hits <- s.Stats.cache_hits + 1
+    if Translation.line_valid e line then begin
+      s.Stats.cache_hits <- s.Stats.cache_hits + 1;
+      if Trace.is_on () then
+        emit t ~proc
+          (Trace.Cache_hit { home; page = e.page_index; line })
+    end
     else fetch_line t ~proc e ~line;
     Machine.advance t.machine proc c.C.local_ref;
     e.data.(G.word_offset_in_page addr)
@@ -181,9 +204,14 @@ let on_migration_received t ~proc =
   | C.Local ->
       Machine.advance t.machine proc c.C.cache_flush;
       s.Stats.cache_flushes <- s.Stats.cache_flushes + 1;
+      if Trace.is_on () then
+        emit t ~proc
+          (Trace.Cache_flush
+             { entries = Translation.entry_count t.tables.(proc) });
       Translation.flush t.tables.(proc)
   | C.Bilateral ->
       Machine.advance t.machine proc c.C.cache_flush;
+      if Trace.is_on () then emit t ~proc Trace.Suspect_all;
       Translation.mark_all_suspect t.tables.(proc)
   | C.Global -> ()
 
@@ -209,12 +237,19 @@ let on_migration_sent t ~proc ~(log : Write_log.t) =
                      ~service:c.C.invalidate_line);
                 s.Stats.invalidation_messages <-
                   s.Stats.invalidation_messages + 1;
+                if Trace.is_on () then
+                  emit t ~proc
+                    (Trace.Inval_send { target = sharer; page = page_index });
                 match Translation.find t.tables.(sharer) gpage with
                 | None -> ()
                 | Some e ->
                     let dropped = Translation.invalidate_lines e mask in
                     s.Stats.lines_invalidated <-
-                      s.Stats.lines_invalidated + dropped
+                      s.Stats.lines_invalidated + dropped;
+                    if Trace.is_on () then
+                      emit t ~proc:sharer
+                        (Trace.Inval_recv
+                           { source = proc; page = page_index; dropped })
               end)
             sharers)
         (Write_log.dirty_pages log);
@@ -228,7 +263,10 @@ let on_migration_sent t ~proc ~(log : Write_log.t) =
             ignore
               (Machine.one_way t.machine ~src:proc ~dst:home
                  ~service:c.C.invalidate_line);
-            s.Stats.invalidation_messages <- s.Stats.invalidation_messages + 1
+            s.Stats.invalidation_messages <-
+              s.Stats.invalidation_messages + 1;
+            if Trace.is_on () then
+              emit t ~proc (Trace.Inval_send { target = home; page = page_index })
           end;
           Directory.bump_timestamp t.directories.(home) ~page_index)
         (Write_log.dirty_pages log);
@@ -243,21 +281,27 @@ let on_return_received t ~proc ~(log : Write_log.t) =
   match coherence t with
   | C.Local ->
       if t.cfg.C.return_invalidate_refinement then begin
-        let dropped =
-          Translation.invalidate_homes t.tables.(proc)
-            (Write_log.written_procs log)
-        in
+        let written = Write_log.written_procs log in
+        let dropped = Translation.invalidate_homes t.tables.(proc) written in
         Machine.advance t.machine proc
-          (c.C.invalidate_line * List.length (Write_log.written_procs log));
-        s.Stats.lines_invalidated <- s.Stats.lines_invalidated + dropped
+          (c.C.invalidate_line * List.length written);
+        s.Stats.lines_invalidated <- s.Stats.lines_invalidated + dropped;
+        if Trace.is_on () && written <> [] then
+          emit t ~proc
+            (Trace.Inval_recv { source = -1; page = -1; dropped })
       end
       else begin
         Machine.advance t.machine proc c.C.cache_flush;
         s.Stats.cache_flushes <- s.Stats.cache_flushes + 1;
+        if Trace.is_on () then
+          emit t ~proc
+            (Trace.Cache_flush
+               { entries = Translation.entry_count t.tables.(proc) });
         Translation.flush t.tables.(proc)
       end
   | C.Bilateral ->
       Machine.advance t.machine proc c.C.cache_flush;
+      if Trace.is_on () then emit t ~proc Trace.Suspect_all;
       Translation.mark_all_suspect t.tables.(proc)
   | C.Global -> ()
 

@@ -14,11 +14,25 @@ type page = {
   mutable ever_shared : bool; (* drives the 7-vs-23-cycle write-track cost *)
 }
 
+module Trace = Olden_trace.Trace
+
 type t = {
   pages : (int, page) Hashtbl.t; (* local page index -> record *)
+  home : int; (* which processor's heap section this directory covers *)
+  clock : unit -> int; (* the home's cycle clock, for event stamps *)
 }
 
-let create () = { pages = Hashtbl.create 64 }
+(* Standalone directories (tests, tools) need no identity or clock; the
+   cache system passes both so directory-side events carry real stamps. *)
+let create ?(home = -1) ?(clock = fun () -> 0) () =
+  { pages = Hashtbl.create 64; home; clock }
+
+(* Home-side bookkeeping runs under the home's identity; thread and site
+   context are whatever the engine last deposited. *)
+let emit t kind =
+  Trace.emit
+    { Trace.time = t.clock (); proc = t.home; tid = Trace.thread ();
+      site = Trace.site (); kind }
 
 let get t page_index =
   match Hashtbl.find_opt t.pages page_index with
@@ -60,13 +74,16 @@ let is_shared t page_index =
    timestamp will be told to drop it. *)
 let record_write t ~page_index ~line =
   let p = get t page_index in
-  p.line_ts.(line) <- p.ts + 1
+  p.line_ts.(line) <- p.ts + 1;
+  if Trace.is_on () then emit t (Trace.Dir_write { page = page_index; line })
 
 (* A release (outgoing migration) makes the logged writes visible:
    advance the page timestamp past all pending stamps. *)
 let bump_timestamp t ~page_index =
   let p = get t page_index in
-  p.ts <- p.ts + 1
+  p.ts <- p.ts + 1;
+  if Trace.is_on () then
+    emit t (Trace.Dir_release { page = page_index; ts = p.ts })
 
 (* Bilateral revalidation: given the sharer's last-validated timestamp,
    return the mask of lines written since then and the current timestamp. *)

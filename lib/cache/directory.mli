@@ -15,7 +15,10 @@ type page = {
 
 type t
 
-val create : unit -> t
+val create : ?home:int -> ?clock:(unit -> int) -> unit -> t
+(** [home] is the processor whose heap section this directory covers and
+    [clock] its cycle clock; both only stamp the directory's trace
+    events (defaults: [-1] and a clock stuck at 0, fine for tests). *)
 
 val get : t -> int -> page
 (** The record for a local page index, created on demand. *)

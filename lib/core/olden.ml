@@ -31,3 +31,10 @@ module Engine = Olden_runtime.Engine
 module Effects = Olden_runtime.Effects
 module Prng = Olden_runtime.Prng
 module Timeline = Olden_runtime.Timeline
+module Trace = Olden_trace.Trace
+module Json = Olden_trace.Json
+module Metrics = Olden_trace.Metrics
+module Chrome_trace = Olden_trace.Chrome_trace
+module Jsonl = Olden_trace.Jsonl
+module Recorder = Olden_trace.Recorder
+module Trace_summary = Olden_trace.Summary

@@ -52,8 +52,35 @@ let create () =
     write_track_cycles = 0;
   }
 
-(* Snapshot for phase-relative measurements. *)
-let copy t = { t with migrations = t.migrations }
+(* Snapshot for phase-relative measurements.  Written out field by field
+   on purpose: every field is mutable, so the snapshot must be a fresh
+   record — the [{ t with ... }] shorthand also copies, but reads as if
+   it shared structure, and silently keeps "copying" if a field is ever
+   made immutable. *)
+let copy t =
+  {
+    migrations = t.migrations;
+    returns = t.returns;
+    futures = t.futures;
+    touches = t.touches;
+    steals = t.steals;
+    local_refs = t.local_refs;
+    cacheable_reads = t.cacheable_reads;
+    cacheable_reads_remote = t.cacheable_reads_remote;
+    cacheable_writes = t.cacheable_writes;
+    cacheable_writes_remote = t.cacheable_writes_remote;
+    cache_hits = t.cache_hits;
+    cache_misses = t.cache_misses;
+    cache_flushes = t.cache_flushes;
+    lines_invalidated = t.lines_invalidated;
+    invalidation_messages = t.invalidation_messages;
+    revalidations = t.revalidations;
+    pages_cached = t.pages_cached;
+    remote_allocs = t.remote_allocs;
+    messages = t.messages;
+    bytes = t.bytes;
+    write_track_cycles = t.write_track_cycles;
+  }
 
 (* Counter-wise difference [b - a]; used to isolate a kernel phase. *)
 let diff b a =
@@ -95,6 +122,43 @@ let remote_write_fraction t =
 let remote_miss_fraction t =
   let remote = t.cacheable_reads_remote + t.cacheable_writes_remote in
   if remote = 0 then 0. else float_of_int t.cache_misses /. float_of_int remote
+
+(* The counters by name, in declaration order — the single source for
+   both the JSON snapshot and any future tabular export. *)
+let fields t =
+  [
+    ("migrations", t.migrations);
+    ("returns", t.returns);
+    ("futures", t.futures);
+    ("touches", t.touches);
+    ("steals", t.steals);
+    ("local_refs", t.local_refs);
+    ("cacheable_reads", t.cacheable_reads);
+    ("cacheable_reads_remote", t.cacheable_reads_remote);
+    ("cacheable_writes", t.cacheable_writes);
+    ("cacheable_writes_remote", t.cacheable_writes_remote);
+    ("cache_hits", t.cache_hits);
+    ("cache_misses", t.cache_misses);
+    ("cache_flushes", t.cache_flushes);
+    ("lines_invalidated", t.lines_invalidated);
+    ("invalidation_messages", t.invalidation_messages);
+    ("revalidations", t.revalidations);
+    ("pages_cached", t.pages_cached);
+    ("remote_allocs", t.remote_allocs);
+    ("messages", t.messages);
+    ("bytes", t.bytes);
+    ("write_track_cycles", t.write_track_cycles);
+  ]
+
+let to_json t =
+  let module J = Olden_trace.Json in
+  J.Obj
+    (List.map (fun (name, v) -> (name, J.Int v)) (fields t)
+    @ [
+        ("remote_read_fraction", J.Float (remote_read_fraction t));
+        ("remote_write_fraction", J.Float (remote_write_fraction t));
+        ("remote_miss_fraction", J.Float (remote_miss_fraction t));
+      ])
 
 let pp ppf t =
   Format.fprintf ppf

@@ -46,4 +46,11 @@ val remote_miss_fraction : t -> float
 (** Fraction of remote cacheable references that missed (Table 3's
     "% of remote references that miss"). *)
 
+val fields : t -> (string * int) list
+(** Every counter with its name, in declaration order. *)
+
+val to_json : t -> Olden_trace.Json.t
+(** All counters plus the derived fractions, as a stable JSON object
+    (used by the metrics snapshots; see docs/OBSERVABILITY.md). *)
+
 val pp : Format.formatter -> t -> unit

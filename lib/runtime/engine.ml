@@ -17,6 +17,7 @@
 module C = Olden_config
 module Cache = Olden_cache.Cache_system
 module Write_log = Olden_cache.Write_log
+module Trace = Olden_trace.Trace
 open Effects
 
 exception Null_dereference of string
@@ -99,6 +100,13 @@ let trace t msg =
     Printf.eprintf "[t=%8d p=%2d tid=%d] %s\n%!" (now t) t.cur_proc
       t.cur_thread.tid (msg ())
 
+(* Structured event emission (Olden_trace).  Every call site is guarded
+   on [Trace.is_on] so nothing is allocated when no sink is installed. *)
+let emit t ?(site = -1) kind =
+  Trace.emit
+    { Trace.time = now t; proc = t.cur_proc; tid = t.cur_thread.tid; site;
+      kind }
+
 (* A toucher acquiring a result resolved on another processor must not see
    stale copies of what the resolver wrote: the same invalidation applies
    as when a thread returns (Section 3.2). *)
@@ -123,6 +131,10 @@ let resolve t (cell : fut) v =
       trace t (fun () ->
           Printf.sprintf "resolve fut#%d (%d waiter(s))" cell.fid
             (List.length waiters));
+      if Trace.is_on () then
+        emit t
+          (Trace.Future_resolve
+             { fid = cell.fid; waiters = List.length waiters });
       Cache.on_migration_sent t.cache ~proc:t.cur_proc ~log:t.cur_thread.log;
       cell.resolver_proc <- t.cur_proc;
       cell.resolver_log <- Some t.cur_thread.log;
@@ -151,16 +163,18 @@ let effective_mechanism t (site : Site.t) =
 
 (* Suspend the current fiber and ship it to [target]: a computation
    migration.  [on_arrival] completes the interrupted operation there. *)
-let migrate_to t ~target ~(k : ('a, unit) Effect.Deep.continuation)
+let migrate_to t ~site ~target ~(k : ('a, unit) Effect.Deep.continuation)
     ~(complete : unit -> 'a) =
   let c = costs t in
   let s = stats t in
   s.Stats.migrations <- s.Stats.migrations + 1;
   let thread = t.cur_thread in
+  let source = t.cur_proc in
   trace t (fun () -> Printf.sprintf "migrate -> %d" target);
   (* an outgoing migration is a release point *)
   Cache.on_migration_sent t.cache ~proc:t.cur_proc ~log:thread.log;
   advance t c.C.migrate_send;
+  if Trace.is_on () then emit t ~site (Trace.Migrate_send { target });
   Machine.count_bytes t.machine 256 (* registers + PC + frame *);
   let ready_at = now t + c.C.net_latency in
   schedule_event t ~proc:target ~ready_at
@@ -169,6 +183,11 @@ let migrate_to t ~target ~(k : ('a, unit) Effect.Deep.continuation)
       go =
         (fun () ->
           Machine.advance t.machine target c.C.migrate_recv;
+          if Trace.is_on () then
+            Trace.emit
+              { Trace.time = Machine.now t.machine target; proc = target;
+                tid = thread.tid; site;
+                kind = Trace.Migrate_arrive { source } };
           (* an incoming migration is an acquire point *)
           Cache.on_migration_received t.cache ~proc:target;
           Effect.Deep.continue k (complete ()));
@@ -195,7 +214,9 @@ let rec handler t : (unit, unit) Effect.Deep.handler =
             else begin
               (stats t).Stats.remote_allocs <-
                 (stats t).Stats.remote_allocs + 1;
-              advance t (c.C.alloc_local + c.C.alloc_service)
+              advance t (c.C.alloc_local + c.C.alloc_service);
+              if Trace.is_on () then
+                emit t (Trace.Remote_alloc { home = proc; words })
             end;
             Effect.Deep.continue k (Memory.alloc t.memory ~proc words))
     | Load (site, g, field) ->
@@ -214,6 +235,10 @@ let rec handler t : (unit, unit) Effect.Deep.handler =
                 site.Site.remote <- site.Site.remote + 1;
               match effective_mechanism t site with
               | C.Cache ->
+                  if Trace.is_on () then begin
+                    Trace.set_thread t.cur_thread.tid;
+                    Trace.set_site site.Site.sid
+                  end;
                   let before = (stats t).Stats.cache_misses in
                   let v = Cache.read t.cache ~proc:t.cur_proc g ~field in
                   site.Site.misses <-
@@ -230,7 +255,8 @@ let rec handler t : (unit, unit) Effect.Deep.handler =
                   end
                   else begin
                     site.Site.migrations <- site.Site.migrations + 1;
-                    migrate_to t ~target:home ~k ~complete:(fun () ->
+                    migrate_to t ~site:site.Site.sid ~target:home ~k
+                      ~complete:(fun () ->
                         Machine.advance t.machine home c.C.local_ref;
                         Memory.load t.memory g field)
                   end
@@ -252,6 +278,10 @@ let rec handler t : (unit, unit) Effect.Deep.handler =
                 site.Site.remote <- site.Site.remote + 1;
               match effective_mechanism t site with
               | C.Cache ->
+                  if Trace.is_on () then begin
+                    Trace.set_thread t.cur_thread.tid;
+                    Trace.set_site site.Site.sid
+                  end;
                   Cache.write t.cache ~proc:t.cur_proc g ~field v
                     ~log:t.cur_thread.log;
                   Effect.Deep.continue k ()
@@ -269,7 +299,8 @@ let rec handler t : (unit, unit) Effect.Deep.handler =
                   end
                   else begin
                     site.Site.migrations <- site.Site.migrations + 1;
-                    migrate_to t ~target:home ~k ~complete:(fun () ->
+                    migrate_to t ~site:site.Site.sid ~target:home ~k
+                      ~complete:(fun () ->
                         Machine.advance t.machine home c.C.local_ref;
                         Memory.store t.memory g field v;
                         Cache.note_migrate_write t.cache ~proc:home g ~field
@@ -293,6 +324,8 @@ let rec handler t : (unit, unit) Effect.Deep.handler =
               }
             in
             trace t (fun () -> Printf.sprintf "future fut#%d spawned" cell.fid);
+            if Trace.is_on () then
+              emit t (Trace.Future_spawn { fid = cell.fid });
             (* Save the return continuation on this processor's work list.
                If it is stolen it becomes a new thread (with a fresh write
                log); if the body completes without migrating, the processor
@@ -320,10 +353,14 @@ let rec handler t : (unit, unit) Effect.Deep.handler =
             advance t c.C.future_touch;
             match cell.state with
             | Done v ->
+                if Trace.is_on () then
+                  emit t (Trace.Future_touch { fid = cell.fid; parked = false });
                 acquire_result t ~proc:t.cur_proc ~toucher:t.cur_thread cell;
                 Effect.Deep.continue k v
             | Pending waiters ->
                 trace t (fun () -> Printf.sprintf "touch fut#%d: park" cell.fid);
+                if Trace.is_on () then
+                  emit t (Trace.Future_touch { fid = cell.fid; parked = true });
                 t.blocked <- t.blocked + 1;
                 cell.state <-
                   Pending
@@ -338,10 +375,12 @@ let rec handler t : (unit, unit) Effect.Deep.handler =
               let s = stats t in
               s.Stats.returns <- s.Stats.returns + 1;
               let thread = t.cur_thread in
+              let source = t.cur_proc in
               (* a return is also a release point *)
               Cache.on_migration_sent t.cache ~proc:t.cur_proc
                 ~log:thread.log;
               advance t c.C.return_send;
+              if Trace.is_on () then emit t (Trace.Return_send { target });
               Machine.count_bytes t.machine 64 (* registers + return addr *);
               let ready_at = now t + c.C.net_latency in
               schedule_event t ~proc:target ~ready_at
@@ -350,6 +389,11 @@ let rec handler t : (unit, unit) Effect.Deep.handler =
                   go =
                     (fun () ->
                       Machine.advance t.machine target c.C.return_recv;
+                      if Trace.is_on () then
+                        Trace.emit
+                          { Trace.time = Machine.now t.machine target;
+                            proc = target; tid = thread.tid; site = -1;
+                            kind = Trace.Return_arrive { source } };
                       Cache.on_return_received t.cache ~proc:target
                         ~log:thread.log;
                       Effect.Deep.continue k ());
@@ -366,6 +410,11 @@ let rec handler t : (unit, unit) Effect.Deep.handler =
             t.phases <-
               { pname = name; at = m; snapshot = Stats.copy (stats t) }
               :: t.phases;
+            if Trace.is_on () then
+              Trace.emit
+                { Trace.time = m; proc = t.cur_proc;
+                  tid = t.cur_thread.tid; site = -1;
+                  kind = Trace.Phase_mark name };
             Effect.Deep.continue k ())
     | _ -> None
   in
@@ -422,10 +471,15 @@ let step t =
             let s = stats t in
             s.Stats.steals <- s.Stats.steals + 1;
             Machine.advance t.machine proc (costs t).C.steal;
+            if Trace.is_on () then
+              Trace.emit
+                { Trace.time = Machine.now t.machine proc; proc;
+                  tid = w.wtask.thread.tid; site = -1; kind = Trace.Steal };
             w.wtask
       in
       t.cur_proc <- proc;
       t.cur_thread <- task.thread;
+      if Trace.is_on () then Trace.set_thread task.thread.tid;
       task.go ();
       true
 

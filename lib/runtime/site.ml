@@ -28,6 +28,13 @@ let make ?(mech = Olden_config.Migrate) sname =
   Hashtbl.replace registry s.sid s;
   s
 
+(* Forget every site and restart the id counter.  Sites are process
+   globals, so a test that wants the same sids across repeated in-process
+   runs (e.g. the golden trace test) must reset between runs. *)
+let reset () =
+  Hashtbl.reset registry;
+  counter := 0
+
 let reset_profiles () =
   Hashtbl.iter
     (fun _ s ->

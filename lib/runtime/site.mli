@@ -32,6 +32,11 @@ val name : t -> string
 val all : unit -> t list
 (** Every site registered so far, in creation order. *)
 
+val reset : unit -> unit
+(** Forget every site and restart the id counter.  Sites are process
+    globals; tests that need identical sids across repeated in-process
+    runs reset between them. *)
+
 val reset_profiles : unit -> unit
 (** Zero every site's counters (sites are global; reset between runs when
     profiling). *)

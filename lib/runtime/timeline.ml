@@ -15,19 +15,31 @@ let glyph_of_fraction f =
   else if f < 0.75 then '+'
   else '#'
 
-(* Per-processor busy fraction per bucket. *)
+(* Per-processor busy cycles per bucket.
+
+   The bucket length must be the *ceiling* of makespan/width: with the
+   floor, a makespan not divisible by [width] (and especially a makespan
+   smaller than [width]) leaves the tail of the run beyond the last
+   bucket, where clamping used to pile the overflow into the final cell —
+   counting some cycles twice and losing others.  With the ceiling,
+   [width * bucket_len >= makespan], so every cycle has exactly one
+   bucket and busy time is conserved.  Zero-length intervals contribute
+   nothing. *)
 let buckets ~nprocs ~makespan ~width intervals =
+  if width <= 0 then invalid_arg "Timeline.buckets: width must be positive";
   let grid = Array.make_matrix nprocs width 0 in
-  let bucket_len = max 1 (makespan / width) in
+  let bucket_len = max 1 ((makespan + width - 1) / width) in
   List.iter
     (fun (proc, start, stop) ->
-      let b0 = min (width - 1) (start / bucket_len) in
-      let b1 = min (width - 1) ((stop - 1) / bucket_len) in
-      for b = b0 to b1 do
-        let lo = max start (b * bucket_len) in
-        let hi = min stop ((b + 1) * bucket_len) in
-        if hi > lo then grid.(proc).(b) <- grid.(proc).(b) + (hi - lo)
-      done)
+      if stop > start then begin
+        let b0 = min (width - 1) (start / bucket_len) in
+        let b1 = min (width - 1) ((stop - 1) / bucket_len) in
+        for b = b0 to b1 do
+          let lo = max start (b * bucket_len) in
+          let hi = min stop ((b + 1) * bucket_len) in
+          if hi > lo then grid.(proc).(b) <- grid.(proc).(b) + (hi - lo)
+        done
+      end)
     intervals;
   (grid, bucket_len)
 

@@ -1,0 +1,129 @@
+(* Chrome trace_event exporter.
+
+   Produces the JSON object format understood by Perfetto and
+   chrome://tracing: one process ("olden simulation"), one track per
+   simulated processor (pid 0, tid = processor number).  Every runtime
+   event becomes a thread-scoped instant event whose args carry the
+   simulated thread id, dereference-site id, and the kind's payload;
+   migrations and return stubs additionally emit flow arrows (ph "s"/"f")
+   so the thread's hop from processor to processor is drawn across
+   tracks.  Simulated cycles are reported as microseconds — absolute
+   units are meaningless for a simulator, and 1 cycle = 1 us keeps the
+   timeline readable. *)
+
+let metadata ~nprocs =
+  let meta name tid args =
+    Json.Obj
+      [
+        ("name", Json.String name);
+        ("ph", Json.String "M");
+        ("pid", Json.Int 0);
+        ("tid", Json.Int tid);
+        ("args", Json.Obj args);
+      ]
+  in
+  meta "process_name" 0 [ ("name", Json.String "olden simulation") ]
+  :: List.concat
+       (List.init nprocs (fun p ->
+            [
+              meta "thread_name" p
+                [ ("name", Json.String (Printf.sprintf "proc %d" p)) ];
+              meta "thread_sort_index" p [ ("sort_index", Json.Int p) ];
+            ]))
+
+let instant (ev : Trace.event) =
+  let args =
+    ("tid", Json.Int ev.Trace.tid)
+    :: ("site", Json.Int ev.Trace.site)
+    :: Trace.kind_args ev.Trace.kind
+  in
+  Json.Obj
+    [
+      ("name", Json.String (Trace.kind_name ev.Trace.kind));
+      ("ph", Json.String "i");
+      ("s", Json.String "t");
+      ("ts", Json.Int ev.Trace.time);
+      ("pid", Json.Int 0);
+      ("tid", Json.Int ev.Trace.proc);
+      ("args", Json.Obj args);
+    ]
+
+let flow ~phase ~name ~id (ev : Trace.event) =
+  let fields =
+    [
+      ("name", Json.String name);
+      ("cat", Json.String "flow");
+      ("ph", Json.String phase);
+      ("id", Json.Int id);
+      ("ts", Json.Int ev.Trace.time);
+      ("pid", Json.Int 0);
+      ("tid", Json.Int ev.Trace.proc);
+    ]
+  in
+  (* binding point "enclosing slice" lets the arrow land on the instant *)
+  if phase = "f" then Json.Obj (fields @ [ ("bp", Json.String "e") ])
+  else Json.Obj fields
+
+(* Pair each send with the next arrival of the same simulated thread
+   (per-thread FIFO: a thread is one-shot, its hops are ordered). *)
+let flows events =
+  let next_id = ref 0 in
+  let pending : (int, int Queue.t) Hashtbl.t = Hashtbl.create 16 in
+  let queue_for tid =
+    match Hashtbl.find_opt pending tid with
+    | Some q -> q
+    | None ->
+        let q = Queue.create () in
+        Hashtbl.add pending tid q;
+        q
+  in
+  let out = ref [] in
+  Array.iter
+    (fun (ev : Trace.event) ->
+      match ev.Trace.kind with
+      | Trace.Migrate_send _ | Trace.Return_send _ ->
+          incr next_id;
+          Queue.push !next_id (queue_for ev.Trace.tid);
+          let name =
+            match ev.Trace.kind with
+            | Trace.Migrate_send _ -> "migration"
+            | _ -> "return"
+          in
+          out := flow ~phase:"s" ~name ~id:!next_id ev :: !out
+      | Trace.Migrate_arrive _ | Trace.Return_arrive _ -> (
+          let q = queue_for ev.Trace.tid in
+          match Queue.take_opt q with
+          | None -> ()
+          | Some id ->
+              let name =
+                match ev.Trace.kind with
+                | Trace.Migrate_arrive _ -> "migration"
+                | _ -> "return"
+              in
+              out := flow ~phase:"f" ~name ~id ev :: !out)
+      | _ -> ())
+    events;
+  List.rev !out
+
+let to_json ~nprocs events =
+  let instants = Array.to_list (Array.map instant events) in
+  Json.Obj
+    [
+      ("traceEvents", Json.List (metadata ~nprocs @ instants @ flows events));
+      ("displayTimeUnit", Json.String "ms");
+      ( "otherData",
+        Json.Obj
+          [
+            ("schema", Json.String "olden-trace/v1");
+            ("time_unit", Json.String "simulated cycles (shown as us)");
+          ] );
+    ]
+
+let write oc ~nprocs events =
+  let b = Buffer.create 65536 in
+  Json.to_buffer b (to_json ~nprocs events);
+  Buffer.add_char b '\n';
+  Buffer.output_buffer oc b
+
+let to_string ~nprocs events =
+  Json.to_string (to_json ~nprocs events) ^ "\n"

@@ -1,0 +1,10 @@
+(** Chrome [trace_event] exporter (Perfetto / chrome://tracing).
+
+    One process, one track per simulated processor; runtime events
+    become thread-scoped instants, and migrations / return stubs also
+    emit flow arrows between tracks.  1 simulated cycle is reported as
+    1 us.  Output is deterministic. *)
+
+val to_json : nprocs:int -> Trace.event array -> Json.t
+val to_string : nprocs:int -> Trace.event array -> string
+val write : out_channel -> nprocs:int -> Trace.event array -> unit

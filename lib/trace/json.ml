@@ -1,0 +1,279 @@
+(* A minimal JSON tree, printer, and parser.
+
+   The container has no JSON library, and the exporters need deterministic
+   byte-for-byte output (the golden trace test and the "run twice, get
+   identical files" guarantee depend on it), so we own the printing:
+   objects keep their construction order, floats print through one
+   format string, and strings escape exactly the mandatory characters.
+   The parser exists so tests can check that exported artifacts are
+   well-formed without an external dependency. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+let escape_to b s =
+  String.iter
+    (fun ch ->
+      match ch with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s
+
+(* %.12g round-trips every float the simulator produces (ratios and
+   fractions of 63-bit counters) and never prints OCaml's non-JSON
+   "nan"/"inf" spellings for finite input. *)
+let float_repr f =
+  if Float.is_integer f && Float.abs f < 1e15 then
+    Printf.sprintf "%.1f" f
+  else Printf.sprintf "%.12g" f
+
+let rec to_buffer b = function
+  | Null -> Buffer.add_string b "null"
+  | Bool v -> Buffer.add_string b (if v then "true" else "false")
+  | Int i -> Buffer.add_string b (string_of_int i)
+  | Float f -> Buffer.add_string b (float_repr f)
+  | String s ->
+      Buffer.add_char b '"';
+      escape_to b s;
+      Buffer.add_char b '"'
+  | List items ->
+      Buffer.add_char b '[';
+      List.iteri
+        (fun i item ->
+          if i > 0 then Buffer.add_char b ',';
+          to_buffer b item)
+        items;
+      Buffer.add_char b ']'
+  | Obj fields ->
+      Buffer.add_char b '{';
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char b ',';
+          Buffer.add_char b '"';
+          escape_to b k;
+          Buffer.add_string b "\":";
+          to_buffer b v)
+        fields;
+      Buffer.add_char b '}'
+
+let to_string j =
+  let b = Buffer.create 256 in
+  to_buffer b j;
+  Buffer.contents b
+
+(* Pretty printer: two-space indentation, used for the metrics snapshots
+   people read by hand (traces stay compact). *)
+let rec pretty_to_buffer b ~indent j =
+  let pad n = Buffer.add_string b (String.make n ' ') in
+  match j with
+  | List (_ :: _ as items) ->
+      Buffer.add_string b "[\n";
+      List.iteri
+        (fun i item ->
+          if i > 0 then Buffer.add_string b ",\n";
+          pad (indent + 2);
+          pretty_to_buffer b ~indent:(indent + 2) item)
+        items;
+      Buffer.add_char b '\n';
+      pad indent;
+      Buffer.add_char b ']'
+  | Obj (_ :: _ as fields) ->
+      Buffer.add_string b "{\n";
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_string b ",\n";
+          pad (indent + 2);
+          Buffer.add_char b '"';
+          escape_to b k;
+          Buffer.add_string b "\": ";
+          pretty_to_buffer b ~indent:(indent + 2) v)
+        fields;
+      Buffer.add_char b '\n';
+      pad indent;
+      Buffer.add_char b '}'
+  | other -> to_buffer b other
+
+let to_pretty_string j =
+  let b = Buffer.create 1024 in
+  pretty_to_buffer b ~indent:0 j;
+  Buffer.add_char b '\n';
+  Buffer.contents b
+
+(* --- Parsing ----------------------------------------------------------- *)
+
+exception Parse_error of string
+
+type cursor = { src : string; mutable pos : int }
+
+let error cur msg =
+  raise (Parse_error (Printf.sprintf "%s at offset %d" msg cur.pos))
+
+let peek cur = if cur.pos < String.length cur.src then Some cur.src.[cur.pos] else None
+
+let skip_ws cur =
+  while
+    cur.pos < String.length cur.src
+    && (match cur.src.[cur.pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false)
+  do
+    cur.pos <- cur.pos + 1
+  done
+
+let expect cur ch =
+  match peek cur with
+  | Some c when c = ch -> cur.pos <- cur.pos + 1
+  | _ -> error cur (Printf.sprintf "expected '%c'" ch)
+
+let literal cur word value =
+  let n = String.length word in
+  if cur.pos + n <= String.length cur.src && String.sub cur.src cur.pos n = word
+  then begin
+    cur.pos <- cur.pos + n;
+    value
+  end
+  else error cur ("expected " ^ word)
+
+let parse_string_body cur =
+  let b = Buffer.create 16 in
+  let rec go () =
+    match peek cur with
+    | None -> error cur "unterminated string"
+    | Some '"' -> cur.pos <- cur.pos + 1
+    | Some '\\' -> (
+        cur.pos <- cur.pos + 1;
+        match peek cur with
+        | Some '"' -> Buffer.add_char b '"'; cur.pos <- cur.pos + 1; go ()
+        | Some '\\' -> Buffer.add_char b '\\'; cur.pos <- cur.pos + 1; go ()
+        | Some '/' -> Buffer.add_char b '/'; cur.pos <- cur.pos + 1; go ()
+        | Some 'n' -> Buffer.add_char b '\n'; cur.pos <- cur.pos + 1; go ()
+        | Some 'r' -> Buffer.add_char b '\r'; cur.pos <- cur.pos + 1; go ()
+        | Some 't' -> Buffer.add_char b '\t'; cur.pos <- cur.pos + 1; go ()
+        | Some 'b' -> Buffer.add_char b '\b'; cur.pos <- cur.pos + 1; go ()
+        | Some 'f' -> Buffer.add_char b '\012'; cur.pos <- cur.pos + 1; go ()
+        | Some 'u' ->
+            if cur.pos + 5 > String.length cur.src then
+              error cur "truncated \\u escape";
+            let hex = String.sub cur.src (cur.pos + 1) 4 in
+            let code =
+              try int_of_string ("0x" ^ hex)
+              with _ -> error cur "bad \\u escape"
+            in
+            (* traces only ever escape control characters, so plain
+               one-byte decoding is enough *)
+            if code < 0x80 then Buffer.add_char b (Char.chr code)
+            else Buffer.add_string b (Printf.sprintf "\\u%04x" code);
+            cur.pos <- cur.pos + 5;
+            go ()
+        | _ -> error cur "bad escape")
+    | Some c ->
+        Buffer.add_char b c;
+        cur.pos <- cur.pos + 1;
+        go ()
+  in
+  go ();
+  Buffer.contents b
+
+let parse_number cur =
+  let start = cur.pos in
+  let is_num_char = function
+    | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+    | _ -> false
+  in
+  while
+    cur.pos < String.length cur.src && is_num_char cur.src.[cur.pos]
+  do
+    cur.pos <- cur.pos + 1
+  done;
+  let s = String.sub cur.src start (cur.pos - start) in
+  match int_of_string_opt s with
+  | Some i -> Int i
+  | None -> (
+      match float_of_string_opt s with
+      | Some f -> Float f
+      | None -> error cur ("bad number " ^ s))
+
+let rec parse_value cur =
+  skip_ws cur;
+  match peek cur with
+  | None -> error cur "unexpected end of input"
+  | Some 'n' -> literal cur "null" Null
+  | Some 't' -> literal cur "true" (Bool true)
+  | Some 'f' -> literal cur "false" (Bool false)
+  | Some '"' ->
+      cur.pos <- cur.pos + 1;
+      String (parse_string_body cur)
+  | Some '[' ->
+      cur.pos <- cur.pos + 1;
+      skip_ws cur;
+      if peek cur = Some ']' then begin
+        cur.pos <- cur.pos + 1;
+        List []
+      end
+      else begin
+        let items = ref [ parse_value cur ] in
+        skip_ws cur;
+        while peek cur = Some ',' do
+          cur.pos <- cur.pos + 1;
+          items := parse_value cur :: !items;
+          skip_ws cur
+        done;
+        expect cur ']';
+        List (List.rev !items)
+      end
+  | Some '{' ->
+      cur.pos <- cur.pos + 1;
+      skip_ws cur;
+      if peek cur = Some '}' then begin
+        cur.pos <- cur.pos + 1;
+        Obj []
+      end
+      else begin
+        let field () =
+          skip_ws cur;
+          expect cur '"';
+          let k = parse_string_body cur in
+          skip_ws cur;
+          expect cur ':';
+          let v = parse_value cur in
+          (k, v)
+        in
+        let fields = ref [ field () ] in
+        skip_ws cur;
+        while peek cur = Some ',' do
+          cur.pos <- cur.pos + 1;
+          fields := field () :: !fields;
+          skip_ws cur
+        done;
+        expect cur '}';
+        Obj (List.rev !fields)
+      end
+  | Some _ -> parse_number cur
+
+let of_string s =
+  let cur = { src = s; pos = 0 } in
+  let v = parse_value cur in
+  skip_ws cur;
+  if cur.pos <> String.length s then error cur "trailing garbage";
+  v
+
+(* --- Accessors used by tests ------------------------------------------- *)
+
+let member key = function
+  | Obj fields -> List.assoc_opt key fields
+  | _ -> None
+
+let to_list = function List items -> items | _ -> []
+
+let string_value = function String s -> Some s | _ -> None
+let int_value = function Int i -> Some i | _ -> None

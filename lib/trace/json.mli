@@ -1,0 +1,35 @@
+(** A minimal JSON tree, printer, and parser — deterministic output so
+    exported traces and metrics snapshots are byte-stable across runs.
+    Objects print their fields in construction order. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact, single-line rendering. *)
+
+val to_buffer : Buffer.t -> t -> unit
+
+val to_pretty_string : t -> string
+(** Two-space-indented rendering with a trailing newline (for metrics
+    snapshots). *)
+
+exception Parse_error of string
+
+val of_string : string -> t
+(** @raise Parse_error on malformed input. *)
+
+val member : string -> t -> t option
+(** Field lookup on an object; [None] elsewhere. *)
+
+val to_list : t -> t list
+(** The elements of a [List]; [[]] for any other constructor. *)
+
+val string_value : t -> string option
+val int_value : t -> int option

@@ -1,0 +1,17 @@
+(* JSONL exporter: one event object per line, for jq/python scripting.
+   Line i is [Trace.event_json] of event i, in emission order — the
+   format the golden trace test pins down. *)
+
+let to_buffer b events =
+  Array.iter
+    (fun ev ->
+      Json.to_buffer b (Trace.event_json ev);
+      Buffer.add_char b '\n')
+    events
+
+let to_string events =
+  let b = Buffer.create 4096 in
+  to_buffer b events;
+  Buffer.contents b
+
+let write oc events = output_string oc (to_string events)

@@ -1,0 +1,6 @@
+(** JSONL exporter: one JSON object per line, in emission order (see
+    docs/OBSERVABILITY.md for the schema).  Deterministic. *)
+
+val to_string : Trace.event array -> string
+val to_buffer : Buffer.t -> Trace.event array -> unit
+val write : out_channel -> Trace.event array -> unit

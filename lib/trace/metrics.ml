@@ -1,0 +1,139 @@
+(* A registry of named counters and histograms.
+
+   This generalizes the flat [Stats] record: metrics are created on
+   demand, carry label sets (e.g. [("proc", "3")] or [("site",
+   "treeadd.t->left")]), and snapshot to a stable JSON schema — entries
+   sorted by name then labels, so two identical runs serialize to
+   identical bytes.
+
+   Histograms use power-of-two buckets: observation [v] lands in bucket
+   [ceil(log2 (v + 1))], i.e. bucket upper bounds 0, 1, 3, 7, 15, ... —
+   cheap, and wide enough for cycle-scale latencies. *)
+
+type labels = (string * string) list
+
+type counter = { mutable count : int }
+
+let buckets_count = 48 (* covers every value an OCaml int can hold *)
+
+type histogram = {
+  mutable observations : int;
+  mutable sum : int;
+  mutable min_v : int;
+  mutable max_v : int;
+  buckets : int array; (* buckets.(i): observations <= 2^i - 1 *)
+}
+
+type metric =
+  | Counter of counter
+  | Histogram of histogram
+
+type t = { table : (string * labels, metric) Hashtbl.t }
+
+let create () = { table = Hashtbl.create 64 }
+
+let normalize labels =
+  List.sort (fun (a, _) (b, _) -> String.compare a b) labels
+
+let counter t ?(labels = []) name =
+  let key = (name, normalize labels) in
+  match Hashtbl.find_opt t.table key with
+  | Some (Counter c) -> c
+  | Some (Histogram _) ->
+      invalid_arg ("Metrics.counter: " ^ name ^ " is a histogram")
+  | None ->
+      let c = { count = 0 } in
+      Hashtbl.add t.table key (Counter c);
+      c
+
+let add c n = c.count <- c.count + n
+let inc c = add c 1
+let count c = c.count
+
+let histogram t ?(labels = []) name =
+  let key = (name, normalize labels) in
+  match Hashtbl.find_opt t.table key with
+  | Some (Histogram h) -> h
+  | Some (Counter _) ->
+      invalid_arg ("Metrics.histogram: " ^ name ^ " is a counter")
+  | None ->
+      let h =
+        {
+          observations = 0;
+          sum = 0;
+          min_v = max_int;
+          max_v = min_int;
+          buckets = Array.make buckets_count 0;
+        }
+      in
+      Hashtbl.add t.table key (Histogram h);
+      h
+
+let bucket_of v =
+  let v = max 0 v in
+  let rec go i bound =
+    if v <= bound || i = buckets_count - 1 then i
+    else go (i + 1) ((2 * bound) + 1)
+  in
+  go 0 0
+
+let observe h v =
+  h.observations <- h.observations + 1;
+  h.sum <- h.sum + v;
+  if v < h.min_v then h.min_v <- v;
+  if v > h.max_v then h.max_v <- v;
+  let b = bucket_of v in
+  h.buckets.(b) <- h.buckets.(b) + 1
+
+let observations h = h.observations
+
+(* --- Snapshots --------------------------------------------------------- *)
+
+let labels_json labels =
+  Json.Obj (List.map (fun (k, v) -> (k, Json.String v)) labels)
+
+let histogram_json h =
+  (* only the populated prefix of the bucket array, as (upper bound,
+     count) pairs with empty buckets skipped *)
+  let cells = ref [] in
+  let bound = ref 0 in
+  Array.iteri
+    (fun i n ->
+      if n > 0 then cells := (!bound, n) :: !cells;
+      if i < buckets_count - 1 then bound := (2 * !bound) + 1)
+    h.buckets;
+  let mean =
+    if h.observations = 0 then 0.
+    else float_of_int h.sum /. float_of_int h.observations
+  in
+  Json.Obj
+    [
+      ("count", Json.Int h.observations);
+      ("sum", Json.Int h.sum);
+      ("min", Json.Int (if h.observations = 0 then 0 else h.min_v));
+      ("max", Json.Int (if h.observations = 0 then 0 else h.max_v));
+      ("mean", Json.Float mean);
+      ( "buckets",
+        Json.List
+          (List.rev_map
+             (fun (le, n) ->
+               Json.Obj [ ("le", Json.Int le); ("n", Json.Int n) ])
+             !cells) );
+    ]
+
+let to_json t =
+  let entries =
+    Hashtbl.fold (fun key metric acc -> (key, metric) :: acc) t.table []
+    |> List.sort (fun (ka, _) (kb, _) -> compare ka kb)
+  in
+  let render ((name, labels), metric) =
+    let common = [ ("name", Json.String name) ] in
+    let common =
+      if labels = [] then common
+      else common @ [ ("labels", labels_json labels) ]
+    in
+    match metric with
+    | Counter c -> Json.Obj (common @ [ ("value", Json.Int c.count) ])
+    | Histogram h -> Json.Obj (common @ [ ("histogram", histogram_json h) ])
+  in
+  Json.List (List.map render entries)

@@ -1,0 +1,34 @@
+(** A registry of named counters and histograms with label sets — the
+    generalization of the flat {!Stats} record.  Snapshots serialize to
+    a stable JSON schema: entries sorted by name then labels, so
+    identical runs produce identical bytes
+    (see docs/OBSERVABILITY.md). *)
+
+type t
+
+type labels = (string * string) list
+
+type counter
+type histogram
+
+val create : unit -> t
+
+val counter : t -> ?labels:labels -> string -> counter
+(** Find or create.  @raise Invalid_argument if the name+labels is
+    already a histogram. *)
+
+val inc : counter -> unit
+val add : counter -> int -> unit
+val count : counter -> int
+
+val histogram : t -> ?labels:labels -> string -> histogram
+(** Find or create a power-of-two-bucket histogram (bucket upper bounds
+    0, 1, 3, 7, 15, ...). *)
+
+val observe : histogram -> int -> unit
+val observations : histogram -> int
+
+val to_json : t -> Json.t
+(** [[{"name":..,"labels":{..},"value":..} | {"name":..,"labels":{..},
+    "histogram":{"count","sum","min","max","mean","buckets":[{"le","n"}]}}]],
+    sorted by name then labels. *)

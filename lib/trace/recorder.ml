@@ -1,0 +1,90 @@
+(* Derive a metrics registry from an event stream.
+
+   This is where the per-mechanism breakdowns the flat [Stats] record
+   cannot express come from:
+
+   - "events"            — one counter per event kind (labels: kind);
+   - "events_by_proc"    — the same, split per processor;
+   - "events_by_site"    — cache/migration traffic split per
+                           dereference site (labels: site id, and the
+                           site's name when a resolver is given);
+   - "migration_latency_cycles" / "return_latency_cycles" — histograms
+     of send-to-arrival time, pairing each send with the same thread's
+     next arrival;
+   - "miss_burst"        — histogram of runs of consecutive cache
+     misses on one processor uninterrupted by a hit there: long bursts
+     are cold caches or invalidation storms, the signature the
+     migrate-vs-cache trade-off turns on. *)
+
+let of_events ?(site_name = fun (_ : int) -> None) events =
+  let m = Metrics.create () in
+  let migration_latency = Metrics.histogram m "migration_latency_cycles" in
+  let return_latency = Metrics.histogram m "return_latency_cycles" in
+  let pending_sends : (int, int Queue.t) Hashtbl.t = Hashtbl.create 16 in
+  let send_queue tid =
+    match Hashtbl.find_opt pending_sends tid with
+    | Some q -> q
+    | None ->
+        let q = Queue.create () in
+        Hashtbl.add pending_sends tid q;
+        q
+  in
+  let bursts : (int, int ref) Hashtbl.t = Hashtbl.create 16 in
+  let burst proc =
+    match Hashtbl.find_opt bursts proc with
+    | Some r -> r
+    | None ->
+        let r = ref 0 in
+        Hashtbl.add bursts proc r;
+        r
+  in
+  let miss_burst = Metrics.histogram m "miss_burst" in
+  let end_burst r =
+    if !r > 0 then begin
+      Metrics.observe miss_burst !r;
+      r := 0
+    end
+  in
+  let site_labels site =
+    let id = [ ("site", string_of_int site) ] in
+    match site_name site with
+    | Some name -> ("site_name", name) :: id
+    | None -> id
+  in
+  Array.iter
+    (fun (ev : Trace.event) ->
+      let kind = Trace.kind_name ev.Trace.kind in
+      Metrics.inc (Metrics.counter m ~labels:[ ("kind", kind) ] "events");
+      Metrics.inc
+        (Metrics.counter m
+           ~labels:
+             [ ("kind", kind); ("proc", string_of_int ev.Trace.proc) ]
+           "events_by_proc");
+      if ev.Trace.site >= 0 then
+        Metrics.inc
+          (Metrics.counter m
+             ~labels:(("kind", kind) :: site_labels ev.Trace.site)
+             "events_by_site");
+      (match ev.Trace.kind with
+      | Trace.Migrate_send _ | Trace.Return_send _ ->
+          Queue.push ev.Trace.time (send_queue ev.Trace.tid)
+      | Trace.Migrate_arrive _ -> (
+          match Queue.take_opt (send_queue ev.Trace.tid) with
+          | Some sent -> Metrics.observe migration_latency (ev.Trace.time - sent)
+          | None -> ())
+      | Trace.Return_arrive _ -> (
+          match Queue.take_opt (send_queue ev.Trace.tid) with
+          | Some sent -> Metrics.observe return_latency (ev.Trace.time - sent)
+          | None -> ())
+      | _ -> ());
+      match ev.Trace.kind with
+      | Trace.Cache_miss _ -> incr (burst ev.Trace.proc)
+      | Trace.Cache_hit _ -> end_burst (burst ev.Trace.proc)
+      | _ -> ())
+    events;
+  (* close the bursts still open at end of run, lowest proc first so the
+     snapshot stays deterministic *)
+  Hashtbl.fold (fun proc r acc -> (proc, r) :: acc) bursts []
+  |> List.sort compare
+  |> List.iter (fun (_, r) -> end_burst r);
+  m

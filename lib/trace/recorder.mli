@@ -1,0 +1,9 @@
+(** Derive a {!Metrics} registry from an event stream: per-kind,
+    per-processor, and per-site counters, migration/return latency
+    histograms, and cache-miss-burst histograms.
+
+    [site_name] maps a dereference-site id to a human-readable name for
+    the per-site labels (default: ids only). *)
+
+val of_events :
+  ?site_name:(int -> string option) -> Trace.event array -> Metrics.t

@@ -1,0 +1,10 @@
+(** Compact textual digest of an event stream (for [olden-run trace]):
+    totals per kind, per-processor activity, phase marks, and the first
+    [head] raw events. *)
+
+val pp :
+  ?site_name:(int -> string option) ->
+  ?head:int ->
+  Format.formatter ->
+  Trace.event array ->
+  unit

@@ -1,0 +1,93 @@
+(** Structured event tracing for the Olden runtime.
+
+    A single process-wide sink receives every event the engine, cache
+    system, and coherence directories emit.  Tracing is zero-cost when
+    disabled: emission sites are written
+
+    {[ if Trace.is_on () then Trace.emit { ... } ]}
+
+    so with no sink installed nothing is allocated — only one boolean is
+    read.  Event streams are deterministic: the engine is a pure
+    function of the program and configuration, and events are emitted in
+    scheduling order. *)
+
+type kind =
+  | Migrate_send of { target : int }
+      (** a computation migration leaves for [target] *)
+  | Migrate_arrive of { source : int }
+      (** the migrated thread restarts here *)
+  | Return_send of { target : int }  (** a return stub fires *)
+  | Return_arrive of { source : int }
+  | Future_spawn of { fid : int }
+  | Future_resolve of { fid : int; waiters : int }
+  | Future_touch of { fid : int; parked : bool }
+  | Steal  (** a continuation popped from the local work list *)
+  | Cache_hit of { home : int; page : int; line : int }
+  | Cache_miss of { home : int; page : int; line : int }
+      (** a line fetch from [home] *)
+  | Cache_flush of { entries : int }
+      (** local scheme: wholesale invalidation *)
+  | Suspect_all  (** bilateral scheme: acquire marks every page suspect *)
+  | Revalidate of { home : int; page : int; dropped : int }
+  | Inval_send of { target : int; page : int }
+  | Inval_recv of { source : int; page : int; dropped : int }
+  | Dir_write of { page : int; line : int }
+      (** home directory stamps a written line (bilateral) *)
+  | Dir_release of { page : int; ts : int }
+      (** home directory timestamp bump at a release *)
+  | Remote_alloc of { home : int; words : int }
+  | Phase_mark of string
+
+type event = {
+  time : int;  (** simulated cycles on [proc]'s clock *)
+  proc : int;
+  tid : int;  (** simulated thread id; -1 when no thread applies *)
+  site : int;  (** dereference-site id; -1 when no site applies *)
+  kind : kind;
+}
+
+val is_on : unit -> bool
+(** Whether a sink is installed.  Emission sites must guard on this so
+    the disabled path allocates nothing. *)
+
+val install : (event -> unit) -> unit
+val uninstall : unit -> unit
+
+val emit : event -> unit
+(** Deliver to the sink; a no-op when tracing is off. *)
+
+(** {2 Emitter context}
+
+    The cache and directory layers run beneath the engine and do not
+    know the current thread or dereference site; the engine deposits
+    them here (guarded, so this too is free when tracing is off). *)
+
+val set_thread : int -> unit
+val set_site : int -> unit
+val thread : unit -> int
+val site : unit -> int
+
+(** {2 Collecting} *)
+
+module Collector : sig
+  type t
+
+  val create : unit -> t
+  val add : t -> event -> unit
+  val length : t -> int
+  val events : t -> event array
+end
+
+val collect : (unit -> 'a) -> 'a * event array
+(** Run a thunk with a fresh collector installed; uninstalls afterwards
+    (also on exception). *)
+
+(** {2 Names and serialization} *)
+
+val kind_name : kind -> string
+
+val kind_args : kind -> (string * Json.t) list
+(** Payload fields beyond the common stamps, in a fixed order. *)
+
+val event_json : event -> Json.t
+(** The JSONL schema: [{"t":..,"proc":..,"tid":..,"site":..,"ev":..,...}]. *)

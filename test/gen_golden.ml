@@ -1,0 +1,18 @@
+(* Regenerate the golden trace stream used by test_trace.ml:
+
+     dune exec test/gen_golden.exe > test/golden/treeadd_p2_trace.jsonl
+
+   Must stay in lockstep with Test_trace.run_treeadd: 2 processors,
+   treeadd at the minimum tree size, site ids reset first. *)
+
+open Olden
+module B = Olden_benchmarks
+
+let () =
+  Site.reset ();
+  let cfg = Config.make ~nprocs:2 () in
+  let o, events =
+    Trace.collect (fun () -> B.Treeadd.spec.B.Common.run cfg ~scale:1_000_000)
+  in
+  assert o.B.Common.ok;
+  print_string (Jsonl.to_string events)

@@ -138,6 +138,81 @@ let test_timeline_buckets () =
   in
   check int "conserved" (100 + 100 + 20) total
 
+let grid_total grid =
+  Array.fold_left (fun acc row -> Array.fold_left ( + ) acc row) 0 grid
+
+let test_timeline_single_interval () =
+  (* one busy stretch, bucket boundaries exact *)
+  let grid, bucket_len =
+    Olden_runtime.Timeline.buckets ~nprocs:1 ~makespan:80 ~width:8
+      [ (0, 20, 60) ]
+  in
+  check int "bucket length" 10 bucket_len;
+  check int "before" 0 grid.(0).(1);
+  check int "inside" 10 grid.(0).(3);
+  check int "after" 0 grid.(0).(6);
+  check int "conserved" 40 (grid_total grid)
+
+let test_timeline_short_makespan () =
+  (* makespan < width: bucket_len clamps to 1 and no cycle is counted
+     twice (the old floor division piled everything into the last cell) *)
+  let grid, bucket_len =
+    Olden_runtime.Timeline.buckets ~nprocs:1 ~makespan:3 ~width:64
+      [ (0, 0, 3) ]
+  in
+  check int "bucket length clamps to 1" 1 bucket_len;
+  check int "cycle 0" 1 grid.(0).(0);
+  check int "cycle 2" 1 grid.(0).(2);
+  check int "nothing beyond makespan" 0 grid.(0).(3);
+  check int "conserved" 3 (grid_total grid)
+
+let test_timeline_zero_length_and_empty () =
+  let grid, _ =
+    Olden_runtime.Timeline.buckets ~nprocs:2 ~makespan:100 ~width:4
+      [ (0, 50, 50); (1, 0, 0) ]
+  in
+  check int "zero-length intervals contribute nothing" 0 (grid_total grid);
+  let grid, bucket_len =
+    Olden_runtime.Timeline.buckets ~nprocs:2 ~makespan:100 ~width:4 []
+  in
+  check int "no intervals" 0 (grid_total grid);
+  check int "bucket length still sane" 25 bucket_len
+
+let test_timeline_spanning_interval () =
+  (* an interval covering the whole (indivisible) makespan fills every
+     bucket without loss: 103 = 4 buckets of 26 capped by the stop *)
+  let grid, bucket_len =
+    Olden_runtime.Timeline.buckets ~nprocs:1 ~makespan:103 ~width:4
+      [ (0, 0, 103) ]
+  in
+  check int "ceiling bucket length" 26 bucket_len;
+  check int "full bucket" 26 grid.(0).(0);
+  check int "partial last bucket" (103 - (3 * 26)) grid.(0).(3);
+  check int "conserved" 103 (grid_total grid)
+
+let test_timeline_bad_width () =
+  Alcotest.check_raises "width must be positive"
+    (Invalid_argument "Timeline.buckets: width must be positive") (fun () ->
+      ignore
+        (Olden_runtime.Timeline.buckets ~nprocs:1 ~makespan:10 ~width:0 []))
+
+let test_stats_to_json () =
+  let s = Stats.create () in
+  s.Stats.migrations <- 5;
+  s.Stats.cacheable_reads <- 100;
+  s.Stats.cacheable_reads_remote <- 25;
+  let j = Stats.to_json s in
+  let get name = Option.bind (Json.member name j) Json.int_value in
+  check (Alcotest.option int) "counter field" (Some 5) (get "migrations");
+  check (Alcotest.option int) "zero field present" (Some 0) (get "returns");
+  (* every mutable counter appears exactly once *)
+  check int "field count"
+    (List.length (Stats.fields s))
+    (match j with Json.Obj kvs -> List.length kvs - 3 | _ -> -1);
+  (* snapshot schema is stable: derived fractions ride along as floats *)
+  check Alcotest.bool "fraction present" true
+    (Json.member "remote_read_fraction" j <> None)
+
 let test_interval_recording () =
   let m = mk ~nprocs:2 () in
   Machine.set_record_intervals m true;
@@ -151,5 +226,15 @@ let suite =
   suite
   @ [
       Alcotest.test_case "timeline buckets" `Quick test_timeline_buckets;
+      Alcotest.test_case "timeline single interval" `Quick
+        test_timeline_single_interval;
+      Alcotest.test_case "timeline short makespan" `Quick
+        test_timeline_short_makespan;
+      Alcotest.test_case "timeline zero-length/empty" `Quick
+        test_timeline_zero_length_and_empty;
+      Alcotest.test_case "timeline spanning interval" `Quick
+        test_timeline_spanning_interval;
+      Alcotest.test_case "timeline bad width" `Quick test_timeline_bad_width;
+      Alcotest.test_case "stats to_json" `Quick test_stats_to_json;
       Alcotest.test_case "interval recording" `Quick test_interval_recording;
     ]

@@ -11,4 +11,5 @@ let () =
       ("compiler", Test_compiler.suite);
       ("interp", Test_interp.suite);
       ("benchmarks", Test_benchmarks.suite);
+      ("trace", Test_trace.suite);
     ]

@@ -1,0 +1,225 @@
+(* The tracing subsystem: JSON printing/parsing, the metrics registry,
+   the emitter guard's zero-allocation property, exporter validity, and
+   the golden treeadd event stream (byte-stable across runs and against
+   the committed file). *)
+
+open Olden
+module B = Olden_benchmarks
+
+let check = Alcotest.check
+let int = Alcotest.int
+let string = Alcotest.string
+let bool = Alcotest.bool
+
+(* --- Json ---------------------------------------------------------------- *)
+
+let test_json_roundtrip () =
+  let j =
+    Json.Obj
+      [
+        ("a", Json.Int 42);
+        ("b", Json.List [ Json.Null; Json.Bool true; Json.Float 1.5 ]);
+        ("c", Json.String "quo\"te\nline");
+        ("d", Json.Obj []);
+      ]
+  in
+  let s = Json.to_string j in
+  check bool "roundtrip" true (Json.of_string s = j);
+  check bool "pretty parses too" true
+    (Json.of_string (Json.to_pretty_string j) = j);
+  check string "deterministic rendering" s
+    (Json.to_string (Json.of_string s))
+
+let test_json_accessors () =
+  let j = Json.of_string {|{"x": 7, "ys": ["a", "b"]}|} in
+  check (Alcotest.option int) "member int" (Some 7)
+    (Option.bind (Json.member "x" j) Json.int_value);
+  check int "list length" 2
+    (List.length (Json.to_list (Option.get (Json.member "ys" j))));
+  check bool "missing member" true (Json.member "zzz" j = None)
+
+(* --- Metrics -------------------------------------------------------------- *)
+
+let test_metrics_counters () =
+  let m = Metrics.create () in
+  let c = Metrics.counter m "migrations" ~labels:[ ("proc", "0") ] in
+  Metrics.inc c;
+  Metrics.add c 4;
+  (* find-or-create returns the same counter *)
+  Metrics.inc (Metrics.counter m "migrations" ~labels:[ ("proc", "0") ]);
+  check int "accumulated" 6
+    (Metrics.count (Metrics.counter m "migrations" ~labels:[ ("proc", "0") ]));
+  let h = Metrics.histogram m "latency" in
+  List.iter (Metrics.observe h) [ 0; 1; 2; 100; 5000 ];
+  check int "observations" 5 (Metrics.observations h);
+  let j = Metrics.to_json m in
+  check int "two entries" 2 (List.length (Json.to_list j));
+  (* snapshot is byte-stable *)
+  check string "stable snapshot" (Json.to_string j)
+    (Json.to_string (Metrics.to_json m))
+
+(* --- The emit guard allocates nothing when tracing is off ----------------- *)
+
+let test_disabled_no_alloc () =
+  assert (not (Trace.is_on ()));
+  let probe () =
+    (* the pattern every emission site uses *)
+    for i = 1 to 10_000 do
+      if Trace.is_on () then
+        Trace.emit
+          { Trace.time = i; proc = 0; tid = 0; site = 0; kind = Trace.Steal }
+    done
+  in
+  probe ();
+  (* warmed up *)
+  let before = Gc.minor_words () in
+  probe ();
+  let words = Gc.minor_words () -. before in
+  check bool "no allocation on the disabled path" true (words < 256.)
+
+(* --- Collected benchmark runs --------------------------------------------- *)
+
+(* A tiny deterministic treeadd: 2 processors, the minimum tree.  Sites
+   are process-global, so reset ids first — repeated in-process runs then
+   emit identical streams. *)
+let run_treeadd () =
+  Site.reset ();
+  let cfg = Config.make ~nprocs:2 () in
+  let o, events =
+    Trace.collect (fun () ->
+        B.Treeadd.spec.B.Common.run cfg ~scale:1_000_000)
+  in
+  check bool "verified" true o.B.Common.ok;
+  events
+
+let test_treeadd_stream () =
+  let events = run_treeadd () in
+  check bool "events emitted" true (Array.length events > 0);
+  (* treeadd's heuristic picks migration everywhere, so the stream shows
+     migrations and futures but no cache traffic *)
+  let count p = Array.length (Array.of_seq (Seq.filter p (Array.to_seq events))) in
+  check bool "migrations present" true
+    (count (fun e -> match e.Trace.kind with
+       | Trace.Migrate_send _ -> true | _ -> false) > 0);
+  check bool "futures present" true
+    (count (fun e -> match e.Trace.kind with
+       | Trace.Future_spawn _ -> true | _ -> false) > 0);
+  check int "spawns balance resolves"
+    (count (fun e -> match e.Trace.kind with
+       | Trace.Future_spawn _ -> true | _ -> false))
+    (count (fun e -> match e.Trace.kind with
+       | Trace.Future_resolve _ -> true | _ -> false));
+  (* per-processor timestamps never run backwards *)
+  let last = Hashtbl.create 4 in
+  Array.iter
+    (fun e ->
+      let prev =
+        Option.value ~default:min_int (Hashtbl.find_opt last e.Trace.proc)
+      in
+      check bool "clock monotone per processor" true (e.Trace.time >= prev);
+      Hashtbl.replace last e.Trace.proc e.Trace.time)
+    events
+
+let test_byte_stable () =
+  let a = Jsonl.to_string (run_treeadd ()) in
+  let b = Jsonl.to_string (run_treeadd ()) in
+  check string "two in-process runs render identically" a b
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let test_golden () =
+  let got = Jsonl.to_string (run_treeadd ()) in
+  let want = read_file "golden/treeadd_p2_trace.jsonl" in
+  check string "matches the committed golden stream" want got
+
+let test_cache_events_em3d () =
+  (* em3d is an M+C benchmark: its cache sites exercise the caching layer,
+     so hits and line fetches appear in the stream *)
+  Site.reset ();
+  let cfg = Config.make ~nprocs:2 () in
+  let o, events =
+    Trace.collect (fun () -> B.Em3d.spec.B.Common.run cfg ~scale:1024)
+  in
+  check bool "verified" true o.B.Common.ok;
+  let has p = Array.exists p events in
+  check bool "cache misses traced" true
+    (has (fun e -> match e.Trace.kind with
+       | Trace.Cache_miss _ -> true | _ -> false));
+  check bool "cache hits traced" true
+    (has (fun e -> match e.Trace.kind with
+       | Trace.Cache_hit _ -> true | _ -> false))
+
+(* --- Exporters ------------------------------------------------------------ *)
+
+let test_chrome_export () =
+  let events = run_treeadd () in
+  let j = Json.of_string (Chrome_trace.to_string ~nprocs:2 events) in
+  let te = Json.to_list (Option.get (Json.member "traceEvents" j)) in
+  check bool "has events" true (List.length te > Array.length events);
+  (* every record carries the required trace_event fields *)
+  List.iter
+    (fun e ->
+      check bool "has ph" true (Json.member "ph" e <> None);
+      check bool "has pid" true (Json.member "pid" e <> None))
+    te;
+  (* flow arrows pair up: every start has a finish *)
+  let phs =
+    List.filter_map (fun e -> Option.bind (Json.member "ph" e) Json.string_value) te
+  in
+  let n p = List.length (List.filter (String.equal p) phs) in
+  check int "flow starts match finishes" (n "s") (n "f")
+
+let test_jsonl_export () =
+  let events = run_treeadd () in
+  let lines =
+    String.split_on_char '\n' (String.trim (Jsonl.to_string events))
+  in
+  check int "one line per event" (Array.length events) (List.length lines);
+  List.iter
+    (fun line ->
+      let j = Json.of_string line in
+      check bool "has t/proc/ev" true
+        (Json.member "t" j <> None
+        && Json.member "proc" j <> None
+        && Json.member "ev" j <> None))
+    lines
+
+let test_recorder () =
+  let events = run_treeadd () in
+  let m = Recorder.of_events events in
+  let migrations =
+    Array.length
+      (Array.of_seq
+         (Seq.filter
+            (fun e ->
+              match e.Trace.kind with
+              | Trace.Migrate_arrive _ -> true
+              | _ -> false)
+            (Array.to_seq events)))
+  in
+  check int "one latency sample per completed migration" migrations
+    (Metrics.observations (Metrics.histogram m "migration_latency_cycles"));
+  check bool "per-kind counters populated" true
+    (Metrics.count
+       (Metrics.counter m "events" ~labels:[ ("kind", "migrate_send") ])
+    > 0)
+
+let suite =
+  [
+    Alcotest.test_case "json roundtrip" `Quick test_json_roundtrip;
+    Alcotest.test_case "json accessors" `Quick test_json_accessors;
+    Alcotest.test_case "metrics counters" `Quick test_metrics_counters;
+    Alcotest.test_case "disabled emit allocates nothing" `Quick
+      test_disabled_no_alloc;
+    Alcotest.test_case "treeadd stream shape" `Quick test_treeadd_stream;
+    Alcotest.test_case "byte-stable stream" `Quick test_byte_stable;
+    Alcotest.test_case "golden treeadd stream" `Quick test_golden;
+    Alcotest.test_case "em3d cache events" `Quick test_cache_events_em3d;
+    Alcotest.test_case "chrome exporter" `Quick test_chrome_export;
+    Alcotest.test_case "jsonl exporter" `Quick test_jsonl_export;
+    Alcotest.test_case "recorder metrics" `Quick test_recorder;
+  ]
