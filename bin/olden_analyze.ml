@@ -8,8 +8,10 @@
 
 open Cmdliner
 module C = Olden_config
+module Site = Olden_runtime.Site
+module Trace_ev = Olden_trace.Trace
 
-let analyze file run_it procs coherence trace threshold =
+let analyze file run_it procs coherence trace threshold profile =
   let src =
     let ic = open_in file in
     let n = in_channel_length ic in
@@ -48,11 +50,19 @@ let analyze file run_it procs coherence trace threshold =
         in
         let cfg = { cfg with C.coherence } in
         let compiled = Olden_interp.Interp.compile ~selection:sel prog in
-        match Olden_interp.Interp.run cfg compiled with
+        let run_traced () =
+          if profile then
+            let result, events =
+              Trace_ev.collect (fun () -> Olden_interp.Interp.run cfg compiled)
+            in
+            (result, Some events)
+          else (Olden_interp.Interp.run cfg compiled, None)
+        in
+        match run_traced () with
         | exception Olden_interp.Interp.Runtime_error msg ->
             Format.eprintf "runtime error: %s@." msg;
             exit 1
-        | result ->
+        | result, events ->
             if result.Olden_interp.Interp.output <> "" then
               Format.printf "--- output ---@.%s"
                 result.Olden_interp.Interp.output;
@@ -63,7 +73,21 @@ let analyze file run_it procs coherence trace threshold =
             Format.printf "makespan: %d cycles, utilization %.2f@."
               report.Olden_runtime.Engine.makespan
               report.Olden_runtime.Engine.utilization;
-            Format.printf "%a@." Stats.pp report.Olden_runtime.Engine.stats
+            Format.printf "%a@." Stats.pp report.Olden_runtime.Engine.stats;
+            Option.iter
+              (fun events ->
+                let site_name =
+                  Olden_trace.Recorder.lookup (Site.labels ())
+                in
+                Format.printf "--- per-site cost attribution ---@.";
+                Format.printf "%a" Olden_profile.Attribution.pp_table
+                  (Olden_profile.Attribution.of_events ~site_name
+                     ~costs:cfg.C.costs events);
+                Format.printf "--- critical path ---@.";
+                Format.printf "%a"
+                  (Olden_profile.Critical_path.pp ~site_name ~tail:0)
+                  (Olden_profile.Critical_path.analyze events))
+              events
       end)
 
 let file_t =
@@ -90,12 +114,20 @@ let threshold_t =
         ~doc:
           "Override the 90 percent migration threshold (the knob a port to            another machine would turn).")
 
+let profile_t =
+  Arg.(
+    value & flag
+    & info [ "profile" ]
+        ~doc:
+          "With --run: trace the execution and print the per-site cost \
+           attribution and critical-path breakdown afterwards.")
+
 let cmd =
   Cmd.v
     (Cmd.info "olden-analyze" ~version:"1.0"
        ~doc:"Analyze (and optionally run) a mini-Olden program.")
     Term.(
       const analyze $ file_t $ run_t $ procs_t $ coherence_t $ trace_t
-      $ threshold_t)
+      $ threshold_t $ profile_t)
 
 let () = exit (Cmd.eval cmd)

@@ -3,6 +3,9 @@
 
      olden-run list
      olden-run bench treeadd --procs 32 --scale 8 --coherence local
+     olden-run profile treeadd --procs 8 --folded out.folded
+     olden-run critical-path treeadd --procs 8
+     olden-run diff baseline.json current.json --tolerance 10
      olden-run speedups em3d --scale 1
      olden-run table1 | table2 | table3 | fig2 | fig3 | fig4 | fig5 | defaults
 *)
@@ -10,6 +13,7 @@
 open Cmdliner
 module C = Olden_config
 module B = Olden_benchmarks
+module Profile = Olden_profile
 
 let ppf = Format.std_formatter
 
@@ -234,6 +238,198 @@ let trace_cmd =
       const run $ name_t $ procs_t $ scale_t $ coherence_t $ policy_t
       $ trace_file_t $ jsonl_file_t $ metrics_file_t $ head_t)
 
+(* --- Profiler subcommands ------------------------------------------------ *)
+
+let header spec ~procs ~scale ~coherence ~policy (o : B.Common.outcome) =
+  Format.printf "%s on %d processor(s), scale 1/%d, %s coherence, %s policy@."
+    spec.B.Common.name procs scale
+    (C.coherence_to_string coherence)
+    (C.policy_to_string policy);
+  Format.printf "result: %s (%s)@." o.B.Common.checksum
+    (if o.B.Common.ok then "verified" else "VERIFICATION FAILED")
+
+(* The profiler's reconciliation: the machine's accounting identity
+   (busy + comm + idle = nprocs x makespan, exact by construction), then
+   the event-derived site attribution checked against it — cache and
+   revalidation stalls must equal the machine's measured comm time
+   (exactly, when handler contention is off), and migration in-flight
+   time is reported with its restart-busy overlap called out. *)
+let pp_reconciliation ppf ~(cfg : C.t) ~makespan entries =
+  let busy = Array.fold_left ( + ) 0 !B.Common.last_busy in
+  let comm = Array.fold_left ( + ) 0 !B.Common.last_comm in
+  let nprocs = cfg.C.nprocs in
+  let total = nprocs * makespan in
+  let idle = total - busy - comm in
+  let pct c =
+    if total = 0 then 0. else 100. *. float_of_int c /. float_of_int total
+  in
+  Format.fprintf ppf
+    "accounting: busy %d (%.1f%%) + comm %d (%.1f%%) + idle %d (%.1f%%) = %d \
+     = %d procs x makespan %d@."
+    busy (pct busy) comm (pct comm) idle (pct idle) (busy + comm + idle)
+    nprocs makespan;
+  let stall_attributed =
+    List.fold_left
+      (fun a (e : Profile.Attribution.entry) ->
+        a + e.Profile.Attribution.miss_cycles
+        + e.Profile.Attribution.revalidate_cycles)
+      0 entries
+  in
+  let inflight, restart_busy =
+    List.fold_left
+      (fun (infl, busy) (e : Profile.Attribution.entry) ->
+        ( infl + e.Profile.Attribution.migration_cycles
+          + e.Profile.Attribution.return_cycles,
+          busy
+          + (e.Profile.Attribution.migrations * cfg.C.costs.C.migrate_recv)
+          + (e.Profile.Attribution.returns * cfg.C.costs.C.return_recv) ))
+      (0, 0) entries
+  in
+  Format.fprintf ppf
+    "attributed: %d cache/revalidate stall cycles (machine comm: %d), %d \
+     migration/return in-flight cycles (of which %d restart-busy)@."
+    stall_attributed comm inflight restart_busy;
+  Format.fprintf ppf "attributed total: %d cycles = %.1f%% of %d procs x \
+                      makespan@."
+    (Profile.Attribution.grand_total entries)
+    (pct (Profile.Attribution.grand_total entries))
+    nprocs
+
+let folded_file_t =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "folded" ] ~docv:"FILE"
+        ~doc:
+          "Write folded stacks (flamegraph-collapsed format: \
+           \"benchmark;site;component cycles\" per line) to $(docv).")
+
+let top_t =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "top" ] ~docv:"N" ~doc:"Only print the $(docv) busiest sites.")
+
+let profile_cmd =
+  let run name procs scale coherence policy folded top =
+    let spec = find_spec name in
+    let scale = if scale = 0 then spec.B.Common.default_scale else scale in
+    let cfg = C.make ~nprocs:procs ~coherence ~policy () in
+    let o, events = run_collected spec cfg ~scale ~want_events:true in
+    header spec ~procs ~scale ~coherence ~policy o;
+    let entries =
+      Profile.Attribution.of_events ~site_name:B.Common.site_name
+        ~costs:cfg.C.costs events
+    in
+    Format.printf "per-site cost attribution (busiest first):@.";
+    let shown =
+      match top with
+      | Some n -> List.filteri (fun i _ -> i < n) entries
+      | None -> entries
+    in
+    Format.printf "%a" Profile.Attribution.pp_table shown;
+    pp_reconciliation Format.std_formatter ~cfg ~makespan:o.B.Common.total_cycles
+      entries;
+    Option.iter
+      (fun file ->
+        with_out file (fun oc ->
+            output_string oc
+              (Profile.Attribution.folded ~prefix:spec.B.Common.name entries));
+        Format.printf "folded stacks: %s@." file)
+      folded;
+    if not o.B.Common.ok then exit 1
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:
+         "Run one benchmark with tracing on and print the per-dereference-site \
+          cost attribution: migration latency, cache-miss stalls, and \
+          return-stub overhead charged back to the sites that caused them, \
+          reconciled against the machine's makespan accounting.")
+    Term.(
+      const run $ name_t $ procs_t $ scale_t $ coherence_t $ policy_t
+      $ folded_file_t $ top_t)
+
+let tail_t =
+  Arg.(
+    value & opt int 12
+    & info [ "tail" ] ~docv:"N"
+        ~doc:"Print the last $(docv) hops of the critical path (0: none).")
+
+let critical_path_cmd =
+  let run name procs scale coherence policy tail =
+    let spec = find_spec name in
+    let scale = if scale = 0 then spec.B.Common.default_scale else scale in
+    let cfg = C.make ~nprocs:procs ~coherence ~policy () in
+    let o, events = run_collected spec cfg ~scale ~want_events:true in
+    header spec ~procs ~scale ~coherence ~policy o;
+    let cp = Profile.Critical_path.analyze events in
+    Format.printf "%a"
+      (Profile.Critical_path.pp ~site_name:B.Common.site_name ~tail)
+      cp;
+    let makespan = o.B.Common.total_cycles in
+    Format.printf "per-processor breakdown:@.";
+    Format.printf "%a"
+      (fun ppf rows -> Profile.Critical_path.pp_breakdown ppf ~makespan rows)
+      (Profile.Critical_path.breakdown ~makespan ~busy:!B.Common.last_busy
+         ~comm:!B.Common.last_comm);
+    if not o.B.Common.ok then exit 1
+  in
+  Cmd.v
+    (Cmd.info "critical-path"
+       ~doc:
+         "Run one benchmark with tracing on and analyze the \
+          migration/future/steal dependency DAG: the longest chain, its \
+          mechanism breakdown, a what-if bound (makespan were migrations \
+          free), and per-processor busy/comm/idle accounting.")
+    Term.(
+      const run $ name_t $ procs_t $ scale_t $ coherence_t $ policy_t $ tail_t)
+
+let tolerance_t =
+  Arg.(
+    value & opt float 5.0
+    & info [ "tolerance" ] ~docv:"PERCENT"
+        ~doc:
+          "Relative slowdown allowed on the gated cycle metrics before a \
+           benchmark counts as regressed.")
+
+let warn_only_t =
+  Arg.(
+    value & flag
+    & info [ "warn-only" ]
+        ~doc:"Print regressions but exit 0 anyway (CI pull-request mode).")
+
+let diff_cmd =
+  let run base current tolerance warn_only =
+    match
+      Profile.Snapshot_diff.compare_files ~tolerance:(tolerance /. 100.) ~base
+        ~current
+    with
+    | Error msg ->
+        Format.eprintf "olden-run diff: %s@." msg;
+        exit 2
+    | Ok report ->
+        Format.printf "%a" Profile.Snapshot_diff.pp report;
+        let failed =
+          Profile.Snapshot_diff.regressions report <> []
+          || report.Profile.Snapshot_diff.missing <> []
+        in
+        if failed && not warn_only then exit 1
+  in
+  let base_t =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"BASELINE")
+  in
+  let current_t =
+    Arg.(required & pos 1 (some file) None & info [] ~docv:"CURRENT")
+  in
+  Cmd.v
+    (Cmd.info "diff"
+       ~doc:
+         "Compare two metrics snapshots (olden-metrics/v1 or the \
+          BENCH_table2.json table) and exit non-zero when a benchmark's \
+          cycles regressed beyond the tolerance or its verification broke.")
+    Term.(const run $ base_t $ current_t $ tolerance_t $ warn_only_t)
+
 let csv_t =
   Arg.(value & flag & info [ "csv" ] ~doc:"Emit comma-separated values.")
 
@@ -286,6 +482,9 @@ let main =
       list_cmd;
       bench_cmd;
       trace_cmd;
+      profile_cmd;
+      critical_path_cmd;
+      diff_cmd;
       speedups_cmd;
       table_cmd "table1" "Regenerate Table 1 (benchmark descriptions)."
         B.Tables.table1;

@@ -63,6 +63,7 @@ let record_trace = ref false
 let last_trace : Trace.event array option ref = ref None
 let last_busy : int array ref = ref [||]
 let last_clocks : int array ref = ref [||]
+let last_comm : int array ref = ref [||]
 
 (* The program receives the engine so its verification step can inspect
    the heap directly (at host level, free of simulated cost). *)
@@ -87,6 +88,7 @@ let execute (cfg : C.t) ~(program : Engine.t -> string * bool) : outcome =
   | None -> ());
   last_busy := Machine.busy_cycles (Engine.machine engine);
   last_clocks := Machine.clocks (Engine.machine engine);
+  last_comm := Machine.comm_cycles (Engine.machine engine);
   if !record_timeline then
     last_timeline :=
       Some
@@ -110,11 +112,12 @@ let execute (cfg : C.t) ~(program : Engine.t -> string * bool) : outcome =
 
 (* --- Metrics snapshots -------------------------------------------------- *)
 
-(* Site-id -> name lookup against the global registry, for labelling
-   per-site metrics and trace summaries. *)
+(* Site-id -> label lookup against the global registry, for labelling
+   per-site metrics, trace summaries, and profiler tables: labels read
+   "field@function" ("t->left@treeadd"), not bare ids. *)
 let site_name sid =
   List.find_opt (fun (s : Site.t) -> s.Site.sid = sid) (Site.all ())
-  |> Option.map (fun (s : Site.t) -> s.Site.sname)
+  |> Option.map Site.label
 
 (* The machine-readable counterpart of [olden-run bench]'s report
    (schema: docs/OBSERVABILITY.md).  Always carries the run identity,
@@ -124,12 +127,18 @@ let site_name sid =
    latency/burst histograms) is included under "metrics". *)
 let metrics_snapshot ?events (spec : spec) ~(cfg : C.t) ~scale (o : outcome) :
     Json.t =
+  let makespan = Array.fold_left max 0 !last_clocks in
   let per_proc =
     List.init (Array.length !last_busy) (fun p ->
+        let comm =
+          if p < Array.length !last_comm then !last_comm.(p) else 0
+        in
         Json.Obj
           [
             ("proc", Json.Int p);
             ("busy_cycles", Json.Int !last_busy.(p));
+            ("comm_cycles", Json.Int comm);
+            ("idle_cycles", Json.Int (makespan - !last_busy.(p) - comm));
             ("clock", Json.Int !last_clocks.(p));
           ])
   in
@@ -140,6 +149,7 @@ let metrics_snapshot ?events (spec : spec) ~(cfg : C.t) ~scale (o : outcome) :
           [
             ("sid", Json.Int s.Site.sid);
             ("name", Json.String s.Site.sname);
+            ("label", Json.String (Site.label s));
             ("mechanism", Json.String (C.mechanism_to_string s.Site.mech));
             ("loads", Json.Int s.Site.loads);
             ("stores", Json.Int s.Site.stores);
@@ -155,7 +165,8 @@ let metrics_snapshot ?events (spec : spec) ~(cfg : C.t) ~scale (o : outcome) :
     | None -> []
     | Some evs ->
         [ ("metrics", Olden_trace.Metrics.to_json
-                        (Olden_trace.Recorder.of_events ~site_name evs)) ]
+                        (Olden_trace.Recorder.of_events
+                           ~site_table:(Site.labels ()) evs)) ]
   in
   Json.Obj
     ([

@@ -61,9 +61,14 @@ val last_busy : int array ref
 val last_clocks : int array ref
 (** Per-processor final clocks of the most recent {!execute}. *)
 
+val last_comm : int array ref
+(** Per-processor communication-stall cycles of the most recent
+    {!execute} (time blocked on request/reply round trips). *)
+
 val site_name : int -> string option
-(** Site-id to name lookup against the global registry (for trace
-    summaries and per-site metric labels). *)
+(** Site-id to label lookup against the global registry (for trace
+    summaries, per-site metric labels, and profiler tables); labels read
+    ["field@function"], e.g. ["t->left@treeadd"]. *)
 
 val metrics_snapshot :
   ?events:Trace.event array -> spec -> cfg:C.t -> scale:int -> outcome -> Json.t

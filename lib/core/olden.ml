@@ -38,3 +38,7 @@ module Chrome_trace = Olden_trace.Chrome_trace
 module Jsonl = Olden_trace.Jsonl
 module Recorder = Olden_trace.Recorder
 module Trace_summary = Olden_trace.Summary
+module Depgraph = Olden_trace.Depgraph
+module Attribution = Olden_profile.Attribution
+module Critical_path = Olden_profile.Critical_path
+module Snapshot_diff = Olden_profile.Snapshot_diff

@@ -13,6 +13,8 @@ type t = {
   clock : int array; (* per-processor compute clock, cycles *)
   handler_free : int array; (* time the AM handler becomes free *)
   busy : int array; (* total busy cycles, for utilization accounting *)
+  comm : int array; (* cycles a processor's compute thread spent blocked
+                       on request/reply round trips *)
   stats : Stats.t;
   mutable intervals : (int * int * int) list;
       (* busy intervals (proc, start, stop), newest first, when recording *)
@@ -26,6 +28,7 @@ let create cfg =
     clock = Array.make n 0;
     handler_free = Array.make n 0;
     busy = Array.make n 0;
+    comm = Array.make n 0;
     stats = Stats.create ();
     intervals = [];
     record_intervals = false;
@@ -68,6 +71,7 @@ let request_reply t ~src ~dst ~service =
   t.handler_free.(dst) <- start + service;
   let reply = start + service + c.Olden_config.net_latency in
   t.stats.Stats.messages <- t.stats.Stats.messages + 2;
+  t.comm.(src) <- t.comm.(src) + (reply - t.clock.(src));
   t.clock.(src) <- reply;
   reply
 
@@ -103,3 +107,13 @@ let pp ppf t =
 
 let busy_cycles t = Array.copy t.busy
 let clocks t = Array.copy t.clock
+let comm_cycles t = Array.copy t.comm
+
+(* Per-processor idle time relative to the whole run: whatever part of
+   the makespan was neither charged as computation nor spent blocked on a
+   round trip.  By construction busy + comm + idle sums to
+   [nprocs * makespan] exactly — the accounting identity the profiler's
+   reconciliation line leans on. *)
+let idle_cycles t =
+  let span = makespan t in
+  Array.init (nprocs t) (fun p -> span - t.busy.(p) - t.comm.(p))

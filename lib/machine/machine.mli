@@ -52,6 +52,16 @@ val busy_cycles : t -> int array
 val clocks : t -> int array
 (** Per-processor clocks (a copy). *)
 
+val comm_cycles : t -> int array
+(** Per-processor cycles the compute thread spent blocked on
+    request/reply round trips (cache-line fetches, revalidations) — a
+    copy. *)
+
+val idle_cycles : t -> int array
+(** Per-processor idle time against the final makespan:
+    [makespan - busy - comm], so [busy + comm + idle] sums to
+    [nprocs * makespan] exactly (the profiler's accounting identity). *)
+
 val set_record_intervals : t -> bool -> unit
 (** Enable recording of per-processor busy intervals (for timelines). *)
 

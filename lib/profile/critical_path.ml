@@ -1,0 +1,153 @@
+(* Critical-path analysis: walk the realized-dependency chain built by
+   [Olden_trace.Depgraph] and classify every hop by what the elapsed time
+   was spent on. *)
+
+module Depgraph = Olden_trace.Depgraph
+module Trace = Olden_trace.Trace
+
+type hop_class = Compute | Migration | Return | Future_wait | Steal
+
+let hop_class_name = function
+  | Compute -> "compute"
+  | Migration -> "migration"
+  | Return -> "return"
+  | Future_wait -> "future-wait"
+  | Steal -> "steal"
+
+type hop = {
+  index : int;
+  ev : Trace.event;
+  cost : int;
+  cls : hop_class;
+}
+
+type t = {
+  hops : hop list;
+  span : int;
+  length : int;
+  compute_cycles : int;
+  migration_cycles : int;
+  return_cycles : int;
+  wait_cycles : int;
+  steal_cycles : int;
+  what_if_free_migration : int;
+}
+
+(* What the gap between an event and its realized predecessor was spent
+   on.  The arriving end of a hop names the mechanism: an arrival means
+   the thread was in flight, a post-park event reached through a Resolve
+   edge means the thread was waiting on the future. *)
+let classify (edge : Depgraph.edge) (ev : Trace.event) =
+  match ev.Trace.kind with
+  | Trace.Migrate_arrive _ -> Migration
+  | Trace.Return_arrive _ -> Return
+  | Trace.Steal -> Steal
+  | _ -> ( match edge with Depgraph.Resolve _ -> Future_wait | _ -> Compute)
+
+let analyze events =
+  let g = Depgraph.build events in
+  let indices = Depgraph.chain g in
+  let hops =
+    List.map
+      (fun i ->
+        let ev = g.Depgraph.events.(i) in
+        let edge = g.Depgraph.realized.(i) in
+        let cost =
+          match Depgraph.predecessor edge with
+          | None -> ev.Trace.time (* from t = 0 to the first event *)
+          | Some j -> max 0 (ev.Trace.time - g.Depgraph.events.(j).Trace.time)
+        in
+        { index = i; ev; cost; cls = classify edge ev })
+      indices
+  in
+  let sum cls =
+    List.fold_left
+      (fun acc h -> if h.cls = cls then acc + h.cost else acc)
+      0 hops
+  in
+  let span =
+    match List.rev hops with [] -> 0 | last :: _ -> last.ev.Trace.time
+  in
+  let migration_cycles = sum Migration and return_cycles = sum Return in
+  {
+    hops;
+    span;
+    length = List.length hops;
+    compute_cycles = sum Compute;
+    migration_cycles;
+    return_cycles;
+    wait_cycles = sum Future_wait;
+    steal_cycles = sum Steal;
+    what_if_free_migration = span - migration_cycles - return_cycles;
+  }
+
+let pp ?(site_name = fun (_ : int) -> None) ?(tail = 0) ppf t =
+  Format.fprintf ppf "critical path: %d events, span %d cycles@." t.length
+    t.span;
+  let pct c =
+    if t.span = 0 then 0. else 100. *. float_of_int c /. float_of_int t.span
+  in
+  List.iter
+    (fun (label, c) ->
+      if c > 0 then Format.fprintf ppf "  %-12s %10d cycles (%5.1f%%)@." label c (pct c))
+    [
+      ("compute", t.compute_cycles);
+      ("migration", t.migration_cycles);
+      ("return", t.return_cycles);
+      ("future-wait", t.wait_cycles);
+      ("steal", t.steal_cycles);
+    ];
+  Format.fprintf ppf
+    "what-if (migrations free): %d cycles (%.2fx of the traced span)@."
+    t.what_if_free_migration
+    (if t.span = 0 then 1.
+     else float_of_int t.what_if_free_migration /. float_of_int t.span);
+  if tail > 0 && t.hops <> [] then begin
+    let hops = Array.of_list t.hops in
+    let n = Array.length hops in
+    let first = max 0 (n - tail) in
+    Format.fprintf ppf "last %d hops:@." (n - first);
+    for i = first to n - 1 do
+      let h = hops.(i) in
+      let site =
+        if h.ev.Trace.site < 0 then ""
+        else
+          match site_name h.ev.Trace.site with
+          | Some s -> " site=" ^ s
+          | None -> Printf.sprintf " site=%d" h.ev.Trace.site
+      in
+      Format.fprintf ppf "  [t=%8d p=%2d tid=%d] %-14s +%-8d %s%s@."
+        h.ev.Trace.time h.ev.Trace.proc h.ev.Trace.tid
+        (Trace.kind_name h.ev.Trace.kind)
+        h.cost
+        (hop_class_name h.cls)
+        site
+    done
+  end
+
+(* --- Per-processor accounting ------------------------------------------ *)
+
+type proc_row = { proc : int; busy : int; comm : int; idle : int }
+
+let breakdown ~makespan ~busy ~comm =
+  List.init (Array.length busy) (fun p ->
+      let b = busy.(p) and c = comm.(p) in
+      { proc = p; busy = b; comm = c; idle = makespan - b - c })
+
+let pp_breakdown ppf ~makespan rows =
+  let pct c =
+    if makespan = 0 then 0.
+    else 100. *. float_of_int c /. float_of_int makespan
+  in
+  Format.fprintf ppf "%-5s %12s %12s %12s  %s@." "proc" "busy" "comm" "idle"
+    "busy%";
+  List.iter
+    (fun r ->
+      Format.fprintf ppf "p%-4d %12d %12d %12d  %5.1f%%@." r.proc r.busy
+        r.comm r.idle (pct r.busy))
+    rows;
+  let tb = List.fold_left (fun a r -> a + r.busy) 0 rows in
+  let tc = List.fold_left (fun a r -> a + r.comm) 0 rows in
+  let ti = List.fold_left (fun a r -> a + r.idle) 0 rows in
+  Format.fprintf ppf "%-5s %12d %12d %12d  (sum = %d x makespan %d)@." "all"
+    tb tc ti (List.length rows) makespan

@@ -1,0 +1,185 @@
+(* Per-benchmark deltas between two metrics snapshots, with a relative
+   tolerance on the cycle metrics so CI can gate on "did this PR slow a
+   benchmark down" without flaking on intentional cost-model changes. *)
+
+module Json = Olden_trace.Json
+
+type delta = {
+  benchmark : string;
+  metric : string;
+  base : int;
+  current : int;
+  rel : float;
+  gated : bool;
+  regressed : bool;
+}
+
+type report = {
+  tolerance : float;
+  deltas : delta list;
+  missing : string list;
+  added : string list;
+}
+
+let regressions r = List.filter (fun d -> d.regressed) r.deltas
+
+(* Normalize either schema to an association list of
+   (benchmark name, snapshot object), preserving file order. *)
+let snapshots_of_json j =
+  let name_of s =
+    match Option.bind (Json.member "benchmark" s) Json.string_value with
+    | Some n -> Ok n
+    | None -> Error "snapshot without a \"benchmark\" field"
+  in
+  let schema =
+    Option.bind (Json.member "schema" j) Json.string_value
+  in
+  match schema with
+  | Some "olden-metrics/v1" ->
+      Result.map (fun n -> [ (n, j) ]) (name_of j)
+  | Some "olden-metrics-table/v1" ->
+      let rows =
+        match Json.member "benchmarks" j with
+        | Some (Json.List rows) -> Ok rows
+        | _ -> Error "olden-metrics-table/v1 without a \"benchmarks\" list"
+      in
+      Result.bind rows (fun rows ->
+          List.fold_left
+            (fun acc s ->
+              Result.bind acc (fun acc ->
+                  Result.map (fun n -> (n, s) :: acc) (name_of s)))
+            (Ok []) rows
+          |> Result.map List.rev)
+  | Some other -> Error (Printf.sprintf "unrecognized schema %S" other)
+  | None -> Error "not a metrics snapshot (no \"schema\" field)"
+
+let int_field path s =
+  let rec walk j = function
+    | [] -> Json.int_value j
+    | k :: rest -> Option.bind (Json.member k j) (fun j -> walk j rest)
+  in
+  walk s path
+
+let bool_field path s =
+  let rec walk j = function
+    | [] -> ( match j with Json.Bool b -> Some b | _ -> None)
+    | k :: rest -> Option.bind (Json.member k j) (fun j -> walk j rest)
+  in
+  walk s path
+
+(* The compared metrics: path into the snapshot, gated or context-only. *)
+let metrics =
+  [
+    ([ "measured_cycles" ], true);
+    ([ "total_cycles" ], true);
+    ([ "stats"; "migrations" ], false);
+    ([ "stats"; "cache_misses" ], false);
+    ([ "stats"; "messages" ], false);
+  ]
+
+let compare_json ~tolerance ~base ~current =
+  Result.bind (snapshots_of_json base) (fun base_rows ->
+      Result.bind (snapshots_of_json current) (fun cur_rows ->
+          let deltas =
+            List.concat_map
+              (fun (name, b) ->
+                match List.assoc_opt name cur_rows with
+                | None -> []
+                | Some c ->
+                    let verified =
+                      let was = Option.value ~default:true (bool_field [ "verified" ] b) in
+                      let is = Option.value ~default:true (bool_field [ "verified" ] c) in
+                      if was && not is then
+                        [
+                          {
+                            benchmark = name;
+                            metric = "verified";
+                            base = 1;
+                            current = 0;
+                            rel = -1.;
+                            gated = true;
+                            regressed = true;
+                          };
+                        ]
+                      else []
+                    in
+                    verified
+                    @ List.filter_map
+                        (fun (path, gated) ->
+                          match (int_field path b, int_field path c) with
+                          | Some bv, Some cv ->
+                              let rel =
+                                if bv = 0 then 0.
+                                else float_of_int (cv - bv) /. float_of_int bv
+                              in
+                              Some
+                                {
+                                  benchmark = name;
+                                  metric = String.concat "." path;
+                                  base = bv;
+                                  current = cv;
+                                  rel;
+                                  gated;
+                                  regressed = gated && rel > tolerance;
+                                }
+                          | _ -> None)
+                        metrics)
+              base_rows
+          in
+          let names rows = List.map fst rows in
+          let missing =
+            List.filter
+              (fun n -> not (List.mem_assoc n cur_rows))
+              (names base_rows)
+          in
+          let added =
+            List.filter
+              (fun n -> not (List.mem_assoc n base_rows))
+              (names cur_rows)
+          in
+          Ok { tolerance; deltas; missing; added }))
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let compare_files ~tolerance ~base ~current =
+  let parse path =
+    match Json.of_string (read_file path) with
+    | j -> Ok j
+    | exception Json.Parse_error msg ->
+        Error (Printf.sprintf "%s: %s" path msg)
+    | exception Sys_error msg -> Error msg
+  in
+  Result.bind (parse base) (fun base ->
+      Result.bind (parse current) (fun current ->
+          compare_json ~tolerance ~base ~current))
+
+let pp ppf r =
+  Format.fprintf ppf "%-12s %-22s %14s %14s %8s@." "benchmark" "metric"
+    "baseline" "current" "delta";
+  List.iter
+    (fun d ->
+      let flag =
+        if d.regressed then "  REGRESSED"
+        else if d.gated && d.rel < -.r.tolerance then "  improved"
+        else ""
+      in
+      Format.fprintf ppf "%-12s %-22s %14d %14d %+7.1f%%%s@." d.benchmark
+        d.metric d.base d.current (100. *. d.rel) flag)
+    r.deltas;
+  List.iter
+    (fun n -> Format.fprintf ppf "%-12s missing from current file@." n)
+    r.missing;
+  List.iter
+    (fun n -> Format.fprintf ppf "%-12s new in current file@." n)
+    r.added;
+  let n = List.length (regressions r) in
+  if n = 0 then
+    Format.fprintf ppf "no regressions beyond %.1f%% tolerance@."
+      (100. *. r.tolerance)
+  else
+    Format.fprintf ppf "%d regression(s) beyond %.1f%% tolerance@." n
+      (100. *. r.tolerance)

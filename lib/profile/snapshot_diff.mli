@@ -1,0 +1,42 @@
+(** Compare two metrics snapshots — [olden-metrics/v1] objects or the
+    [olden-metrics-table/v1] wrapper [bench/main.exe -- snapshots] writes
+    to [BENCH_table2.json] — and report per-benchmark deltas.
+
+    Cycle metrics ([measured_cycles], [total_cycles]) gate: a benchmark
+    regresses when the current value exceeds the baseline by more than
+    the relative [tolerance] (improvements never gate), or when its
+    [verified] flag flips to false.  Mechanism counters (migrations,
+    cache misses, messages) are reported for context but never gate.
+    CI runs this via [olden-run diff], which exits non-zero on any
+    regression. *)
+
+module Json = Olden_trace.Json
+
+type delta = {
+  benchmark : string;
+  metric : string;
+  base : int;
+  current : int;
+  rel : float;  (** (current - base) / base; 0 when base is 0 *)
+  gated : bool;  (** whether this metric can fail the gate *)
+  regressed : bool;
+}
+
+type report = {
+  tolerance : float;
+  deltas : delta list;  (** benchmark order of the baseline file *)
+  missing : string list;  (** benchmarks in the baseline only *)
+  added : string list;  (** benchmarks in the current file only *)
+}
+
+val regressions : report -> delta list
+
+val compare_json :
+  tolerance:float -> base:Json.t -> current:Json.t -> (report, string) result
+(** [Error] when either value is not a recognizable snapshot. *)
+
+val compare_files :
+  tolerance:float -> base:string -> current:string -> (report, string) result
+(** Reads and parses both paths. *)
+
+val pp : Format.formatter -> report -> unit

@@ -62,6 +62,22 @@ let all () =
   Hashtbl.fold (fun _ s acc -> s :: acc) registry []
   |> List.sort (fun a b -> compare a.sid b.sid)
 
+(* Human-oriented label: registered names follow the "func.var->field"
+   convention, which reads better reversed as "var->field@func" in ranked
+   profiler tables (the dereference first, its function second).  Names
+   outside the convention pass through unchanged. *)
+let label s =
+  match String.index_opt s.sname '.' with
+  | Some i when i > 0 && i < String.length s.sname - 1 ->
+      let func = String.sub s.sname 0 i in
+      let deref =
+        String.sub s.sname (i + 1) (String.length s.sname - i - 1)
+      in
+      deref ^ "@" ^ func
+  | Some _ | None -> s.sname
+
+let labels () = List.map (fun s -> (s.sid, label s)) (all ())
+
 let pp ppf s =
   Format.fprintf ppf "%s:%s" s.sname
     (Olden_config.mechanism_to_string s.mech)

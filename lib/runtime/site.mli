@@ -32,6 +32,16 @@ val name : t -> string
 val all : unit -> t list
 (** Every site registered so far, in creation order. *)
 
+val label : t -> string
+(** ["func.var->field"] rendered as ["var->field@func"] — the dereference
+    first, its enclosing function second — for profiler tables and metric
+    labels.  Names outside the convention pass through unchanged. *)
+
+val labels : unit -> (int * string) list
+(** [(sid, label)] for every registered site, in creation order: the
+    site-name table drivers hand to {!Olden_trace.Recorder.of_events} and
+    the profiler. *)
+
 val reset : unit -> unit
 (** Forget every site and restart the id counter.  Sites are process
     globals; tests that need identical sids across repeated in-process

@@ -1,0 +1,95 @@
+(* Build the dependency DAG an event stream implies.
+
+   One forward pass maintains, per thread, the index of its previous
+   event; per processor, the index of the previous event there; and per
+   future id, the index of its resolve.  Each event's realized
+   predecessor is whichever candidate finished last (ties go to the
+   candidate emitted latest, which matches the scheduler's tie-breaking
+   on sequence numbers — later emission means a later or equal effect). *)
+
+type edge =
+  | Start
+  | Program of int
+  | Processor of int
+  | Resolve of int
+
+let predecessor = function
+  | Start -> None
+  | Program i | Processor i | Resolve i -> Some i
+
+type t = {
+  events : Trace.event array;
+  realized : edge array;
+}
+
+let build events =
+  let n = Array.length events in
+  let realized = Array.make n Start in
+  let last_of_tid : (int, int) Hashtbl.t = Hashtbl.create 64 in
+  let last_of_proc : (int, int) Hashtbl.t = Hashtbl.create 16 in
+  let resolve_of_fid : (int, int) Hashtbl.t = Hashtbl.create 64 in
+  for i = 0 to n - 1 do
+    let ev = events.(i) in
+    let candidates = ref [] in
+    (match Hashtbl.find_opt last_of_proc ev.Trace.proc with
+    | Some j -> candidates := Processor j :: !candidates
+    | None -> ());
+    (match Hashtbl.find_opt last_of_tid ev.Trace.tid with
+    | Some j ->
+        candidates := Program j :: !candidates;
+        (* a thread resuming after a parked touch additionally waited for
+           the future's resolve *)
+        (match events.(j).Trace.kind with
+        | Trace.Future_touch { fid; parked = true } -> (
+            match Hashtbl.find_opt resolve_of_fid fid with
+            | Some r -> candidates := Resolve r :: !candidates
+            | None -> ())
+        | _ -> ())
+    | None -> ());
+    (* the latest-finishing dependency wins; ties prefer the latest
+       emission (larger index) for determinism *)
+    let best =
+      List.fold_left
+        (fun best edge ->
+          match predecessor edge with
+          | None -> best
+          | Some j -> (
+              let key = (events.(j).Trace.time, j) in
+              match best with
+              | None -> Some (key, edge)
+              | Some (bkey, _) when key > bkey -> Some (key, edge)
+              | Some _ -> best))
+        None !candidates
+    in
+    (match best with Some (_, edge) -> realized.(i) <- edge | None -> ());
+    Hashtbl.replace last_of_tid ev.Trace.tid i;
+    Hashtbl.replace last_of_proc ev.Trace.proc i;
+    match ev.Trace.kind with
+    | Trace.Future_resolve { fid; _ } -> Hashtbl.replace resolve_of_fid fid i
+    | _ -> ()
+  done;
+  { events; realized }
+
+let last t =
+  let n = Array.length t.events in
+  if n = 0 then None
+  else begin
+    let best = ref 0 in
+    for i = 1 to n - 1 do
+      (* >= : ties resolve toward the latest emission *)
+      if t.events.(i).Trace.time >= t.events.(!best).Trace.time then best := i
+    done;
+    Some !best
+  end
+
+let chain t =
+  match last t with
+  | None -> []
+  | Some stop ->
+      let rec walk i acc =
+        let acc = i :: acc in
+        match predecessor t.realized.(i) with
+        | Some j -> walk j acc
+        | None -> acc
+      in
+      walk stop []

@@ -16,7 +16,23 @@
      are cold caches or invalidation storms, the signature the
      migrate-vs-cache trade-off turns on. *)
 
-let of_events ?(site_name = fun (_ : int) -> None) events =
+(* A site-name table (e.g. [Site.labels ()], sourced from the runtime's
+   site registry) as a lookup function.  Tables are tiny — tens of sites —
+   but lookups run per event, so build a hashtable once. *)
+let lookup table =
+  let h = Hashtbl.create (List.length table) in
+  List.iter (fun (sid, name) -> Hashtbl.replace h sid name) table;
+  fun sid -> Hashtbl.find_opt h sid
+
+let of_events ?site_table ?(site_name = fun (_ : int) -> None) events =
+  let site_name =
+    match site_table with
+    | None -> site_name
+    | Some table ->
+        let find = lookup table in
+        fun sid ->
+          (match find sid with Some _ as r -> r | None -> site_name sid)
+  in
   let m = Metrics.create () in
   let migration_latency = Metrics.histogram m "migration_latency_cycles" in
   let return_latency = Metrics.histogram m "return_latency_cycles" in

@@ -3,7 +3,18 @@
     histograms, and cache-miss-burst histograms.
 
     [site_name] maps a dereference-site id to a human-readable name for
-    the per-site labels (default: ids only). *)
+    the per-site labels (default: ids only).  [site_table] is the same
+    thing as an association table — pass the runtime's site registry
+    (e.g. [Site.labels ()], entries like ["t->left@treeadd"]) so the
+    labels read [field@function] end-to-end; when both are given the
+    table wins and [site_name] covers ids the table misses. *)
 
 val of_events :
-  ?site_name:(int -> string option) -> Trace.event array -> Metrics.t
+  ?site_table:(int * string) list ->
+  ?site_name:(int -> string option) ->
+  Trace.event array ->
+  Metrics.t
+
+val lookup : (int * string) list -> int -> string option
+(** A site-name table as a lookup function (hashed once; shared by the
+    profiler and trace summary). *)

@@ -12,4 +12,5 @@ let () =
       ("interp", Test_interp.suite);
       ("benchmarks", Test_benchmarks.suite);
       ("trace", Test_trace.suite);
+      ("profile", Test_profile.suite);
     ]

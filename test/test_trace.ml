@@ -136,6 +136,24 @@ let test_golden () =
   let want = read_file "golden/treeadd_p2_trace.jsonl" in
   check string "matches the committed golden stream" want got
 
+let test_metrics_snapshot_stable () =
+  (* the machine-readable run report is byte-stable: every JSON emitter
+     renders keys in fixed construction order, so two identical runs
+     serialize identically *)
+  let snap () =
+    Site.reset ();
+    let cfg = Config.make ~nprocs:2 () in
+    let o, events =
+      Trace.collect (fun () ->
+          B.Treeadd.spec.B.Common.run cfg ~scale:1_000_000)
+    in
+    check bool "verified" true o.B.Common.ok;
+    Json.to_string
+      (B.Common.metrics_snapshot ~events B.Treeadd.spec ~cfg ~scale:1_000_000
+         o)
+  in
+  check string "two identical runs snapshot identically" (snap ()) (snap ())
+
 let test_cache_events_em3d () =
   (* em3d is an M+C benchmark: its cache sites exercise the caching layer,
      so hits and line fetches appear in the stream *)
@@ -218,6 +236,8 @@ let suite =
     Alcotest.test_case "treeadd stream shape" `Quick test_treeadd_stream;
     Alcotest.test_case "byte-stable stream" `Quick test_byte_stable;
     Alcotest.test_case "golden treeadd stream" `Quick test_golden;
+    Alcotest.test_case "byte-stable metrics snapshot" `Quick
+      test_metrics_snapshot_stable;
     Alcotest.test_case "em3d cache events" `Quick test_cache_events_em3d;
     Alcotest.test_case "chrome exporter" `Quick test_chrome_export;
     Alcotest.test_case "jsonl exporter" `Quick test_jsonl_export;
