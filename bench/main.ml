@@ -7,6 +7,10 @@
      dune exec bench/main.exe -- tables      # only the paper tables/figures
      dune exec bench/main.exe -- micro       # only the Bechamel suite
      dune exec bench/main.exe -- snapshots   # only BENCH_table2.json
+     dune exec bench/main.exe -- hostperf    # only BENCH_hostperf.json
+
+   Host-side throughput (hostperf) should be run under dune's release
+   profile; the dev profile's checks distort the numbers.
 *)
 
 open Olden_benchmarks
@@ -105,6 +109,23 @@ let tables () =
   metrics_snapshots ();
   rule ()
 
+(* Host-side throughput of the simulator itself over the Table-2 suite;
+   the machine-readable report feeds CI's warn-only wall-clock comparison
+   (see docs/PERFORMANCE.md). *)
+let hostperf () =
+  let module Json = Olden_trace.Json in
+  let report = Hostperf.run () in
+  Format.printf "%a" Hostperf.pp report;
+  let file = "BENCH_hostperf.json" in
+  let oc = open_out file in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (Json.to_pretty_string (Hostperf.to_json report)));
+  Format.printf "host throughput: %s (%d benchmarks, %d processors)@." file
+    (List.length report.Hostperf.rows)
+    report.Hostperf.nprocs
+
 (* --- Bechamel microbenchmarks -------------------------------------------- *)
 
 let run_spec (s : Common.spec) ~scale ~nprocs =
@@ -180,6 +201,7 @@ let () =
   | "tables" -> tables ()
   | "micro" -> micro ()
   | "snapshots" -> metrics_snapshots ()
+  | "hostperf" -> hostperf ()
   | _ ->
       tables ();
       micro ());

@@ -1,0 +1,47 @@
+(** Host-side throughput harness.
+
+    Measures the simulator itself: wall-clock seconds to run the Table-2
+    suite on the host, and the derived throughputs simulated-cycles/sec
+    and simulated-events/sec.  Simulated results are untouched by design;
+    this is the instrument that sees the dereference fast-path work.
+
+    The JSON snapshot (schema ["olden-hostperf/v1"], written to
+    [BENCH_hostperf.json] by the harness and the [olden-run hostperf]
+    subcommand) is documented in docs/PERFORMANCE.md. *)
+
+type row = {
+  name : string;
+  scale : int;
+  wall_seconds : float;  (** best of [repeats] runs *)
+  sim_cycles : int;  (** the benchmark's measured (Table 2) cycles *)
+  sim_events : int;  (** simulated operation events, see {!events_of} *)
+  verified : bool;
+}
+
+type report = {
+  nprocs : int;
+  repeats : int;
+  rows : row list;
+  total_wall : float;  (** sum of per-benchmark best times *)
+  total_cycles : int;
+  total_events : int;
+}
+
+val events_of : Stats.t -> int
+(** Simulated operation events of a run: dereferences (both mechanisms),
+    thread movements, future operations, and messages. *)
+
+val run : ?nprocs:int -> ?repeats:int -> unit -> report
+(** Time the whole Table-2 suite; defaults: 8 processors, best of 3. *)
+
+val to_json : report -> Olden_trace.Json.t
+val of_json : Olden_trace.Json.t -> (report, string) result
+val of_file : string -> (report, string) result
+
+val pp : Format.formatter -> report -> unit
+(** Human-readable throughput table. *)
+
+val pp_comparison : Format.formatter -> baseline:report -> report -> unit
+(** Per-benchmark and aggregate wall-clock ratios against a baseline
+    report.  Advisory only — host timing is noisy; callers must not gate
+    on it (the CI step is warn-only by contract). *)

@@ -49,12 +49,13 @@ let emit t ~proc kind =
 let entry_for t ~proc ~home ~addr =
   let gpage = (home lsl 16) lor G.page_of_word addr in
   let tbl = t.tables.(proc) in
-  match Translation.find tbl gpage with
-  | Some e -> e
-  | None ->
-      let s = stats t in
-      s.Stats.pages_cached <- s.Stats.pages_cached + 1;
-      Translation.insert tbl ~gpage ~home ~page_index:(G.page_of_word addr)
+  let e = Translation.probe tbl gpage in
+  if e != Translation.no_entry then e
+  else begin
+    let s = stats t in
+    s.Stats.pages_cached <- s.Stats.pages_cached + 1;
+    Translation.insert tbl ~gpage ~home ~page_index:(G.page_of_word addr)
+  end
 
 (* Bilateral: a suspect page must be revalidated against its home before
    use; the home answers with the mask of lines written since the copy's
@@ -76,7 +77,7 @@ let revalidate t ~proc (e : Translation.entry) =
     emit t ~proc
       (Trace.Revalidate { home = e.home; page = e.page_index; dropped });
   e.ts <- ts;
-  e.suspect <- false
+  Translation.clear_suspect t.tables.(proc) e
 
 (* Fetch one line from the home into the local copy. *)
 let fetch_line t ~proc (e : Translation.entry) ~line =
@@ -86,9 +87,9 @@ let fetch_line t ~proc (e : Translation.entry) ~line =
        ~service:c.C.line_service);
   Machine.count_bytes t.machine G.line_bytes;
   let line_index = (e.page_index * G.lines_per_page) + line in
-  let words = Memory.read_line t.memory ~proc:e.home ~line_index in
-  let base = line * G.words_per_line in
-  Array.blit words 0 e.data base G.words_per_line;
+  (* zero-allocation fill: blit straight from the home section *)
+  Memory.blit_line t.memory ~proc:e.home ~line_index ~dst:e.data
+    ~dst_pos:(line * G.words_per_line);
   Translation.set_line_valid e line;
   (match coherence t with
   | C.Global -> Directory.add_sharer t.directories.(e.home) ~page_index:e.page_index ~proc
@@ -119,7 +120,7 @@ let read t ~proc gptr ~field =
     Machine.advance t.machine proc c.C.cache_probe;
     s.Stats.cacheable_reads_remote <- s.Stats.cacheable_reads_remote + 1;
     let e = entry_for t ~proc ~home ~addr in
-    if e.suspect then revalidate t ~proc e;
+    if Translation.is_suspect t.tables.(proc) e then revalidate t ~proc e;
     let line = G.line_of_word addr in
     if Translation.line_valid e line then begin
       s.Stats.cache_hits <- s.Stats.cache_hits + 1;
@@ -175,10 +176,9 @@ let write t ~proc gptr ~field v ~(log : Write_log.t) =
     Machine.advance t.machine proc c.C.local_ref;
     Machine.count_bytes t.machine (G.word_bytes + 8);
     (* keep our own cached copy coherent with our write *)
-    match Translation.find t.tables.(proc) ((home lsl 16) lor page_index) with
-    | Some e when Translation.line_valid e line ->
-        e.data.(G.word_offset_in_page addr) <- v
-    | Some _ | None -> ()
+    let e = Translation.probe t.tables.(proc) ((home lsl 16) lor page_index) in
+    if e != Translation.no_entry && Translation.line_valid e line then
+      e.data.(G.word_offset_in_page addr) <- v
   end
 
 (* Also used by migration-mechanism writes: coherence must still know about
@@ -224,34 +224,38 @@ let on_migration_sent t ~proc ~(log : Write_log.t) =
   | C.Local -> ()
   | C.Global ->
       (* eager release consistency: invalidate the written lines at every
-         sharer of each written page *)
+         sharer of each written page (sharer sets are bitmasks; no List.mem
+         on the hot path) *)
       List.iter
         (fun (gpage, mask) ->
           let home = gpage lsr 16 and page_index = gpage land 0xffff in
-          let sharers = Directory.sharers t.directories.(home) page_index in
-          List.iter
-            (fun sharer ->
-              if sharer <> proc then begin
-                ignore
-                  (Machine.one_way t.machine ~src:proc ~dst:sharer
-                     ~service:c.C.invalidate_line);
-                s.Stats.invalidation_messages <-
-                  s.Stats.invalidation_messages + 1;
-                if Trace.is_on () then
-                  emit t ~proc
-                    (Trace.Inval_send { target = sharer; page = page_index });
-                match Translation.find t.tables.(sharer) gpage with
-                | None -> ()
-                | Some e ->
-                    let dropped = Translation.invalidate_lines e mask in
-                    s.Stats.lines_invalidated <-
-                      s.Stats.lines_invalidated + dropped;
-                    if Trace.is_on () then
-                      emit t ~proc:sharer
-                        (Trace.Inval_recv
-                           { source = proc; page = page_index; dropped })
-              end)
-            sharers)
+          let sharers = Directory.sharer_mask t.directories.(home) page_index in
+          let rec each sharer rest =
+            if rest <> 0 then begin
+              (if rest land 1 <> 0 && sharer <> proc then begin
+                 ignore
+                   (Machine.one_way t.machine ~src:proc ~dst:sharer
+                      ~service:c.C.invalidate_line);
+                 s.Stats.invalidation_messages <-
+                   s.Stats.invalidation_messages + 1;
+                 if Trace.is_on () then
+                   emit t ~proc
+                     (Trace.Inval_send { target = sharer; page = page_index });
+                 let e = Translation.probe t.tables.(sharer) gpage in
+                 if e != Translation.no_entry then begin
+                   let dropped = Translation.invalidate_lines e mask in
+                   s.Stats.lines_invalidated <-
+                     s.Stats.lines_invalidated + dropped;
+                   if Trace.is_on () then
+                     emit t ~proc:sharer
+                       (Trace.Inval_recv
+                          { source = proc; page = page_index; dropped })
+                 end
+               end);
+              each (sharer + 1) (rest lsr 1)
+            end
+          in
+          each 0 sharers)
         (Write_log.dirty_pages log);
       Write_log.clear_dirty log
   | C.Bilateral ->
@@ -281,12 +285,12 @@ let on_return_received t ~proc ~(log : Write_log.t) =
   match coherence t with
   | C.Local ->
       if t.cfg.C.return_invalidate_refinement then begin
-        let written = Write_log.written_procs log in
+        let written = Write_log.written_mask log in
         let dropped = Translation.invalidate_homes t.tables.(proc) written in
         Machine.advance t.machine proc
-          (c.C.invalidate_line * List.length written);
+          (c.C.invalidate_line * C.popcount written);
         s.Stats.lines_invalidated <- s.Stats.lines_invalidated + dropped;
-        if Trace.is_on () && written <> [] then
+        if Trace.is_on () && written <> 0 then
           emit t ~proc
             (Trace.Inval_recv { source = -1; page = -1; dropped })
       end

@@ -8,7 +8,7 @@
    (Appendix A). *)
 
 type page = {
-  mutable sharers : int list; (* processors holding a copy (global scheme) *)
+  mutable sharers : int; (* bitmask of processors holding a copy (global) *)
   mutable ts : int; (* current timestamp (bilateral scheme) *)
   line_ts : int array; (* per-line stamp of the last release-visible write *)
   mutable ever_shared : bool; (* drives the 7-vs-23-cycle write-track cost *)
@@ -40,7 +40,7 @@ let get t page_index =
   | None ->
       let p =
         {
-          sharers = [];
+          sharers = 0;
           ts = 0;
           line_ts = Array.make Olden_config.Geometry.lines_per_page 0;
           ever_shared = false;
@@ -52,17 +52,25 @@ let get t page_index =
 let add_sharer t ~page_index ~proc =
   let p = get t page_index in
   p.ever_shared <- true;
-  if not (List.mem proc p.sharers) then p.sharers <- proc :: p.sharers
+  p.sharers <- p.sharers lor (1 lsl proc)
 
 let remove_sharer t ~page_index ~proc =
   match Hashtbl.find_opt t.pages page_index with
   | None -> ()
-  | Some p -> p.sharers <- List.filter (fun q -> q <> proc) p.sharers
+  | Some p -> p.sharers <- p.sharers land lnot (1 lsl proc)
+
+let sharer_mask t page_index =
+  match Hashtbl.find_opt t.pages page_index with
+  | None -> 0
+  | Some p -> p.sharers
 
 let sharers t page_index =
-  match Hashtbl.find_opt t.pages page_index with
-  | None -> []
-  | Some p -> p.sharers
+  let rec go p mask acc =
+    if mask = 0 then List.rev acc
+    else if mask land 1 <> 0 then go (p + 1) (mask lsr 1) (p :: acc)
+    else go (p + 1) (mask lsr 1) acc
+  in
+  go 0 (sharer_mask t page_index) []
 
 let is_shared t page_index =
   match Hashtbl.find_opt t.pages page_index with

@@ -7,7 +7,7 @@
     so a revalidating sharer is told exactly which lines to drop. *)
 
 type page = {
-  mutable sharers : int list;  (** processors holding a copy (global) *)
+  mutable sharers : int;  (** bitmask of processors holding a copy (global) *)
   mutable ts : int;  (** current timestamp (bilateral) *)
   line_ts : int array;  (** per-line stamp of the last release-visible write *)
   mutable ever_shared : bool;  (** drives the 7-vs-23-cycle write-track cost *)
@@ -25,7 +25,12 @@ val get : t -> int -> page
 
 val add_sharer : t -> page_index:int -> proc:int -> unit
 val remove_sharer : t -> page_index:int -> proc:int -> unit
+
+val sharer_mask : t -> int -> int
+(** Current sharers as a bitmask (bit [p] = processor [p] holds a copy). *)
+
 val sharers : t -> int -> int list
+(** The same set as a sorted list; derived from {!sharer_mask}. *)
 
 val is_shared : t -> int -> bool
 (** Whether the page was ever fetched by a remote processor. *)

@@ -1,12 +1,28 @@
-(* Olden's software cache translation table (Figure 1).
+(* Olden's software cache translation table (Figure 1), rebuilt for host
+   speed.
 
-   A 1024-bucket hash table; each bucket holds a short list of page
-   entries (average chain length is about one in the paper's experience).
-   Each entry describes one cached 2 KB remote page: a tag identifying the
-   global page, 32 per-line valid bits, and the local copy of the data.
-   The cache is fully associative and write-through; it grows with use and
-   is only emptied by coherence events, mirroring Olden's use of all local
-   memory as cache. *)
+   The original implementation mirrored the paper's structure literally: a
+   1024-bucket hash table of entry *lists*.  That put a cons cell, a list
+   walk, and an option allocation on every dereference the simulator
+   models.  This version keeps the same observable semantics (same
+   entries, same valid bits, same counters) on an open-addressed,
+   array-backed table:
+
+   - linear probing over a power-of-two slot array, no tombstones: the
+     only deletion is the wholesale [flush], done by bumping a generation
+     counter, so a stale slot is exactly as free as a never-used one;
+   - a one-entry last-translation memo (the real Olden runtime's
+     single-entry TLB): repeated hits to the same page skip the probe;
+   - [mark_all_suspect] bumps a suspicion epoch instead of walking every
+     entry; an entry is suspect when its last-validated epoch is behind;
+   - the common-case [probe] returns the entry itself (or the [no_entry]
+     sentinel), so a cache hit allocates nothing.
+
+   Each entry still describes one cached 2 KB remote page: a tag
+   identifying the global page, 32 per-line valid bits, and the local
+   copy of the data.  The cache is fully associative and write-through;
+   it grows with use and is only emptied by coherence events, mirroring
+   Olden's use of all local memory as cache. *)
 
 module G = Olden_config.Geometry
 
@@ -16,31 +32,108 @@ type entry = {
   page_index : int; (* page number within the home's section *)
   mutable valid : int; (* bitmask over the 32 lines *)
   data : Value.t array; (* local copy, words_per_page words *)
-  mutable suspect : bool; (* bilateral: must revalidate before next use *)
   mutable ts : int; (* bilateral: home timestamp at last validation *)
+  mutable egen : int; (* internal: flush generation this entry belongs to *)
+  mutable vepoch : int; (* internal: suspicion epoch at last validation *)
 }
+
+(* The miss sentinel: [egen = -1] never equals a live generation, so the
+   probe loop needs no separate emptiness test for it. *)
+let no_entry =
+  {
+    gpage = -1;
+    home = -1;
+    page_index = -1;
+    valid = 0;
+    data = [||];
+    ts = 0;
+    egen = -1;
+    vepoch = 0;
+  }
 
 type t = {
-  buckets : entry list array;
-  mutable entries : int;
+  mutable slots : entry array; (* power-of-two sized, holds [no_entry] too *)
+  mutable mask : int; (* capacity - 1 *)
+  mutable gen : int; (* current flush generation; a slot whose entry has
+                        an older [egen] is free *)
+  mutable sepoch : int; (* suspicion epoch: entries validated earlier are
+                           suspect (bilateral scheme) *)
+  mutable live : int; (* entries of the current generation *)
+  mutable ever : int; (* entries ever created, across flushes *)
   mutable lookups : int;
+  mutable memo : entry; (* last translation: the one-entry TLB *)
 }
 
-let create () = { buckets = Array.make G.hash_buckets []; entries = 0; lookups = 0 }
+let create () =
+  {
+    slots = Array.make G.hash_buckets no_entry;
+    mask = G.hash_buckets - 1;
+    gen = 0;
+    sepoch = 0;
+    live = 0;
+    ever = 0;
+    lookups = 0;
+    memo = no_entry;
+  }
 
-let bucket_of gpage = gpage land (G.hash_buckets - 1)
+(* Global page ids are [home lsl 16 lor page_index]: several processors'
+   dense page ranges, which any mask-the-low-bits hash would pile into one
+   small slot window (fatal for linear probing — primary clustering).  A
+   multiplicative mix (Knuth's golden-ratio constant, sized to OCaml's
+   63-bit int) spreads them across the whole table first. *)
+let home_slot t gpage =
+  let h = gpage * 0x3C79AC492BA7B653 in
+  (h lsr 24) land t.mask
+
+(* The hot path: find the live entry for [gpage], or [no_entry] (test
+   with [==]).  Zero allocation; the memo skips even the probe when the
+   same page is touched twice in a row. *)
+let probe t gpage =
+  t.lookups <- t.lookups + 1;
+  let m = t.memo in
+  if m.gpage = gpage && m.egen = t.gen then m
+  else begin
+    let slots = t.slots and mask = t.mask and gen = t.gen in
+    let rec go i =
+      let e = Array.unsafe_get slots i in
+      if e.egen <> gen then no_entry
+      else if e.gpage = gpage then begin
+        t.memo <- e;
+        e
+      end
+      else go ((i + 1) land mask)
+    in
+    go (home_slot t gpage)
+  end
 
 let find t gpage =
-  t.lookups <- t.lookups + 1;
-  let rec search = function
-    | [] -> None
-    | e :: rest -> if e.gpage = gpage then Some e else search rest
-  in
-  search t.buckets.(bucket_of gpage)
+  let e = probe t gpage in
+  if e == no_entry then None else Some e
+
+(* Double the table, keeping only live entries (stale generations are
+   dropped, which also shortens future probe sequences). *)
+let grow t =
+  let old = t.slots in
+  let cap = 2 * Array.length old in
+  t.slots <- Array.make cap no_entry;
+  t.mask <- cap - 1;
+  Array.iter
+    (fun e ->
+      if e.egen = t.gen then begin
+        let rec place i =
+          if t.slots.(i) == no_entry then t.slots.(i) <- e
+          else place ((i + 1) land t.mask)
+        in
+        place (home_slot t e.gpage)
+      end)
+    old
 
 (* Allocate a (fully invalid) entry for [gpage]; performed at page
-   granularity on the first miss to the page, as in Blizzard-S. *)
+   granularity on the first miss to the page, as in Blizzard-S.  The
+   caller must have probed first: inserting an already-present page
+   would shadow the live entry. *)
 let insert t ~gpage ~home ~page_index =
+  if 2 * (t.live + 1) > Array.length t.slots then grow t;
   let e =
     {
       gpage;
@@ -48,13 +141,20 @@ let insert t ~gpage ~home ~page_index =
       page_index;
       valid = 0;
       data = Array.make G.words_per_page Value.Nil;
-      suspect = false;
       ts = 0;
+      egen = t.gen;
+      vepoch = t.sepoch;
     }
   in
-  let b = bucket_of gpage in
-  t.buckets.(b) <- e :: t.buckets.(b);
-  t.entries <- t.entries + 1;
+  let mask = t.mask and gen = t.gen in
+  let rec place i =
+    if t.slots.(i).egen <> gen then t.slots.(i) <- e
+    else place ((i + 1) land mask)
+  in
+  place (home_slot t gpage);
+  t.live <- t.live + 1;
+  t.ever <- t.ever + 1;
+  t.memo <- e;
   e
 
 let line_valid e line = e.valid land (1 lsl line) <> 0
@@ -65,51 +165,54 @@ let invalidate_lines e mask =
   let before = e.valid in
   e.valid <- e.valid land lnot mask;
   (* number of lines actually invalidated *)
-  let rec pop m acc = if m = 0 then acc else pop (m lsr 1) (acc + (m land 1)) in
-  pop (before land mask) 0
+  Olden_config.popcount (before land mask)
+
+(* Bilateral suspicion is epoch-based: [mark_all_suspect] advances the
+   table's epoch in O(1); an entry validated at an older epoch must
+   revalidate before its next use. *)
+let is_suspect t e = e.vepoch <> t.sepoch
+let clear_suspect t e = e.vepoch <- t.sepoch
+
+let mark_all_suspect t = t.sepoch <- t.sepoch + 1
 
 (* Local-knowledge scheme: clear the whole cache on migration receipt.
-   Entries are dropped (and will be re-allocated on next use); [entries]
-   deliberately keeps counting ever-created entries via the caller. *)
+   A generation bump frees every slot at once; entries are re-allocated
+   on next use.  [entries_ever] keeps counting across flushes. *)
 let flush t =
-  Array.fill t.buckets 0 (Array.length t.buckets) []
+  t.gen <- t.gen + 1;
+  t.live <- 0;
+  t.memo <- no_entry
 
-(* Mark every cached page suspect (bilateral scheme, on migration receipt:
-   "marks all of its pages, so that they miss on the first access"). *)
-let mark_all_suspect t =
-  Array.iter (List.iter (fun e -> e.suspect <- true)) t.buckets
+let live_entries t = t.live
+let entries_ever t = t.ever
+let entry_count t = t.live
 
-(* Invalidate every line whose home processor is in [procs] (the local
-   scheme's return refinement). Returns the number of lines invalidated. *)
+let iter t f =
+  Array.iter (fun e -> if e.egen = t.gen then f e) t.slots
+
+(* Invalidate every line whose home processor is in the [procs] bitmask
+   (the local scheme's return refinement). Returns the number of lines
+   invalidated. *)
 let invalidate_homes t procs =
   let count = ref 0 in
-  Array.iter
-    (List.iter (fun e ->
-         if List.mem e.home procs then begin
-           let rec pop m acc =
-             if m = 0 then acc else pop (m lsr 1) (acc + (m land 1))
-           in
-           count := !count + pop e.valid 0;
-           e.valid <- 0
-         end))
-    t.buckets;
+  iter t (fun e ->
+      if procs land (1 lsl e.home) <> 0 then begin
+        count := !count + Olden_config.popcount e.valid;
+        e.valid <- 0
+      end);
   !count
 
-let iter t f = Array.iter (List.iter f) t.buckets
-
-let entry_count t =
-  let n = ref 0 in
-  iter t (fun _ -> incr n);
-  !n
-
+(* Mean linear-probe sequence length over live entries (1.0 = every entry
+   in its home slot) — the open-addressed analogue of the paper's
+   bucket-chain statistic, which it reports as about one in practice. *)
 let average_chain_length t =
-  let used = ref 0 and total = ref 0 in
-  Array.iter
-    (fun l ->
-      let n = List.length l in
-      if n > 0 then begin
-        incr used;
-        total := !total + n
+  let total = ref 0 and n = ref 0 in
+  Array.iteri
+    (fun i e ->
+      if e.egen = t.gen then begin
+        incr n;
+        let cap = Array.length t.slots in
+        total := !total + ((i - home_slot t e.gpage + cap) land (cap - 1)) + 1
       end)
-    t.buckets;
-  if !used = 0 then 0. else float_of_int !total /. float_of_int !used
+    t.slots;
+  if !n = 0 then 0. else float_of_int !total /. float_of_int !n

@@ -17,7 +17,11 @@ val dirty_pages : t -> (int * int) list
 
 val written_procs : t -> int list
 (** Sorted distinct processors the thread has written — cumulative, never
-    cleared (a thread "might have updated" them at any earlier point). *)
+    cleared (a thread "might have updated" them at any earlier point).
+    Derived from {!written_mask}; prefer the mask on hot paths. *)
+
+val written_mask : t -> int
+(** The same set as an int bitmask (bit [p] = processor [p] written). *)
 
 val is_empty : t -> bool
 (** No dirty lines pending release. *)

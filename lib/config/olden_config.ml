@@ -46,6 +46,15 @@ let policy_of_string = function
   | "cache-only" | "cache_only" | "cache" -> Some Cache_only
   | _ -> None
 
+(* Population count of an int bitmask, Kernighan style: one iteration per
+   set bit, so line masks (<= 32 bits, usually sparse) and written-processor
+   masks pay for what they hold.  The single shared implementation — the
+   cache layer's valid masks, write logs, and invalidation accounting all
+   count bits through this. *)
+let popcount m =
+  let rec go m acc = if m = 0 then acc else go (m land (m - 1)) (acc + 1) in
+  go m 0
+
 (* Heap geometry (Section 3.2): 2 KB pages, 64 B lines, 32 lines per page,
    1024-bucket translation table, 32-bit words. *)
 module Geometry = struct

@@ -49,37 +49,54 @@ let alloc t ~proc words =
 
 let words_used t proc = t.sections.(proc).used
 
-let check t p field =
-  let proc = Gptr.proc p and addr = Gptr.addr p + field in
-  if proc >= nprocs t then
-    invalid_arg (Printf.sprintf "Memory: %s: no processor" (Gptr.to_string p));
-  let s = t.sections.(proc) in
-  if addr < 0 || addr >= s.used then
-    invalid_arg
-      (Printf.sprintf "Memory: %s+%d: address out of allocated range"
-         (Gptr.to_string p) field);
-  (s, addr)
+(* Cold error paths, out of line so load/store compile to straight-line
+   checks with no tuple or closure allocation. *)
+let no_processor p =
+  invalid_arg (Printf.sprintf "Memory: %s: no processor" (Gptr.to_string p))
+
+let out_of_range p field =
+  invalid_arg
+    (Printf.sprintf "Memory: %s+%d: address out of allocated range"
+       (Gptr.to_string p) field)
 
 (* Direct (home) accesses; the runtime charges their costs. *)
 
 let load t p field =
-  let s, addr = check t p field in
+  let proc = Gptr.proc p and addr = Gptr.addr p + field in
+  if proc >= nprocs t then no_processor p;
+  let s = t.sections.(proc) in
+  if addr < 0 || addr >= s.used then out_of_range p field;
   s.cells.(addr)
 
 let store t p field v =
-  let s, addr = check t p field in
+  let proc = Gptr.proc p and addr = Gptr.addr p + field in
+  if proc >= nprocs t then no_processor p;
+  let s = t.sections.(proc) in
+  if addr < 0 || addr >= s.used then out_of_range p field;
   s.cells.(addr) <- v
 
-(* Read a line's worth of words starting at the line containing [word_addr]
-   on [proc]; used by the cache to fill a line.  Words past the section's
-   bump pointer read as Nil (the line straddles unallocated space). *)
-let read_line t ~proc ~line_index =
+(* Fill [dst] (at [dst_pos]) with one line of [proc]'s section directly —
+   the cache's allocation-free line fill.  Words past the section's bump
+   pointer read as Nil (the line straddles unallocated space). *)
+let blit_line t ~proc ~line_index ~dst ~dst_pos =
   let words = Olden_config.Geometry.words_per_line in
   let base = line_index * words in
   let s = t.sections.(proc) in
-  Array.init words (fun i ->
-      let a = base + i in
-      if a < s.used then s.cells.(a) else Value.Nil)
+  let avail = s.used - base in
+  if avail >= words then Array.blit s.cells base dst dst_pos words
+  else begin
+    let n = if avail > 0 then avail else 0 in
+    if n > 0 then Array.blit s.cells base dst dst_pos n;
+    Array.fill dst (dst_pos + n) (words - n) Value.Nil
+  end
+
+(* Allocating variant, kept for tests and tools; the cache hot path uses
+   [blit_line]. *)
+let read_line t ~proc ~line_index =
+  let words = Olden_config.Geometry.words_per_line in
+  let dst = Array.make words Value.Nil in
+  blit_line t ~proc ~line_index ~dst ~dst_pos:0;
+  dst
 
 let word_at t ~proc ~addr =
   let s = t.sections.(proc) in

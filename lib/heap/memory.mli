@@ -26,10 +26,15 @@ val load : t -> Gptr.t -> int -> Value.t
 
 val store : t -> Gptr.t -> int -> Value.t -> unit
 
+val blit_line :
+  t -> proc:int -> line_index:int -> dst:Value.t array -> dst_pos:int -> unit
+(** Copy the 16 words of one cache line of a section straight into [dst]
+    at [dst_pos] — the cache layer's allocation-free line fill.  Words
+    beyond the bump pointer read as [Nil] (a fetched line may straddle
+    unallocated space). *)
+
 val read_line : t -> proc:int -> line_index:int -> Value.t array
-(** The 16 words of one cache line of a section; words beyond the bump
-    pointer read as [Nil] (a fetched line may straddle unallocated
-    space). *)
+(** Allocating variant of {!blit_line}, for tests and tools. *)
 
 val word_at : t -> proc:int -> addr:int -> Value.t
 (** Raw word access by local address; unallocated words read as [Nil]. *)

@@ -23,6 +23,12 @@ open Effects
 exception Null_dereference of string
 exception Deadlock of string
 
+exception Must_perform
+(* Raised — with [raise_notrace], before any state is mutated — by the
+   immediate-path operation bodies when the operation must capture the
+   current fiber (a migration or a park on an unresolved future), so the
+   caller falls back to performing the effect. *)
+
 type task = { thread : thread; go : unit -> unit }
 
 type work_item = { pushed_at : int; wseq : int; wtask : task }
@@ -94,7 +100,8 @@ let now t = Machine.now t.machine t.cur_proc
 let advance t cycles = Machine.advance t.machine t.cur_proc cycles
 
 (* Low-tech event tracing, enabled by [cfg.trace]; the message is built
-   lazily so tracing is free when off. *)
+   lazily, and call sites guard on [t.cfg.C.trace] themselves so not even
+   the message closure is allocated when tracing is off. *)
 let trace t msg =
   if t.cfg.C.trace then
     Printf.eprintf "[t=%8d p=%2d tid=%d] %s\n%!" (now t) t.cur_proc
@@ -128,9 +135,10 @@ let resolve t (cell : fut) v =
   | Done _ -> failwith "Engine: future resolved twice"
   | Pending waiters ->
       cell.state <- Done v;
-      trace t (fun () ->
-          Printf.sprintf "resolve fut#%d (%d waiter(s))" cell.fid
-            (List.length waiters));
+      if t.cfg.C.trace then
+        trace t (fun () ->
+            Printf.sprintf "resolve fut#%d (%d waiter(s))" cell.fid
+              (List.length waiters));
       if Trace.is_on () then
         emit t
           (Trace.Future_resolve
@@ -170,7 +178,8 @@ let migrate_to t ~site ~target ~(k : ('a, unit) Effect.Deep.continuation)
   s.Stats.migrations <- s.Stats.migrations + 1;
   let thread = t.cur_thread in
   let source = t.cur_proc in
-  trace t (fun () -> Printf.sprintf "migrate -> %d" target);
+  if t.cfg.C.trace then
+    trace t (fun () -> Printf.sprintf "migrate -> %d" target);
   (* an outgoing migration is a release point *)
   Cache.on_migration_sent t.cache ~proc:t.cur_proc ~log:thread.log;
   advance t c.C.migrate_send;
@@ -193,120 +202,176 @@ let migrate_to t ~site ~target ~(k : ('a, unit) Effect.Deep.continuation)
           Effect.Deep.continue k (complete ()));
     }
 
+(* --- Immediate operation bodies ------------------------------------ *)
+
+(* Everything below runs to completion without capturing the fiber, so it
+   is shared between the effect handler and the fast-path entry points
+   [Ops] uses to bypass effect dispatch entirely (a [perform] allocates
+   the effect constructor and crosses the handler boundary; a cache hit
+   should cost neither).  Each body either finishes the operation or
+   raises [Must_perform] before mutating anything. *)
+
+let immediate_work t n = advance t n
+
+let immediate_alloc t ~proc words =
+  let c = costs t in
+  (* ALLOC needs no round trip even for a remote processor: each
+     allocator owns chunks of every heap section, so the address is
+     computed locally (Section 2's ALLOC library routine). *)
+  if proc = t.cur_proc then advance t c.C.alloc_local
+  else begin
+    (stats t).Stats.remote_allocs <- (stats t).Stats.remote_allocs + 1;
+    advance t (c.C.alloc_local + c.C.alloc_service);
+    if Trace.is_on () then emit t (Trace.Remote_alloc { home = proc; words })
+  end;
+  Memory.alloc t.memory ~proc words
+
+let immediate_load t (site : Site.t) g field =
+  if Gptr.is_null g then raise (Null_dereference (Site.name site));
+  let c = costs t in
+  if t.cfg.C.sequential then begin
+    site.Site.loads <- site.Site.loads + 1;
+    advance t c.C.local_ref;
+    Memory.load t.memory g field
+  end
+  else
+    match effective_mechanism t site with
+    | C.Cache ->
+        site.Site.loads <- site.Site.loads + 1;
+        if Gptr.proc g <> t.cur_proc then
+          site.Site.remote <- site.Site.remote + 1;
+        if Trace.is_on () then begin
+          Trace.set_thread t.cur_thread.tid;
+          Trace.set_site site.Site.sid
+        end;
+        let before = (stats t).Stats.cache_misses in
+        let v = Cache.read t.cache ~proc:t.cur_proc g ~field in
+        site.Site.misses <-
+          site.Site.misses + (stats t).Stats.cache_misses - before;
+        v
+    | C.Migrate ->
+        if Gptr.proc g = t.cur_proc then begin
+          site.Site.loads <- site.Site.loads + 1;
+          advance t c.C.pointer_test;
+          advance t c.C.local_ref;
+          (stats t).Stats.local_refs <- (stats t).Stats.local_refs + 1;
+          Memory.load t.memory g field
+        end
+        else raise_notrace Must_perform
+
+let immediate_store t (site : Site.t) g field v =
+  if Gptr.is_null g then raise (Null_dereference (Site.name site));
+  let c = costs t in
+  if t.cfg.C.sequential then begin
+    site.Site.stores <- site.Site.stores + 1;
+    advance t c.C.local_ref;
+    Memory.store t.memory g field v
+  end
+  else
+    match effective_mechanism t site with
+    | C.Cache ->
+        site.Site.stores <- site.Site.stores + 1;
+        if Gptr.proc g <> t.cur_proc then
+          site.Site.remote <- site.Site.remote + 1;
+        if Trace.is_on () then begin
+          Trace.set_thread t.cur_thread.tid;
+          Trace.set_site site.Site.sid
+        end;
+        Cache.write t.cache ~proc:t.cur_proc g ~field v ~log:t.cur_thread.log
+    | C.Migrate ->
+        if Gptr.proc g = t.cur_proc then begin
+          site.Site.stores <- site.Site.stores + 1;
+          advance t c.C.pointer_test;
+          advance t c.C.local_ref;
+          (stats t).Stats.local_refs <- (stats t).Stats.local_refs + 1;
+          Memory.store t.memory g field v;
+          Cache.note_migrate_write t.cache ~proc:t.cur_proc g ~field
+            ~log:t.cur_thread.log
+        end
+        else raise_notrace Must_perform
+
+let immediate_touch t (cell : fut) =
+  match cell.state with
+  | Done v ->
+      let c = costs t in
+      let s = stats t in
+      s.Stats.touches <- s.Stats.touches + 1;
+      advance t c.C.future_touch;
+      if Trace.is_on () then
+        emit t (Trace.Future_touch { fid = cell.fid; parked = false });
+      acquire_result t ~proc:t.cur_proc ~toucher:t.cur_thread cell;
+      v
+  | Pending _ -> raise_notrace Must_perform
+
+(* --- Fast-path entry points ----------------------------------------- *)
+
+(* The engine currently driving fibers; set for the duration of [exec].
+   [Ops] reads it to run non-suspending operations as plain calls,
+   performing the effect only when [Must_perform] says the fiber must be
+   captured (or when no engine is running, where the effect surfaces the
+   usual [Effect.Unhandled]). *)
+let current : t option ref = ref None
+
+let engine () =
+  match !current with Some t -> t | None -> raise_notrace Must_perform
+
+let fast_work n = immediate_work (engine ()) n
+let fast_self () = (engine ()).cur_proc
+let fast_nprocs () = (engine ()).cfg.C.nprocs
+let fast_alloc ~proc words = immediate_alloc (engine ()) ~proc words
+let fast_load site g field = immediate_load (engine ()) site g field
+let fast_store site g field v = immediate_store (engine ()) site g field v
+let fast_touch cell = immediate_touch (engine ()) cell
+
 let rec handler t : (unit, unit) Effect.Deep.handler =
   let effc : type a. a Effect.t -> ((a, unit) Effect.Deep.continuation -> unit) option =
     function
     | Work n ->
         Some
           (fun k ->
-            advance t n;
+            immediate_work t n;
             Effect.Deep.continue k ())
     | Self -> Some (fun k -> Effect.Deep.continue k t.cur_proc)
     | Nprocs -> Some (fun k -> Effect.Deep.continue k t.cfg.C.nprocs)
     | Alloc (proc, words) ->
         Some
-          (fun k ->
-            let c = costs t in
-            (* ALLOC needs no round trip even for a remote processor: each
-               allocator owns chunks of every heap section, so the address
-               is computed locally (Section 2's ALLOC library routine). *)
-            if proc = t.cur_proc then advance t c.C.alloc_local
-            else begin
-              (stats t).Stats.remote_allocs <-
-                (stats t).Stats.remote_allocs + 1;
-              advance t (c.C.alloc_local + c.C.alloc_service);
-              if Trace.is_on () then
-                emit t (Trace.Remote_alloc { home = proc; words })
-            end;
-            Effect.Deep.continue k (Memory.alloc t.memory ~proc words))
+          (fun k -> Effect.Deep.continue k (immediate_alloc t ~proc words))
     | Load (site, g, field) ->
         Some
           (fun k ->
-            if Gptr.is_null g then
-              raise (Null_dereference (Site.name site));
-            let c = costs t in
-            site.Site.loads <- site.Site.loads + 1;
-            if t.cfg.C.sequential then begin
-              advance t c.C.local_ref;
-              Effect.Deep.continue k (Memory.load t.memory g field)
-            end
-            else begin
-              if Gptr.proc g <> t.cur_proc then
+            match immediate_load t site g field with
+            | v -> Effect.Deep.continue k v
+            | exception Must_perform ->
+                (* the reference must migrate: only here is the fiber
+                   captured *)
+                let c = costs t in
+                let home = Gptr.proc g in
+                site.Site.loads <- site.Site.loads + 1;
                 site.Site.remote <- site.Site.remote + 1;
-              match effective_mechanism t site with
-              | C.Cache ->
-                  if Trace.is_on () then begin
-                    Trace.set_thread t.cur_thread.tid;
-                    Trace.set_site site.Site.sid
-                  end;
-                  let before = (stats t).Stats.cache_misses in
-                  let v = Cache.read t.cache ~proc:t.cur_proc g ~field in
-                  site.Site.misses <-
-                    site.Site.misses + (stats t).Stats.cache_misses - before;
-                  Effect.Deep.continue k v
-              | C.Migrate ->
-                  advance t c.C.pointer_test;
-                  let home = Gptr.proc g in
-                  if home = t.cur_proc then begin
-                    advance t c.C.local_ref;
-                    (stats t).Stats.local_refs <-
-                      (stats t).Stats.local_refs + 1;
-                    Effect.Deep.continue k (Memory.load t.memory g field)
-                  end
-                  else begin
-                    site.Site.migrations <- site.Site.migrations + 1;
-                    migrate_to t ~site:site.Site.sid ~target:home ~k
-                      ~complete:(fun () ->
-                        Machine.advance t.machine home c.C.local_ref;
-                        Memory.load t.memory g field)
-                  end
-            end)
+                advance t c.C.pointer_test;
+                site.Site.migrations <- site.Site.migrations + 1;
+                migrate_to t ~site:site.Site.sid ~target:home ~k
+                  ~complete:(fun () ->
+                    Machine.advance t.machine home c.C.local_ref;
+                    Memory.load t.memory g field))
     | Store (site, g, field, v) ->
         Some
           (fun k ->
-            if Gptr.is_null g then
-              raise (Null_dereference (Site.name site));
-            let c = costs t in
-            site.Site.stores <- site.Site.stores + 1;
-            if t.cfg.C.sequential then begin
-              advance t c.C.local_ref;
-              Memory.store t.memory g field v;
-              Effect.Deep.continue k ()
-            end
-            else begin
-              if Gptr.proc g <> t.cur_proc then
+            match immediate_store t site g field v with
+            | () -> Effect.Deep.continue k ()
+            | exception Must_perform ->
+                let c = costs t in
+                let home = Gptr.proc g in
+                site.Site.stores <- site.Site.stores + 1;
                 site.Site.remote <- site.Site.remote + 1;
-              match effective_mechanism t site with
-              | C.Cache ->
-                  if Trace.is_on () then begin
-                    Trace.set_thread t.cur_thread.tid;
-                    Trace.set_site site.Site.sid
-                  end;
-                  Cache.write t.cache ~proc:t.cur_proc g ~field v
-                    ~log:t.cur_thread.log;
-                  Effect.Deep.continue k ()
-              | C.Migrate ->
-                  advance t c.C.pointer_test;
-                  let home = Gptr.proc g in
-                  if home = t.cur_proc then begin
-                    advance t c.C.local_ref;
-                    (stats t).Stats.local_refs <-
-                      (stats t).Stats.local_refs + 1;
+                advance t c.C.pointer_test;
+                site.Site.migrations <- site.Site.migrations + 1;
+                migrate_to t ~site:site.Site.sid ~target:home ~k
+                  ~complete:(fun () ->
+                    Machine.advance t.machine home c.C.local_ref;
                     Memory.store t.memory g field v;
-                    Cache.note_migrate_write t.cache ~proc:t.cur_proc g ~field
-                      ~log:t.cur_thread.log;
-                    Effect.Deep.continue k ()
-                  end
-                  else begin
-                    site.Site.migrations <- site.Site.migrations + 1;
-                    migrate_to t ~site:site.Site.sid ~target:home ~k
-                      ~complete:(fun () ->
-                        Machine.advance t.machine home c.C.local_ref;
-                        Memory.store t.memory g field v;
-                        Cache.note_migrate_write t.cache ~proc:home g ~field
-                          ~log:t.cur_thread.log)
-                  end
-            end)
+                    Cache.note_migrate_write t.cache ~proc:home g ~field
+                      ~log:t.cur_thread.log))
     | Future body ->
         Some
           (fun k ->
@@ -323,7 +388,9 @@ let rec handler t : (unit, unit) Effect.Deep.handler =
                 resolver_log = None;
               }
             in
-            trace t (fun () -> Printf.sprintf "future fut#%d spawned" cell.fid);
+            if t.cfg.C.trace then
+              trace t (fun () ->
+                  Printf.sprintf "future fut#%d spawned" cell.fid);
             if Trace.is_on () then
               emit t (Trace.Future_spawn { fid = cell.fid });
             (* Save the return continuation on this processor's work list.
@@ -347,25 +414,27 @@ let rec handler t : (unit, unit) Effect.Deep.handler =
     | Touch cell ->
         Some
           (fun k ->
-            let c = costs t in
-            let s = stats t in
-            s.Stats.touches <- s.Stats.touches + 1;
-            advance t c.C.future_touch;
-            match cell.state with
-            | Done v ->
-                if Trace.is_on () then
-                  emit t (Trace.Future_touch { fid = cell.fid; parked = false });
-                acquire_result t ~proc:t.cur_proc ~toucher:t.cur_thread cell;
-                Effect.Deep.continue k v
-            | Pending waiters ->
-                trace t (fun () -> Printf.sprintf "touch fut#%d: park" cell.fid);
-                if Trace.is_on () then
-                  emit t (Trace.Future_touch { fid = cell.fid; parked = true });
-                t.blocked <- t.blocked + 1;
-                cell.state <-
-                  Pending
-                    ({ wk = k; wproc = t.cur_proc; wthread = t.cur_thread }
-                    :: waiters))
+            match immediate_touch t cell with
+            | v -> Effect.Deep.continue k v
+            | exception Must_perform -> (
+                match cell.state with
+                | Done _ -> assert false
+                | Pending waiters ->
+                    let c = costs t in
+                    let s = stats t in
+                    s.Stats.touches <- s.Stats.touches + 1;
+                    advance t c.C.future_touch;
+                    if t.cfg.C.trace then
+                      trace t (fun () ->
+                          Printf.sprintf "touch fut#%d: park" cell.fid);
+                    if Trace.is_on () then
+                      emit t
+                        (Trace.Future_touch { fid = cell.fid; parked = true });
+                    t.blocked <- t.blocked + 1;
+                    cell.state <-
+                      Pending
+                        ({ wk = k; wproc = t.cur_proc; wthread = t.cur_thread }
+                        :: waiters)))
     | Return_to target ->
         Some
           (fun k ->
@@ -433,55 +502,90 @@ type source = Src_event | Src_work
    fall back to readiness time, then creation order, for determinism. *)
 let step t =
   let n = t.cfg.C.nprocs in
-  let best = ref None in
-  let consider start avail prio seq proc src =
-    let key = (start, prio, avail, seq) in
-    let better =
-      match !best with None -> true | Some (k, _, _) -> key < k
-    in
-    if better then best := Some (key, proc, src)
-  in
+  (* This scan runs once per simulated event, so it is allocation-free:
+     the best candidate's key lives in local int refs (the lexicographic
+     (start, prio, avail, seq) comparison is spelled out) instead of an
+     option of a tuple, and the queues are inspected through their
+     alloc-free accessors rather than option-returning peeks. *)
+  let best_start = ref max_int in
+  let best_prio = ref max_int in
+  let best_avail = ref max_int in
+  let best_seq = ref max_int in
+  let best_proc = ref (-1) in
+  let best_src = ref Src_event in
   for p = 0 to n - 1 do
     let clock = Machine.now t.machine p in
-    (match Event_queue.peek t.events.(p) with
-    | Some it ->
-        consider
-          (max clock it.Event_queue.ready_at)
-          it.Event_queue.ready_at 1 it.Event_queue.seq p Src_event
-    | None -> ());
-    match Stack.top_opt t.worklists.(p) with
-    | Some w -> consider (max clock w.pushed_at) w.pushed_at 0 w.wseq p Src_work
-    | None -> ()
+    let q = t.events.(p) in
+    if not (Event_queue.is_empty q) then begin
+      let it = Event_queue.top q in
+      let avail = it.Event_queue.ready_at in
+      let start = if clock > avail then clock else avail in
+      let seq = it.Event_queue.seq in
+      if
+        start < !best_start
+        || (start = !best_start
+           && (1 < !best_prio
+              || (1 = !best_prio
+                 && (avail < !best_avail
+                    || (avail = !best_avail && seq < !best_seq)))))
+      then begin
+        best_start := start;
+        best_prio := 1;
+        best_avail := avail;
+        best_seq := seq;
+        best_proc := p;
+        best_src := Src_event
+      end
+    end;
+    let wl = t.worklists.(p) in
+    if not (Stack.is_empty wl) then begin
+      let w = Stack.top wl in
+      let avail = w.pushed_at in
+      let start = if clock > avail then clock else avail in
+      if
+        start < !best_start
+        || (start = !best_start
+           && (0 < !best_prio
+              || (0 = !best_prio
+                 && (avail < !best_avail
+                    || (avail = !best_avail && w.wseq < !best_seq)))))
+      then begin
+        best_start := start;
+        best_prio := 0;
+        best_avail := avail;
+        best_seq := w.wseq;
+        best_proc := p;
+        best_src := Src_work
+      end
+    end
   done;
-  match !best with
-  | None -> false
-  | Some ((start, _, _, _), proc, src) ->
-      Machine.wait_until t.machine proc start;
-      let task =
-        match src with
-        | Src_event -> (
-            match Event_queue.pop t.events.(proc) with
-            | Some it -> it.Event_queue.payload
-            | None -> assert false)
-        | Src_work ->
-            let w = Stack.pop t.worklists.(proc) in
-            if t.cfg.C.trace then
-              Printf.eprintf "[t=%8d p=%2d] steal (tid=%d)\n%!"
-                (Machine.now t.machine proc) proc w.wtask.thread.tid;
-            let s = stats t in
-            s.Stats.steals <- s.Stats.steals + 1;
-            Machine.advance t.machine proc (costs t).C.steal;
-            if Trace.is_on () then
-              Trace.emit
-                { Trace.time = Machine.now t.machine proc; proc;
-                  tid = w.wtask.thread.tid; site = -1; kind = Trace.Steal };
-            w.wtask
-      in
-      t.cur_proc <- proc;
-      t.cur_thread <- task.thread;
-      if Trace.is_on () then Trace.set_thread task.thread.tid;
-      task.go ();
-      true
+  if !best_proc < 0 then false
+  else begin
+    let proc = !best_proc in
+    Machine.wait_until t.machine proc !best_start;
+    let task =
+      match !best_src with
+      | Src_event -> (Event_queue.take t.events.(proc)).Event_queue.payload
+      | Src_work ->
+          let w = Stack.pop t.worklists.(proc) in
+          if t.cfg.C.trace then
+            Printf.eprintf "[t=%8d p=%2d] steal (tid=%d)\n%!"
+              (Machine.now t.machine proc) proc w.wtask.thread.tid;
+          let s = stats t in
+          s.Stats.steals <- s.Stats.steals + 1;
+          Machine.advance t.machine proc (costs t).C.steal;
+          if Trace.is_on () then
+            Trace.emit
+              { Trace.time = Machine.now t.machine proc; proc;
+                tid = w.wtask.thread.tid; site = -1; kind = Trace.Steal };
+          w.wtask
+    in
+    t.cur_proc <- proc;
+    t.cur_thread <- task.thread;
+    if Trace.is_on () then Trace.set_thread task.thread.tid;
+    task.go ();
+    true
+  end
 
 (* Run [program] to completion as the initial thread on processor 0. *)
 let exec t program =
@@ -497,9 +601,14 @@ let exec t program =
               t.finished <- true)
             () (handler t));
     };
-  while step t do
-    ()
-  done;
+  let saved = !current in
+  current := Some t;
+  Fun.protect
+    ~finally:(fun () -> current := saved)
+    (fun () ->
+      while step t do
+        ()
+      done);
   if t.blocked > 0 then
     raise
       (Deadlock

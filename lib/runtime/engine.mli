@@ -58,3 +58,26 @@ val interval : t -> start:string -> stop:string option -> int * Stats.t
 
 val run : Olden_config.t -> (unit -> unit) -> report
 (** [create] + [exec] + [report]. *)
+
+(** {2 Fast-path operation entry points}
+
+    Used by {!Ops} to run operations that cannot suspend the fiber — cache
+    accesses, local references, allocation, touches of resolved futures —
+    as plain function calls against the currently executing engine,
+    bypassing effect dispatch (a [perform] allocates the effect
+    constructor and crosses the handler boundary; the simulator's hot
+    paths should cost neither).  Each raises {!Must_perform} without
+    having mutated anything when the operation must capture the fiber
+    (a migration, a park) or when no engine is running; the caller then
+    performs the corresponding effect.  Observable simulated behavior is
+    identical on either path. *)
+
+exception Must_perform
+
+val fast_work : int -> unit
+val fast_self : unit -> int
+val fast_nprocs : unit -> int
+val fast_alloc : proc:int -> int -> Gptr.t
+val fast_load : Site.t -> Gptr.t -> int -> Value.t
+val fast_store : Site.t -> Gptr.t -> int -> Value.t -> unit
+val fast_touch : Effects.fut -> Value.t

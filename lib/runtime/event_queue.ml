@@ -41,31 +41,39 @@ let push q ~ready_at ~seq payload =
     i := parent
   done
 
+let top q =
+  if q.size = 0 then invalid_arg "Event_queue.top: empty queue";
+  q.arr.(0)
+(* Alloc-free variant of [peek] for the scheduler's hot scan: the caller
+   tests [is_empty] first and reads [ready_at]/[seq] off the item. *)
+
 let peek q = if q.size = 0 then None else Some q.arr.(0)
 
-let pop q =
-  if q.size = 0 then None
-  else begin
-    let top = q.arr.(0) in
-    q.size <- q.size - 1;
-    if q.size > 0 then begin
-      q.arr.(0) <- q.arr.(q.size);
-      (* sift down *)
-      let i = ref 0 in
-      let continue = ref true in
-      while !continue do
-        let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
-        let smallest = ref !i in
-        if l < q.size && before q.arr.(l) q.arr.(!smallest) then smallest := l;
-        if r < q.size && before q.arr.(r) q.arr.(!smallest) then smallest := r;
-        if !smallest = !i then continue := false
-        else begin
-          let tmp = q.arr.(!smallest) in
-          q.arr.(!smallest) <- q.arr.(!i);
-          q.arr.(!i) <- tmp;
-          i := !smallest
-        end
-      done
-    end;
-    Some top
-  end
+(* Remove and return the minimum item; raises on empty ([pop] wraps it in
+   an option for callers that prefer that). *)
+let take q =
+  if q.size = 0 then invalid_arg "Event_queue.take: empty queue";
+  let top = q.arr.(0) in
+  q.size <- q.size - 1;
+  if q.size > 0 then begin
+    q.arr.(0) <- q.arr.(q.size);
+    (* sift down *)
+    let i = ref 0 in
+    let continue = ref true in
+    while !continue do
+      let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+      let smallest = ref !i in
+      if l < q.size && before q.arr.(l) q.arr.(!smallest) then smallest := l;
+      if r < q.size && before q.arr.(r) q.arr.(!smallest) then smallest := r;
+      if !smallest = !i then continue := false
+      else begin
+        let tmp = q.arr.(!smallest) in
+        q.arr.(!smallest) <- q.arr.(!i);
+        q.arr.(!i) <- tmp;
+        i := !smallest
+      end
+    done
+  end;
+  top
+
+let pop q = if q.size = 0 then None else Some (take q)

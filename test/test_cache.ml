@@ -33,17 +33,25 @@ let test_translation_line_bits () =
   check int "only valid lines count" 1 dropped
 
 let test_translation_collisions () =
-  (* pages hashing to the same bucket chain correctly *)
+  (* many pages, including ones an old modulo hash would collide, all stay
+     findable; the probe statistic stays near the paper's ~1 *)
   let t = Translation.create () in
-  let g1 = 5 and g2 = 5 + G.hash_buckets and g3 = 5 + (2 * G.hash_buckets) in
-  let e1 = Translation.insert t ~gpage:g1 ~home:0 ~page_index:0 in
-  let e2 = Translation.insert t ~gpage:g2 ~home:1 ~page_index:1 in
-  let e3 = Translation.insert t ~gpage:g3 ~home:2 ~page_index:2 in
-  check bool "find g1" true (Translation.find t g1 = Some e1);
-  check bool "find g2" true (Translation.find t g2 = Some e2);
-  check bool "find g3" true (Translation.find t g3 = Some e3);
-  check bool "chain length over used buckets" true
-    (Translation.average_chain_length t = 3.)
+  let gpages =
+    List.init 64 (fun i -> 5 + (i * G.hash_buckets))
+    @ List.init 64 (fun i -> (3 lsl 16) lor i)
+  in
+  let entries =
+    List.map
+      (fun g ->
+        (g, Translation.insert t ~gpage:g ~home:(g lsr 16) ~page_index:(g land 0xffff)))
+      gpages
+  in
+  List.iter
+    (fun (g, e) ->
+      check bool "find" true (Translation.find t g = Some e))
+    entries;
+  let len = Translation.average_chain_length t in
+  check bool "mean probe length small" true (len >= 1. && len < 3.)
 
 let test_translation_flush () =
   let t = Translation.create () in
@@ -60,16 +68,171 @@ let test_translation_invalidate_homes () =
   Translation.set_line_valid e1 0;
   Translation.set_line_valid e1 1;
   Translation.set_line_valid e2 0;
-  let dropped = Translation.invalidate_homes t [ 3 ] in
+  let dropped = Translation.invalidate_homes t (1 lsl 3) in
   check int "two lines dropped from home 3" 2 dropped;
   check bool "home 5 untouched" true (Translation.line_valid e2 0)
 
 let test_mark_all_suspect () =
   let t = Translation.create () in
   let e = Translation.insert t ~gpage:9 ~home:0 ~page_index:0 in
-  check bool "fresh entry not suspect" false e.Translation.suspect;
+  check bool "fresh entry not suspect" false (Translation.is_suspect t e);
   Translation.mark_all_suspect t;
-  check bool "suspect after" true e.Translation.suspect
+  check bool "suspect after" true (Translation.is_suspect t e);
+  Translation.clear_suspect t e;
+  check bool "cleared" false (Translation.is_suspect t e);
+  let e2 = Translation.insert t ~gpage:10 ~home:0 ~page_index:0 in
+  check bool "entry inserted after epoch bump starts clean" false
+    (Translation.is_suspect t e2)
+
+(* --- Popcount ------------------------------------------------------------- *)
+
+let test_popcount () =
+  check int "zero" 0 (Config.popcount 0);
+  check int "one bit" 1 (Config.popcount (1 lsl 17));
+  check int "dense line mask" 32 (Config.popcount 0xFFFF_FFFF);
+  check int "alternating" 16 (Config.popcount 0x5555_5555);
+  check int "max_int" (Sys.int_size - 1) (Config.popcount max_int);
+  (* agrees with the obvious bit-by-bit count on random masks *)
+  let naive m =
+    let rec go i acc =
+      if i >= Sys.int_size then acc
+      else go (i + 1) (acc + ((m lsr i) land 1))
+    in
+    go 0 0
+  in
+  let seed = ref 0x2545F491 in
+  for _ = 1 to 1000 do
+    seed := (!seed * 1103515245) + 12345;
+    let m = !seed land max_int in
+    check int "naive agreement" (naive m) (Config.popcount m)
+  done
+
+(* --- Differential test: open-addressed table vs list-based reference ------ *)
+
+(* The reference model is the seed's translation table semantics in its
+   plainest possible form: an association list of live entries, flushed by
+   dropping the list and marked suspect by walking it.  The randomized
+   driver applies identical operation sequences to the reference and the
+   open-addressed table and asserts identical observable state after every
+   step. *)
+module Ref_table = struct
+  type rentry = {
+    home : int;
+    page_index : int;
+    mutable valid : int;
+    mutable suspect : bool;
+  }
+
+  type t = { mutable entries : (int * rentry) list }
+
+  let create () = { entries = [] }
+  let find t gpage = List.assoc_opt gpage t.entries
+
+  let insert t ~gpage ~home ~page_index =
+    let e = { home; page_index; valid = 0; suspect = false } in
+    t.entries <- (gpage, e) :: t.entries;
+    e
+
+  let flush t = t.entries <- []
+  let mark_all_suspect t = List.iter (fun (_, e) -> e.suspect <- true) t.entries
+
+  let invalidate_lines (e : rentry) mask =
+    let dropped = Config.popcount (e.valid land mask) in
+    e.valid <- e.valid land lnot mask;
+    dropped
+
+  let invalidate_homes t procs =
+    List.fold_left
+      (fun acc (_, e) ->
+        if procs land (1 lsl e.home) <> 0 then begin
+          let n = Config.popcount e.valid in
+          e.valid <- 0;
+          acc + n
+        end
+        else acc)
+      0 t.entries
+end
+
+let prop_translation_differential =
+  QCheck.Test.make ~name:"open-addressed table matches list-based reference"
+    ~count:200
+    QCheck.(
+      list_of_size Gen.(1 -- 120) (triple (int_bound 7) (int_bound 63) (int_bound 31)))
+    (fun ops ->
+      let t = Translation.create () in
+      let r = Ref_table.create () in
+      (* 4 homes x 16 pages: enough density to exercise probing *)
+      let gpage_of sel = ((sel lsr 4) lsl 16) lor (sel land 0xf) in
+      let agree () =
+        (* every reference entry is observable in the table, equal in
+           every visible field, and the table holds nothing more *)
+        List.for_all
+          (fun (gpage, (re : Ref_table.rentry)) ->
+            match Translation.find t gpage with
+            | None -> false
+            | Some e ->
+                e.Translation.home = re.Ref_table.home
+                && e.Translation.page_index = re.Ref_table.page_index
+                && e.Translation.valid = re.Ref_table.valid
+                && Translation.is_suspect t e = re.Ref_table.suspect)
+          r.Ref_table.entries
+        && Translation.live_entries t = List.length r.Ref_table.entries
+      in
+      List.for_all
+        (fun (kind, sel, line) ->
+          let gpage = gpage_of sel in
+          (match kind with
+          | 0 -> (
+              (* insert-if-absent, as the cache layer drives it *)
+              match Ref_table.find r gpage with
+              | Some _ -> ()
+              | None ->
+                  let home = gpage lsr 16 and page_index = gpage land 0xffff in
+                  (* both models hand out fresh entries non-suspect, even
+                     right after a mark_all_suspect *)
+                  ignore (Ref_table.insert r ~gpage ~home ~page_index);
+                  ignore (Translation.insert t ~gpage ~home ~page_index))
+          | 1 ->
+              (* lookups must agree even for absent pages *)
+              assert (
+                Option.is_some (Ref_table.find r gpage)
+                = Option.is_some (Translation.find t gpage))
+          | 2 -> (
+              match (Ref_table.find r gpage, Translation.find t gpage) with
+              | Some re, Some e ->
+                  re.Ref_table.valid <- re.Ref_table.valid lor (1 lsl line);
+                  Translation.set_line_valid e line
+              | None, None -> ()
+              | _ -> assert false)
+          | 3 -> (
+              let mask = (1 lsl line) lor (1 lsl (line * 7 mod 32)) in
+              match (Ref_table.find r gpage, Translation.find t gpage) with
+              | Some re, Some e ->
+                  let a = Ref_table.invalidate_lines re mask in
+                  let b = Translation.invalidate_lines e mask in
+                  assert (a = b)
+              | None, None -> ()
+              | _ -> assert false)
+          | 4 ->
+              Ref_table.flush r;
+              Translation.flush t
+          | 5 ->
+              Ref_table.mark_all_suspect r;
+              Translation.mark_all_suspect t
+          | 6 -> (
+              match (Ref_table.find r gpage, Translation.find t gpage) with
+              | Some re, Some e ->
+                  re.Ref_table.suspect <- false;
+                  Translation.clear_suspect t e
+              | None, None -> ()
+              | _ -> assert false)
+          | _ ->
+              let procs = 1 lsl (line land 3) in
+              let a = Ref_table.invalidate_homes r procs in
+              let b = Translation.invalidate_homes t procs in
+              assert (a = b));
+          agree ())
+        ops)
 
 (* --- Write log ------------------------------------------------------------ *)
 
@@ -330,6 +493,8 @@ let suite =
     Alcotest.test_case "invalidate by home" `Quick
       test_translation_invalidate_homes;
     Alcotest.test_case "mark all suspect" `Quick test_mark_all_suspect;
+    Alcotest.test_case "popcount" `Quick test_popcount;
+    QCheck_alcotest.to_alcotest prop_translation_differential;
     Alcotest.test_case "write log" `Quick test_write_log;
     Alcotest.test_case "write log absorb" `Quick test_write_log_absorb;
     Alcotest.test_case "directory sharers" `Quick test_directory_sharers;

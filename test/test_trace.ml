@@ -154,6 +154,23 @@ let test_metrics_snapshot_stable () =
   in
   check string "two identical runs snapshot identically" (snap ()) (snap ())
 
+let test_em3d_run_twice_deterministic () =
+  (* the fast-path dereference engine (memoized translations, bitmask
+     coherence sets, direct dispatch) must not introduce any host-side
+     nondeterminism: two identical em3d runs at 8 processors produce
+     byte-identical metrics snapshots *)
+  let snap () =
+    Site.reset ();
+    let cfg = Config.make ~nprocs:8 () in
+    let o, events =
+      Trace.collect (fun () -> B.Em3d.spec.B.Common.run cfg ~scale:1024)
+    in
+    check bool "verified" true o.B.Common.ok;
+    Json.to_string
+      (B.Common.metrics_snapshot ~events B.Em3d.spec ~cfg ~scale:1024 o)
+  in
+  check string "em3d run-twice byte-identical" (snap ()) (snap ())
+
 let test_cache_events_em3d () =
   (* em3d is an M+C benchmark: its cache sites exercise the caching layer,
      so hits and line fetches appear in the stream *)
@@ -239,6 +256,8 @@ let suite =
     Alcotest.test_case "byte-stable metrics snapshot" `Quick
       test_metrics_snapshot_stable;
     Alcotest.test_case "em3d cache events" `Quick test_cache_events_em3d;
+    Alcotest.test_case "em3d run-twice determinism" `Quick
+      test_em3d_run_twice_deterministic;
     Alcotest.test_case "chrome exporter" `Quick test_chrome_export;
     Alcotest.test_case "jsonl exporter" `Quick test_jsonl_export;
     Alcotest.test_case "recorder metrics" `Quick test_recorder;
