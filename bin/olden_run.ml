@@ -54,6 +54,32 @@ let policy_t =
     & info [ "m"; "policy" ] ~docv:"POLICY"
         ~doc:"Mechanism policy: heuristic, migrate-only, or cache-only.")
 
+let faults_name_t =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "faults" ] ~docv:"SCHEDULE"
+        ~doc:
+          "Inject deterministic network faults: one of drop, delay, dup, \
+           outage, flaky-home, or mix (see docs/ROBUSTNESS.md).")
+
+let fault_seed_t =
+  Arg.(
+    value & opt int 1
+    & info [ "fault-seed" ] ~docv:"SEED"
+        ~doc:"Seed of the fault schedule (same seed = same faults).")
+
+let faults_of ~name ~seed =
+  Option.map
+    (fun n ->
+      match C.Faults.by_name n ~seed with
+      | Some f -> f
+      | None ->
+          Format.eprintf "unknown fault schedule %s; try one of: %s@." n
+            (String.concat ", " C.Faults.names);
+          exit 2)
+    name
+
 let name_t =
   Arg.(required & pos 0 (some string) None & info [] ~docv:"BENCHMARK")
 
@@ -162,10 +188,11 @@ let timeline_t =
 
 let bench_cmd =
   let run name procs scale coherence policy timeline sites trace_file
-      jsonl_file metrics_file =
+      jsonl_file metrics_file faults_name fault_seed =
     let spec = find_spec name in
     let scale = if scale = 0 then spec.B.Common.default_scale else scale in
-    let cfg = C.make ~nprocs:procs ~coherence ~policy () in
+    let faults = faults_of ~name:faults_name ~seed:fault_seed in
+    let cfg = C.make ~nprocs:procs ~coherence ~policy ?faults () in
     B.Common.record_timeline := timeline;
     let want_events =
       Option.is_some trace_file || Option.is_some jsonl_file
@@ -177,6 +204,9 @@ let bench_cmd =
       spec.B.Common.name procs scale
       (C.coherence_to_string coherence)
       (C.policy_to_string policy);
+    Option.iter
+      (fun f -> Format.printf "faults: %s@." (C.Faults.to_string f))
+      faults;
     Format.printf "result: %s (%s)@." o.B.Common.checksum
       (if o.B.Common.ok then "verified" else "VERIFICATION FAILED");
     Format.printf "cycles: total %s, measured region %s@."
@@ -200,7 +230,8 @@ let bench_cmd =
     (Cmd.info "bench" ~doc:"Run one benchmark once and print its statistics.")
     Term.(
       const run $ name_t $ procs_t $ scale_t $ coherence_t $ policy_t
-      $ timeline_t $ sites_t $ trace_file_t $ jsonl_file_t $ metrics_file_t)
+      $ timeline_t $ sites_t $ trace_file_t $ jsonl_file_t $ metrics_file_t
+      $ faults_name_t $ fault_seed_t)
 
 let head_t =
   Arg.(
@@ -492,6 +523,135 @@ let hostperf_cmd =
           profile for representative numbers.")
     Term.(const run $ hostperf_procs_t $ repeats_t $ out_t $ baseline_t)
 
+(* --- Chaos harness ------------------------------------------------------- *)
+
+module Check = Olden_check.Invariants
+
+(* One benchmark under one fault schedule: run fault-free first for the
+   reference heap digest and checksum, then the faulty runs; each must
+   complete, verify, produce the same checksum, pass every invariant, and
+   end with the reference heap. *)
+let chaos_cmd =
+  let run names procs scale schedules seeds coherence policy =
+    let specs =
+      match names with [] -> B.Registry.specs | names -> List.map find_spec names
+    in
+    let schedules =
+      String.split_on_char ',' schedules
+      |> List.map String.trim
+      |> List.filter (fun s -> s <> "")
+    in
+    (* resolve schedule names before a long sweep, so typos fail fast *)
+    List.iter
+      (fun s -> ignore (faults_of ~name:(Some s) ~seed:1))
+      schedules;
+    let runs = ref 0 and failures = ref 0 in
+    let fail fmt =
+      Format.kasprintf
+        (fun msg ->
+          incr failures;
+          Format.printf "    FAILED: %s@." msg)
+        fmt
+    in
+    List.iter
+      (fun (spec : B.Common.spec) ->
+        let scale = if scale = 0 then spec.B.Common.default_scale else scale in
+        let cfg = C.make ~nprocs:procs ~coherence ~policy () in
+        let ref_digest = ref "" in
+        let ref_violations = ref [] in
+        B.Common.inspect_engine :=
+          Some
+            (fun e ->
+              ref_digest := Check.heap_digest e;
+              ref_violations := Check.check e);
+        Olden_runtime.Site.reset_profiles ();
+        let ref_o =
+          Fun.protect
+            ~finally:(fun () -> B.Common.inspect_engine := None)
+            (fun () -> spec.B.Common.run cfg ~scale)
+        in
+        Format.printf "%s (%d procs, scale 1/%d): fault-free %s cycles@."
+          spec.B.Common.name procs scale
+          (B.Common.commas ref_o.B.Common.total_cycles);
+        if not ref_o.B.Common.ok then
+          fail "fault-free run failed verification";
+        List.iter
+          (fun v -> fail "fault-free run: %a" Check.pp_violation v)
+          !ref_violations;
+        List.iter
+          (fun sched ->
+            for seed = 1 to seeds do
+              incr runs;
+              let faults = Option.get (C.Faults.by_name sched ~seed) in
+              let cfg = C.make ~nprocs:procs ~coherence ~policy ~faults () in
+              let violations = ref [] in
+              let expected_heap =
+                if spec.B.Common.heap_stable then Some !ref_digest else None
+              in
+              B.Common.inspect_engine :=
+                Some
+                  (fun e -> violations := Check.check ?expected_heap e);
+              Olden_runtime.Site.reset_profiles ();
+              match
+                Fun.protect
+                  ~finally:(fun () -> B.Common.inspect_engine := None)
+                  (fun () -> spec.B.Common.run cfg ~scale)
+              with
+              | exception e ->
+                  Format.printf "  %-10s seed=%d wedged@." sched seed;
+                  fail "%s" (Printexc.to_string e)
+              | o ->
+                  let s = o.B.Common.total_stats in
+                  Format.printf
+                    "  %-10s seed=%d %s cycles drops=%d delays=%d dups=%d \
+                     retries=%d fallbacks=%d@."
+                    sched seed
+                    (B.Common.commas o.B.Common.total_cycles)
+                    s.Stats.msg_drops s.Stats.msg_delays s.Stats.msg_duplicates
+                    s.Stats.retries s.Stats.migration_fallbacks;
+                  if not o.B.Common.ok then fail "verification failed";
+                  if not (String.equal o.B.Common.checksum ref_o.B.Common.checksum)
+                  then
+                    fail "checksum %s differs from fault-free %s"
+                      o.B.Common.checksum ref_o.B.Common.checksum;
+                  List.iter (fun v -> fail "%a" Check.pp_violation v) !violations
+            done)
+          schedules)
+      specs;
+    Format.printf "chaos: %d faulty run(s), %d failure(s)@." !runs !failures;
+    if !failures > 0 then exit 1
+  in
+  let names_t = Arg.(value & pos_all string [] & info [] ~docv:"BENCHMARK") in
+  let chaos_procs_t =
+    Arg.(
+      value & opt int 8
+      & info [ "p"; "procs" ] ~docv:"P" ~doc:"Processor count.")
+  in
+  let schedules_t =
+    Arg.(
+      value
+      & opt string "drop,delay,dup"
+      & info [ "schedules" ] ~docv:"LIST"
+          ~doc:
+            "Comma-separated fault schedules to sweep (drop, delay, dup, \
+             outage, flaky-home, mix).")
+  in
+  let seeds_t =
+    Arg.(
+      value & opt int 2
+      & info [ "seeds" ] ~docv:"N" ~doc:"Fault seeds per schedule (1..N).")
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:
+         "Sweep fault schedules over the benchmarks (default: all of Table \
+          2): each faulty run must complete, verify, reproduce the \
+          fault-free checksum and final heap, and pass the coherence \
+          invariant checker.")
+    Term.(
+      const run $ names_t $ chaos_procs_t $ scale_t $ schedules_t $ seeds_t
+      $ coherence_t $ policy_t)
+
 let csv_t =
   Arg.(value & flag & info [ "csv" ] ~doc:"Emit comma-separated values.")
 
@@ -543,6 +703,7 @@ let main =
     [
       list_cmd;
       bench_cmd;
+      chaos_cmd;
       hostperf_cmd;
       trace_cmd;
       profile_cmd;
@@ -568,4 +729,23 @@ let main =
         (fun ppf () -> B.Breakeven.report ~n:2048 ppf ());
     ]
 
-let () = exit (Cmd.eval main)
+(* Exit discipline: usage errors (unknown subcommand, bad flag) leave as a
+   clean status 2 after cmdliner's usage message, and expected operational
+   failures surface as one-line errors rather than backtraces. *)
+let () =
+  let code =
+    try Cmd.eval main with
+    | Olden_runtime.Engine.Deadlock msg ->
+        Format.eprintf "olden-run: deadlock: %s@." msg;
+        1
+    | Machine.Undeliverable { dst; attempts } ->
+        Format.eprintf
+          "olden-run: message to processor %d undeliverable after %d \
+           attempts@."
+          dst attempts;
+        1
+    | Failure msg | Sys_error msg ->
+        Format.eprintf "olden-run: %s@." msg;
+        2
+  in
+  exit (if code = Cmd.Exit.cli_error then 2 else code)

@@ -543,6 +543,7 @@ let spec =
     problem = "8K bodies";
     choice = "M+C";
     whole_program = true;
+    heap_stable = true;
     ir;
     default_scale = 4;
     run;

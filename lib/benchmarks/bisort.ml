@@ -460,6 +460,7 @@ let spec =
     problem = "128K integers";
     choice = "M+C";
     whole_program = false;
+    heap_stable = true;
     ir;
     default_scale = 16;
     run;

@@ -11,7 +11,7 @@ module C = Olden_config
 module Ops = Olden_runtime.Ops
 module Site = Olden_runtime.Site
 module Engine = Olden_runtime.Engine
-module Prng = Olden_runtime.Prng
+module Prng = Prng
 module Heuristic = Olden_compiler.Heuristic
 module Analysis = Olden_compiler.Analysis
 module Trace = Olden_trace.Trace
@@ -32,6 +32,10 @@ type spec = {
   problem : string;  (** Table 1 problem size (at scale 1) *)
   choice : string;  (** paper's heuristic choice: "M" or "M+C" *)
   whole_program : bool;  (** Table 2's W marker *)
+  heap_stable : bool;
+      (** final heap is bit-identical across message-timing perturbations
+          (no two concurrently-scheduled fibers allocate on the same
+          processor); chaos runs compare heap digests only when it holds *)
   ir : string;  (** mini-language model of the kernel *)
   default_scale : int;  (** problem-size divisor used by the harness *)
   run : C.t -> scale:int -> outcome;
@@ -64,6 +68,11 @@ val last_clocks : int array ref
 val last_comm : int array ref
 (** Per-processor communication-stall cycles of the most recent
     {!execute} (time blocked on request/reply round trips). *)
+
+val inspect_engine : (Engine.t -> unit) option ref
+(** When set, {!execute} calls this with the finished engine before
+    returning, while heap, caches, and directories are still reachable —
+    the hook the chaos harness uses to run the invariant checker. *)
 
 val site_name : int -> string option
 (** Site-id to label lookup against the global registry (for trace

@@ -323,6 +323,7 @@ let spec =
     problem = "2K nodes";
     choice = "M+C";
     whole_program = false;
+    heap_stable = true;
     ir;
     default_scale = 1;
     run;

@@ -243,6 +243,7 @@ let spec =
     problem = "1K nodes";
     choice = "M";
     whole_program = false;
+    heap_stable = true;
     ir;
     default_scale = 2;
     run;

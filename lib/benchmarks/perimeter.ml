@@ -439,6 +439,7 @@ let spec =
     problem = "4K x 4K image";
     choice = "M+C";
     whole_program = false;
+    heap_stable = true;
     ir;
     default_scale = 2;
     run;

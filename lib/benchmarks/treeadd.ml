@@ -111,6 +111,7 @@ let spec =
     problem = "1024K nodes";
     choice = "M";
     whole_program = false;
+    heap_stable = true;
     ir;
     default_scale = 8;
     run;

@@ -386,6 +386,7 @@ let spec =
     problem = "32K cities";
     choice = "M";
     whole_program = false;
+    heap_stable = true;
     ir;
     default_scale = 1;
     run;

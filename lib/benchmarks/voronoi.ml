@@ -763,6 +763,7 @@ let spec =
     problem = "64K points";
     choice = "M+C";
     whole_program = false;
+    heap_stable = true;
     ir;
     default_scale = 8;
     run;

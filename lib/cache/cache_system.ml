@@ -33,6 +33,7 @@ let create cfg machine memory =
   }
 
 let table t proc = t.tables.(proc)
+let directory t home = t.directories.(home)
 let stats t = Machine.stats t.machine
 let coherence t = t.cfg.C.coherence
 let costs t = t.cfg.C.costs

@@ -14,6 +14,10 @@ val create : Olden_config.t -> Machine.t -> Memory.t -> t
 val table : t -> int -> Translation.t
 (** A processor's translation table (exposed for tests and tools). *)
 
+val directory : t -> int -> Directory.t
+(** A home processor's page directory (exposed for the invariant checker
+    and tools). *)
+
 val read : t -> proc:int -> Gptr.t -> field:int -> Value.t
 (** A read through the caching mechanism: locality test, then either a
     direct local load or a cache lookup with a line fetch on a miss.

@@ -1,0 +1,160 @@
+(* Coherence and delivery invariants over a finished run.
+
+   The fault layer (Fault_plan + the retry protocol in Machine and the
+   engine) is allowed to change *when* things happen — retransmission
+   waits, delivery delays, degraded migrations — but never *what* state
+   the protocols apply: each message's effect must land exactly once, no
+   write may be lost, and the home directories must stay consistent with
+   the sharers' translation tables.  This module audits those claims after
+   a run completes; the chaos harness and tests fail on any violation. *)
+
+module C = Olden_config
+module E = Olden_runtime.Engine
+module Cache = Olden_cache.Cache_system
+module Directory = Olden_cache.Directory
+module Translation = Olden_cache.Translation
+module G = Olden_config.Geometry
+
+type violation = { rule : string; detail : string }
+
+let violation rule fmt = Printf.ksprintf (fun detail -> { rule; detail }) fmt
+
+let pp_violation ppf v = Format.fprintf ppf "[%s] %s" v.rule v.detail
+
+let heap_digest engine = Memory.digest (E.memory engine)
+
+(* Every duplicate delivery the network minted (or retransmission of an
+   already-serviced message) must have been discarded by the receiver's
+   sequence-number check: the exactly-once property of the idempotent
+   receive path. *)
+let check_exactly_once (s : Stats.t) =
+  if s.Stats.duplicates_suppressed = s.Stats.msg_duplicates then []
+  else
+    [
+      violation "exactly-once"
+        "%d duplicate deliveries but %d suppressed by the sequence check"
+        s.Stats.msg_duplicates s.Stats.duplicates_suppressed;
+    ]
+
+(* Outage drops are a subset of all drops, and retry timers only ever run
+   when something was lost. *)
+let check_fault_counters (s : Stats.t) =
+  let faults = []
+  in
+  let faults =
+    if s.Stats.outage_drops <= s.Stats.msg_drops then faults
+    else
+      violation "fault-counters" "outage_drops=%d exceeds msg_drops=%d"
+        s.Stats.outage_drops s.Stats.msg_drops
+      :: faults
+  in
+  if s.Stats.msg_drops = 0 && s.Stats.retries > 0 then
+    violation "fault-counters" "%d retries with no recorded drops"
+      s.Stats.retries
+    :: faults
+  else faults
+
+(* The profiler's accounting identity: every processor's makespan is
+   exactly busy + comm + idle, even with retry stalls charged as
+   communication. *)
+let check_accounting machine =
+  let n = Machine.nprocs machine in
+  let span = Machine.makespan machine in
+  let busy = Machine.busy_cycles machine in
+  let comm = Machine.comm_cycles machine in
+  let idle = Machine.idle_cycles machine in
+  let bad = ref [] in
+  for p = n - 1 downto 0 do
+    if busy.(p) + comm.(p) + idle.(p) <> span then
+      bad :=
+        violation "accounting"
+          "p%d: busy=%d + comm=%d + idle=%d <> makespan=%d" p busy.(p)
+          comm.(p) idle.(p) span
+        :: !bad
+  done;
+  !bad
+
+(* Global scheme: a processor holding any valid line of a remote page must
+   appear in the home directory's sharer set for that page — the home can
+   over-approximate (a flushed copy is only discovered at the next
+   release) but must never lose a sharer, or an invalidation would miss a
+   live copy. *)
+let check_sharer_sets engine =
+  match (E.config engine).C.coherence with
+  | C.Local | C.Bilateral -> [] (* no sharer tracking in these schemes *)
+  | C.Global ->
+      let cache = E.cache engine in
+      let nprocs = Machine.nprocs (E.machine engine) in
+      let bad = ref [] in
+      for proc = 0 to nprocs - 1 do
+        Translation.iter (Cache.table cache proc) (fun e ->
+            if e.Translation.valid <> 0 then begin
+              let mask =
+                Directory.sharer_mask
+                  (Cache.directory cache e.Translation.home)
+                  e.Translation.page_index
+              in
+              if mask land (1 lsl proc) = 0 then
+                bad :=
+                  violation "sharer-sets"
+                    "p%d holds %d valid line(s) of page %d homed at p%d \
+                     but is not in the directory's sharer set"
+                    proc
+                    (let rec pop m = if m = 0 then 0 else (m land 1) + pop (m lsr 1) in
+                     pop e.Translation.valid)
+                    e.Translation.page_index e.Translation.home
+                  :: !bad
+            end)
+      done;
+      !bad
+
+(* No structurally impossible cache entries: caches hold remote pages
+   only (a processor's own section is always accessed directly), and a
+   valid line's local copy exists. *)
+let check_tables engine =
+  let cache = E.cache engine in
+  let nprocs = Machine.nprocs (E.machine engine) in
+  let bad = ref [] in
+  for proc = 0 to nprocs - 1 do
+    Translation.iter (Cache.table cache proc) (fun e ->
+        if e.Translation.home = proc then
+          bad :=
+            violation "tables" "p%d caches page %d of its own section" proc
+              e.Translation.page_index
+            :: !bad;
+        if Array.length e.Translation.data <> G.words_per_page then
+          bad :=
+            violation "tables" "p%d: page %d copy has %d words (want %d)"
+              proc e.Translation.page_index
+              (Array.length e.Translation.data)
+              G.words_per_page
+            :: !bad)
+  done;
+  !bad
+
+(* Final heap vs the fault-free reference: faults may reorder and delay,
+   but every write must land and land once, so the heaps must be
+   structurally equal. *)
+let check_heap ~expected engine =
+  let got = heap_digest engine in
+  if String.equal got expected then []
+  else
+    [
+      violation "heap" "final heap digest %s differs from fault-free %s" got
+        expected;
+    ]
+
+(* Run every applicable invariant; [expected_heap] (the digest of a
+   fault-free run of the same program and configuration) enables the
+   whole-heap comparison. *)
+let check ?expected_heap engine =
+  let s = Machine.stats (E.machine engine) in
+  check_exactly_once s
+  @ check_fault_counters s
+  @ check_accounting (E.machine engine)
+  @ check_sharer_sets engine
+  @ check_tables engine
+  @
+  match expected_heap with
+  | None -> []
+  | Some expected -> check_heap ~expected engine

@@ -127,6 +127,113 @@ let default_costs =
 (* Cost of a full line miss round trip, excluding handler queueing. *)
 let miss_round_trip c = (2 * c.net_latency) + c.line_service
 
+(* --- Fault model -------------------------------------------------------- *)
+
+(* The paper assumes the CM-5's reliable active-message network; the
+   fault model below removes that assumption.  Every knob is a
+   probability per delivery *attempt* (retransmissions draw fresh
+   decisions), evaluated deterministically from [fault_seed] and the
+   message's sequence number — never from wall clock or global mutable
+   state — so a fault schedule is replayable bit-for-bit. *)
+type fault_spec = {
+  drop : float; (* P(an attempt is lost in the network) *)
+  delay : float; (* P(a delivered attempt is delayed) *)
+  delay_cycles : int; (* extra latency added to a delayed attempt *)
+  duplicate : float; (* P(a delivered message arrives twice) *)
+  outage : float; (* P(a handler is down during a given window) *)
+  outage_cycles : int; (* length of a handler-outage window *)
+  migrate_drop : float option;
+      (* override of [drop] for thread-state transfers (migrations and
+         returns); lets a chaos schedule target "flaky homes" without
+         making cache fetches undeliverable *)
+  fault_seed : int; (* schedule selector, independent of the workload seed *)
+}
+
+(* Retry protocol: a requester that hears nothing within [timeout] cycles
+   retransmits, doubling the wait each time ([backoff]) up to
+   [max_timeout].  A migration that fails [max_migration_attempts] times
+   gives up and degrades to the caching mechanism; any other message that
+   fails [max_attempts] times is undeliverable (the schedule is broken —
+   e.g. drop = 1.0 on the cache path). *)
+type retry_spec = {
+  timeout : int; (* cycles before the first retransmission *)
+  backoff : int; (* wait multiplier per retransmission *)
+  max_timeout : int; (* cap on the backed-off wait *)
+  max_migration_attempts : int; (* then fall back to caching *)
+  max_attempts : int; (* then Machine.Undeliverable *)
+}
+
+let default_retry =
+  {
+    timeout = 400; (* about one line-miss round trip *)
+    backoff = 2;
+    max_timeout = 6400;
+    max_migration_attempts = 4;
+    max_attempts = 64;
+  }
+
+let no_faults =
+  {
+    drop = 0.;
+    delay = 0.;
+    delay_cycles = 0;
+    duplicate = 0.;
+    outage = 0.;
+    outage_cycles = 0;
+    migrate_drop = None;
+    fault_seed = 0;
+  }
+
+(* Named fault schedules, for the chaos CLI and tests. *)
+module Faults = struct
+  let drop ?(p = 0.05) ~seed () = { no_faults with drop = p; fault_seed = seed }
+
+  let delay ?(p = 0.10) ?(cycles = 600) ~seed () =
+    { no_faults with delay = p; delay_cycles = cycles; fault_seed = seed }
+
+  let duplicate ?(p = 0.05) ~seed () =
+    { no_faults with duplicate = p; fault_seed = seed }
+
+  let outage ?(p = 0.02) ?(cycles = 2000) ~seed () =
+    { no_faults with outage = p; outage_cycles = cycles; fault_seed = seed }
+
+  let flaky_home ?(p = 0.9) ~seed () =
+    { no_faults with migrate_drop = Some p; fault_seed = seed }
+
+  let mixed ?(p = 0.03) ~seed () =
+    {
+      drop = p;
+      delay = 2. *. p;
+      delay_cycles = 600;
+      duplicate = p;
+      outage = p /. 2.;
+      outage_cycles = 2000;
+      migrate_drop = None;
+      fault_seed = seed;
+    }
+
+  let names = [ "drop"; "delay"; "dup"; "outage"; "flaky-home"; "mix" ]
+
+  let by_name name ~seed =
+    match name with
+    | "drop" -> Some (drop ~seed ())
+    | "delay" -> Some (delay ~seed ())
+    | "dup" | "duplicate" -> Some (duplicate ~seed ())
+    | "outage" -> Some (outage ~seed ())
+    | "flaky-home" | "flaky_home" -> Some (flaky_home ~seed ())
+    | "mix" | "mixed" -> Some (mixed ~seed ())
+    | _ -> None
+
+  let to_string f =
+    Printf.sprintf
+      "drop=%.3f delay=%.3f/%d dup=%.3f outage=%.3f/%d%s seed=%d" f.drop
+      f.delay f.delay_cycles f.duplicate f.outage f.outage_cycles
+      (match f.migrate_drop with
+      | Some p -> Printf.sprintf " migrate-drop=%.3f" p
+      | None -> "")
+      f.fault_seed
+end
+
 (* Experienced one-way migration latency, excluding queueing at the target. *)
 let migration_latency c = c.migrate_send + c.net_latency + c.migrate_recv
 
@@ -144,6 +251,10 @@ type t = {
       (* baseline mode: one processor, no pointer tests, no future overhead *)
   trace : bool; (* emit per-event log lines via Logs *)
   seed : int;
+  faults : fault_spec option;
+      (* None: the reliable network the paper assumes — bit-identical to
+         runs predating the fault layer *)
+  retry : retry_spec; (* consulted only when [faults] is [Some _] *)
 }
 
 let default =
@@ -157,11 +268,14 @@ let default =
     sequential = false;
     trace = false;
     seed = 0x01de5 land 0xffff;
+    faults = None;
+    retry = default_retry;
   }
 
 let make ?(nprocs = 32) ?(costs = default_costs) ?(coherence = Local)
     ?(policy = Heuristic) ?(handler_contention = false)
-    ?(return_invalidate_refinement = true) ?(trace = false) ?(seed = 42) () =
+    ?(return_invalidate_refinement = true) ?(trace = false) ?(seed = 42)
+    ?faults ?(retry = default_retry) () =
   {
     nprocs;
     costs;
@@ -172,6 +286,8 @@ let make ?(nprocs = 32) ?(costs = default_costs) ?(coherence = Local)
     sequential = false;
     trace;
     seed;
+    faults;
+    retry;
   }
 
 (* The sequential baseline is the same program compiled without Olden:

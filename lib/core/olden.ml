@@ -29,7 +29,7 @@ module Site = Olden_runtime.Site
 module Ops = Olden_runtime.Ops
 module Engine = Olden_runtime.Engine
 module Effects = Olden_runtime.Effects
-module Prng = Olden_runtime.Prng
+module Prng = Prng
 module Timeline = Olden_runtime.Timeline
 module Trace = Olden_trace.Trace
 module Json = Olden_trace.Json

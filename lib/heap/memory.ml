@@ -101,3 +101,29 @@ let read_line t ~proc ~line_index =
 let word_at t ~proc ~addr =
   let s = t.sections.(proc) in
   if addr < s.used then s.cells.(addr) else Value.Nil
+
+(* A digest of every allocated word in every section, for whole-heap
+   equality checks (the invariant checker compares a faulty run's final
+   heap against the fault-free run's).  Floats are hashed by their exact
+   bit pattern, so equal digests mean structurally equal heaps. *)
+let digest t =
+  let buf = Buffer.create 4096 in
+  Array.iteri
+    (fun proc s ->
+      Buffer.add_string buf (Printf.sprintf "#%d:%d\n" proc s.used);
+      for i = 0 to s.used - 1 do
+        (match s.cells.(i) with
+        | Value.Nil -> Buffer.add_char buf 'n'
+        | Value.Int v ->
+            Buffer.add_char buf 'i';
+            Buffer.add_string buf (string_of_int v)
+        | Value.Float f ->
+            Buffer.add_char buf 'f';
+            Buffer.add_string buf (Int64.to_string (Int64.bits_of_float f))
+        | Value.Ptr p ->
+            Buffer.add_char buf 'p';
+            Buffer.add_string buf (Gptr.to_string p));
+        Buffer.add_char buf ';'
+      done)
+    t.sections;
+  Digest.to_hex (Digest.string (Buffer.contents buf))

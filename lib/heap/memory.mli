@@ -38,3 +38,9 @@ val read_line : t -> proc:int -> line_index:int -> Value.t array
 
 val word_at : t -> proc:int -> addr:int -> Value.t
 (** Raw word access by local address; unallocated words read as [Nil]. *)
+
+val digest : t -> string
+(** Hex digest over every allocated word of every section (floats by
+    exact bit pattern): equal digests mean structurally equal heaps.
+    Used by the invariant checker to compare a faulty run's final heap
+    with the fault-free run's. *)

@@ -96,7 +96,7 @@ type frame = (string, rvalue) Hashtbl.t
 
 type state = {
   c : compiled;
-  prng : Olden_runtime.Prng.t;
+  prng : Prng.t;
   out : Buffer.t; (* print() output *)
 }
 
@@ -207,7 +207,7 @@ and eval_builtin st frame name args =
   match (name, argv) with
   | "self", [] -> V (Value.Int (Ops.self ()))
   | "nprocs", [] -> V (Value.Int (Ops.nprocs ()))
-  | "rand", [ n ] -> V (Value.Int (Olden_runtime.Prng.int st.prng (max 1 (as_int n))))
+  | "rand", [ n ] -> V (Value.Int (Prng.int st.prng (max 1 (as_int n))))
   | "work", [ n ] ->
       Ops.work (max 0 (as_int n));
       V Value.Nil
@@ -282,7 +282,7 @@ type result = {
 let run ?(entry = "main") ?(args = []) (cfg : Olden_config.t) (c : compiled) :
     result =
   let st =
-    { c; prng = Olden_runtime.Prng.create cfg.Olden_config.seed; out = Buffer.create 256 }
+    { c; prng = Prng.create cfg.Olden_config.seed; out = Buffer.create 256 }
   in
   let ret = ref Value.Nil in
   let engine = Engine.create cfg in

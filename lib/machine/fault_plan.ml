@@ -1,0 +1,104 @@
+(* Deterministic fault injection for the simulated network.
+
+   The paper's runtime rides the CM-5's reliable active messages; this
+   module removes that assumption.  A fault plan is a *seeded schedule*:
+   every decision — drop this attempt, delay it, duplicate it, take this
+   handler down for a window — is a pure function of the plan's seed and
+   the message's identity (sequence number, attempt number, leg), drawn
+   through the runtime's splitmix64 {!Prng}.  Nothing depends on host
+   state or call order across messages, so a fault schedule replays
+   bit-for-bit and two runs with the same seed see the same faults.
+
+   The plan only *decides*; the retry/timeout protocol that reacts to the
+   decisions lives in {!Machine} (request/reply and one-way messages) and
+   the engine (thread-state transfers). *)
+
+type klass =
+  | Data (* cache-line fetches, revalidations, stores, invalidations *)
+  | Migration (* forward thread-state transfer to a (possibly flaky) home *)
+  | Return (* return-stub thread-state transfer back to the origin *)
+
+type leg = Forward | Ack
+
+type decision = {
+  dropped : bool; (* the attempt vanished in the network *)
+  delay : int; (* extra latency (0 when not delayed) *)
+  duplicated : bool; (* the attempt was delivered twice *)
+}
+
+type t = {
+  spec : Olden_config.fault_spec;
+  retry : Olden_config.retry_spec;
+  mutable next_seq : int; (* logical message sequence numbers *)
+}
+
+let create spec retry = { spec; retry; next_seq = 0 }
+
+let spec t = t.spec
+let retry t = t.retry
+
+(* Allocate the sequence number carried by one logical message.  The
+   scheduler is deterministic, so allocation order — and with it every
+   per-message decision — is reproducible. *)
+let fresh_seq t =
+  let seq = t.next_seq in
+  t.next_seq <- seq + 1;
+  seq
+
+(* One independent splitmix64 stream per (message, attempt, leg): the
+   stream key mixes the schedule seed with the message identity, so the
+   decision is insensitive to what any other message drew. *)
+let stream t ~seq ~attempt ~salt =
+  Prng.create
+    (t.spec.Olden_config.fault_seed
+    lxor (seq * 0x9E3779B9)
+    lxor (attempt * 0x85EBCA6B)
+    lxor (salt * 0xC2B2AE3D))
+
+let drop_probability t = function
+  | Data -> t.spec.Olden_config.drop
+  | Migration ->
+      Option.value ~default:t.spec.Olden_config.drop
+        t.spec.Olden_config.migrate_drop
+  | Return -> t.spec.Olden_config.drop
+
+let decide t ~klass ~leg ~seq ~attempt =
+  let salt = match leg with Forward -> 0x0f0e | Ack -> 0x0acc in
+  let p = stream t ~seq ~attempt ~salt in
+  (* fixed draw order: drop, delay, duplicate *)
+  let dropped = Prng.float p < drop_probability t klass in
+  let delayed = Prng.float p < t.spec.Olden_config.delay in
+  let duplicated = Prng.float p < t.spec.Olden_config.duplicate in
+  if dropped then { dropped = true; delay = 0; duplicated = false }
+  else
+    {
+      dropped = false;
+      delay = (if delayed then t.spec.Olden_config.delay_cycles else 0);
+      duplicated;
+    }
+
+(* Transient handler outages: simulated time is divided into windows of
+   [outage_cycles]; each (processor, window) pair is independently down
+   with probability [outage].  Keyed by window index — not by PRNG call
+   order — so every message attempt arriving in the same window agrees on
+   whether the handler was up. *)
+let handler_down t ~proc ~time =
+  let s = t.spec in
+  s.Olden_config.outage > 0.
+  && s.Olden_config.outage_cycles > 0
+  &&
+  let window = time / s.Olden_config.outage_cycles in
+  let p =
+    stream t ~seq:(proc * 0x51ed) ~attempt:window ~salt:0x0d0c
+  in
+  Prng.float p < s.Olden_config.outage
+
+(* Bounded exponential backoff: wait [timeout * backoff^attempt] cycles
+   before retransmission [attempt + 1], capped at [max_timeout]. *)
+let retry_wait t ~attempt =
+  let r = t.retry in
+  let rec go wait k =
+    if k <= 0 || wait >= r.Olden_config.max_timeout then wait
+    else go (wait * r.Olden_config.backoff) (k - 1)
+  in
+  min (go r.Olden_config.timeout attempt) r.Olden_config.max_timeout

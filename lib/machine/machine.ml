@@ -8,6 +8,8 @@
    be interleaved with computation, which matches the CM-5's interrupt-driven
    active messages closely enough for the ratios we reproduce. *)
 
+module Trace = Olden_trace.Trace
+
 type t = {
   cfg : Olden_config.t;
   clock : int array; (* per-processor compute clock, cycles *)
@@ -16,10 +18,13 @@ type t = {
   comm : int array; (* cycles a processor's compute thread spent blocked
                        on request/reply round trips *)
   stats : Stats.t;
+  fault : Fault_plan.t option; (* None: the network is reliable *)
   mutable intervals : (int * int * int) list;
       (* busy intervals (proc, start, stop), newest first, when recording *)
   mutable record_intervals : bool;
 }
+
+exception Undeliverable of { dst : int; attempts : int }
 
 let create cfg =
   let n = cfg.Olden_config.nprocs in
@@ -30,6 +35,10 @@ let create cfg =
     busy = Array.make n 0;
     comm = Array.make n 0;
     stats = Stats.create ();
+    fault =
+      Option.map
+        (fun spec -> Fault_plan.create spec cfg.Olden_config.retry)
+        cfg.Olden_config.faults;
     intervals = [];
     record_intervals = false;
   }
@@ -40,6 +49,7 @@ let busy_intervals t = List.rev t.intervals
 let nprocs t = t.cfg.Olden_config.nprocs
 let costs t = t.cfg.Olden_config.costs
 let stats t = t.stats
+let fault_plan t = t.fault
 let now t proc = t.clock.(proc)
 
 (* Charge [cycles] of computation on [proc]. *)
@@ -56,38 +66,282 @@ let advance t proc cycles =
 let wait_until t proc time =
   if time > t.clock.(proc) then t.clock.(proc) <- time
 
-(* A request/reply round trip from [src] to the handler of [dst].  The
-   requester blocks; the reply arrives after network latency both ways plus
-   handler service, plus any queueing if the handler is busy.  Returns the
-   reply arrival time and advances the requester's clock to it. *)
-let request_reply t ~src ~dst ~service =
-  let c = costs t in
-  let arrive = t.clock.(src) + c.Olden_config.net_latency in
+(* A compute thread stalled on a retry timer: the clock moves but no busy
+   time is charged, and the cycles count as communication so the profiler's
+   busy + comm + idle accounting identity still holds. *)
+let stall t proc cycles =
+  if cycles > 0 then begin
+    t.clock.(proc) <- t.clock.(proc) + cycles;
+    t.comm.(proc) <- t.comm.(proc) + cycles
+  end
+
+(* --- Fault bookkeeping helpers -------------------------------------- *)
+
+(* Trace events for faults reuse the emitter's thread/site context; every
+   call site guards on [Trace.is_on] via these helpers. *)
+let emit_fault ~proc ~time kind =
+  if Trace.is_on () then
+    Trace.emit
+      { Trace.time; proc; tid = Trace.thread (); site = Trace.site (); kind }
+
+let note_drop t ~dst ~time ~attempt ~outage =
+  t.stats.Stats.msg_drops <- t.stats.Stats.msg_drops + 1;
+  if outage then t.stats.Stats.outage_drops <- t.stats.Stats.outage_drops + 1;
+  emit_fault ~proc:dst ~time (Trace.Fault_drop { dst; attempt; outage })
+
+let note_delay t ~dst ~time ~cycles =
+  if cycles > 0 then begin
+    t.stats.Stats.msg_delays <- t.stats.Stats.msg_delays + 1;
+    emit_fault ~proc:dst ~time (Trace.Fault_delay { dst; cycles })
+  end
+
+(* A duplicate delivery: the receiver's sequence-number check discards it.
+   [duplicates_suppressed] equals [msg_duplicates] exactly when the
+   idempotent receive path catches every duplicate — the invariant the
+   checker asserts.  [note_suppressed] is for deliveries whose transmission
+   was already counted (a retransmission reaching an already-serviced
+   handler); [note_duplicate] also counts the extra copy the network
+   minted. *)
+let note_suppressed t ~dst ~time =
+  t.stats.Stats.msg_duplicates <- t.stats.Stats.msg_duplicates + 1;
+  t.stats.Stats.duplicates_suppressed <-
+    t.stats.Stats.duplicates_suppressed + 1;
+  emit_fault ~proc:dst ~time (Trace.Fault_dup { dst })
+
+let note_duplicate t ~dst ~time =
+  t.stats.Stats.messages <- t.stats.Stats.messages + 1;
+  note_suppressed t ~dst ~time
+
+(* Charge one retry timer: raise [Undeliverable] when the budget is gone,
+   otherwise count the retransmission and return the backoff wait. *)
+let note_retry t plan ~dst ~time ~attempt =
+  if attempt + 1 >= (Fault_plan.retry plan).Olden_config.max_attempts then
+    raise (Undeliverable { dst; attempts = attempt + 1 });
+  let wait = Fault_plan.retry_wait plan ~attempt in
+  t.stats.Stats.retries <- t.stats.Stats.retries + 1;
+  t.stats.Stats.retry_cycles <- t.stats.Stats.retry_cycles + wait;
+  emit_fault ~proc:dst ~time (Trace.Retry { dst; attempt; wait });
+  wait
+
+(* Deliver one attempt into [dst]'s handler and return the service finish
+   time (shared by the reliable and faulty paths). *)
+let handler_accept t ~dst ~arrive ~service =
   let start =
     if t.cfg.Olden_config.handler_contention then
       max arrive t.handler_free.(dst)
     else arrive
   in
   t.handler_free.(dst) <- start + service;
-  let reply = start + service + c.Olden_config.net_latency in
+  start + service
+
+(* A request/reply round trip from [src] to the handler of [dst].  The
+   requester blocks; the reply arrives after network latency both ways plus
+   handler service, plus any queueing if the handler is busy.  Returns the
+   reply arrival time and advances the requester's clock to it. *)
+let request_reply_reliable t ~src ~dst ~service =
+  let c = costs t in
+  let arrive = t.clock.(src) + c.Olden_config.net_latency in
+  let reply = handler_accept t ~dst ~arrive ~service + c.Olden_config.net_latency in
   t.stats.Stats.messages <- t.stats.Stats.messages + 2;
   t.comm.(src) <- t.comm.(src) + (reply - t.clock.(src));
   t.clock.(src) <- reply;
   reply
 
+(* The same round trip over the faulty network.  Each logical request
+   carries one sequence number; a lost request or reply makes the blocked
+   requester stall for the backoff wait and retransmit under the same
+   sequence number.  The receiver's sequence check makes the service
+   idempotent: a retransmission of an already-serviced request only
+   re-sends the cached reply, and duplicated deliveries are discarded.
+   With a schedule whose probabilities are all zero this degenerates to
+   exactly the reliable path: same clocks, same handler occupancy, same
+   counters. *)
+let request_reply_faulty t plan ~src ~dst ~service =
+  let c = costs t in
+  let seq = Fault_plan.fresh_seq plan in
+  let serviced = ref false in
+  let attempt = ref 0 in
+  let reply = ref (-1) in
+  while !reply < 0 do
+    let k = !attempt in
+    let fwd =
+      Fault_plan.decide plan ~klass:Fault_plan.Data ~leg:Fault_plan.Forward
+        ~seq ~attempt:k
+    in
+    t.stats.Stats.messages <- t.stats.Stats.messages + 1;
+    let arrive =
+      t.clock.(src) + c.Olden_config.net_latency + fwd.Fault_plan.delay
+    in
+    let outage =
+      (not fwd.Fault_plan.dropped)
+      && Fault_plan.handler_down plan ~proc:dst ~time:arrive
+    in
+    if fwd.Fault_plan.dropped || outage then begin
+      note_drop t ~dst ~time:arrive ~attempt:k ~outage;
+      let wait = note_retry t plan ~dst ~time:t.clock.(src) ~attempt:k in
+      stall t src wait;
+      incr attempt
+    end
+    else begin
+      note_delay t ~dst ~time:arrive ~cycles:fwd.Fault_plan.delay;
+      if fwd.Fault_plan.duplicated then note_duplicate t ~dst ~time:arrive;
+      let finish =
+        if !serviced then begin
+          (* retransmission of an already-serviced request: the sequence
+             check recognizes it and re-sends the cached reply without
+             executing the service again *)
+          note_suppressed t ~dst ~time:arrive;
+          arrive
+        end
+        else begin
+          serviced := true;
+          handler_accept t ~dst ~arrive ~service
+        end
+      in
+      let ack =
+        Fault_plan.decide plan ~klass:Fault_plan.Data ~leg:Fault_plan.Ack ~seq
+          ~attempt:k
+      in
+      t.stats.Stats.messages <- t.stats.Stats.messages + 1;
+      let back = finish + c.Olden_config.net_latency + ack.Fault_plan.delay in
+      if ack.Fault_plan.dropped then begin
+        note_drop t ~dst:src ~time:back ~attempt:k ~outage:false;
+        let wait = note_retry t plan ~dst ~time:t.clock.(src) ~attempt:k in
+        stall t src wait;
+        incr attempt
+      end
+      else begin
+        note_delay t ~dst:src ~time:back ~cycles:ack.Fault_plan.delay;
+        if ack.Fault_plan.duplicated then note_duplicate t ~dst:src ~time:back;
+        t.comm.(src) <- t.comm.(src) + (back - t.clock.(src));
+        t.clock.(src) <- back;
+        reply := back
+      end
+    end
+  done;
+  !reply
+
+let request_reply t ~src ~dst ~service =
+  match t.fault with
+  | None -> request_reply_reliable t ~src ~dst ~service
+  | Some plan -> request_reply_faulty t plan ~src ~dst ~service
+
 (* A one-way message whose effect is applied at the destination handler;
-   the sender does not block.  Returns the time the handler finishes. *)
+   the sender does not block.  Returns the time the handler finishes.
+   Under faults the transport layer retransmits in the background — lost
+   attempts push the delivery time back by the backoff wait without
+   touching the sender's clock, and the effect is applied exactly once. *)
 let one_way t ~src ~dst ~service =
   let c = costs t in
-  let arrive = t.clock.(src) + c.Olden_config.net_latency in
-  let start =
-    if t.cfg.Olden_config.handler_contention then
-      max arrive t.handler_free.(dst)
-    else arrive
-  in
-  t.handler_free.(dst) <- start + service;
-  t.stats.Stats.messages <- t.stats.Stats.messages + 1;
-  start + service
+  match t.fault with
+  | None ->
+      t.stats.Stats.messages <- t.stats.Stats.messages + 1;
+      handler_accept t ~dst ~arrive:(t.clock.(src) + c.Olden_config.net_latency)
+        ~service
+  | Some plan ->
+      let seq = Fault_plan.fresh_seq plan in
+      let lag = ref 0 in
+      let attempt = ref 0 in
+      let finish = ref (-1) in
+      while !finish < 0 do
+        let k = !attempt in
+        let fwd =
+          Fault_plan.decide plan ~klass:Fault_plan.Data
+            ~leg:Fault_plan.Forward ~seq ~attempt:k
+        in
+        t.stats.Stats.messages <- t.stats.Stats.messages + 1;
+        let arrive =
+          t.clock.(src) + !lag + c.Olden_config.net_latency
+          + fwd.Fault_plan.delay
+        in
+        let outage =
+          (not fwd.Fault_plan.dropped)
+          && Fault_plan.handler_down plan ~proc:dst ~time:arrive
+        in
+        if fwd.Fault_plan.dropped || outage then begin
+          note_drop t ~dst ~time:arrive ~attempt:k ~outage;
+          let wait = note_retry t plan ~dst ~time:t.clock.(src) ~attempt:k in
+          lag := !lag + wait;
+          incr attempt
+        end
+        else begin
+          note_delay t ~dst ~time:arrive ~cycles:fwd.Fault_plan.delay;
+          if fwd.Fault_plan.duplicated then note_duplicate t ~dst ~time:arrive;
+          finish := handler_accept t ~dst ~arrive ~service
+        end
+      done;
+      !finish
+
+(* Reliable delivery of a thread-state transfer (migration or return stub).
+   The base message cost is charged by the engine; this only answers: how
+   much later than the fault-free schedule does the state arrive, or did
+   the sender give up?  Lost forward legs delay the arrival by the backoff
+   wait; a lost acknowledgement triggers a retransmission that the
+   receiver's sequence check discards (the thread must start exactly
+   once), delaying nothing. *)
+type delivery =
+  | Delivered of { penalty : int }
+  | Gave_up of { penalty : int; attempts : int }
+
+let thread_delivery t ~dst ~klass ~send_time ~give_up_after =
+  match t.fault with
+  | None -> Delivered { penalty = 0 }
+  | Some plan ->
+      let c = costs t in
+      let seq = Fault_plan.fresh_seq plan in
+      let max_attempts = (Fault_plan.retry plan).Olden_config.max_attempts in
+      let penalty = ref 0 in
+      let attempt = ref 0 in
+      let result = ref None in
+      while !result = None do
+        let k = !attempt in
+        let fwd = Fault_plan.decide plan ~klass ~leg:Fault_plan.Forward ~seq ~attempt:k in
+        if k > 0 then t.stats.Stats.messages <- t.stats.Stats.messages + 1;
+        let arrive =
+          send_time + !penalty + c.Olden_config.net_latency
+          + fwd.Fault_plan.delay
+        in
+        let outage =
+          (not fwd.Fault_plan.dropped)
+          && Fault_plan.handler_down plan ~proc:dst ~time:arrive
+        in
+        if fwd.Fault_plan.dropped || outage then begin
+          note_drop t ~dst ~time:arrive ~attempt:k ~outage;
+          let attempts = k + 1 in
+          match give_up_after with
+          | Some n when attempts >= n ->
+              result := Some (Gave_up { penalty = !penalty; attempts })
+          | _ ->
+              let wait = note_retry t plan ~dst ~time:send_time ~attempt:k in
+              penalty := !penalty + wait;
+              incr attempt
+        end
+        else begin
+          note_delay t ~dst ~time:arrive ~cycles:fwd.Fault_plan.delay;
+          penalty := !penalty + fwd.Fault_plan.delay;
+          if fwd.Fault_plan.duplicated then note_duplicate t ~dst ~time:arrive;
+          (* acknowledgement chain: each lost ack triggers one background
+             retransmission of the state, which the receiver's sequence
+             check discards — the fiber is resumed exactly once *)
+          let j = ref k in
+          let acked = ref false in
+          while not !acked do
+            let ack =
+              Fault_plan.decide plan ~klass ~leg:Fault_plan.Ack ~seq
+                ~attempt:!j
+            in
+            if ack.Fault_plan.dropped && !j + 1 < max_attempts then begin
+              t.stats.Stats.msg_drops <- t.stats.Stats.msg_drops + 1;
+              t.stats.Stats.retries <- t.stats.Stats.retries + 1;
+              note_duplicate t ~dst ~time:arrive;
+              incr j
+            end
+            else acked := true
+          done;
+          result := Some (Delivered { penalty = !penalty })
+        end
+      done;
+      Option.get !result
 
 let count_bytes t n = t.stats.Stats.bytes <- t.stats.Stats.bytes + n
 

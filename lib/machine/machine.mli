@@ -9,11 +9,17 @@
 
 type t
 
+exception Undeliverable of { dst : int; attempts : int }
+(** A message exhausted [retry_spec.max_attempts] retransmissions. *)
+
 val create : Olden_config.t -> t
 
 val nprocs : t -> int
 val costs : t -> Olden_config.costs
 val stats : t -> Stats.t
+
+val fault_plan : t -> Fault_plan.t option
+(** The active fault schedule, when [cfg.faults] is set. *)
 
 val now : t -> int -> int
 (** Current cycle count of a processor's compute clock. *)
@@ -26,14 +32,52 @@ val wait_until : t -> int -> int -> unit
 (** Move a processor's clock forward to a time (idle waiting); never moves
     it backward and charges no busy time. *)
 
+val stall : t -> int -> int -> unit
+(** [stall t proc cycles] parks [proc]'s compute thread on a retry timer:
+    the clock advances, the cycles count as communication (not busy), so
+    the [busy + comm + idle] accounting identity is preserved. *)
+
 val request_reply : t -> src:int -> dst:int -> service:int -> int
 (** A blocking round trip from [src] to the handler of [dst]: network
     latency both ways plus handler service, plus queueing when
     [handler_contention] is on.  Advances [src]'s clock to the reply time
-    and returns it. *)
+    and returns it.  Under a fault schedule the requester stalls and
+    retransmits on loss (bounded exponential backoff); the receive path is
+    idempotent — duplicates and retransmissions of serviced requests are
+    recognized by sequence number and do not re-execute the service.
+    @raise Undeliverable when the retry budget is exhausted. *)
 
 val one_way : t -> src:int -> dst:int -> service:int -> int
-(** A non-blocking message; returns the time the handler finishes. *)
+(** A non-blocking message; returns the time the handler finishes.  Under
+    a fault schedule the transport retransmits in the background: losses
+    push the delivery time back without blocking the sender, and the
+    handler effect is applied exactly once.
+    @raise Undeliverable when the retry budget is exhausted. *)
+
+type delivery =
+  | Delivered of { penalty : int }
+      (** arrival is [penalty] cycles later than the fault-free schedule *)
+  | Gave_up of { penalty : int; attempts : int }
+      (** the sender abandoned the transfer after [attempts] tries, having
+          burned [penalty] cycles on retry timers *)
+
+val thread_delivery :
+  t ->
+  dst:int ->
+  klass:Fault_plan.klass ->
+  send_time:int ->
+  give_up_after:int option ->
+  delivery
+(** Deliver a thread-state transfer (migration or return stub) sent at
+    [send_time].  The engine charges the base send/receive costs and the
+    one base message; this only accounts for faults: lost forward legs
+    delay the arrival by the backoff wait, lost acknowledgements trigger
+    retransmissions that the receiver's sequence check discards (the fiber
+    resumes exactly once).  [give_up_after] bounds the forward attempts —
+    used by migrations so a flaky home degrades to caching instead of
+    wedging the thread; with [None] the transfer retries up to
+    [max_attempts].  Reliable network: always [Delivered {penalty = 0}].
+    @raise Undeliverable when the retry budget is exhausted. *)
 
 val count_bytes : t -> int -> unit
 (** Account payload bytes to the statistics. *)

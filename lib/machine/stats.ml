@@ -25,6 +25,14 @@ type t = {
   mutable messages : int;
   mutable bytes : int;
   mutable write_track_cycles : int;
+  mutable msg_drops : int;
+  mutable outage_drops : int;
+  mutable msg_delays : int;
+  mutable msg_duplicates : int;
+  mutable duplicates_suppressed : int;
+  mutable retries : int;
+  mutable retry_cycles : int;
+  mutable migration_fallbacks : int;
 }
 
 let create () =
@@ -50,6 +58,14 @@ let create () =
     messages = 0;
     bytes = 0;
     write_track_cycles = 0;
+    msg_drops = 0;
+    outage_drops = 0;
+    msg_delays = 0;
+    msg_duplicates = 0;
+    duplicates_suppressed = 0;
+    retries = 0;
+    retry_cycles = 0;
+    migration_fallbacks = 0;
   }
 
 (* Snapshot for phase-relative measurements.  Written out field by field
@@ -80,6 +96,14 @@ let copy t =
     messages = t.messages;
     bytes = t.bytes;
     write_track_cycles = t.write_track_cycles;
+    msg_drops = t.msg_drops;
+    outage_drops = t.outage_drops;
+    msg_delays = t.msg_delays;
+    msg_duplicates = t.msg_duplicates;
+    duplicates_suppressed = t.duplicates_suppressed;
+    retries = t.retries;
+    retry_cycles = t.retry_cycles;
+    migration_fallbacks = t.migration_fallbacks;
   }
 
 (* Counter-wise difference [b - a]; used to isolate a kernel phase. *)
@@ -107,6 +131,14 @@ let diff b a =
     messages = b.messages - a.messages;
     bytes = b.bytes - a.bytes;
     write_track_cycles = b.write_track_cycles - a.write_track_cycles;
+    msg_drops = b.msg_drops - a.msg_drops;
+    outage_drops = b.outage_drops - a.outage_drops;
+    msg_delays = b.msg_delays - a.msg_delays;
+    msg_duplicates = b.msg_duplicates - a.msg_duplicates;
+    duplicates_suppressed = b.duplicates_suppressed - a.duplicates_suppressed;
+    retries = b.retries - a.retries;
+    retry_cycles = b.retry_cycles - a.retry_cycles;
+    migration_fallbacks = b.migration_fallbacks - a.migration_fallbacks;
   }
 
 let remote_read_fraction t =
@@ -148,6 +180,14 @@ let fields t =
     ("messages", t.messages);
     ("bytes", t.bytes);
     ("write_track_cycles", t.write_track_cycles);
+    ("msg_drops", t.msg_drops);
+    ("outage_drops", t.outage_drops);
+    ("msg_delays", t.msg_delays);
+    ("msg_duplicates", t.msg_duplicates);
+    ("duplicates_suppressed", t.duplicates_suppressed);
+    ("retries", t.retries);
+    ("retry_cycles", t.retry_cycles);
+    ("migration_fallbacks", t.migration_fallbacks);
   ]
 
 let to_json t =
@@ -173,4 +213,15 @@ let pp ppf t =
     (100. *. remote_write_fraction t)
     t.cache_hits t.cache_misses t.cache_flushes t.pages_cached
     t.lines_invalidated t.invalidation_messages t.revalidations t.messages
-    t.bytes t.write_track_cycles
+    t.bytes t.write_track_cycles;
+  if
+    t.msg_drops + t.msg_delays + t.msg_duplicates + t.retries
+    + t.migration_fallbacks
+    > 0
+  then
+    Format.fprintf ppf
+      "@,\
+       @[<v>faults: drops=%d (outages=%d) delays=%d dups=%d suppressed=%d@,\
+       retries=%d retry-cycles=%d migration-fallbacks=%d@]"
+      t.msg_drops t.outage_drops t.msg_delays t.msg_duplicates
+      t.duplicates_suppressed t.retries t.retry_cycles t.migration_fallbacks

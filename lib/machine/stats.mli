@@ -27,6 +27,17 @@ type t = {
   mutable messages : int;
   mutable bytes : int;
   mutable write_track_cycles : int;  (** Appendix A write-tracking overhead *)
+  mutable msg_drops : int;  (** delivery attempts lost (faults, incl. outages) *)
+  mutable outage_drops : int;  (** subset of drops due to handler outages *)
+  mutable msg_delays : int;  (** delivery attempts that arrived late *)
+  mutable msg_duplicates : int;  (** duplicate deliveries observed at receivers *)
+  mutable duplicates_suppressed : int;
+      (** deliveries discarded by the sequence-number check — equals
+          [msg_duplicates] when the idempotent receive path is correct *)
+  mutable retries : int;  (** retransmission attempts *)
+  mutable retry_cycles : int;  (** cycles spent waiting on retry timers *)
+  mutable migration_fallbacks : int;
+      (** migrations that gave up on a flaky home and degraded to caching *)
 }
 
 val create : unit -> t

@@ -18,6 +18,7 @@ and waiter = {
   wk : (Value.t, unit) Effect.Deep.continuation;
   wproc : int; (* processor the toucher was on; it resumes there *)
   wthread : thread;
+  wlabel : string; (* where it parked — for deadlock diagnostics *)
 }
 
 (* A future cell ("return continuation on the work list" plus result slot).
@@ -37,7 +38,8 @@ type _ Effect.t +=
   | Load : Site.t * Gptr.t * int -> Value.t Effect.t (* site, base, field *)
   | Store : Site.t * Gptr.t * int * Value.t -> unit Effect.t
   | Future : (unit -> Value.t) -> fut Effect.t (* futurecall *)
-  | Touch : fut -> Value.t Effect.t
+  | Touch : Site.t option * fut -> Value.t Effect.t
+      (* the site, when known, labels the park for deadlock diagnostics *)
   | Self : int Effect.t (* current processor *)
   | Nprocs : int Effect.t
   | Return_to : int -> unit Effect.t (* return stub target *)

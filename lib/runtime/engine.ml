@@ -48,6 +48,8 @@ type t = {
   mutable next_tid : int;
   mutable next_fid : int;
   mutable blocked : int; (* parked touch waiters *)
+  mutable parked : (int * string) list;
+      (* (processor, label) per parked waiter — deadlock diagnostics *)
   mutable phases : phase_mark list; (* newest first *)
   mutable finished : bool;
 }
@@ -69,6 +71,7 @@ let create cfg =
     next_tid = 1;
     next_fid = 0;
     blocked = 0;
+    parked = [];
     phases = [];
     finished = false;
   }
@@ -76,6 +79,7 @@ let create cfg =
 let memory t = t.memory
 let machine t = t.machine
 let cache t = t.cache
+let config t = t.cfg
 let stats t = Machine.stats t.machine
 let costs t = t.cfg.C.costs
 
@@ -127,6 +131,14 @@ let acquire_result t ~proc ~(toucher : thread) (cell : fut) =
       Write_log.absorb_written_procs toucher.log ~from:log
   | None -> ()
 
+let remove_parked parked ~proc ~label =
+  let rec go = function
+    | [] -> []
+    | (p, l) :: rest when p = proc && String.equal l label -> rest
+    | entry :: rest -> entry :: go rest
+  in
+  go parked
+
 (* Resolve a future: a release point for the resolving thread (its writes
    become visible through the cell), then wake every parked toucher on its
    own processor (remote wakeups pay a notification latency). *)
@@ -150,6 +162,7 @@ let resolve t (cell : fut) v =
       List.iter
         (fun w ->
           t.blocked <- t.blocked - 1;
+          t.parked <- remove_parked t.parked ~proc:w.wproc ~label:w.wlabel;
           let delay = if w.wproc <> t.cur_proc then c.C.net_latency else 0 in
           schedule_event t ~proc:w.wproc ~ready_at:(now t + delay)
             {
@@ -170,9 +183,11 @@ let effective_mechanism t (site : Site.t) =
   | C.Cache_only -> C.Cache
 
 (* Suspend the current fiber and ship it to [target]: a computation
-   migration.  [on_arrival] completes the interrupted operation there. *)
-let migrate_to t ~site ~target ~(k : ('a, unit) Effect.Deep.continuation)
-    ~(complete : unit -> 'a) =
+   migration.  [on_arrival] completes the interrupted operation there.
+   [penalty] is the extra arrival latency charged by the faulty network
+   (retransmission waits and delivery delays); zero on a reliable one. *)
+let migrate_to t ~site ~target ~penalty
+    ~(k : ('a, unit) Effect.Deep.continuation) ~(complete : unit -> 'a) =
   let c = costs t in
   let s = stats t in
   s.Stats.migrations <- s.Stats.migrations + 1;
@@ -185,7 +200,7 @@ let migrate_to t ~site ~target ~(k : ('a, unit) Effect.Deep.continuation)
   advance t c.C.migrate_send;
   if Trace.is_on () then emit t ~site (Trace.Migrate_send { target });
   Machine.count_bytes t.machine 256 (* registers + PC + frame *);
-  let ready_at = now t + c.C.net_latency in
+  let ready_at = now t + c.C.net_latency + penalty in
   schedule_event t ~proc:target ~ready_at
     {
       thread;
@@ -226,6 +241,33 @@ let immediate_alloc t ~proc words =
   end;
   Memory.alloc t.memory ~proc words
 
+(* A dereference through the software cache: the body of the [C.Cache]
+   arms below, also the degraded path a migration falls back to when its
+   home keeps dropping thread transfers. *)
+let cached_load t (site : Site.t) g field =
+  site.Site.loads <- site.Site.loads + 1;
+  if Gptr.proc g <> t.cur_proc then
+    site.Site.remote <- site.Site.remote + 1;
+  if Trace.is_on () then begin
+    Trace.set_thread t.cur_thread.tid;
+    Trace.set_site site.Site.sid
+  end;
+  let before = (stats t).Stats.cache_misses in
+  let v = Cache.read t.cache ~proc:t.cur_proc g ~field in
+  site.Site.misses <-
+    site.Site.misses + (stats t).Stats.cache_misses - before;
+  v
+
+let cached_store t (site : Site.t) g field v =
+  site.Site.stores <- site.Site.stores + 1;
+  if Gptr.proc g <> t.cur_proc then
+    site.Site.remote <- site.Site.remote + 1;
+  if Trace.is_on () then begin
+    Trace.set_thread t.cur_thread.tid;
+    Trace.set_site site.Site.sid
+  end;
+  Cache.write t.cache ~proc:t.cur_proc g ~field v ~log:t.cur_thread.log
+
 let immediate_load t (site : Site.t) g field =
   if Gptr.is_null g then raise (Null_dereference (Site.name site));
   let c = costs t in
@@ -236,19 +278,7 @@ let immediate_load t (site : Site.t) g field =
   end
   else
     match effective_mechanism t site with
-    | C.Cache ->
-        site.Site.loads <- site.Site.loads + 1;
-        if Gptr.proc g <> t.cur_proc then
-          site.Site.remote <- site.Site.remote + 1;
-        if Trace.is_on () then begin
-          Trace.set_thread t.cur_thread.tid;
-          Trace.set_site site.Site.sid
-        end;
-        let before = (stats t).Stats.cache_misses in
-        let v = Cache.read t.cache ~proc:t.cur_proc g ~field in
-        site.Site.misses <-
-          site.Site.misses + (stats t).Stats.cache_misses - before;
-        v
+    | C.Cache -> cached_load t site g field
     | C.Migrate ->
         if Gptr.proc g = t.cur_proc then begin
           site.Site.loads <- site.Site.loads + 1;
@@ -269,15 +299,7 @@ let immediate_store t (site : Site.t) g field v =
   end
   else
     match effective_mechanism t site with
-    | C.Cache ->
-        site.Site.stores <- site.Site.stores + 1;
-        if Gptr.proc g <> t.cur_proc then
-          site.Site.remote <- site.Site.remote + 1;
-        if Trace.is_on () then begin
-          Trace.set_thread t.cur_thread.tid;
-          Trace.set_site site.Site.sid
-        end;
-        Cache.write t.cache ~proc:t.cur_proc g ~field v ~log:t.cur_thread.log
+    | C.Cache -> cached_store t site g field v
     | C.Migrate ->
         if Gptr.proc g = t.cur_proc then begin
           site.Site.stores <- site.Site.stores + 1;
@@ -323,6 +345,27 @@ let fast_load site g field = immediate_load (engine ()) site g field
 let fast_store site g field v = immediate_store (engine ()) site g field v
 let fast_touch cell = immediate_touch (engine ()) cell
 
+(* Decide the fate of a migration's thread-state transfer before the fiber
+   is captured.  [Some penalty]: the state will arrive, [penalty] cycles
+   late.  [None]: the home kept dropping the transfer and the sender gave
+   up after its attempt budget ([retry.max_migration_attempts]); the
+   thread pays the retry timers on its own clock and degrades to the
+   caching mechanism instead of wedging on an unreachable home. *)
+let try_migrate t ~(site : Site.t) ~home =
+  match
+    Machine.thread_delivery t.machine ~dst:home ~klass:Fault_plan.Migration
+      ~send_time:(now t)
+      ~give_up_after:(Some t.cfg.C.retry.C.max_migration_attempts)
+  with
+  | Machine.Delivered { penalty } -> Some penalty
+  | Machine.Gave_up { penalty; attempts } ->
+      let s = stats t in
+      s.Stats.migration_fallbacks <- s.Stats.migration_fallbacks + 1;
+      Machine.stall t.machine t.cur_proc penalty;
+      if Trace.is_on () then
+        emit t ~site:site.Site.sid (Trace.Migrate_fallback { home; attempts });
+      None
+
 let rec handler t : (unit, unit) Effect.Deep.handler =
   let effc : type a. a Effect.t -> ((a, unit) Effect.Deep.continuation -> unit) option =
     function
@@ -341,37 +384,46 @@ let rec handler t : (unit, unit) Effect.Deep.handler =
           (fun k ->
             match immediate_load t site g field with
             | v -> Effect.Deep.continue k v
-            | exception Must_perform ->
+            | exception Must_perform -> (
                 (* the reference must migrate: only here is the fiber
                    captured *)
                 let c = costs t in
                 let home = Gptr.proc g in
-                site.Site.loads <- site.Site.loads + 1;
-                site.Site.remote <- site.Site.remote + 1;
                 advance t c.C.pointer_test;
-                site.Site.migrations <- site.Site.migrations + 1;
-                migrate_to t ~site:site.Site.sid ~target:home ~k
-                  ~complete:(fun () ->
-                    Machine.advance t.machine home c.C.local_ref;
-                    Memory.load t.memory g field))
+                match try_migrate t ~site ~home with
+                | Some penalty ->
+                    site.Site.loads <- site.Site.loads + 1;
+                    site.Site.remote <- site.Site.remote + 1;
+                    site.Site.migrations <- site.Site.migrations + 1;
+                    migrate_to t ~site:site.Site.sid ~target:home ~penalty ~k
+                      ~complete:(fun () ->
+                        Machine.advance t.machine home c.C.local_ref;
+                        Memory.load t.memory g field)
+                | None ->
+                    Effect.Deep.continue k (cached_load t site g field)))
     | Store (site, g, field, v) ->
         Some
           (fun k ->
             match immediate_store t site g field v with
             | () -> Effect.Deep.continue k ()
-            | exception Must_perform ->
+            | exception Must_perform -> (
                 let c = costs t in
                 let home = Gptr.proc g in
-                site.Site.stores <- site.Site.stores + 1;
-                site.Site.remote <- site.Site.remote + 1;
                 advance t c.C.pointer_test;
-                site.Site.migrations <- site.Site.migrations + 1;
-                migrate_to t ~site:site.Site.sid ~target:home ~k
-                  ~complete:(fun () ->
-                    Machine.advance t.machine home c.C.local_ref;
-                    Memory.store t.memory g field v;
-                    Cache.note_migrate_write t.cache ~proc:home g ~field
-                      ~log:t.cur_thread.log))
+                match try_migrate t ~site ~home with
+                | Some penalty ->
+                    site.Site.stores <- site.Site.stores + 1;
+                    site.Site.remote <- site.Site.remote + 1;
+                    site.Site.migrations <- site.Site.migrations + 1;
+                    migrate_to t ~site:site.Site.sid ~target:home ~penalty ~k
+                      ~complete:(fun () ->
+                        Machine.advance t.machine home c.C.local_ref;
+                        Memory.store t.memory g field v;
+                        Cache.note_migrate_write t.cache ~proc:home g ~field
+                          ~log:t.cur_thread.log)
+                | None ->
+                    cached_store t site g field v;
+                    Effect.Deep.continue k ()))
     | Future body ->
         Some
           (fun k ->
@@ -411,7 +463,7 @@ let rec handler t : (unit, unit) Effect.Deep.handler =
                 let v = body () in
                 resolve t cell v)
               () (handler t))
-    | Touch cell ->
+    | Touch (psite, cell) ->
         Some
           (fun k ->
             match immediate_touch t cell with
@@ -430,10 +482,17 @@ let rec handler t : (unit, unit) Effect.Deep.handler =
                     if Trace.is_on () then
                       emit t
                         (Trace.Future_touch { fid = cell.fid; parked = true });
+                    let label =
+                      match psite with
+                      | Some site -> Site.name site
+                      | None -> Printf.sprintf "fut#%d" cell.fid
+                    in
                     t.blocked <- t.blocked + 1;
+                    t.parked <- (t.cur_proc, label) :: t.parked;
                     cell.state <-
                       Pending
-                        ({ wk = k; wproc = t.cur_proc; wthread = t.cur_thread }
+                        ({ wk = k; wproc = t.cur_proc; wthread = t.cur_thread;
+                           wlabel = label }
                         :: waiters)))
     | Return_to target ->
         Some
@@ -451,7 +510,18 @@ let rec handler t : (unit, unit) Effect.Deep.handler =
               advance t c.C.return_send;
               if Trace.is_on () then emit t (Trace.Return_send { target });
               Machine.count_bytes t.machine 64 (* registers + return addr *);
-              let ready_at = now t + c.C.net_latency in
+              (* a return stub must reach its origin: retry without an
+                 attempt bound (only [max_attempts] backstops it) *)
+              let penalty =
+                match
+                  Machine.thread_delivery t.machine ~dst:target
+                    ~klass:Fault_plan.Return ~send_time:(now t)
+                    ~give_up_after:None
+                with
+                | Machine.Delivered { penalty } -> penalty
+                | Machine.Gave_up _ -> assert false
+              in
+              let ready_at = now t + c.C.net_latency + penalty in
               schedule_event t ~proc:target ~ready_at
                 {
                   thread;
@@ -587,8 +657,55 @@ let step t =
     true
   end
 
+(* The drained-but-blocked diagnostic: which sites the stuck threads
+   parked at, and how many pending continuations each processor holds —
+   enough to see where the missing resolution was supposed to come
+   from. *)
+let deadlock_message t =
+  let parked = List.rev t.parked (* park order *) in
+  let labels =
+    (* dedup preserving first-park order, with multiplicities *)
+    List.fold_left
+      (fun acc (_, label) ->
+        if List.mem_assoc label acc then
+          List.map
+            (fun (l, c) -> if String.equal l label then (l, c + 1) else (l, c))
+            acc
+        else acc @ [ (label, 1) ])
+      [] parked
+  in
+  let per_proc = Array.make t.cfg.C.nprocs 0 in
+  List.iter (fun (p, _) -> per_proc.(p) <- per_proc.(p) + 1) parked;
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    (Printf.sprintf "%d thread(s) parked on unresolved futures" t.blocked);
+  if labels <> [] then begin
+    Buffer.add_string buf "; parked at: ";
+    Buffer.add_string buf
+      (String.concat ", "
+         (List.map
+            (fun (l, c) -> if c = 1 then l else Printf.sprintf "%s (x%d)" l c)
+            labels))
+  end;
+  let pending =
+    List.filter
+      (fun (_, c) -> c > 0)
+      (List.init t.cfg.C.nprocs (fun p -> (p, per_proc.(p))))
+  in
+  if pending <> [] then begin
+    Buffer.add_string buf "; pending continuations: ";
+    Buffer.add_string buf
+      (String.concat " "
+         (List.map (fun (p, c) -> Printf.sprintf "p%d=%d" p c) pending))
+  end;
+  Buffer.contents buf
+
 (* Run [program] to completion as the initial thread on processor 0. *)
 let exec t program =
+  (* clear the ambient emitter context so events fired before the first
+     dereference don't inherit a stale thread/site from a previous run *)
+  Trace.set_thread (-1);
+  Trace.set_site (-1);
   let main_thread = new_thread t in
   schedule_event t ~proc:0 ~ready_at:0
     {
@@ -609,11 +726,7 @@ let exec t program =
       while step t do
         ()
       done);
-  if t.blocked > 0 then
-    raise
-      (Deadlock
-         (Printf.sprintf "%d thread(s) parked on unresolved futures"
-            t.blocked));
+  if t.blocked > 0 then raise (Deadlock (deadlock_message t));
   if not t.finished then raise (Deadlock "main thread never completed")
 
 type report = {

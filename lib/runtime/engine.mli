@@ -33,6 +33,7 @@ val memory : t -> Memory.t
 
 val machine : t -> Machine.t
 val cache : t -> Olden_cache.Cache_system.t
+val config : t -> Olden_config.t
 
 val exec : t -> (unit -> unit) -> unit
 (** Run a program to completion as the initial thread on processor 0.

@@ -51,9 +51,9 @@ let store_float site g field f = store site g field (Value.Float f)
    already-resolved future completes immediately on the fast path. *)
 let future body = Effect.perform (Effects.Future body)
 
-let touch fut =
+let touch ?site fut =
   try Engine.fast_touch fut
-  with Engine.Must_perform -> Effect.perform (Effects.Touch fut)
+  with Engine.Must_perform -> Effect.perform (Effects.Touch (site, fut))
 
 (* A procedure-call boundary: Olden's return stub.  If the callee migrated,
    the thread returns to the caller's processor when the call completes;

@@ -42,9 +42,10 @@ val future : (unit -> Value.t) -> Effects.fut
     if the body migrates, leaving the processor to steal the continuation
     (Section 2). *)
 
-val touch : Effects.fut -> Value.t
+val touch : ?site:Site.t -> Effects.fut -> Value.t
 (** Block until the future resolves; an acquire with respect to the
-    resolving thread's writes. *)
+    resolving thread's writes.  [site], when given, labels the park in
+    deadlock diagnostics. *)
 
 val call : (unit -> 'a) -> 'a
 (** A procedure-call boundary: Olden's return stub.  If the callee

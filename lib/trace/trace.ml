@@ -37,6 +37,11 @@ type kind =
   | Dir_release of { page : int; ts : int }
   | Remote_alloc of { home : int; words : int }
   | Phase_mark of string
+  | Fault_drop of { dst : int; attempt : int; outage : bool }
+  | Fault_delay of { dst : int; cycles : int }
+  | Fault_dup of { dst : int }
+  | Retry of { dst : int; attempt : int; wait : int }
+  | Migrate_fallback of { home : int; attempts : int }
 
 type event = {
   time : int;  (* simulated cycles *)
@@ -126,6 +131,11 @@ let kind_name = function
   | Dir_release _ -> "dir_release"
   | Remote_alloc _ -> "remote_alloc"
   | Phase_mark _ -> "phase"
+  | Fault_drop _ -> "fault_drop"
+  | Fault_delay _ -> "fault_delay"
+  | Fault_dup _ -> "fault_dup"
+  | Retry _ -> "retry"
+  | Migrate_fallback _ -> "migrate_fallback"
 
 (* Payload fields beyond the common stamps, in a fixed order. *)
 let kind_args = function
@@ -159,6 +169,17 @@ let kind_args = function
   | Remote_alloc { home; words } ->
       [ ("home", Json.Int home); ("words", Json.Int words) ]
   | Phase_mark name -> [ ("name", Json.String name) ]
+  | Fault_drop { dst; attempt; outage } ->
+      [ ("dst", Json.Int dst); ("attempt", Json.Int attempt);
+        ("outage", Json.Bool outage) ]
+  | Fault_delay { dst; cycles } ->
+      [ ("dst", Json.Int dst); ("cycles", Json.Int cycles) ]
+  | Fault_dup { dst } -> [ ("dst", Json.Int dst) ]
+  | Retry { dst; attempt; wait } ->
+      [ ("dst", Json.Int dst); ("attempt", Json.Int attempt);
+        ("wait", Json.Int wait) ]
+  | Migrate_fallback { home; attempts } ->
+      [ ("home", Json.Int home); ("attempts", Json.Int attempts) ]
 
 (* One line per event: the JSONL schema (docs/OBSERVABILITY.md). *)
 let event_json ev =

@@ -37,6 +37,15 @@ type kind =
       (** home directory timestamp bump at a release *)
   | Remote_alloc of { home : int; words : int }
   | Phase_mark of string
+  | Fault_drop of { dst : int; attempt : int; outage : bool }
+      (** delivery attempt [attempt] toward [dst] was lost *)
+  | Fault_delay of { dst : int; cycles : int }
+      (** a delivery arrived [cycles] late *)
+  | Fault_dup of { dst : int }  (** a delivery arrived twice *)
+  | Retry of { dst : int; attempt : int; wait : int }
+      (** the sender waited [wait] cycles, then retransmitted *)
+  | Migrate_fallback of { home : int; attempts : int }
+      (** migration to [home] gave up after [attempts]; caching instead *)
 
 type event = {
   time : int;  (** simulated cycles on [proc]'s clock *)

@@ -13,4 +13,5 @@ let () =
       ("benchmarks", Test_benchmarks.suite);
       ("trace", Test_trace.suite);
       ("profile", Test_profile.suite);
+      ("chaos", Test_chaos.suite);
     ]
