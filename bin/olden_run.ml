@@ -61,7 +61,8 @@ let faults_name_t =
     & info [ "faults" ] ~docv:"SCHEDULE"
         ~doc:
           "Inject deterministic network faults: one of drop, delay, dup, \
-           outage, flaky-home, or mix (see docs/ROBUSTNESS.md).")
+           outage, flaky-home, mix, crash, or crash-mix (see \
+           docs/ROBUSTNESS.md).")
 
 let fault_seed_t =
   Arg.(
@@ -402,8 +403,9 @@ let critical_path_cmd =
     Format.printf "per-processor breakdown:@.";
     Format.printf "%a"
       (fun ppf rows -> Profile.Critical_path.pp_breakdown ppf ~makespan rows)
-      (Profile.Critical_path.breakdown ~makespan ~busy:!B.Common.last_busy
-         ~comm:!B.Common.last_comm);
+      (Profile.Critical_path.breakdown
+         ~recovery:!B.Common.last_recovery_stall ~makespan
+         ~busy:!B.Common.last_busy ~comm:!B.Common.last_comm ());
     if not o.B.Common.ok then exit 1
   in
   Cmd.v
@@ -604,11 +606,11 @@ let chaos_cmd =
                   let s = o.B.Common.total_stats in
                   Format.printf
                     "  %-10s seed=%d %s cycles drops=%d delays=%d dups=%d \
-                     retries=%d fallbacks=%d@."
+                     retries=%d fallbacks=%d crashes=%d@."
                     sched seed
                     (B.Common.commas o.B.Common.total_cycles)
                     s.Stats.msg_drops s.Stats.msg_delays s.Stats.msg_duplicates
-                    s.Stats.retries s.Stats.migration_fallbacks;
+                    s.Stats.retries s.Stats.migration_fallbacks s.Stats.crashes;
                   if not o.B.Common.ok then fail "verification failed";
                   if not (String.equal o.B.Common.checksum ref_o.B.Common.checksum)
                   then
@@ -634,7 +636,7 @@ let chaos_cmd =
       & info [ "schedules" ] ~docv:"LIST"
           ~doc:
             "Comma-separated fault schedules to sweep (drop, delay, dup, \
-             outage, flaky-home, mix).")
+             outage, flaky-home, mix, crash, crash-mix).")
   in
   let seeds_t =
     Arg.(
@@ -651,6 +653,74 @@ let chaos_cmd =
     Term.(
       const run $ names_t $ chaos_procs_t $ scale_t $ schedules_t $ seeds_t
       $ coherence_t $ policy_t)
+
+(* One benchmark under a crash schedule, reporting the warm-restart work:
+   which processors crashed, how much cached state each lost and rebuilt,
+   how many recovery announcements went out, and the stall each restart
+   cost the victim. *)
+let recovery_cmd =
+  let run name procs scale coherence policy faults_name fault_seed =
+    let spec = find_spec name in
+    let scale = if scale = 0 then spec.B.Common.default_scale else scale in
+    let faults =
+      match
+        faults_of
+          ~name:(Some (Option.value faults_name ~default:"crash"))
+          ~seed:fault_seed
+      with
+      | Some f -> f
+      | None -> assert false
+    in
+    if faults.C.crash <= 0. then
+      Format.eprintf
+        "warning: schedule has no crash probability; try --faults crash@.";
+    let cfg = C.make ~nprocs:procs ~coherence ~policy ~faults () in
+    let rows = ref [] in
+    B.Common.inspect_engine :=
+      Some
+        (fun e ->
+          match Olden_runtime.Engine.recovery e with
+          | Some r -> rows := Olden.Recovery.report r
+          | None -> ());
+    Olden_runtime.Site.reset_profiles ();
+    let o =
+      Fun.protect
+        ~finally:(fun () -> B.Common.inspect_engine := None)
+        (fun () -> spec.B.Common.run cfg ~scale)
+    in
+    header spec ~procs ~scale ~coherence ~policy o;
+    Format.printf "faults: %s@." (C.Faults.to_string faults);
+    let s = o.B.Common.total_stats in
+    Format.printf
+      "crashes: %d total, %d cached page(s) lost, %d recovery message(s), \
+       %d victim stall cycle(s)@."
+      s.Stats.crashes s.Stats.pages_lost_in_crash s.Stats.recovery_messages
+      s.Stats.recovery_stall_cycles;
+    (match !rows with
+    | [] -> Format.printf "no processor crashed under this schedule/seed@."
+    | rows ->
+        Format.printf "%-5s %8s %11s %14s %11s %12s@." "proc" "crashes"
+          "pages-lost" "pages-refetch" "recov-msgs" "stall-cycles";
+        List.iter
+          (fun (r : Olden.Recovery.proc_report) ->
+            Format.printf "p%-4d %8d %11d %14d %11d %12d@."
+              r.Olden.Recovery.proc r.Olden.Recovery.crashes
+              r.Olden.Recovery.pages_lost r.Olden.Recovery.pages_refetched
+              r.Olden.Recovery.recovery_messages
+              r.Olden.Recovery.stall_cycles)
+          rows);
+    if not o.B.Common.ok then exit 1
+  in
+  Cmd.v
+    (Cmd.info "recovery"
+       ~doc:
+         "Run one benchmark under a crash schedule (default: crash) and \
+          report per-processor warm-restart work: crash counts, cached \
+          pages lost and refetched, recovery announcements, and stall \
+          cycles.")
+    Term.(
+      const run $ name_t $ procs_t $ scale_t $ coherence_t $ policy_t
+      $ faults_name_t $ fault_seed_t)
 
 let csv_t =
   Arg.(value & flag & info [ "csv" ] ~doc:"Emit comma-separated values.")
@@ -704,6 +774,7 @@ let main =
       list_cmd;
       bench_cmd;
       chaos_cmd;
+      recovery_cmd;
       hostperf_cmd;
       trace_cmd;
       profile_cmd;
@@ -738,10 +809,11 @@ let () =
     | Olden_runtime.Engine.Deadlock msg ->
         Format.eprintf "olden-run: deadlock: %s@." msg;
         1
-    | Machine.Undeliverable { dst; attempts } ->
+    | Machine.Undeliverable { dst; klass; attempts } ->
         Format.eprintf
-          "olden-run: message to processor %d undeliverable after %d \
+          "olden-run: %s message to processor %d undeliverable after %d \
            attempts@."
+          (Fault_plan.klass_to_string klass)
           dst attempts;
         1
     | Failure msg | Sys_error msg ->

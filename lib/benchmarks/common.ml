@@ -16,6 +16,7 @@ module Heuristic = Olden_compiler.Heuristic
 module Analysis = Olden_compiler.Analysis
 module Trace = Olden_trace.Trace
 module Json = Olden_trace.Json
+module Recovery = Olden_recovery.Recovery
 
 type outcome = {
   ok : bool; (* result matches the sequential reference *)
@@ -72,6 +73,7 @@ let last_trace : Trace.event array option ref = ref None
 let last_busy : int array ref = ref [||]
 let last_clocks : int array ref = ref [||]
 let last_comm : int array ref = ref [||]
+let last_recovery_stall : int array ref = ref [||]
 
 (* Driver hook: called with the finished engine before [execute] returns,
    while heap, caches, and directories are still reachable — the chaos
@@ -102,6 +104,10 @@ let execute (cfg : C.t) ~(program : Engine.t -> string * bool) : outcome =
   last_busy := Machine.busy_cycles (Engine.machine engine);
   last_clocks := Machine.clocks (Engine.machine engine);
   last_comm := Machine.comm_cycles (Engine.machine engine);
+  (last_recovery_stall :=
+     match Engine.recovery engine with
+     | Some r -> Recovery.stall_cycles r
+     | None -> Array.make (Machine.nprocs (Engine.machine engine)) 0);
   if !record_timeline then
     last_timeline :=
       Some
@@ -147,12 +153,18 @@ let metrics_snapshot ?events (spec : spec) ~(cfg : C.t) ~scale (o : outcome) :
         let comm =
           if p < Array.length !last_comm then !last_comm.(p) else 0
         in
+        let stall =
+          if p < Array.length !last_recovery_stall then
+            !last_recovery_stall.(p)
+          else 0
+        in
         Json.Obj
           [
             ("proc", Json.Int p);
             ("busy_cycles", Json.Int !last_busy.(p));
             ("comm_cycles", Json.Int comm);
             ("idle_cycles", Json.Int (makespan - !last_busy.(p) - comm));
+            ("recovery_stall_cycles", Json.Int stall);
             ("clock", Json.Int !last_clocks.(p));
           ])
   in
@@ -170,6 +182,8 @@ let metrics_snapshot ?events (spec : spec) ~(cfg : C.t) ~scale (o : outcome) :
             ("remote", Json.Int s.Site.remote);
             ("migrations", Json.Int s.Site.migrations);
             ("misses", Json.Int s.Site.misses);
+            ("retries", Json.Int s.Site.retries);
+            ("migration_fallbacks", Json.Int s.Site.fallbacks);
             ("comm_cycles", Json.Int (Site.comm_cycles cfg.C.costs s));
           ])
       (Site.all ())

@@ -69,6 +69,10 @@ val last_comm : int array ref
 (** Per-processor communication-stall cycles of the most recent
     {!execute} (time blocked on request/reply round trips). *)
 
+val last_recovery_stall : int array ref
+(** Per-processor crash-recovery stall cycles of the most recent
+    {!execute} (all zero when the run had no fault schedule). *)
+
 val inspect_engine : (Engine.t -> unit) option ref
 (** When set, {!execute} calls this with the finished engine before
     returning, while heap, caches, and directories are still reachable —

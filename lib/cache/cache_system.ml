@@ -26,10 +26,12 @@ let create cfg machine memory =
     tables = Array.init n (fun _ -> Translation.create ());
     directories =
       Array.init n (fun home ->
-          (* the home's clock stamps the directory's own trace events *)
+          (* the home's clock stamps the directory's own trace events;
+             registration times are tracked only under a fault schedule,
+             for the recovery checker's sharer-epoch invariant *)
           Directory.create ~home
             ~clock:(fun () -> Machine.now machine home)
-            ());
+            ~track_registrations:(cfg.C.faults <> None) ());
   }
 
 let table t proc = t.tables.(proc)
@@ -93,7 +95,11 @@ let fetch_line t ~proc (e : Translation.entry) ~line =
     ~dst_pos:(line * G.words_per_line);
   Translation.set_line_valid e line;
   (match coherence t with
-  | C.Global -> Directory.add_sharer t.directories.(e.home) ~page_index:e.page_index ~proc
+  | C.Global ->
+      (* [at]: the requester's clock (now past the reply), so the stamp
+         is comparable with the requester's crash epoch *)
+      Directory.add_sharer ~at:(Machine.now t.machine proc)
+        t.directories.(e.home) ~page_index:e.page_index ~proc
   | C.Bilateral | C.Local ->
       (* sharers are not tracked, but sharedness drives write-track cost *)
       let p = Directory.get t.directories.(e.home) e.page_index in
@@ -309,6 +315,26 @@ let on_return_received t ~proc ~(log : Write_log.t) =
       if Trace.is_on () then emit t ~proc Trace.Suspect_all;
       Translation.mark_all_suspect t.tables.(proc)
   | C.Global -> ()
+
+(* --- Crash recovery ------------------------------------------------- *)
+
+(* A crash wipes [proc]'s volatile remote-access state: every cached page
+   frame and translation entry goes, and the suspicion epoch advances so
+   any entry a stale pointer could still reach reads as suspect.  Home
+   pages (the write-through source of truth) are untouched.  Returns the
+   number of live page entries lost. *)
+let drop_processor_state t ~proc =
+  let tbl = t.tables.(proc) in
+  let lost = Translation.live_entries tbl in
+  Translation.flush tbl;
+  Translation.mark_all_suspect tbl;
+  lost
+
+(* A home learns that sharer [proc] crashed: strike it from every sharer
+   mask so the global scheme stops sending it invalidations for copies it
+   no longer holds.  Returns the number of pages pruned. *)
+let prune_crashed_sharer t ~home ~proc =
+  Directory.prune_sharer t.directories.(home) ~proc
 
 let average_chain_length t =
   let n = Array.length t.tables in

@@ -52,5 +52,19 @@ val on_return_received : t -> proc:int -> log:Write_log.t -> unit
     refinement; a full flush when the refinement is disabled); bilateral
     marks all pages suspect. *)
 
+(** {2 Crash recovery} *)
+
+val drop_processor_state : t -> proc:int -> int
+(** A processor crash: wipe [proc]'s translation table, cached page
+    frames, and suspicion epochs (O(1) via the generation and epoch
+    counters).  Home pages are the write-through source of truth and
+    survive.  Returns the number of live page entries lost. *)
+
+val prune_crashed_sharer : t -> home:int -> proc:int -> int
+(** A home processing a warm-restart announcement: strike the crashed
+    processor from every sharer mask in [home]'s directory; returns the
+    number of pages it was pruned from.  Only meaningful under the
+    global scheme, harmless elsewhere. *)
+
 val average_chain_length : t -> float
 (** Mean translation-table chain length across processors. *)

@@ -20,12 +20,22 @@ type t = {
   pages : (int, page) Hashtbl.t; (* local page index -> record *)
   home : int; (* which processor's heap section this directory covers *)
   clock : unit -> int; (* the home's cycle clock, for event stamps *)
+  registered : (int * int, int) Hashtbl.t option;
+      (* (page_index, proc) -> time of the latest sharer registration;
+         kept only under a fault schedule, where the recovery checker
+         needs to prove no mask names a processor past its crash epoch *)
 }
 
 (* Standalone directories (tests, tools) need no identity or clock; the
    cache system passes both so directory-side events carry real stamps. *)
-let create ?(home = -1) ?(clock = fun () -> 0) () =
-  { pages = Hashtbl.create 64; home; clock }
+let create ?(home = -1) ?(clock = fun () -> 0) ?(track_registrations = false)
+    () =
+  {
+    pages = Hashtbl.create 64;
+    home;
+    clock;
+    registered = (if track_registrations then Some (Hashtbl.create 64) else None);
+  }
 
 (* Home-side bookkeeping runs under the home's identity; thread and site
    context are whatever the engine last deposited. *)
@@ -49,10 +59,42 @@ let get t page_index =
       Hashtbl.add t.pages page_index p;
       p
 
-let add_sharer t ~page_index ~proc =
+let add_sharer ?at t ~page_index ~proc =
   let p = get t page_index in
   p.ever_shared <- true;
-  p.sharers <- p.sharers lor (1 lsl proc)
+  p.sharers <- p.sharers lor (1 lsl proc);
+  match t.registered with
+  | None -> ()
+  | Some reg ->
+      (* stamp with the *sharer's* clock when the caller provides it: the
+         recovery checker compares registration times against the
+         sharer's crash epoch, and per-processor clocks are not mutually
+         synchronized *)
+      let time = match at with Some time -> time | None -> t.clock () in
+      Hashtbl.replace reg (page_index, proc) time
+
+let registered_at t ~page_index ~proc =
+  match t.registered with
+  | None -> 0
+  | Some reg ->
+      Option.value ~default:0 (Hashtbl.find_opt reg (page_index, proc))
+
+(* A crashed sharer lost its copies: strike it from every mask.  Returns
+   the number of pages it was pruned from (the invalidations the global
+   scheme will no longer waste on it). *)
+let prune_sharer t ~proc =
+  let bit = 1 lsl proc in
+  let pruned = ref 0 in
+  Hashtbl.iter
+    (fun _index p ->
+      if p.sharers land bit <> 0 then begin
+        p.sharers <- p.sharers land lnot bit;
+        incr pruned
+      end)
+    t.pages;
+  !pruned
+
+let iter_pages t f = Hashtbl.iter f t.pages
 
 let remove_sharer t ~page_index ~proc =
   match Hashtbl.find_opt t.pages page_index with

@@ -15,19 +15,39 @@ type page = {
 
 type t
 
-val create : ?home:int -> ?clock:(unit -> int) -> unit -> t
+val create :
+  ?home:int -> ?clock:(unit -> int) -> ?track_registrations:bool -> unit -> t
 (** [home] is the processor whose heap section this directory covers and
     [clock] its cycle clock; both only stamp the directory's trace
-    events (defaults: [-1] and a clock stuck at 0, fine for tests). *)
+    events (defaults: [-1] and a clock stuck at 0, fine for tests).
+    [track_registrations] additionally records when each sharer was
+    registered, which the recovery checker's sharer-epoch invariant
+    consumes (default off: it costs a hash write per registration). *)
 
 val get : t -> int -> page
 (** The record for a local page index, created on demand. *)
 
-val add_sharer : t -> page_index:int -> proc:int -> unit
+val add_sharer : ?at:int -> t -> page_index:int -> proc:int -> unit
+(** Register [proc] as a sharer.  [at] stamps the registration time in
+    the sharer's own clock domain (falls back to the home clock) when
+    registration tracking is on. *)
+
 val remove_sharer : t -> page_index:int -> proc:int -> unit
 
 val sharer_mask : t -> int -> int
 (** Current sharers as a bitmask (bit [p] = processor [p] holds a copy). *)
+
+val registered_at : t -> page_index:int -> proc:int -> int
+(** Time of [proc]'s latest registration as a sharer of [page_index];
+    [0] when unknown or when registration tracking is off. *)
+
+val prune_sharer : t -> proc:int -> int
+(** Strike a crashed processor from every sharer mask; returns the
+    number of pages it was pruned from. *)
+
+val iter_pages : t -> (int -> page -> unit) -> unit
+(** Iterate over every page record ever created, keyed by local page
+    index (order unspecified). *)
 
 val sharers : t -> int -> int list
 (** The same set as a sorted list; derived from {!sharer_mask}. *)

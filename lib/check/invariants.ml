@@ -13,6 +13,7 @@ module E = Olden_runtime.Engine
 module Cache = Olden_cache.Cache_system
 module Directory = Olden_cache.Directory
 module Translation = Olden_cache.Translation
+module Recovery = Olden_recovery.Recovery
 module G = Olden_config.Geometry
 
 type violation = { rule : string; detail : string }
@@ -108,6 +109,77 @@ let check_sharer_sets engine =
       done;
       !bad
 
+(* Recovery's sharer-epoch invariant (global scheme): once a processor
+   crashes, every directory entry still naming it as a sharer must be a
+   *re*-registration from after the crash — the warm-restart prune struck
+   the stale ones, and anything the victim fetched since carries a
+   registration stamp (in the victim's own clock domain) at or past its
+   crash epoch.  A pre-crash stamp surviving in a live mask means a home
+   missed the recovery announcement and would keep invalidating a copy
+   that no longer exists. *)
+let check_sharer_epochs engine =
+  match E.recovery engine with
+  | None -> []
+  | Some r -> (
+      match (E.config engine).C.coherence with
+      | C.Local | C.Bilateral -> []
+      | C.Global ->
+          let cache = E.cache engine in
+          let nprocs = Machine.nprocs (E.machine engine) in
+          let bad = ref [] in
+          for home = 0 to nprocs - 1 do
+            let dir = Cache.directory cache home in
+            Directory.iter_pages dir (fun page_index p ->
+                let mask = p.Directory.sharers in
+                for proc = 0 to nprocs - 1 do
+                  if mask land (1 lsl proc) <> 0 then begin
+                    let crashed_at = Recovery.last_crash_time r ~proc in
+                    if crashed_at >= 0 then
+                      let registered =
+                        Directory.registered_at dir ~page_index ~proc
+                      in
+                      if registered < crashed_at then
+                        bad :=
+                          violation "sharer-epoch"
+                            "home p%d still names p%d as sharer of page %d \
+                             registered at t=%d, before its crash at t=%d"
+                            home proc page_index registered crashed_at
+                          :: !bad
+                  end
+                done)
+          done;
+          !bad)
+
+(* Crash-counter sanity: the global counters must agree with the recovery
+   layer's per-processor ledger, and under the global scheme every crash
+   announces to exactly [nprocs - 1] homes. *)
+let check_crash_counters engine (s : Stats.t) =
+  match E.recovery engine with
+  | None -> []
+  | Some r ->
+      let total = Recovery.total_crashes r in
+      let bad =
+        if s.Stats.crashes = total then []
+        else
+          [
+            violation "crash-counters"
+              "Stats.crashes=%d but the recovery ledger holds %d"
+              s.Stats.crashes total;
+          ]
+      in
+      let expected_msgs =
+        match (E.config engine).C.coherence with
+        | C.Global -> total * (Machine.nprocs (E.machine engine) - 1)
+        | C.Local | C.Bilateral -> 0
+      in
+      if s.Stats.recovery_messages = expected_msgs then bad
+      else
+        violation "crash-counters"
+          "recovery_messages=%d, expected %d (%d crash(es) under %s)"
+          s.Stats.recovery_messages expected_msgs total
+          (C.coherence_to_string (E.config engine).C.coherence)
+        :: bad
+
 (* No structurally impossible cache entries: caches hold remote pages
    only (a processor's own section is always accessed directly), and a
    valid line's local copy exists. *)
@@ -153,6 +225,8 @@ let check ?expected_heap engine =
   @ check_fault_counters s
   @ check_accounting (E.machine engine)
   @ check_sharer_sets engine
+  @ check_sharer_epochs engine
+  @ check_crash_counters engine s
   @ check_tables engine
   @
   match expected_heap with

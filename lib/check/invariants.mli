@@ -22,5 +22,7 @@ val heap_digest : Olden_runtime.Engine.t -> string
 val check :
   ?expected_heap:string -> Olden_runtime.Engine.t -> violation list
 (** Every applicable invariant; empty means the run is clean.  The
-    sharer-set check only applies under the global coherence scheme;
-    the heap comparison only runs when [expected_heap] is given. *)
+    sharer-set and sharer-epoch checks only apply under the global
+    coherence scheme (the epoch check additionally needs an active
+    fault schedule, which is when crash tracking exists); the heap
+    comparison only runs when [expected_heap] is given. *)

@@ -93,6 +93,7 @@ type costs = {
   write_track_nonshared : int; (* Appendix A: 7 instructions *)
   write_track_shared : int; (* Appendix A: 23 instructions *)
   timestamp_service : int; (* bilateral: home compares timestamps *)
+  recovery_service : int; (* home handler time to process a recovery notice *)
 }
 
 let default_costs =
@@ -122,6 +123,7 @@ let default_costs =
     write_track_nonshared = 7;
     write_track_shared = 23;
     timestamp_service = 60;
+    recovery_service = 80;
   }
 
 (* Cost of a full line miss round trip, excluding handler queueing. *)
@@ -146,6 +148,8 @@ type fault_spec = {
       (* override of [drop] for thread-state transfers (migrations and
          returns); lets a chaos schedule target "flaky homes" without
          making cache fetches undeliverable *)
+  crash : float; (* P(a processor crashes during a given window) *)
+  crash_cycles : int; (* length of a crash-decision window *)
   fault_seed : int; (* schedule selector, independent of the workload seed *)
 }
 
@@ -181,6 +185,8 @@ let no_faults =
     outage = 0.;
     outage_cycles = 0;
     migrate_drop = None;
+    crash = 0.;
+    crash_cycles = 0;
     fault_seed = 0;
   }
 
@@ -200,6 +206,13 @@ module Faults = struct
   let flaky_home ?(p = 0.9) ~seed () =
     { no_faults with migrate_drop = Some p; fault_seed = seed }
 
+  (* Crash-and-restart: each processor rolls a crash die once per
+     [cycles]-long window; a hit wipes its volatile remote-access state
+     (translation table, cached frames, write log, suspicion epochs) and
+     triggers the warm-restart protocol (docs/ROBUSTNESS.md). *)
+  let crash ?(p = 0.02) ?(cycles = 4000) ~seed () =
+    { no_faults with crash = p; crash_cycles = cycles; fault_seed = seed }
+
   let mixed ?(p = 0.03) ~seed () =
     {
       drop = p;
@@ -209,10 +222,22 @@ module Faults = struct
       outage = p /. 2.;
       outage_cycles = 2000;
       migrate_drop = None;
+      crash = 0.;
+      crash_cycles = 0;
       fault_seed = seed;
     }
 
-  let names = [ "drop"; "delay"; "dup"; "outage"; "flaky-home"; "mix" ]
+  (* Crashes layered on top of message-level faults: recovery notices
+     themselves ride the lossy network and must survive retries. *)
+  let crash_mix ?(p = 0.02) ~seed () =
+    {
+      (mixed ~p:(p /. 2.) ~seed ()) with
+      crash = p;
+      crash_cycles = 4000;
+    }
+
+  let names =
+    [ "drop"; "delay"; "dup"; "outage"; "flaky-home"; "mix"; "crash"; "crash-mix" ]
 
   let by_name name ~seed =
     match name with
@@ -222,15 +247,20 @@ module Faults = struct
     | "outage" -> Some (outage ~seed ())
     | "flaky-home" | "flaky_home" -> Some (flaky_home ~seed ())
     | "mix" | "mixed" -> Some (mixed ~seed ())
+    | "crash" -> Some (crash ~seed ())
+    | "crash-mix" | "crash_mix" -> Some (crash_mix ~seed ())
     | _ -> None
 
   let to_string f =
     Printf.sprintf
-      "drop=%.3f delay=%.3f/%d dup=%.3f outage=%.3f/%d%s seed=%d" f.drop
+      "drop=%.3f delay=%.3f/%d dup=%.3f outage=%.3f/%d%s%s seed=%d" f.drop
       f.delay f.delay_cycles f.duplicate f.outage f.outage_cycles
       (match f.migrate_drop with
       | Some p -> Printf.sprintf " migrate-drop=%.3f" p
       | None -> "")
+      (if f.crash > 0. then
+         Printf.sprintf " crash=%.3f/%d" f.crash f.crash_cycles
+       else "")
       f.fault_seed
 end
 

@@ -28,6 +28,8 @@ module Cache_system = Olden_cache.Cache_system
 module Site = Olden_runtime.Site
 module Ops = Olden_runtime.Ops
 module Engine = Olden_runtime.Engine
+module Fault_plan = Fault_plan
+module Recovery = Olden_recovery.Recovery
 module Effects = Olden_runtime.Effects
 module Prng = Prng
 module Timeline = Olden_runtime.Timeline

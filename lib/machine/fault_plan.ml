@@ -17,6 +17,13 @@ type klass =
   | Data (* cache-line fetches, revalidations, stores, invalidations *)
   | Migration (* forward thread-state transfer to a (possibly flaky) home *)
   | Return (* return-stub thread-state transfer back to the origin *)
+  | Recovery (* warm-restart announcement from a crashed processor *)
+
+let klass_to_string = function
+  | Data -> "data"
+  | Migration -> "migration"
+  | Return -> "return"
+  | Recovery -> "recovery"
 
 type leg = Forward | Ack
 
@@ -61,6 +68,7 @@ let drop_probability t = function
       Option.value ~default:t.spec.Olden_config.drop
         t.spec.Olden_config.migrate_drop
   | Return -> t.spec.Olden_config.drop
+  | Recovery -> t.spec.Olden_config.drop
 
 let decide t ~klass ~leg ~seq ~attempt =
   let salt = match leg with Forward -> 0x0f0e | Ack -> 0x0acc in
@@ -92,6 +100,20 @@ let handler_down t ~proc ~time =
     stream t ~seq:(proc * 0x51ed) ~attempt:window ~salt:0x0d0c
   in
   Prng.float p < s.Olden_config.outage
+
+(* Crash decisions mirror handler outages: time is divided into windows
+   of [crash_cycles]; each (processor, window) pair independently crashes
+   with probability [crash], keyed by the window index so the decision is
+   insensitive to how often the engine polls.  The recovery layer tracks
+   which windows already fired so one positive window means one crash. *)
+let crash_due t ~proc ~time =
+  let s = t.spec in
+  s.Olden_config.crash > 0.
+  && s.Olden_config.crash_cycles > 0
+  &&
+  let window = time / s.Olden_config.crash_cycles in
+  let p = stream t ~seq:(proc * 0x51ed) ~attempt:window ~salt:0x0c4a in
+  Prng.float p < s.Olden_config.crash
 
 (* Bounded exponential backoff: wait [timeout * backoff^attempt] cycles
    before retransmission [attempt + 1], capped at [max_timeout]. *)

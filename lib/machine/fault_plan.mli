@@ -14,6 +14,9 @@ type klass =
   | Data  (** cache-line fetches, revalidations, stores, invalidations *)
   | Migration  (** forward thread-state transfer (honors [migrate_drop]) *)
   | Return  (** return-stub thread-state transfer *)
+  | Recovery  (** warm-restart announcement from a crashed processor *)
+
+val klass_to_string : klass -> string
 
 type leg =
   | Forward  (** the payload-carrying message *)
@@ -43,6 +46,11 @@ val decide : t -> klass:klass -> leg:leg -> seq:int -> attempt:int -> decision
 val handler_down : t -> proc:int -> time:int -> bool
 (** Transient outages: is [proc]'s active-message handler down at
     [time]?  Constant within each [outage_cycles]-long window. *)
+
+val crash_due : t -> proc:int -> time:int -> bool
+(** Seeded crash schedule: does [proc] crash in the window containing
+    [time]?  Constant within each [crash_cycles]-long window; the caller
+    must fire at most one crash per positive window. *)
 
 val retry_wait : t -> attempt:int -> int
 (** Cycles a sender waits after losing [attempt] before retransmitting:

@@ -24,7 +24,8 @@ type t = {
   mutable record_intervals : bool;
 }
 
-exception Undeliverable of { dst : int; attempts : int }
+exception
+  Undeliverable of { dst : int; klass : Fault_plan.klass; attempts : int }
 
 let create cfg =
   let n = cfg.Olden_config.nprocs in
@@ -114,9 +115,9 @@ let note_duplicate t ~dst ~time =
 
 (* Charge one retry timer: raise [Undeliverable] when the budget is gone,
    otherwise count the retransmission and return the backoff wait. *)
-let note_retry t plan ~dst ~time ~attempt =
+let note_retry t plan ~dst ~klass ~time ~attempt =
   if attempt + 1 >= (Fault_plan.retry plan).Olden_config.max_attempts then
-    raise (Undeliverable { dst; attempts = attempt + 1 });
+    raise (Undeliverable { dst; klass; attempts = attempt + 1 });
   let wait = Fault_plan.retry_wait plan ~attempt in
   t.stats.Stats.retries <- t.stats.Stats.retries + 1;
   t.stats.Stats.retry_cycles <- t.stats.Stats.retry_cycles + wait;
@@ -156,7 +157,7 @@ let request_reply_reliable t ~src ~dst ~service =
    With a schedule whose probabilities are all zero this degenerates to
    exactly the reliable path: same clocks, same handler occupancy, same
    counters. *)
-let request_reply_faulty t plan ~src ~dst ~service =
+let request_reply_faulty t plan ~klass ~src ~dst ~service =
   let c = costs t in
   let seq = Fault_plan.fresh_seq plan in
   let serviced = ref false in
@@ -164,10 +165,7 @@ let request_reply_faulty t plan ~src ~dst ~service =
   let reply = ref (-1) in
   while !reply < 0 do
     let k = !attempt in
-    let fwd =
-      Fault_plan.decide plan ~klass:Fault_plan.Data ~leg:Fault_plan.Forward
-        ~seq ~attempt:k
-    in
+    let fwd = Fault_plan.decide plan ~klass ~leg:Fault_plan.Forward ~seq ~attempt:k in
     t.stats.Stats.messages <- t.stats.Stats.messages + 1;
     let arrive =
       t.clock.(src) + c.Olden_config.net_latency + fwd.Fault_plan.delay
@@ -178,7 +176,7 @@ let request_reply_faulty t plan ~src ~dst ~service =
     in
     if fwd.Fault_plan.dropped || outage then begin
       note_drop t ~dst ~time:arrive ~attempt:k ~outage;
-      let wait = note_retry t plan ~dst ~time:t.clock.(src) ~attempt:k in
+      let wait = note_retry t plan ~dst ~klass ~time:t.clock.(src) ~attempt:k in
       stall t src wait;
       incr attempt
     end
@@ -198,15 +196,12 @@ let request_reply_faulty t plan ~src ~dst ~service =
           handler_accept t ~dst ~arrive ~service
         end
       in
-      let ack =
-        Fault_plan.decide plan ~klass:Fault_plan.Data ~leg:Fault_plan.Ack ~seq
-          ~attempt:k
-      in
+      let ack = Fault_plan.decide plan ~klass ~leg:Fault_plan.Ack ~seq ~attempt:k in
       t.stats.Stats.messages <- t.stats.Stats.messages + 1;
       let back = finish + c.Olden_config.net_latency + ack.Fault_plan.delay in
       if ack.Fault_plan.dropped then begin
         note_drop t ~dst:src ~time:back ~attempt:k ~outage:false;
-        let wait = note_retry t plan ~dst ~time:t.clock.(src) ~attempt:k in
+        let wait = note_retry t plan ~dst ~klass ~time:t.clock.(src) ~attempt:k in
         stall t src wait;
         incr attempt
       end
@@ -221,10 +216,10 @@ let request_reply_faulty t plan ~src ~dst ~service =
   done;
   !reply
 
-let request_reply t ~src ~dst ~service =
+let request_reply ?(klass = Fault_plan.Data) t ~src ~dst ~service =
   match t.fault with
   | None -> request_reply_reliable t ~src ~dst ~service
-  | Some plan -> request_reply_faulty t plan ~src ~dst ~service
+  | Some plan -> request_reply_faulty t plan ~klass ~src ~dst ~service
 
 (* A one-way message whose effect is applied at the destination handler;
    the sender does not block.  Returns the time the handler finishes.
@@ -260,7 +255,10 @@ let one_way t ~src ~dst ~service =
         in
         if fwd.Fault_plan.dropped || outage then begin
           note_drop t ~dst ~time:arrive ~attempt:k ~outage;
-          let wait = note_retry t plan ~dst ~time:t.clock.(src) ~attempt:k in
+          let wait =
+            note_retry t plan ~dst ~klass:Fault_plan.Data
+              ~time:t.clock.(src) ~attempt:k
+          in
           lag := !lag + wait;
           incr attempt
         end
@@ -312,7 +310,7 @@ let thread_delivery t ~dst ~klass ~send_time ~give_up_after =
           | Some n when attempts >= n ->
               result := Some (Gave_up { penalty = !penalty; attempts })
           | _ ->
-              let wait = note_retry t plan ~dst ~time:send_time ~attempt:k in
+              let wait = note_retry t plan ~dst ~klass ~time:send_time ~attempt:k in
               penalty := !penalty + wait;
               incr attempt
         end

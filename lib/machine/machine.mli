@@ -9,8 +9,10 @@
 
 type t
 
-exception Undeliverable of { dst : int; attempts : int }
-(** A message exhausted [retry_spec.max_attempts] retransmissions. *)
+exception
+  Undeliverable of { dst : int; klass : Fault_plan.klass; attempts : int }
+(** A message exhausted [retry_spec.max_attempts] retransmissions; names
+    the destination processor and the message class that failed. *)
 
 val create : Olden_config.t -> t
 
@@ -37,7 +39,8 @@ val stall : t -> int -> int -> unit
     the clock advances, the cycles count as communication (not busy), so
     the [busy + comm + idle] accounting identity is preserved. *)
 
-val request_reply : t -> src:int -> dst:int -> service:int -> int
+val request_reply :
+  ?klass:Fault_plan.klass -> t -> src:int -> dst:int -> service:int -> int
 (** A blocking round trip from [src] to the handler of [dst]: network
     latency both ways plus handler service, plus queueing when
     [handler_contention] is on.  Advances [src]'s clock to the reply time

@@ -33,6 +33,10 @@ type t = {
   mutable retries : int;
   mutable retry_cycles : int;
   mutable migration_fallbacks : int;
+  mutable crashes : int;
+  mutable pages_lost_in_crash : int; (* live cached pages dropped by crashes *)
+  mutable recovery_messages : int; (* warm-restart announcements sent *)
+  mutable recovery_stall_cycles : int; (* victim cycles spent recovering *)
 }
 
 let create () =
@@ -66,6 +70,10 @@ let create () =
     retries = 0;
     retry_cycles = 0;
     migration_fallbacks = 0;
+    crashes = 0;
+    pages_lost_in_crash = 0;
+    recovery_messages = 0;
+    recovery_stall_cycles = 0;
   }
 
 (* Snapshot for phase-relative measurements.  Written out field by field
@@ -104,6 +112,10 @@ let copy t =
     retries = t.retries;
     retry_cycles = t.retry_cycles;
     migration_fallbacks = t.migration_fallbacks;
+    crashes = t.crashes;
+    pages_lost_in_crash = t.pages_lost_in_crash;
+    recovery_messages = t.recovery_messages;
+    recovery_stall_cycles = t.recovery_stall_cycles;
   }
 
 (* Counter-wise difference [b - a]; used to isolate a kernel phase. *)
@@ -139,6 +151,10 @@ let diff b a =
     retries = b.retries - a.retries;
     retry_cycles = b.retry_cycles - a.retry_cycles;
     migration_fallbacks = b.migration_fallbacks - a.migration_fallbacks;
+    crashes = b.crashes - a.crashes;
+    pages_lost_in_crash = b.pages_lost_in_crash - a.pages_lost_in_crash;
+    recovery_messages = b.recovery_messages - a.recovery_messages;
+    recovery_stall_cycles = b.recovery_stall_cycles - a.recovery_stall_cycles;
   }
 
 let remote_read_fraction t =
@@ -188,6 +204,10 @@ let fields t =
     ("retries", t.retries);
     ("retry_cycles", t.retry_cycles);
     ("migration_fallbacks", t.migration_fallbacks);
+    ("crashes", t.crashes);
+    ("pages_lost_in_crash", t.pages_lost_in_crash);
+    ("recovery_messages", t.recovery_messages);
+    ("recovery_stall_cycles", t.recovery_stall_cycles);
   ]
 
 let to_json t =
@@ -224,4 +244,10 @@ let pp ppf t =
        @[<v>faults: drops=%d (outages=%d) delays=%d dups=%d suppressed=%d@,\
        retries=%d retry-cycles=%d migration-fallbacks=%d@]"
       t.msg_drops t.outage_drops t.msg_delays t.msg_duplicates
-      t.duplicates_suppressed t.retries t.retry_cycles t.migration_fallbacks
+      t.duplicates_suppressed t.retries t.retry_cycles t.migration_fallbacks;
+  if t.crashes > 0 then
+    Format.fprintf ppf
+      "@,\
+       @[<v>crashes=%d pages-lost=%d recovery-msgs=%d recovery-stall=%d@]"
+      t.crashes t.pages_lost_in_crash t.recovery_messages
+      t.recovery_stall_cycles

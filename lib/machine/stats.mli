@@ -38,6 +38,13 @@ type t = {
   mutable retry_cycles : int;  (** cycles spent waiting on retry timers *)
   mutable migration_fallbacks : int;
       (** migrations that gave up on a flaky home and degraded to caching *)
+  mutable crashes : int;  (** processor crash-and-restart events *)
+  mutable pages_lost_in_crash : int;
+      (** live cached page entries wiped by crashes *)
+  mutable recovery_messages : int;
+      (** warm-restart announcements sent to homes (global scheme) *)
+  mutable recovery_stall_cycles : int;
+      (** cycles crash victims spent in the restart protocol *)
 }
 
 val create : unit -> t

@@ -127,24 +127,40 @@ let pp ?(site_name = fun (_ : int) -> None) ?(tail = 0) ppf t =
 
 (* --- Per-processor accounting ------------------------------------------ *)
 
-type proc_row = { proc : int; busy : int; comm : int; idle : int }
+type proc_row = {
+  proc : int;
+  busy : int;
+  comm : int;
+  idle : int;
+  recovery : int;
+}
 
-let breakdown ~makespan ~busy ~comm =
+let breakdown ?(recovery = [||]) ~makespan ~busy ~comm () =
   List.init (Array.length busy) (fun p ->
       let b = busy.(p) and c = comm.(p) in
-      { proc = p; busy = b; comm = c; idle = makespan - b - c })
+      let r = if p < Array.length recovery then recovery.(p) else 0 in
+      { proc = p; busy = b; comm = c; idle = makespan - b - c; recovery = r })
 
 let pp_breakdown ppf ~makespan rows =
+  let with_recovery = List.exists (fun r -> r.recovery > 0) rows in
   let pct c =
     if makespan = 0 then 0.
     else 100. *. float_of_int c /. float_of_int makespan
   in
-  Format.fprintf ppf "%-5s %12s %12s %12s  %s@." "proc" "busy" "comm" "idle"
-    "busy%";
+  if with_recovery then
+    Format.fprintf ppf "%-5s %12s %12s %12s %12s  %s@." "proc" "busy" "comm"
+      "idle" "recovery" "busy%"
+  else
+    Format.fprintf ppf "%-5s %12s %12s %12s  %s@." "proc" "busy" "comm" "idle"
+      "busy%";
   List.iter
     (fun r ->
-      Format.fprintf ppf "p%-4d %12d %12d %12d  %5.1f%%@." r.proc r.busy
-        r.comm r.idle (pct r.busy))
+      if with_recovery then
+        Format.fprintf ppf "p%-4d %12d %12d %12d %12d  %5.1f%%@." r.proc
+          r.busy r.comm r.idle r.recovery (pct r.busy)
+      else
+        Format.fprintf ppf "p%-4d %12d %12d %12d  %5.1f%%@." r.proc r.busy
+          r.comm r.idle (pct r.busy))
     rows;
   let tb = List.fold_left (fun a r -> a + r.busy) 0 rows in
   let tc = List.fold_left (fun a r -> a + r.comm) 0 rows in

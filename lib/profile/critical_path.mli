@@ -58,8 +58,27 @@ val pp : ?site_name:(int -> string option) -> ?tail:int ->
     each row sums to the makespan and the table to
     [nprocs * makespan]. *)
 
-type proc_row = { proc : int; busy : int; comm : int; idle : int }
+type proc_row = {
+  proc : int;
+  busy : int;
+  comm : int;
+  idle : int;
+  recovery : int;
+      (** crash-recovery stall cycles, an overlay on [comm] (0 when the
+          run had no fault schedule) *)
+}
 
-val breakdown : makespan:int -> busy:int array -> comm:int array -> proc_row list
+val breakdown :
+  ?recovery:int array ->
+  makespan:int ->
+  busy:int array ->
+  comm:int array ->
+  unit ->
+  proc_row list
+(** [recovery] is the per-processor recovery-stall array from
+    {!Olden_recovery.Recovery.stall_cycles}; rows beyond its length get
+    0 (default: all 0). *)
 
 val pp_breakdown : Format.formatter -> makespan:int -> proc_row list -> unit
+(** The recovery column only renders when some row has a nonzero
+    stall. *)

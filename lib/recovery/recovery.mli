@@ -1,0 +1,59 @@
+(** Crash-and-restart recovery (docs/ROBUSTNESS.md).
+
+    The software cache is write-through with the home processor as the
+    source of truth, so cached state is reconstructible: a crash wipes a
+    processor's translation table, cached page frames, write-log dirty
+    set, and suspicion epochs, while its home pages, resident threads,
+    and parked continuations survive (warm restart).  Crash decisions
+    are a seeded schedule — pure in [(fault_seed, proc, time-window)]
+    like the message-fault legs — so crashing runs replay
+    bit-for-bit.
+
+    Restart per coherence scheme: global announces recovery to every
+    other processor ([Fault_plan.Recovery]-class messages under the
+    standard retry/backoff) and homes prune the victim from sharer
+    masks; bilateral revalidates refetched pages against home
+    timestamps on first touch; local's whole-cache invalidate is the
+    crash itself. *)
+
+type t
+
+val create : Olden_config.t -> Machine.t -> Olden_cache.Cache_system.t -> t
+
+val schedule_crash : t -> proc:int -> at:int -> unit
+(** Force a crash of [proc] at the first operation boundary at or after
+    cycle [at] — one forced order is consumed per crash, so two orders
+    for the same processor produce a double crash.  For tests; seeded
+    schedules come from [fault_spec.crash]. *)
+
+val maybe_crash : t -> proc:int -> log:Olden_cache.Write_log.t -> bool
+(** Called by the engine at deterministic operation boundaries (before
+    a dereference touches the cache, and on migration/return arrival).
+    Fires at most one crash per boundary: settles the running thread's
+    release obligations ([log]), drops the victim's volatile state, runs
+    the per-scheme restart protocol, and charges the victim's clock.
+    Returns whether a crash fired. *)
+
+val crashes : t -> proc:int -> int
+val last_crash_time : t -> proc:int -> int
+(** Time of the latest crash of [proc]; [-1] if it never crashed.  The
+    invariant checker compares sharer-registration times against this
+    crash epoch. *)
+
+val total_crashes : t -> int
+
+type proc_report = {
+  proc : int;
+  crashes : int;
+  pages_lost : int;  (** live cached pages wiped across all its crashes *)
+  pages_refetched : int;
+      (** page entries created since its first crash — the rebuild cost *)
+  recovery_messages : int;
+  stall_cycles : int;  (** victim clock spent inside restart protocols *)
+}
+
+val report : t -> proc_report list
+(** One row per processor that crashed, in processor order. *)
+
+val stall_cycles : t -> int array
+(** Per-processor recovery stall, for the profiler's breakdown. *)

@@ -18,6 +18,7 @@ module C = Olden_config
 module Cache = Olden_cache.Cache_system
 module Write_log = Olden_cache.Write_log
 module Trace = Olden_trace.Trace
+module Recovery = Olden_recovery.Recovery
 open Effects
 
 exception Null_dereference of string
@@ -40,6 +41,7 @@ type t = {
   machine : Machine.t;
   memory : Memory.t;
   cache : Cache.t;
+  recovery : Recovery.t option; (* Some iff a fault schedule is active *)
   events : task Event_queue.t array; (* per processor *)
   worklists : work_item Stack.t array; (* per processor, LIFO *)
   mutable seq : int;
@@ -57,12 +59,20 @@ type t = {
 let create cfg =
   let machine = Machine.create cfg in
   let memory = Memory.create ~nprocs:cfg.C.nprocs in
+  let cache = Cache.create cfg machine memory in
   let dummy_thread = { tid = 0; log = Write_log.create () } in
   {
     cfg;
     machine;
     memory;
-    cache = Cache.create cfg machine memory;
+    cache;
+    recovery =
+      (* crash machinery exists whenever faults do, so tests can force
+         crashes under any schedule; with [crash = 0] it decides nothing
+         and consumes no randomness, keeping zero-probability runs
+         bit-identical to fault-free ones *)
+      (if cfg.C.faults <> None then Some (Recovery.create cfg machine cache)
+       else None);
     events = Array.init cfg.C.nprocs (fun _ -> Event_queue.create ());
     worklists = Array.init cfg.C.nprocs (fun _ -> Stack.create ());
     seq = 0;
@@ -79,6 +89,7 @@ let create cfg =
 let memory t = t.memory
 let machine t = t.machine
 let cache t = t.cache
+let recovery t = t.recovery
 let config t = t.cfg
 let stats t = Machine.stats t.machine
 let costs t = t.cfg.C.costs
@@ -182,6 +193,17 @@ let effective_mechanism t (site : Site.t) =
   | C.Migrate_only -> C.Migrate
   | C.Cache_only -> C.Cache
 
+(* Crash boundary: consult the recovery layer before an operation touches
+   the cache (and when a migrated or returning thread arrives).  Firing
+   *before* the operation is what makes replay safe: a store is never
+   double-applied and a load never reads a wiped frame — the dereference
+   simply runs against the empty table and refetches through the normal
+   miss path. *)
+let check_crash t ~proc ~(thread : thread) =
+  match t.recovery with
+  | None -> ()
+  | Some r -> ignore (Recovery.maybe_crash r ~proc ~log:thread.log)
+
 (* Suspend the current fiber and ship it to [target]: a computation
    migration.  [on_arrival] completes the interrupted operation there.
    [penalty] is the extra arrival latency charged by the faulty network
@@ -206,6 +228,10 @@ let migrate_to t ~site ~target ~penalty
       thread;
       go =
         (fun () ->
+          (* the target may have crashed while the state was in flight:
+             recover first, then install — the transfer itself survives
+             (it is retried network state, not victim cache state) *)
+          check_crash t ~proc:target ~thread;
           Machine.advance t.machine target c.C.migrate_recv;
           if Trace.is_on () then
             Trace.emit
@@ -252,10 +278,12 @@ let cached_load t (site : Site.t) g field =
     Trace.set_thread t.cur_thread.tid;
     Trace.set_site site.Site.sid
   end;
-  let before = (stats t).Stats.cache_misses in
+  let s = stats t in
+  let before = s.Stats.cache_misses in
+  let retries_before = s.Stats.retries in
   let v = Cache.read t.cache ~proc:t.cur_proc g ~field in
-  site.Site.misses <-
-    site.Site.misses + (stats t).Stats.cache_misses - before;
+  site.Site.misses <- site.Site.misses + s.Stats.cache_misses - before;
+  site.Site.retries <- site.Site.retries + s.Stats.retries - retries_before;
   v
 
 let cached_store t (site : Site.t) g field v =
@@ -266,7 +294,10 @@ let cached_store t (site : Site.t) g field v =
     Trace.set_thread t.cur_thread.tid;
     Trace.set_site site.Site.sid
   end;
-  Cache.write t.cache ~proc:t.cur_proc g ~field v ~log:t.cur_thread.log
+  let s = stats t in
+  let retries_before = s.Stats.retries in
+  Cache.write t.cache ~proc:t.cur_proc g ~field v ~log:t.cur_thread.log;
+  site.Site.retries <- site.Site.retries + s.Stats.retries - retries_before
 
 let immediate_load t (site : Site.t) g field =
   if Gptr.is_null g then raise (Null_dereference (Site.name site));
@@ -276,7 +307,8 @@ let immediate_load t (site : Site.t) g field =
     advance t c.C.local_ref;
     Memory.load t.memory g field
   end
-  else
+  else begin
+    check_crash t ~proc:t.cur_proc ~thread:t.cur_thread;
     match effective_mechanism t site with
     | C.Cache -> cached_load t site g field
     | C.Migrate ->
@@ -288,6 +320,7 @@ let immediate_load t (site : Site.t) g field =
           Memory.load t.memory g field
         end
         else raise_notrace Must_perform
+  end
 
 let immediate_store t (site : Site.t) g field v =
   if Gptr.is_null g then raise (Null_dereference (Site.name site));
@@ -297,7 +330,8 @@ let immediate_store t (site : Site.t) g field v =
     advance t c.C.local_ref;
     Memory.store t.memory g field v
   end
-  else
+  else begin
+    check_crash t ~proc:t.cur_proc ~thread:t.cur_thread;
     match effective_mechanism t site with
     | C.Cache -> cached_store t site g field v
     | C.Migrate ->
@@ -311,6 +345,7 @@ let immediate_store t (site : Site.t) g field v =
             ~log:t.cur_thread.log
         end
         else raise_notrace Must_perform
+  end
 
 let immediate_touch t (cell : fut) =
   match cell.state with
@@ -352,15 +387,19 @@ let fast_touch cell = immediate_touch (engine ()) cell
    thread pays the retry timers on its own clock and degrades to the
    caching mechanism instead of wedging on an unreachable home. *)
 let try_migrate t ~(site : Site.t) ~home =
-  match
+  let s = stats t in
+  let retries_before = s.Stats.retries in
+  let outcome =
     Machine.thread_delivery t.machine ~dst:home ~klass:Fault_plan.Migration
       ~send_time:(now t)
       ~give_up_after:(Some t.cfg.C.retry.C.max_migration_attempts)
-  with
+  in
+  site.Site.retries <- site.Site.retries + s.Stats.retries - retries_before;
+  match outcome with
   | Machine.Delivered { penalty } -> Some penalty
   | Machine.Gave_up { penalty; attempts } ->
-      let s = stats t in
       s.Stats.migration_fallbacks <- s.Stats.migration_fallbacks + 1;
+      site.Site.fallbacks <- site.Site.fallbacks + 1;
       Machine.stall t.machine t.cur_proc penalty;
       if Trace.is_on () then
         emit t ~site:site.Site.sid (Trace.Migrate_fallback { home; attempts });
@@ -527,6 +566,7 @@ let rec handler t : (unit, unit) Effect.Deep.handler =
                   thread;
                   go =
                     (fun () ->
+                      check_crash t ~proc:target ~thread;
                       Machine.advance t.machine target c.C.return_recv;
                       if Trace.is_on () then
                         Trace.emit

@@ -33,6 +33,12 @@ val memory : t -> Memory.t
 
 val machine : t -> Machine.t
 val cache : t -> Olden_cache.Cache_system.t
+
+val recovery : t -> Olden_recovery.Recovery.t option
+(** The crash-and-restart layer; [Some] whenever a fault schedule is
+    active (tests force crashes through it, the checker reads crash
+    epochs from it). *)
+
 val config : t -> Olden_config.t
 
 val exec : t -> (unit -> unit) -> unit

@@ -14,6 +14,8 @@ type t = {
   mutable remote : int; (* remote references through this site *)
   mutable migrations : int; (* migrations this site caused *)
   mutable misses : int; (* cache-line fetches this site caused *)
+  mutable retries : int; (* retransmissions its messages needed (faults) *)
+  mutable fallbacks : int; (* migrations that gave up and cached instead *)
 }
 
 let registry : (int, t) Hashtbl.t = Hashtbl.create 64
@@ -23,7 +25,7 @@ let make ?(mech = Olden_config.Migrate) sname =
   incr counter;
   let s =
     { sid = !counter; sname; mech; loads = 0; stores = 0; remote = 0;
-      migrations = 0; misses = 0 }
+      migrations = 0; misses = 0; retries = 0; fallbacks = 0 }
   in
   Hashtbl.replace registry s.sid s;
   s
@@ -42,7 +44,9 @@ let reset_profiles () =
       s.stores <- 0;
       s.remote <- 0;
       s.migrations <- 0;
-      s.misses <- 0)
+      s.misses <- 0;
+      s.retries <- 0;
+      s.fallbacks <- 0)
     registry
 
 (* Sites with traffic, busiest first. *)

@@ -14,6 +14,10 @@ type t = {
   mutable remote : int;  (** remote references *)
   mutable migrations : int;  (** migrations this site caused *)
   mutable misses : int;  (** cache-line fetches this site caused *)
+  mutable retries : int;
+      (** retransmissions its messages needed (fault schedules only) *)
+  mutable fallbacks : int;
+      (** migrations through this site that gave up and cached instead *)
 }
 
 val make : ?mech:Olden_config.mechanism -> string -> t

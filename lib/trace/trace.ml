@@ -42,6 +42,8 @@ type kind =
   | Fault_dup of { dst : int }
   | Retry of { dst : int; attempt : int; wait : int }
   | Migrate_fallback of { home : int; attempts : int }
+  | Crash of { pages_lost : int }
+  | Recover of { homes : int; stall : int }
 
 type event = {
   time : int;  (* simulated cycles *)
@@ -136,6 +138,8 @@ let kind_name = function
   | Fault_dup _ -> "fault_dup"
   | Retry _ -> "retry"
   | Migrate_fallback _ -> "migrate_fallback"
+  | Crash _ -> "crash"
+  | Recover _ -> "recover"
 
 (* Payload fields beyond the common stamps, in a fixed order. *)
 let kind_args = function
@@ -180,6 +184,9 @@ let kind_args = function
         ("wait", Json.Int wait) ]
   | Migrate_fallback { home; attempts } ->
       [ ("home", Json.Int home); ("attempts", Json.Int attempts) ]
+  | Crash { pages_lost } -> [ ("pages_lost", Json.Int pages_lost) ]
+  | Recover { homes; stall } ->
+      [ ("homes", Json.Int homes); ("stall", Json.Int stall) ]
 
 (* One line per event: the JSONL schema (docs/OBSERVABILITY.md). *)
 let event_json ev =

@@ -46,6 +46,11 @@ type kind =
       (** the sender waited [wait] cycles, then retransmitted *)
   | Migrate_fallback of { home : int; attempts : int }
       (** migration to [home] gave up after [attempts]; caching instead *)
+  | Crash of { pages_lost : int }
+      (** [proc] crashed, wiping [pages_lost] live cached page entries *)
+  | Recover of { homes : int; stall : int }
+      (** [proc] completed warm restart, announcing to [homes] homes and
+          stalling for [stall] cycles *)
 
 type event = {
   time : int;  (** simulated cycles on [proc]'s clock *)

@@ -14,4 +14,5 @@ let () =
       ("trace", Test_trace.suite);
       ("profile", Test_profile.suite);
       ("chaos", Test_chaos.suite);
+      ("recovery", Test_recovery.suite);
     ]

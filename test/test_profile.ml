@@ -200,6 +200,7 @@ let test_breakdown_identity () =
     Critical_path.breakdown ~makespan:1000
       ~busy:[| 600; 800 |]
       ~comm:[| 150; 0 |]
+      ()
   in
   List.iter
     (fun r ->
@@ -244,7 +245,7 @@ let test_treeadd_reconciles () =
   (* machine accounting: busy + comm + idle = nprocs x makespan *)
   let busy = !B.Common.last_busy and comm = !B.Common.last_comm in
   let makespan = Array.fold_left max 0 !B.Common.last_clocks in
-  let rows = Critical_path.breakdown ~makespan ~busy ~comm in
+  let rows = Critical_path.breakdown ~makespan ~busy ~comm () in
   List.iter
     (fun r ->
       check bool "idle never negative" true (r.Critical_path.idle >= 0);
