@@ -8,6 +8,7 @@
      dune exec bench/main.exe -- micro       # only the Bechamel suite
      dune exec bench/main.exe -- snapshots   # only BENCH_table2.json
      dune exec bench/main.exe -- hostperf    # only BENCH_hostperf.json
+     dune exec bench/main.exe -- latency     # only BENCH_latency.json
 
    Host-side throughput (hostperf) should be run under dune's release
    profile; the dev profile's checks distort the numbers.
@@ -54,6 +55,65 @@ let metrics_snapshots () =
                 ("benchmarks", Json.List rows);
               ])));
   Format.printf "metrics snapshots: %s (%d benchmarks, %d processors)@." file
+    (List.length rows) nprocs
+
+(* Machine-readable latency distributions over the Table-2 suite: one
+   monitored run per benchmark (8 processors, harness scale), each row
+   carrying the end-to-end dereference/episode latency quantiles
+   (olden-latency/v1, documented in docs/OBSERVABILITY.md).  Deterministic,
+   so CI diffs it against bench/baseline_latency.json. *)
+let latency_snapshots () =
+  let module Json = Olden_trace.Json in
+  let nprocs = 8 in
+  let interval = 100_000 in
+  let rows =
+    List.map
+      (fun (s : Common.spec) ->
+        let cfg = C.make ~nprocs () in
+        let scale = s.Common.default_scale in
+        Common.monitor_interval := Some interval;
+        (* full reset (not just profiles): site ids restart at 0 per
+           benchmark, so per-site labels are stable run to run *)
+        Olden_runtime.Site.reset ();
+        let o =
+          Fun.protect
+            ~finally:(fun () -> Common.monitor_interval := None)
+            (fun () -> s.Common.run cfg ~scale)
+        in
+        let m = Option.get !Common.last_monitor in
+        Common.last_monitor := None;
+        Json.Obj
+          [
+            ("benchmark", Json.String s.Common.name);
+            ("choice", Json.String s.Common.choice);
+            ("scale", Json.Int scale);
+            ("coherence", Json.String (C.coherence_to_string cfg.C.coherence));
+            ("policy", Json.String (C.policy_to_string cfg.C.policy));
+            ("verified", Json.Bool o.Common.ok);
+            ("measured_cycles", Json.Int (Common.measured_cycles s o));
+            ("windows", Json.Int (List.length (Common.Monitor.windows m)));
+            ( "latency",
+              Common.Monitor.latency_json
+                ~site_names:(Olden_runtime.Site.labels ())
+                m );
+          ])
+      Registry.specs
+  in
+  let file = "BENCH_latency.json" in
+  let oc = open_out file in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc
+        (Json.to_pretty_string
+           (Json.Obj
+              [
+                ("schema", Json.String "olden-latency/v1");
+                ("nprocs", Json.Int nprocs);
+                ("interval", Json.Int interval);
+                ("benchmarks", Json.List rows);
+              ])));
+  Format.printf "latency snapshots: %s (%d benchmarks, %d processors)@." file
     (List.length rows) nprocs
 
 let tables () =
@@ -202,6 +262,7 @@ let () =
   | "micro" -> micro ()
   | "snapshots" -> metrics_snapshots ()
   | "hostperf" -> hostperf ()
+  | "latency" -> latency_snapshots ()
   | _ ->
       tables ();
       micro ());

@@ -1,13 +1,26 @@
 (* Driver: run Olden benchmarks on the simulated machine and regenerate the
-   paper's tables and figures.
+   paper's tables and figures.  Subcommands:
 
-     olden-run list
+     list          List the benchmarks.
+     bench         Run one benchmark once and print its statistics.
+     monitor       Run one benchmark with the simulated-time monitor on:
+                   interval time-series (JSONL/CSV) + latency quantiles.
+     trace         Run with event tracing on; print/export the stream.
+     chaos         Sweep fault schedules; every run must verify.
+     recovery      Run under a crash schedule; report warm-restart work.
+     hostperf      Measure the simulator's own host-side throughput.
+     profile       Per-site dereference profile (folded stacks output).
+     critical-path Longest dependency chain through the run.
+     diff          Compare metrics/table/latency snapshots (CI gate).
+     speedups      Sequential baseline plus speedups on 1..32 processors.
+     table1 | table2 | table3 | fig2 | fig3 | fig4 | fig5 | defaults
+
+   Examples:
+
      olden-run bench treeadd --procs 32 --scale 8 --coherence local
-     olden-run profile treeadd --procs 8 --folded out.folded
-     olden-run critical-path treeadd --procs 8
-     olden-run diff baseline.json current.json --tolerance 10
-     olden-run speedups em3d --scale 1
-     olden-run table1 | table2 | table3 | fig2 | fig3 | fig4 | fig5 | defaults
+     olden-run monitor health --procs 8 --interval 50000 --out ts.jsonl
+     olden-run monitor power --faults crash-mix --all-schemes
+     olden-run diff bench/baseline_table2.json BENCH_table2.json --tolerance 0
 *)
 
 open Cmdliner
@@ -722,6 +735,187 @@ let recovery_cmd =
       const run $ name_t $ procs_t $ scale_t $ coherence_t $ policy_t
       $ faults_name_t $ fault_seed_t)
 
+(* --- Simulated-time monitor ---------------------------------------------- *)
+
+module Mon = Olden.Monitor
+
+(* One monitored run: install the monitor hook around the benchmark and
+   hand back the outcome plus the finished (final-window-flushed)
+   monitor. *)
+let run_monitored (spec : B.Common.spec) cfg ~scale ~interval =
+  B.Common.monitor_interval := Some interval;
+  Olden_runtime.Site.reset_profiles ();
+  let o =
+    Fun.protect
+      ~finally:(fun () -> B.Common.monitor_interval := None)
+      (fun () -> spec.B.Common.run cfg ~scale)
+  in
+  match !B.Common.last_monitor with
+  | Some m ->
+      B.Common.last_monitor := None;
+      (o, m)
+  | None -> assert false
+
+let pp_summary_rows title rows =
+  Format.printf "%s@." title;
+  Format.printf "  %-14s %10s %12s %9s %9s %9s %9s %11s@." "" "count" "mean"
+    "p50" "p90" "p99" "p999" "max";
+  List.iter
+    (fun (name, (s : Mon.summary)) ->
+      Format.printf "  %-14s %10d %12.1f %9d %9d %9d %9d %11d@." name
+        s.Mon.count s.Mon.mean s.Mon.p50 s.Mon.p90 s.Mon.p99 s.Mon.p999
+        s.Mon.max)
+    rows
+
+let monitor_cmd =
+  let run name procs scale coherence policy interval out csv_file sites
+      all_schemes faults_name fault_seed =
+    if interval < 1 then begin
+      Format.eprintf "olden-run monitor: --interval must be at least 1@.";
+      exit 2
+    end;
+    let spec = find_spec name in
+    let scale = if scale = 0 then spec.B.Common.default_scale else scale in
+    let faults = faults_of ~name:faults_name ~seed:fault_seed in
+    if all_schemes then begin
+      (* the "p99 under faults" view: one monitored run per coherence
+         scheme, quantiles side by side *)
+      if Option.is_some out || Option.is_some csv_file then
+        Format.eprintf
+          "note: --out/--csv are ignored with --all-schemes (run a single \
+           scheme to export)@.";
+      Format.printf
+        "%s on %d processor(s), scale 1/%d, %s policy, all schemes@."
+        spec.B.Common.name procs scale
+        (C.policy_to_string policy);
+      Option.iter
+        (fun f -> Format.printf "faults: %s@." (C.Faults.to_string f))
+        faults;
+      Format.printf
+        "dereference latency per scheme (simulated cycles, end-to-end):@.";
+      Format.printf "  %-10s %-10s %10s %9s %9s %9s %11s@." "scheme" "mech"
+        "count" "p50" "p99" "p999" "max";
+      let ok = ref true in
+      List.iter
+        (fun coherence ->
+          let cfg = C.make ~nprocs:procs ~coherence ~policy ?faults () in
+          let o, m = run_monitored spec cfg ~scale ~interval in
+          if not o.B.Common.ok then ok := false;
+          List.iter
+            (fun (mech, (s : Mon.summary)) ->
+              Format.printf "  %-10s %-10s %10d %9d %9d %9d %11d@."
+                (C.coherence_to_string coherence)
+                mech s.Mon.count s.Mon.p50 s.Mon.p99 s.Mon.p999 s.Mon.max)
+            (Mon.deref_summaries m))
+        [ C.Local; C.Global; C.Bilateral ];
+      if not !ok then exit 1
+    end
+    else begin
+      let cfg = C.make ~nprocs:procs ~coherence ~policy ?faults () in
+      let o, m = run_monitored spec cfg ~scale ~interval in
+      header spec ~procs ~scale ~coherence ~policy o;
+      Option.iter
+        (fun f -> Format.printf "faults: %s@." (C.Faults.to_string f))
+        faults;
+      Format.printf "monitor: %d window(s) of %s simulated cycles@."
+        (List.length (Mon.windows m))
+        (B.Common.commas interval);
+      pp_summary_rows
+        "dereference latency per mechanism (simulated cycles, end-to-end):"
+        (Mon.deref_summaries m);
+      (match Mon.episode_summaries m with
+      | [] -> ()
+      | rows -> pp_summary_rows "episode latency:" rows);
+      let site_names = Olden_runtime.Site.labels () in
+      if sites then begin
+        Format.printf "per-site dereference latency (busiest first):@.";
+        Mon.site_summaries ~site_names m
+        |> List.sort (fun (_, _, _, (a : Mon.summary)) (_, _, _, b) ->
+               compare b.Mon.count a.Mon.count)
+        |> List.iter (fun (_, label, mech, (s : Mon.summary)) ->
+               Format.printf
+                 "  %-28s %-9s count=%-8d p50=%-8d p99=%-8d p999=%d@." label
+                 mech s.Mon.count s.Mon.p50 s.Mon.p99 s.Mon.p999)
+      end;
+      let jsonl_header =
+        [
+          ("benchmark", Olden.Json.String spec.B.Common.name);
+          ("choice", Olden.Json.String spec.B.Common.choice);
+          ("scale", Olden.Json.Int scale);
+          ("coherence", Olden.Json.String (C.coherence_to_string coherence));
+          ("policy", Olden.Json.String (C.policy_to_string policy));
+          ( "faults",
+            match faults with
+            | Some f -> Olden.Json.String (C.Faults.to_string f)
+            | None -> Olden.Json.Null );
+          ("fault_seed", Olden.Json.Int fault_seed);
+          ("verified", Olden.Json.Bool o.B.Common.ok);
+          ("measured_cycles", Olden.Json.Int (B.Common.measured_cycles spec o));
+          ("total_cycles", Olden.Json.Int o.B.Common.total_cycles);
+        ]
+      in
+      Option.iter
+        (fun file ->
+          with_out file (fun oc ->
+              output_string oc
+                (Mon.timeseries_jsonl ~site_names ~header:jsonl_header m));
+          Format.printf "timeseries: %s (olden-timeseries/v1 JSONL)@." file)
+        out;
+      Option.iter
+        (fun file ->
+          with_out file (fun oc -> output_string oc (Mon.csv m));
+          Format.printf "timeseries: %s (CSV, one row per window)@." file)
+        csv_file;
+      if not o.B.Common.ok then exit 1
+    end
+  in
+  let interval_t =
+    Arg.(
+      value & opt int 50_000
+      & info [ "i"; "interval" ] ~docv:"CYCLES"
+          ~doc:"Sampling interval in simulated cycles.")
+  in
+  let out_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "out" ] ~docv:"FILE"
+          ~doc:
+            "Write the interval time-series as olden-timeseries/v1 JSONL \
+             (one window per line, windowed deltas, closing latency \
+             summary).")
+  in
+  let csv_file_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "csv" ] ~docv:"FILE"
+          ~doc:
+            "Write the interval time-series as CSV: one row per window, \
+             one column per series (every Stats counter, then per-processor \
+             busy/comm/idle/recovery-stall).")
+  in
+  let all_schemes_t =
+    Arg.(
+      value & flag
+      & info [ "all-schemes" ]
+          ~doc:
+            "Run all three coherence schemes and print their dereference \
+             latency quantiles side by side (p99-under-faults comparison).")
+  in
+  Cmd.v
+    (Cmd.info "monitor"
+       ~doc:
+         "Run one benchmark with the simulated-time monitor on: interval \
+          time-series of every counter (JSONL/CSV export) and end-to-end \
+          latency histograms with p50/p90/p99/p999 per mechanism, per \
+          site, and per episode kind (migrations, returns, retries, crash \
+          recoveries).  Deterministic: same seed, byte-identical output.")
+    Term.(
+      const run $ name_t $ procs_t $ scale_t $ coherence_t $ policy_t
+      $ interval_t $ out_t $ csv_file_t $ sites_t $ all_schemes_t
+      $ faults_name_t $ fault_seed_t)
+
 let csv_t =
   Arg.(value & flag & info [ "csv" ] ~doc:"Emit comma-separated values.")
 
@@ -773,6 +967,7 @@ let main =
     [
       list_cmd;
       bench_cmd;
+      monitor_cmd;
       chaos_cmd;
       recovery_cmd;
       hostperf_cmd;

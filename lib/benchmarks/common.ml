@@ -16,6 +16,7 @@ module Heuristic = Olden_compiler.Heuristic
 module Analysis = Olden_compiler.Analysis
 module Trace = Olden_trace.Trace
 module Json = Olden_trace.Json
+module Monitor = Olden_monitor.Monitor
 module Recovery = Olden_recovery.Recovery
 
 type outcome = {
@@ -80,6 +81,12 @@ let last_recovery_stall : int array ref = ref [||]
    harness's window for running the invariant checker. *)
 let inspect_engine : (Engine.t -> unit) option ref = ref None
 
+(* Driver hook: when set, [execute] creates a monitor sampling at that
+   simulated-cycle interval, installs it for the run, and leaves the
+   finished (final-window-flushed) monitor in [last_monitor]. *)
+let monitor_interval : int option ref = ref None
+let last_monitor : Monitor.t option ref = ref None
+
 (* The program receives the engine so its verification step can inspect
    the heap directly (at host level, free of simulated cost). *)
 let execute (cfg : C.t) ~(program : Engine.t -> string * bool) : outcome =
@@ -95,9 +102,36 @@ let execute (cfg : C.t) ~(program : Engine.t -> string * bool) : outcome =
     end
     else None
   in
+  let monitor =
+    Option.map
+      (fun interval ->
+        let machine = Engine.machine engine in
+        let nprocs = Machine.nprocs machine in
+        Monitor.create ~interval ~nprocs
+          ~probe:
+            {
+              Monitor.stats = (fun () -> Stats.fields (Machine.stats machine));
+              busy = (fun () -> Machine.busy_cycles machine);
+              comm = (fun () -> Machine.comm_cycles machine);
+              recovery_stall =
+                (fun () ->
+                  match Engine.recovery engine with
+                  | Some r -> Recovery.stall_cycles r
+                  | None -> Array.make nprocs 0);
+            })
+      !monitor_interval
+  in
+  Option.iter Monitor.install monitor;
   Fun.protect
-    ~finally:(fun () -> if Option.is_some collector then Trace.uninstall ())
+    ~finally:(fun () ->
+      if Option.is_some monitor then Monitor.uninstall ();
+      if Option.is_some collector then Trace.uninstall ())
     (fun () -> Engine.exec engine (fun () -> result := program engine));
+  (match monitor with
+  | Some m ->
+      Monitor.finish m ~makespan:(Machine.makespan (Engine.machine engine));
+      last_monitor := Some m
+  | None -> ());
   (match collector with
   | Some c -> last_trace := Some (Trace.Collector.events c)
   | None -> ());

@@ -16,6 +16,7 @@ module Heuristic = Olden_compiler.Heuristic
 module Analysis = Olden_compiler.Analysis
 module Trace = Olden_trace.Trace
 module Json = Olden_trace.Json
+module Monitor = Olden_monitor.Monitor
 
 type outcome = {
   ok : bool;  (** result matches the sequential reference *)
@@ -77,6 +78,13 @@ val inspect_engine : (Engine.t -> unit) option ref
 (** When set, {!execute} calls this with the finished engine before
     returning, while heap, caches, and directories are still reachable —
     the hook the chaos harness uses to run the invariant checker. *)
+
+val monitor_interval : int option ref
+(** When set, {!execute} creates a {!Monitor} sampling at that
+    simulated-cycle interval, installs it for the run, and leaves the
+    finished monitor (final window flushed) in {!last_monitor}. *)
+
+val last_monitor : Monitor.t option ref
 
 val site_name : int -> string option
 (** Site-id to label lookup against the global registry (for trace

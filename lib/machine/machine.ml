@@ -122,6 +122,8 @@ let note_retry t plan ~dst ~klass ~time ~attempt =
   t.stats.Stats.retries <- t.stats.Stats.retries + 1;
   t.stats.Stats.retry_cycles <- t.stats.Stats.retry_cycles + wait;
   emit_fault ~proc:dst ~time (Trace.Retry { dst; attempt; wait });
+  if Olden_monitor.Monitor.is_on () then
+    Olden_monitor.Monitor.retry_wait ~cycles:wait;
   wait
 
 (* Deliver one attempt into [dst]'s handler and return the service finish

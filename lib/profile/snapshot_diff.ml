@@ -37,11 +37,11 @@ let snapshots_of_json j =
   match schema with
   | Some "olden-metrics/v1" ->
       Result.map (fun n -> [ (n, j) ]) (name_of j)
-  | Some "olden-metrics-table/v1" ->
+  | Some (("olden-metrics-table/v1" | "olden-latency/v1") as schema) ->
       let rows =
         match Json.member "benchmarks" j with
         | Some (Json.List rows) -> Ok rows
-        | _ -> Error "olden-metrics-table/v1 without a \"benchmarks\" list"
+        | _ -> Error (schema ^ " without a \"benchmarks\" list")
       in
       Result.bind rows (fun rows ->
           List.fold_left
@@ -77,6 +77,48 @@ let metrics =
     ([ "stats"; "messages" ], false);
   ]
 
+(* Metric values of one snapshot row, as (name, gated, value).  Rows of
+   the metrics schemas use the fixed [metrics] path list; rows of
+   olden-latency/v1 (recognized by their "latency" member) compare the
+   per-mechanism dereference quantiles — p99 gated, p50 and count as
+   context — and the per-episode-kind p99s as context. *)
+let row_metrics row =
+  match Json.member "latency" row with
+  | None ->
+      List.filter_map
+        (fun (path, gated) ->
+          Option.map
+            (fun v -> (String.concat "." path, gated, v))
+            (int_field path row))
+        metrics
+  | Some lat ->
+      let group ~list_key ~tag_key ~prefix ~quantiles =
+        match Json.member list_key lat with
+        | Some (Json.List entries) ->
+            List.concat_map
+              (fun e ->
+                match
+                  Option.bind (Json.member tag_key e) Json.string_value
+                with
+                | None -> []
+                | Some tag ->
+                    List.filter_map
+                      (fun (field, gated) ->
+                        Option.map
+                          (fun v ->
+                            ( Printf.sprintf "%s.%s.%s" prefix tag field,
+                              gated,
+                              v ))
+                          (int_field [ field ] e))
+                      quantiles)
+              entries
+        | _ -> []
+      in
+      group ~list_key:"deref" ~tag_key:"mech" ~prefix:"latency.deref"
+        ~quantiles:[ ("p99", true); ("p50", false); ("count", false) ]
+      @ group ~list_key:"episode" ~tag_key:"kind" ~prefix:"latency.episode"
+          ~quantiles:[ ("p99", false); ("count", false) ]
+
 let compare_json ~tolerance ~base ~current =
   Result.bind (snapshots_of_json base) (fun base_rows ->
       Result.bind (snapshots_of_json current) (fun cur_rows ->
@@ -103,27 +145,30 @@ let compare_json ~tolerance ~base ~current =
                         ]
                       else []
                     in
+                    let cur_metrics = row_metrics c in
                     verified
                     @ List.filter_map
-                        (fun (path, gated) ->
-                          match (int_field path b, int_field path c) with
-                          | Some bv, Some cv ->
-                              let rel =
-                                if bv = 0 then 0.
-                                else float_of_int (cv - bv) /. float_of_int bv
-                              in
-                              Some
-                                {
-                                  benchmark = name;
-                                  metric = String.concat "." path;
-                                  base = bv;
-                                  current = cv;
-                                  rel;
-                                  gated;
-                                  regressed = gated && rel > tolerance;
-                                }
-                          | _ -> None)
-                        metrics)
+                        (fun (metric, gated, bv) ->
+                          List.find_map
+                            (fun (m, _, cv) ->
+                              if String.equal m metric then Some cv else None)
+                            cur_metrics
+                          |> Option.map (fun cv ->
+                                 let rel =
+                                   if bv = 0 then 0.
+                                   else
+                                     float_of_int (cv - bv) /. float_of_int bv
+                                 in
+                                 {
+                                   benchmark = name;
+                                   metric;
+                                   base = bv;
+                                   current = cv;
+                                   rel;
+                                   gated;
+                                   regressed = gated && rel > tolerance;
+                                 }))
+                        (row_metrics b))
               base_rows
           in
           let names rows = List.map fst rows in

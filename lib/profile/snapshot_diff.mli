@@ -1,12 +1,16 @@
-(** Compare two metrics snapshots — [olden-metrics/v1] objects or the
+(** Compare two metrics snapshots — [olden-metrics/v1] objects, the
     [olden-metrics-table/v1] wrapper [bench/main.exe -- snapshots] writes
-    to [BENCH_table2.json] — and report per-benchmark deltas.
+    to [BENCH_table2.json], or the [olden-latency/v1] table
+    [bench/main.exe -- latency] writes to [BENCH_latency.json] — and
+    report per-benchmark deltas.
 
     Cycle metrics ([measured_cycles], [total_cycles]) gate: a benchmark
     regresses when the current value exceeds the baseline by more than
     the relative [tolerance] (improvements never gate), or when its
     [verified] flag flips to false.  Mechanism counters (migrations,
     cache misses, messages) are reported for context but never gate.
+    For latency snapshots the gated metrics are the per-mechanism
+    dereference p99s; p50, counts, and episode quantiles are context.
     CI runs this via [olden-run diff], which exits non-zero on any
     regression. *)
 

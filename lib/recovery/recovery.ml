@@ -142,6 +142,8 @@ let crash_and_recover t ~proc ~(log : Write_log.t) =
   let stall = Machine.now t.machine proc - t0 in
   ps.stall_cycles <- ps.stall_cycles + stall;
   s.Stats.recovery_stall_cycles <- s.Stats.recovery_stall_cycles + stall;
+  if Olden_monitor.Monitor.is_on () then
+    Olden_monitor.Monitor.recovery_stall ~cycles:stall;
   emit ~proc ~time:(Machine.now t.machine proc)
     (Trace.Recover { homes = !homes; stall })
 

@@ -18,6 +18,7 @@ module C = Olden_config
 module Cache = Olden_cache.Cache_system
 module Write_log = Olden_cache.Write_log
 module Trace = Olden_trace.Trace
+module Monitor = Olden_monitor.Monitor
 module Recovery = Olden_recovery.Recovery
 open Effects
 
@@ -208,7 +209,7 @@ let check_crash t ~proc ~(thread : thread) =
    migration.  [on_arrival] completes the interrupted operation there.
    [penalty] is the extra arrival latency charged by the faulty network
    (retransmission waits and delivery delays); zero on a reliable one. *)
-let migrate_to t ~site ~target ~penalty
+let migrate_to t ~site ~target ~penalty ~ep0
     ~(k : ('a, unit) Effect.Deep.continuation) ~(complete : unit -> 'a) =
   let c = costs t in
   let s = stats t in
@@ -240,7 +241,16 @@ let migrate_to t ~site ~target ~penalty
                 kind = Trace.Migrate_arrive { source } };
           (* an incoming migration is an acquire point *)
           Cache.on_migration_received t.cache ~proc:target;
-          Effect.Deep.continue k (complete ()));
+          if Monitor.is_on () then
+            (* episode entry ([ep0]) to restart here: the migration leg *)
+            Monitor.migration
+              ~cycles:(Machine.now t.machine target - ep0);
+          let v = complete () in
+          if Monitor.is_on () then
+            (* entry to completion of the interrupted dereference *)
+            Monitor.deref ~sid:site ~mech:Monitor.Migrate
+              ~cycles:(Machine.now t.machine target - ep0);
+          Effect.Deep.continue k v);
     }
 
 (* --- Immediate operation bodies ------------------------------------ *)
@@ -299,7 +309,7 @@ let cached_store t (site : Site.t) g field v =
   Cache.write t.cache ~proc:t.cur_proc g ~field v ~log:t.cur_thread.log;
   site.Site.retries <- site.Site.retries + s.Stats.retries - retries_before
 
-let immediate_load t (site : Site.t) g field =
+let immediate_load_u t (site : Site.t) g field =
   if Gptr.is_null g then raise (Null_dereference (Site.name site));
   let c = costs t in
   if t.cfg.C.sequential then begin
@@ -322,7 +332,7 @@ let immediate_load t (site : Site.t) g field =
         else raise_notrace Must_perform
   end
 
-let immediate_store t (site : Site.t) g field v =
+let immediate_store_u t (site : Site.t) g field v =
   if Gptr.is_null g then raise (Null_dereference (Site.name site));
   let c = costs t in
   if t.cfg.C.sequential then begin
@@ -345,6 +355,40 @@ let immediate_store t (site : Site.t) g field v =
             ~log:t.cur_thread.log
         end
         else raise_notrace Must_perform
+  end
+
+(* Monitored entry points over the untimed bodies above.  A dereference
+   that completes without capturing the fiber is a finished episode: its
+   end-to-end latency (including any crash stall [check_crash] charged
+   and any cache miss round-trips and retries inside [Cache.read/write])
+   is the clock movement across the body.  [Must_perform] propagates
+   before any mutation, so an aborted immediate attempt records
+   nothing — the episode continues in the effect handler. *)
+
+let completed_mech t (site : Site.t) =
+  if t.cfg.C.sequential then Monitor.Local
+  else
+    match effective_mechanism t site with
+    | C.Cache -> Monitor.Cache
+    | C.Migrate -> Monitor.Local (* completed immediately: data was local *)
+
+let immediate_load t (site : Site.t) g field =
+  if not (Monitor.is_on ()) then immediate_load_u t site g field
+  else begin
+    let ep0 = now t in
+    let v = immediate_load_u t site g field in
+    Monitor.deref ~sid:site.Site.sid ~mech:(completed_mech t site)
+      ~cycles:(now t - ep0);
+    v
+  end
+
+let immediate_store t (site : Site.t) g field v =
+  if not (Monitor.is_on ()) then immediate_store_u t site g field v
+  else begin
+    let ep0 = now t in
+    immediate_store_u t site g field v;
+    Monitor.deref ~sid:site.Site.sid ~mech:(completed_mech t site)
+      ~cycles:(now t - ep0)
   end
 
 let immediate_touch t (cell : fut) =
@@ -421,6 +465,7 @@ let rec handler t : (unit, unit) Effect.Deep.handler =
     | Load (site, g, field) ->
         Some
           (fun k ->
+            let ep0 = if Monitor.is_on () then now t else 0 in
             match immediate_load t site g field with
             | v -> Effect.Deep.continue k v
             | exception Must_perform -> (
@@ -434,15 +479,21 @@ let rec handler t : (unit, unit) Effect.Deep.handler =
                     site.Site.loads <- site.Site.loads + 1;
                     site.Site.remote <- site.Site.remote + 1;
                     site.Site.migrations <- site.Site.migrations + 1;
-                    migrate_to t ~site:site.Site.sid ~target:home ~penalty ~k
+                    migrate_to t ~site:site.Site.sid ~target:home ~penalty
+                      ~ep0 ~k
                       ~complete:(fun () ->
                         Machine.advance t.machine home c.C.local_ref;
                         Memory.load t.memory g field)
                 | None ->
-                    Effect.Deep.continue k (cached_load t site g field)))
+                    let v = cached_load t site g field in
+                    if Monitor.is_on () then
+                      Monitor.deref ~sid:site.Site.sid
+                        ~mech:Monitor.Fallback ~cycles:(now t - ep0);
+                    Effect.Deep.continue k v))
     | Store (site, g, field, v) ->
         Some
           (fun k ->
+            let ep0 = if Monitor.is_on () then now t else 0 in
             match immediate_store t site g field v with
             | () -> Effect.Deep.continue k ()
             | exception Must_perform -> (
@@ -454,7 +505,8 @@ let rec handler t : (unit, unit) Effect.Deep.handler =
                     site.Site.stores <- site.Site.stores + 1;
                     site.Site.remote <- site.Site.remote + 1;
                     site.Site.migrations <- site.Site.migrations + 1;
-                    migrate_to t ~site:site.Site.sid ~target:home ~penalty ~k
+                    migrate_to t ~site:site.Site.sid ~target:home ~penalty
+                      ~ep0 ~k
                       ~complete:(fun () ->
                         Machine.advance t.machine home c.C.local_ref;
                         Memory.store t.memory g field v;
@@ -462,6 +514,9 @@ let rec handler t : (unit, unit) Effect.Deep.handler =
                           ~log:t.cur_thread.log)
                 | None ->
                     cached_store t site g field v;
+                    if Monitor.is_on () then
+                      Monitor.deref ~sid:site.Site.sid
+                        ~mech:Monitor.Fallback ~cycles:(now t - ep0);
                     Effect.Deep.continue k ()))
     | Future body ->
         Some
@@ -540,6 +595,7 @@ let rec handler t : (unit, unit) Effect.Deep.handler =
             else begin
               let c = costs t in
               let s = stats t in
+              let ep0 = if Monitor.is_on () then now t else 0 in
               s.Stats.returns <- s.Stats.returns + 1;
               let thread = t.cur_thread in
               let source = t.cur_proc in
@@ -575,6 +631,9 @@ let rec handler t : (unit, unit) Effect.Deep.handler =
                             kind = Trace.Return_arrive { source } };
                       Cache.on_return_received t.cache ~proc:target
                         ~log:thread.log;
+                      if Monitor.is_on () then
+                        Monitor.return_stub
+                          ~cycles:(Machine.now t.machine target - ep0);
                       Effect.Deep.continue k ());
                 }
             end)
@@ -672,6 +731,9 @@ let step t =
   if !best_proc < 0 then false
   else begin
     let proc = !best_proc in
+    (* [best_start] is the global virtual time: it never decreases across
+       steps, so it drives the monitor's interval windows *)
+    if Monitor.is_on () then Monitor.tick !best_start;
     Machine.wait_until t.machine proc !best_start;
     let task =
       match !best_src with

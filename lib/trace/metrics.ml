@@ -86,6 +86,49 @@ let observe h v =
   h.buckets.(b) <- h.buckets.(b) + 1
 
 let observations h = h.observations
+let sum h = h.sum
+let min_value h = if h.observations = 0 then 0 else h.min_v
+let max_value h = if h.observations = 0 then 0 else h.max_v
+
+let mean h =
+  if h.observations = 0 then 0.
+  else float_of_int h.sum /. float_of_int h.observations
+
+(* Populated buckets in increasing bound order, as (upper bound, count). *)
+let iter_buckets h f =
+  let bound = ref 0 in
+  Array.iteri
+    (fun i n ->
+      if n > 0 then f ~le:!bound ~n;
+      if i < buckets_count - 1 then bound := (2 * !bound) + 1)
+    h.buckets
+
+(* Exact-rank quantile over the log-bucketed data: the smallest bucket
+   upper bound covering at least [ceil (q * count)] observations, clamped
+   to the observed maximum.  The rank is exact; the returned value is an
+   upper bound on the true quantile tight to the bucket resolution (a
+   factor of two), and exact when the histogram holds one distinct value.
+   Empty histogram: 0. *)
+let quantile h q =
+  if h.observations = 0 then 0
+  else begin
+    let q = if q < 0. then 0. else if q > 1. then 1. else q in
+    let rank =
+      let r = int_of_float (ceil (q *. float_of_int h.observations)) in
+      if r < 1 then 1 else if r > h.observations then h.observations else r
+    in
+    let result = ref 0 in
+    let cum = ref 0 in
+    (try
+       iter_buckets h (fun ~le ~n ->
+           cum := !cum + n;
+           if !cum >= rank then begin
+             result := le;
+             raise Exit
+           end)
+     with Exit -> ());
+    if !result > h.max_v then h.max_v else !result
+  end
 
 (* --- Snapshots --------------------------------------------------------- *)
 
@@ -121,19 +164,88 @@ let histogram_json h =
              !cells) );
     ]
 
+let sorted_entries t =
+  Hashtbl.fold (fun key metric acc -> (key, metric) :: acc) t.table []
+  |> List.sort (fun (ka, _) (kb, _) -> compare ka kb)
+
+let render_common (name, labels) =
+  let common = [ ("name", Json.String name) ] in
+  if labels = [] then common else common @ [ ("labels", labels_json labels) ]
+
 let to_json t =
-  let entries =
-    Hashtbl.fold (fun key metric acc -> (key, metric) :: acc) t.table []
-    |> List.sort (fun (ka, _) (kb, _) -> compare ka kb)
-  in
-  let render ((name, labels), metric) =
-    let common = [ ("name", Json.String name) ] in
-    let common =
-      if labels = [] then common
-      else common @ [ ("labels", labels_json labels) ]
-    in
+  let render (key, metric) =
+    let common = render_common key in
     match metric with
     | Counter c -> Json.Obj (common @ [ ("value", Json.Int c.count) ])
     | Histogram h -> Json.Obj (common @ [ ("histogram", histogram_json h) ])
   in
-  Json.List (List.map render entries)
+  Json.List (List.map render (sorted_entries t))
+
+(* --- Windowed deltas --------------------------------------------------- *)
+
+type snapshot = (string * labels, metric) Hashtbl.t
+
+let copy_metric = function
+  | Counter c -> Counter { count = c.count }
+  | Histogram h -> Histogram { h with buckets = Array.copy h.buckets }
+
+let snapshot t =
+  let s = Hashtbl.create (max 16 (Hashtbl.length t.table)) in
+  Hashtbl.iter (fun key metric -> Hashtbl.replace s key (copy_metric metric)) t.table;
+  s
+
+let zero_histogram =
+  {
+    observations = 0;
+    sum = 0;
+    min_v = max_int;
+    max_v = min_int;
+    buckets = Array.make buckets_count 0;
+  }
+
+let delta_json t ~since =
+  let render (key, metric) =
+    match metric with
+    | Counter c ->
+        let before =
+          match Hashtbl.find_opt since key with
+          | Some (Counter o) -> o.count
+          | _ -> 0
+        in
+        let d = c.count - before in
+        if d = 0 then None
+        else Some (Json.Obj (render_common key @ [ ("value", Json.Int d) ]))
+    | Histogram h ->
+        let before =
+          match Hashtbl.find_opt since key with
+          | Some (Histogram o) -> o
+          | _ -> zero_histogram
+        in
+        let dcount = h.observations - before.observations in
+        if dcount = 0 then None
+        else begin
+          let cells = ref [] in
+          let bound = ref 0 in
+          Array.iteri
+            (fun i n ->
+              let grew = n - before.buckets.(i) in
+              if grew > 0 then cells := (!bound, grew) :: !cells;
+              if i < buckets_count - 1 then bound := (2 * !bound) + 1)
+            h.buckets;
+          let hist =
+            Json.Obj
+              [
+                ("count", Json.Int dcount);
+                ("sum", Json.Int (h.sum - before.sum));
+                ( "buckets",
+                  Json.List
+                    (List.rev_map
+                       (fun (le, n) ->
+                         Json.Obj [ ("le", Json.Int le); ("n", Json.Int n) ])
+                       !cells) );
+              ]
+          in
+          Some (Json.Obj (render_common key @ [ ("histogram", hist) ]))
+        end
+  in
+  Json.List (List.filter_map render (sorted_entries t))

@@ -28,7 +28,48 @@ val histogram : t -> ?labels:labels -> string -> histogram
 val observe : histogram -> int -> unit
 val observations : histogram -> int
 
+val sum : histogram -> int
+val min_value : histogram -> int
+(** 0 when empty. *)
+
+val max_value : histogram -> int
+(** 0 when empty. *)
+
+val mean : histogram -> float
+(** 0. when empty. *)
+
+val iter_buckets : histogram -> (le:int -> n:int -> unit) -> unit
+(** Iterate the populated buckets in increasing bound order; [le] is the
+    bucket's inclusive upper bound (0, 1, 3, 7, ...), [n] its count.
+    Empty buckets are skipped. *)
+
+val quantile : histogram -> float -> int
+(** [quantile h q] is the smallest bucket upper bound covering at least
+    [ceil (q *. count)] observations (rank clamped to [1, count]),
+    itself clamped to the observed maximum — an exact-rank quantile at
+    bucket resolution, i.e. an upper bound on the true quantile tight to
+    a factor of two (exact when the histogram holds one distinct value).
+    [q] is clamped to [0, 1].  Returns 0 on an empty histogram. *)
+
 val to_json : t -> Json.t
 (** [[{"name":..,"labels":{..},"value":..} | {"name":..,"labels":{..},
     "histogram":{"count","sum","min","max","mean","buckets":[{"le","n"}]}}]],
     sorted by name then labels. *)
+
+(** {2 Windowed deltas}
+
+    The monitor layer samples a registry at interval boundaries and
+    reports per-window activity.  A {!snapshot} is a deep copy of the
+    registry's current values; {!delta_json} renders only what changed
+    since it was taken, in the same sorted, byte-stable shape as
+    {!to_json}. *)
+
+type snapshot
+
+val snapshot : t -> snapshot
+
+val delta_json : t -> since:snapshot -> Json.t
+(** Entries whose value changed since [since], sorted by name then
+    labels.  Counters render the increment; histograms render the
+    per-window count/sum and only the buckets that grew.  Metrics
+    created after [since] count from zero. *)

@@ -213,6 +213,51 @@ let test_stats_to_json () =
   check Alcotest.bool "fraction present" true
     (Json.member "remote_read_fraction" j <> None)
 
+(* Exhaustiveness audit: every counter in the Stats record — including
+   the fault/retry/recovery ones added later — must round-trip through
+   fields/copy/diff/to_json.  The record is all-int, so [Obj.size] counts
+   its fields; poking each one to a distinct value catches any counter
+   that [fields] (hence JSON, CSV, and the monitor's time-series) or
+   copy/diff silently dropped. *)
+let test_stats_exhaustive () =
+  let s = Stats.create () in
+  let nfields = Obj.size (Obj.repr s) in
+  check int "fields lists every record field" nfields
+    (List.length (Stats.fields s));
+  for i = 0 to nfields - 1 do
+    Obj.set_field (Obj.repr s) i (Obj.repr (i + 1))
+  done;
+  (* declaration order: field i reads back i + 1 *)
+  List.iteri
+    (fun i (name, v) -> check int (name ^ " via fields") (i + 1) v)
+    (Stats.fields s);
+  let snap = Stats.copy s in
+  check
+    (Alcotest.list (Alcotest.pair Alcotest.string int))
+    "copy preserves every field" (Stats.fields s) (Stats.fields snap);
+  for i = 0 to nfields - 1 do
+    Obj.set_field (Obj.repr s) i (Obj.repr (3 * (i + 1)))
+  done;
+  List.iteri
+    (fun i (name, v) -> check int (name ^ " via diff") (2 * (i + 1)) v)
+    (Stats.fields (Stats.diff s snap));
+  let j = Stats.to_json s in
+  List.iter
+    (fun (name, v) ->
+      check (Alcotest.option int) (name ^ " via to_json") (Some v)
+        (Option.bind (Json.member name j) Json.int_value))
+    (Stats.fields s);
+  (* the counters later PRs added are really in there *)
+  let names = List.map fst (Stats.fields s) in
+  List.iter
+    (fun n -> check Alcotest.bool (n ^ " present") true (List.mem n names))
+    [
+      "msg_drops"; "outage_drops"; "msg_delays"; "msg_duplicates";
+      "duplicates_suppressed"; "retries"; "retry_cycles";
+      "migration_fallbacks"; "crashes"; "pages_lost_in_crash";
+      "recovery_messages"; "recovery_stall_cycles";
+    ]
+
 let test_interval_recording () =
   let m = mk ~nprocs:2 () in
   Machine.set_record_intervals m true;
@@ -236,5 +281,7 @@ let suite =
         test_timeline_spanning_interval;
       Alcotest.test_case "timeline bad width" `Quick test_timeline_bad_width;
       Alcotest.test_case "stats to_json" `Quick test_stats_to_json;
+      Alcotest.test_case "stats exhaustive round-trip" `Quick
+        test_stats_exhaustive;
       Alcotest.test_case "interval recording" `Quick test_interval_recording;
     ]

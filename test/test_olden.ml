@@ -15,4 +15,5 @@ let () =
       ("profile", Test_profile.suite);
       ("chaos", Test_chaos.suite);
       ("recovery", Test_recovery.suite);
+      ("monitor", Test_monitor.suite);
     ]

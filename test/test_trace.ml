@@ -58,6 +58,102 @@ let test_metrics_counters () =
   check string "stable snapshot" (Json.to_string j)
     (Json.to_string (Metrics.to_json m))
 
+let test_metrics_quantile () =
+  let m = Metrics.create () in
+  (* empty histogram: every accessor is defined and zero *)
+  let h = Metrics.histogram m "empty" in
+  check int "empty p50" 0 (Metrics.quantile h 0.5);
+  check int "empty p999" 0 (Metrics.quantile h 0.999);
+  check int "empty min" 0 (Metrics.min_value h);
+  check int "empty max" 0 (Metrics.max_value h);
+  (* single observation: every quantile is exactly that value (the
+     bucket bound is clamped to the observed maximum) *)
+  let h1 = Metrics.histogram m "single" in
+  Metrics.observe h1 5;
+  List.iter
+    (fun q -> check int "single-value quantile" 5 (Metrics.quantile h1 q))
+    [ 0.; 0.5; 0.99; 1. ];
+  (* single bucket, many observations: same clamping *)
+  let hc = Metrics.histogram m "constant" in
+  for _ = 1 to 100 do
+    Metrics.observe hc 6
+  done;
+  check int "constant p50" 6 (Metrics.quantile hc 0.5);
+  check int "constant p999" 6 (Metrics.quantile hc 0.999);
+  (* exact boundary: 2 observations <= 1, 2 observations <= 3; the
+     rank-2 (p50) observation is the last of the first bucket *)
+  let hb = Metrics.histogram m "boundary" in
+  List.iter (Metrics.observe hb) [ 1; 1; 2; 3 ];
+  check int "boundary p50 = first bucket bound" 1 (Metrics.quantile hb 0.5);
+  check int "boundary p75 = second bucket bound" 3 (Metrics.quantile hb 0.75);
+  check int "boundary p100" 3 (Metrics.quantile hb 1.);
+  check int "q clamped below" 1 (Metrics.quantile hb (-1.));
+  check int "q clamped above" 3 (Metrics.quantile hb 2.);
+  (* quantiles are monotone in q and bounded by min/max *)
+  let hr = Metrics.histogram m "ramp" in
+  List.iter (Metrics.observe hr) [ 0; 1; 2; 4; 9; 17; 170; 3000; 40000 ];
+  let qs = List.map (Metrics.quantile hr) [ 0.1; 0.5; 0.9; 0.99; 1. ] in
+  let rec mono = function
+    | a :: (b :: _ as rest) -> a <= b && mono rest
+    | _ -> true
+  in
+  check bool "monotone" true (mono qs);
+  check bool "bounded" true
+    (List.for_all
+       (fun q -> q >= Metrics.min_value hr && q <= Metrics.max_value hr)
+       qs);
+  (* iter_buckets visits the populated buckets in bound order, counts
+     summing to the observation count *)
+  let bounds = ref [] and total = ref 0 in
+  Metrics.iter_buckets hb (fun ~le ~n ->
+      bounds := le :: !bounds;
+      total := !total + n);
+  check (Alcotest.list Alcotest.int) "populated bounds" [ 1; 3 ]
+    (List.rev !bounds);
+  check int "counts sum" (Metrics.observations hb) !total
+
+let test_metrics_delta () =
+  let m = Metrics.create () in
+  let c = Metrics.counter m "moves" in
+  let h = Metrics.histogram m "lat" in
+  Metrics.add c 3;
+  Metrics.observe h 10;
+  let snap = Metrics.snapshot m in
+  (* nothing changed: empty delta *)
+  check string "empty delta" "[]" (Json.to_string (Metrics.delta_json m ~since:snap));
+  Metrics.add c 4;
+  Metrics.observe h 10;
+  Metrics.observe h 100;
+  let quiet = Metrics.counter m "quiet" in
+  ignore quiet;
+  let born = Metrics.counter m "born-later" in
+  Metrics.inc born;
+  let d = Json.to_list (Metrics.delta_json m ~since:snap) in
+  (* changed entries only: the untouched "quiet" counter is omitted,
+     the post-snapshot "born-later" counts from zero *)
+  let names =
+    List.filter_map
+      (fun e -> Option.bind (Json.member "name" e) Json.string_value)
+      d
+  in
+  check (Alcotest.list Alcotest.string) "changed entries, sorted"
+    [ "born-later"; "lat"; "moves" ] names;
+  let find name =
+    List.find
+      (fun e ->
+        Option.bind (Json.member "name" e) Json.string_value = Some name)
+      d
+  in
+  check (Alcotest.option Alcotest.int) "counter increment" (Some 4)
+    (Option.bind (Json.member "value" (find "moves")) Json.int_value);
+  check (Alcotest.option Alcotest.int) "new counter from zero" (Some 1)
+    (Option.bind (Json.member "value" (find "born-later")) Json.int_value);
+  let hist = Option.get (Json.member "histogram" (find "lat")) in
+  check (Alcotest.option Alcotest.int) "windowed count" (Some 2)
+    (Option.bind (Json.member "count" hist) Json.int_value);
+  check (Alcotest.option Alcotest.int) "windowed sum" (Some 110)
+    (Option.bind (Json.member "sum" hist) Json.int_value)
+
 (* --- The emit guard allocates nothing when tracing is off ----------------- *)
 
 let test_disabled_no_alloc () =
@@ -248,6 +344,8 @@ let suite =
     Alcotest.test_case "json roundtrip" `Quick test_json_roundtrip;
     Alcotest.test_case "json accessors" `Quick test_json_accessors;
     Alcotest.test_case "metrics counters" `Quick test_metrics_counters;
+    Alcotest.test_case "metrics quantiles" `Quick test_metrics_quantile;
+    Alcotest.test_case "metrics windowed deltas" `Quick test_metrics_delta;
     Alcotest.test_case "disabled emit allocates nothing" `Quick
       test_disabled_no_alloc;
     Alcotest.test_case "treeadd stream shape" `Quick test_treeadd_stream;
