@@ -9,6 +9,7 @@
      dune exec bench/main.exe -- snapshots   # only BENCH_table2.json
      dune exec bench/main.exe -- hostperf    # only BENCH_hostperf.json
      dune exec bench/main.exe -- latency     # only BENCH_latency.json
+     dune exec bench/main.exe -- spans       # only BENCH_spans.json
 
    Host-side throughput (hostperf) should be run under dune's release
    profile; the dev profile's checks distort the numbers.
@@ -114,6 +115,65 @@ let latency_snapshots () =
                 ("benchmarks", Json.List rows);
               ])));
   Format.printf "latency snapshots: %s (%d benchmarks, %d processors)@." file
+    (List.length rows) nprocs
+
+(* Machine-readable span census over the Table-2 suite: one spanned run
+   per benchmark (8 processors, harness scale) counting causal spans per
+   kind — a cheap, fully deterministic canary for the olden-spans/v1
+   exporter (CI additionally byte-compares two full exports). *)
+let spans_census () =
+  let module Json = Olden_trace.Json in
+  let module Span = Olden_span.Span in
+  let nprocs = 8 in
+  let rows =
+    List.map
+      (fun (s : Common.spec) ->
+        let cfg = C.make ~nprocs () in
+        let scale = s.Common.default_scale in
+        Common.record_spans := true;
+        Olden_runtime.Site.reset_profiles ();
+        let o =
+          Fun.protect
+            ~finally:(fun () -> Common.record_spans := false)
+            (fun () -> s.Common.run cfg ~scale)
+        in
+        let spans = Option.value ~default:[||] !Common.last_spans in
+        Common.last_spans := None;
+        let counts = Hashtbl.create 8 in
+        Array.iter
+          (fun (sp : Span.span) ->
+            let k = Span.kind_name sp.Span.kind in
+            Hashtbl.replace counts k
+              (1 + Option.value ~default:0 (Hashtbl.find_opt counts k)))
+          spans;
+        let per_kind =
+          Hashtbl.fold (fun k v acc -> (k, Json.Int v) :: acc) counts []
+          |> List.sort compare
+        in
+        Json.Obj
+          [
+            ("benchmark", Json.String s.Common.name);
+            ("scale", Json.Int scale);
+            ("verified", Json.Bool o.Common.ok);
+            ("spans", Json.Int (Array.length spans));
+            ("per_kind", Json.Obj per_kind);
+          ])
+      Registry.specs
+  in
+  let file = "BENCH_spans.json" in
+  let oc = open_out file in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc
+        (Json.to_pretty_string
+           (Json.Obj
+              [
+                ("schema", Json.String "olden-spans-census/v1");
+                ("nprocs", Json.Int nprocs);
+                ("benchmarks", Json.List rows);
+              ])));
+  Format.printf "span census: %s (%d benchmarks, %d processors)@." file
     (List.length rows) nprocs
 
 let tables () =
@@ -263,6 +323,7 @@ let () =
   | "snapshots" -> metrics_snapshots ()
   | "hostperf" -> hostperf ()
   | "latency" -> latency_snapshots ()
+  | "spans" -> spans_census ()
   | _ ->
       tables ();
       micro ());

@@ -10,8 +10,9 @@ open Cmdliner
 module C = Olden_config
 module Site = Olden_runtime.Site
 module Trace_ev = Olden_trace.Trace
+module Span = Olden_span.Span
 
-let analyze file run_it procs coherence trace threshold profile =
+let analyze file run_it procs coherence trace threshold profile spans_file =
   let src =
     let ic = open_in file in
     let n = in_channel_length ic in
@@ -50,19 +51,32 @@ let analyze file run_it procs coherence trace threshold profile =
         in
         let cfg = { cfg with C.coherence } in
         let compiled = Olden_interp.Interp.compile ~selection:sel prog in
+        let run_spanned f =
+          (* causal spans ride along when --spans asks for them *)
+          match spans_file with
+          | None -> (f (), None)
+          | Some _ ->
+              let r, spans = Span.collect f in
+              (r, Some spans)
+        in
         let run_traced () =
           if profile then
-            let result, events =
-              Trace_ev.collect (fun () -> Olden_interp.Interp.run cfg compiled)
+            let (result, spans), events =
+              Trace_ev.collect (fun () ->
+                  run_spanned (fun () -> Olden_interp.Interp.run cfg compiled))
             in
-            (result, Some events)
-          else (Olden_interp.Interp.run cfg compiled, None)
+            (result, Some events, spans)
+          else
+            let result, spans =
+              run_spanned (fun () -> Olden_interp.Interp.run cfg compiled)
+            in
+            (result, None, spans)
         in
         match run_traced () with
         | exception Olden_interp.Interp.Runtime_error msg ->
             Format.eprintf "runtime error: %s@." msg;
             exit 1
-        | result, events ->
+        | result, events, spans ->
             if result.Olden_interp.Interp.output <> "" then
               Format.printf "--- output ---@.%s"
                 result.Olden_interp.Interp.output;
@@ -87,7 +101,19 @@ let analyze file run_it procs coherence trace threshold profile =
                 Format.printf "%a"
                   (Olden_profile.Critical_path.pp ~site_name ~tail:0)
                   (Olden_profile.Critical_path.analyze events))
-              events
+              events;
+            Option.iter
+              (fun spans ->
+                match spans_file with
+                | None -> ()
+                | Some file ->
+                    let oc = open_out file in
+                    output_string oc (Span.jsonl spans);
+                    close_out oc;
+                    Format.printf "spans: %s (olden-spans/v1 JSONL, %d \
+                                   span(s))@."
+                      file (Array.length spans))
+              spans
       end)
 
 let file_t =
@@ -122,12 +148,21 @@ let profile_t =
           "With --run: trace the execution and print the per-site cost \
            attribution and critical-path breakdown afterwards.")
 
+let spans_t =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "spans" ] ~docv:"FILE"
+        ~doc:
+          "With --run: record causal dereference spans and write them to \
+           $(docv) as olden-spans/v1 JSONL.")
+
 let cmd =
   Cmd.v
     (Cmd.info "olden-analyze" ~version:"1.0"
        ~doc:"Analyze (and optionally run) a mini-Olden program.")
     Term.(
       const analyze $ file_t $ run_t $ procs_t $ coherence_t $ trace_t
-      $ threshold_t $ profile_t)
+      $ threshold_t $ profile_t $ spans_t)
 
 let () = exit (Cmd.eval cmd)

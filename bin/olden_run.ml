@@ -6,6 +6,10 @@
      monitor       Run one benchmark with the simulated-time monitor on:
                    interval time-series (JSONL/CSV) + latency quantiles.
      trace         Run with event tracing on; print/export the stream.
+     spans         Run with causal span tracing on; export olden-spans/v1
+                   JSONL and/or Chrome trace JSON with flow arrows.
+     explain       Reconstruct and pretty-print the causal chain of the
+                   worst-latency dereference episodes (tail exemplars).
      chaos         Sweep fault schedules; every run must verify.
      recovery      Run under a crash schedule; report warm-restart work.
      hostperf      Measure the simulator's own host-side throughput.
@@ -599,6 +603,11 @@ let chaos_cmd =
               incr runs;
               let faults = Option.get (C.Faults.by_name sched ~seed) in
               let cfg = C.make ~nprocs:procs ~coherence ~policy ~faults () in
+              (* each faulty run gets its own flight-recorder path, so a
+                 failure's post-mortem names the run that produced it *)
+              Olden.Span.flight_set_path
+                (Printf.sprintf "flight-%s-%s-%d.dump" spec.B.Common.name
+                   sched seed);
               let violations = ref [] in
               let expected_heap =
                 if spec.B.Common.heap_stable then Some !ref_digest else None
@@ -614,6 +623,19 @@ let chaos_cmd =
               with
               | exception e ->
                   Format.printf "  %-10s seed=%d wedged@." sched seed;
+                  (* a deadlock already dumped the recorder (with machine
+                     state) from inside the engine; dump the retained ring
+                     for anything else that escaped *)
+                  (match e with
+                  | Olden_runtime.Engine.Deadlock _ -> ()
+                  | _ -> (
+                      match
+                        Olden.Span.flight_dump
+                          ~reason:(Printexc.to_string e) ~state:[]
+                      with
+                      | Some path ->
+                          Format.printf "    flight recorder: %s@." path
+                      | None -> ()));
                   fail "%s" (Printexc.to_string e)
               | o ->
                   let s = o.B.Common.total_stats in
@@ -916,6 +938,200 @@ let monitor_cmd =
       $ interval_t $ out_t $ csv_file_t $ sites_t $ all_schemes_t
       $ faults_name_t $ fault_seed_t)
 
+(* --- Causal spans --------------------------------------------------------- *)
+
+module Span = Olden.Span
+
+let site_label sid =
+  match B.Common.site_name sid with
+  | Some l -> l
+  | None -> Printf.sprintf "site%d" sid
+
+(* One run with the span collector installed; hands back the outcome and
+   the causal span stream in emission order. *)
+let run_spanned (spec : B.Common.spec) cfg ~scale =
+  B.Common.record_spans := true;
+  Olden_runtime.Site.reset_profiles ();
+  let o =
+    Fun.protect
+      ~finally:(fun () -> B.Common.record_spans := false)
+      (fun () -> spec.B.Common.run cfg ~scale)
+  in
+  let spans = Option.value ~default:[||] !B.Common.last_spans in
+  B.Common.last_spans := None;
+  (o, spans)
+
+let spans_cmd =
+  let run name procs scale coherence policy out chrome head faults_name
+      fault_seed =
+    let spec = find_spec name in
+    let scale = if scale = 0 then spec.B.Common.default_scale else scale in
+    let faults = faults_of ~name:faults_name ~seed:fault_seed in
+    let cfg = C.make ~nprocs:procs ~coherence ~policy ?faults () in
+    let o, spans = run_spanned spec cfg ~scale in
+    header spec ~procs ~scale ~coherence ~policy o;
+    Option.iter
+      (fun f -> Format.printf "faults: %s@." (C.Faults.to_string f))
+      faults;
+    let roots =
+      Array.fold_left
+        (fun n (s : Span.span) ->
+          if Span.is_root s.Span.kind then n + 1 else n)
+        0 spans
+    in
+    Format.printf "spans: %d total, %d root episode(s)@."
+      (Array.length spans) roots;
+    (match head with
+    | Some n when n > 0 ->
+        Array.iteri
+          (fun i s ->
+            if i < n then
+              Format.printf "  %s@." (Span.describe ~site_name:site_label s))
+          spans
+    | _ -> ());
+    Option.iter
+      (fun file ->
+        with_out file (fun oc -> output_string oc (Span.jsonl spans));
+        Format.printf "spans: %s (olden-spans/v1 JSONL)@." file)
+      out;
+    Option.iter
+      (fun file ->
+        with_out file (fun oc ->
+            output_string oc (Span.chrome_to_string ~nprocs:procs spans));
+        Format.printf "spans: %s (Chrome trace_event JSON, flow arrows)@."
+          file)
+      chrome;
+    if not o.B.Common.ok then exit 1
+  in
+  let out_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "out" ] ~docv:"FILE"
+          ~doc:
+            "Write the span stream as olden-spans/v1 JSONL: a schema header \
+             line, then one span per line in emission order \
+             (byte-identical across same-seed runs).")
+  in
+  let chrome_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "chrome" ] ~docv:"FILE"
+          ~doc:
+            "Write the span stream as Chrome trace_event JSON: one track \
+             per processor, flow arrows where an episode hops between \
+             clock domains (load in Perfetto or chrome://tracing).")
+  in
+  Cmd.v
+    (Cmd.info "spans"
+       ~doc:
+         "Run one benchmark with causal span tracing on: every dereference \
+          opens a root span whose trace context is propagated across \
+          migration legs, return stubs, retransmits, and crash replays; \
+          exports the stream as olden-spans/v1 JSONL or Chrome trace JSON.")
+    Term.(
+      const run $ name_t $ procs_t $ scale_t $ coherence_t $ policy_t
+      $ out_t $ chrome_t $ head_t $ faults_name_t $ fault_seed_t)
+
+let explain_cmd =
+  let run name procs scale coherence policy interval percentile top
+      faults_name fault_seed =
+    if percentile < 0. || percentile >= 1. then begin
+      Format.eprintf "olden-run explain: --percentile must be in [0, 1)@.";
+      exit 2
+    end;
+    let spec = find_spec name in
+    let scale = if scale = 0 then spec.B.Common.default_scale else scale in
+    let faults = faults_of ~name:faults_name ~seed:fault_seed in
+    let cfg = C.make ~nprocs:procs ~coherence ~policy ?faults () in
+    (* monitor and span collector together: the monitor's latency
+       histograms retain the trace ids of their worst episodes, and the
+       span stream holds the causal trees those ids name *)
+    B.Common.monitor_interval := Some interval;
+    B.Common.record_spans := true;
+    Olden_runtime.Site.reset_profiles ();
+    let o =
+      Fun.protect
+        ~finally:(fun () ->
+          B.Common.monitor_interval := None;
+          B.Common.record_spans := false)
+        (fun () -> spec.B.Common.run cfg ~scale)
+    in
+    let m =
+      match !B.Common.last_monitor with Some m -> m | None -> assert false
+    in
+    B.Common.last_monitor := None;
+    let spans = Option.value ~default:[||] !B.Common.last_spans in
+    B.Common.last_spans := None;
+    header spec ~procs ~scale ~coherence ~policy o;
+    Option.iter
+      (fun f -> Format.printf "faults: %s@." (C.Faults.to_string f))
+      faults;
+    (match Mon.exemplars ~percentile m with
+    | [] ->
+        Format.printf
+          "no exemplar at or above the p%g threshold of its mechanism \
+           (every retained episode was below the quantile)@."
+          (100. *. percentile)
+    | exemplars ->
+        let shown = List.filteri (fun i _ -> i < top) exemplars in
+        Format.printf
+          "explaining %d of %d tail exemplar(s) at or above the p%g of \
+           their mechanism:@."
+          (List.length shown) (List.length exemplars) (100. *. percentile);
+        List.iteri
+          (fun i (e : Mon.exemplar) ->
+            let q = Mon.deref_quantile m e.Mon.ex_mech percentile in
+            Format.printf
+              "@.#%d: %s dereference, %d cycles (mechanism p%g = %d), \
+               trace %d:%d@."
+              (i + 1)
+              (Mon.mech_name e.Mon.ex_mech)
+              e.Mon.ex_cycles (100. *. percentile) q e.Mon.ex_trace_proc
+              e.Mon.ex_trace_seq;
+            let buf = Buffer.create 512 in
+            Span.explain buf ~site_name:site_label spans
+              ~trace_proc:e.Mon.ex_trace_proc ~trace_seq:e.Mon.ex_trace_seq;
+            print_string (Buffer.contents buf))
+          shown);
+    if not o.B.Common.ok then exit 1
+  in
+  let interval_t =
+    Arg.(
+      value & opt int 50_000
+      & info [ "i"; "interval" ] ~docv:"CYCLES"
+          ~doc:"Monitor sampling interval in simulated cycles.")
+  in
+  let percentile_t =
+    Arg.(
+      value & opt float 0.99
+      & info [ "percentile" ] ~docv:"Q"
+          ~doc:
+            "Exemplar threshold as a fraction (0.99 = p99, 0.999 = p999): \
+             only episodes at or above this quantile of their own \
+             mechanism's latency histogram are explained.")
+  in
+  let explain_top_t =
+    Arg.(
+      value & opt int 3
+      & info [ "top" ] ~docv:"K"
+          ~doc:"Explain the worst $(docv) exemplar episodes.")
+  in
+  Cmd.v
+    (Cmd.info "explain"
+       ~doc:
+         "Run one benchmark with the monitor and causal span tracing on, \
+          then reconstruct and pretty-print the full causal chain of the \
+          worst tail-latency dereference episodes: hop-by-hop send, wire, \
+          queue-wait, fault drops and backoff, replay, receive, and \
+          service cycles, summing exactly to each episode's end-to-end \
+          latency.")
+    Term.(
+      const run $ name_t $ procs_t $ scale_t $ coherence_t $ policy_t
+      $ interval_t $ percentile_t $ explain_top_t $ faults_name_t
+      $ fault_seed_t)
+
 let csv_t =
   Arg.(value & flag & info [ "csv" ] ~doc:"Emit comma-separated values.")
 
@@ -972,6 +1188,8 @@ let main =
       recovery_cmd;
       hostperf_cmd;
       trace_cmd;
+      spans_cmd;
+      explain_cmd;
       profile_cmd;
       critical_path_cmd;
       diff_cmd;
@@ -1010,6 +1228,17 @@ let () =
            attempts@."
           (Fault_plan.klass_to_string klass)
           dst attempts;
+        (match
+           Olden.Span.flight_dump
+             ~reason:
+               (Printf.sprintf
+                  "%s message to p%d undeliverable after %d attempts"
+                  (Fault_plan.klass_to_string klass)
+                  dst attempts)
+             ~state:[]
+         with
+        | Some path -> Format.eprintf "olden-run: flight recorder: %s@." path
+        | None -> ());
         1
     | Failure msg | Sys_error msg ->
         Format.eprintf "olden-run: %s@." msg;

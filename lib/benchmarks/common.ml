@@ -15,6 +15,8 @@ module Prng = Prng
 module Heuristic = Olden_compiler.Heuristic
 module Analysis = Olden_compiler.Analysis
 module Trace = Olden_trace.Trace
+module Span = Olden_span.Span
+module Flight = Olden_span.Flight
 module Json = Olden_trace.Json
 module Monitor = Olden_monitor.Monitor
 module Recovery = Olden_recovery.Recovery
@@ -87,6 +89,12 @@ let inspect_engine : (Engine.t -> unit) option ref = ref None
 let monitor_interval : int option ref = ref None
 let last_monitor : Monitor.t option ref = ref None
 
+(* Driver hook: when set, [execute] installs a span collector for the
+   duration of the run and leaves the causal span stream in
+   [last_spans]. *)
+let record_spans = ref false
+let last_spans : Span.span array option ref = ref None
+
 (* The program receives the engine so its verification step can inspect
    the heap directly (at host level, free of simulated cost). *)
 let execute (cfg : C.t) ~(program : Engine.t -> string * bool) : outcome =
@@ -102,6 +110,20 @@ let execute (cfg : C.t) ~(program : Engine.t -> string * bool) : outcome =
     end
     else None
   in
+  let span_collector =
+    if !record_spans then begin
+      let c = Span.Collector.create () in
+      Span.install (Span.Collector.add c);
+      Some c
+    end
+    else None
+  in
+  (* the flight recorder rides along on every faulty run: recording is
+     allocation-free, and a wedged chaos run then leaves a post-mortem
+     behind.  Fault-free runs stay untouched — spans off means not even
+     the one-word guard reads differently from the seed behavior. *)
+  let flight_here = cfg.C.faults <> None && not (Flight.is_enabled ()) in
+  if flight_here then Span.flight_enable ();
   let monitor =
     Option.map
       (fun interval ->
@@ -125,6 +147,10 @@ let execute (cfg : C.t) ~(program : Engine.t -> string * bool) : outcome =
   Fun.protect
     ~finally:(fun () ->
       if Option.is_some monitor then Monitor.uninstall ();
+      if Option.is_some span_collector then Span.uninstall ();
+      (* disabling keeps the ring contents: a failure escaping [exec]
+         can still be dumped by the caller's exception handler *)
+      if flight_here then Span.flight_disable ();
       if Option.is_some collector then Trace.uninstall ())
     (fun () -> Engine.exec engine (fun () -> result := program engine));
   (match monitor with
@@ -134,6 +160,9 @@ let execute (cfg : C.t) ~(program : Engine.t -> string * bool) : outcome =
   | None -> ());
   (match collector with
   | Some c -> last_trace := Some (Trace.Collector.events c)
+  | None -> ());
+  (match span_collector with
+  | Some c -> last_spans := Some (Span.Collector.spans c)
   | None -> ());
   last_busy := Machine.busy_cycles (Engine.machine engine);
   last_clocks := Machine.clocks (Engine.machine engine);

@@ -60,6 +60,15 @@ val record_trace : bool ref
 
 val last_trace : Trace.event array option ref
 
+val record_spans : bool ref
+(** When set, {!execute} installs a causal span collector
+    ({!Olden_span.Span}) for the run and leaves the span stream in
+    {!last_spans}.  Independently of this flag, any run with a fault
+    schedule enables the allocation-free flight recorder for its
+    duration (contents are retained after the run for post-mortems). *)
+
+val last_spans : Olden_span.Span.span array option ref
+
 val last_busy : int array ref
 (** Per-processor busy cycles of the most recent {!execute}. *)
 

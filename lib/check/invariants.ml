@@ -221,14 +221,26 @@ let check_heap ~expected engine =
    whole-heap comparison. *)
 let check ?expected_heap engine =
   let s = Machine.stats (E.machine engine) in
-  check_exactly_once s
-  @ check_fault_counters s
-  @ check_accounting (E.machine engine)
-  @ check_sharer_sets engine
-  @ check_sharer_epochs engine
-  @ check_crash_counters engine s
-  @ check_tables engine
-  @
-  match expected_heap with
-  | None -> []
-  | Some expected -> check_heap ~expected engine
+  let violations =
+    check_exactly_once s
+    @ check_fault_counters s
+    @ check_accounting (E.machine engine)
+    @ check_sharer_sets engine
+    @ check_sharer_epochs engine
+    @ check_crash_counters engine s
+    @ check_tables engine
+    @
+    match expected_heap with
+    | None -> []
+    | Some expected -> check_heap ~expected engine
+  in
+  (* a violated run is a failure like a deadlock: if the flight recorder
+     was running, preserve its last span events for the post-mortem *)
+  (if violations <> [] then
+     let reason =
+       Printf.sprintf "invariant-check failure: [%s] %s"
+         (List.hd violations).rule (List.hd violations).detail
+     in
+     ignore
+       (Olden_span.Span.flight_dump ~reason ~state:(E.flight_state engine)));
+  violations

@@ -25,4 +25,6 @@ val check :
     sharer-set and sharer-epoch checks only apply under the global
     coherence scheme (the epoch check additionally needs an active
     fault schedule, which is when crash tracking exists); the heap
-    comparison only runs when [expected_heap] is given. *)
+    comparison only runs when [expected_heap] is given.  A non-empty
+    result triggers a flight-recorder dump
+    ({!Olden_span.Span.flight_dump}) when the recorder is running. *)

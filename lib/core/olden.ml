@@ -34,6 +34,7 @@ module Effects = Olden_runtime.Effects
 module Prng = Prng
 module Timeline = Olden_runtime.Timeline
 module Trace = Olden_trace.Trace
+module Span = Olden_span.Span
 module Monitor = Olden_monitor.Monitor
 module Json = Olden_trace.Json
 module Metrics = Olden_trace.Metrics

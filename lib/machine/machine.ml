@@ -9,6 +9,7 @@
    active messages closely enough for the ratios we reproduce. *)
 
 module Trace = Olden_trace.Trace
+module Span = Olden_span.Span
 
 type t = {
   cfg : Olden_config.t;
@@ -88,12 +89,18 @@ let emit_fault ~proc ~time kind =
 let note_drop t ~dst ~time ~attempt ~outage =
   t.stats.Stats.msg_drops <- t.stats.Stats.msg_drops + 1;
   if outage then t.stats.Stats.outage_drops <- t.stats.Stats.outage_drops + 1;
-  emit_fault ~proc:dst ~time (Trace.Fault_drop { dst; attempt; outage })
+  emit_fault ~proc:dst ~time (Trace.Fault_drop { dst; attempt; outage });
+  if Span.is_on () then
+    Span.child ~kind:Span.Drop ~proc:dst ~t0:time ~t1:time ~a:attempt
+      ~b:(if outage then 1 else 0)
 
 let note_delay t ~dst ~time ~cycles =
   if cycles > 0 then begin
     t.stats.Stats.msg_delays <- t.stats.Stats.msg_delays + 1;
-    emit_fault ~proc:dst ~time (Trace.Fault_delay { dst; cycles })
+    emit_fault ~proc:dst ~time (Trace.Fault_delay { dst; cycles });
+    if Span.is_on () then
+      Span.child ~kind:Span.Delay ~proc:dst ~t0:(time - cycles) ~t1:time
+        ~a:cycles ~b:0
   end
 
 (* A duplicate delivery: the receiver's sequence-number check discards it.
@@ -107,7 +114,9 @@ let note_suppressed t ~dst ~time =
   t.stats.Stats.msg_duplicates <- t.stats.Stats.msg_duplicates + 1;
   t.stats.Stats.duplicates_suppressed <-
     t.stats.Stats.duplicates_suppressed + 1;
-  emit_fault ~proc:dst ~time (Trace.Fault_dup { dst })
+  emit_fault ~proc:dst ~time (Trace.Fault_dup { dst });
+  if Span.is_on () then
+    Span.child ~kind:Span.Dup ~proc:dst ~t0:time ~t1:time ~a:0 ~b:0
 
 let note_duplicate t ~dst ~time =
   t.stats.Stats.messages <- t.stats.Stats.messages + 1;
@@ -122,6 +131,9 @@ let note_retry t plan ~dst ~klass ~time ~attempt =
   t.stats.Stats.retries <- t.stats.Stats.retries + 1;
   t.stats.Stats.retry_cycles <- t.stats.Stats.retry_cycles + wait;
   emit_fault ~proc:dst ~time (Trace.Retry { dst; attempt; wait });
+  if Span.is_on () then
+    Span.child ~kind:Span.Backoff ~proc:dst ~t0:time ~t1:(time + wait)
+      ~a:attempt ~b:wait;
   if Olden_monitor.Monitor.is_on () then
     Olden_monitor.Monitor.retry_wait ~cycles:wait;
   wait
@@ -218,10 +230,41 @@ let request_reply_faulty t plan ~klass ~src ~dst ~service =
   done;
   !reply
 
+let klass_code = function
+  | Fault_plan.Data -> 0
+  | Fault_plan.Migration -> 1
+  | Fault_plan.Return -> 2
+  | Fault_plan.Recovery -> 3
+
 let request_reply ?(klass = Fault_plan.Data) t ~src ~dst ~service =
-  match t.fault with
-  | None -> request_reply_reliable t ~src ~dst ~service
-  | Some plan -> request_reply_faulty t plan ~klass ~src ~dst ~service
+  if Span.is_on () then begin
+    (* one Rpc envelope span per logical round trip; the fault events
+       the legs emit (drop/backoff/delay/dup) nest under it *)
+    let t0 = t.clock.(src) in
+    let prev = Span.parent () in
+    let id = Span.enter () in
+    let finish () =
+      Span.exit_emit ~id ~prev ~kind:Span.Rpc ~proc:src ~t0 ~t1:t.clock.(src)
+        ~a:dst ~b:(klass_code klass)
+    in
+    match
+      match t.fault with
+      | None -> request_reply_reliable t ~src ~dst ~service
+      | Some plan -> request_reply_faulty t plan ~klass ~src ~dst ~service
+    with
+    | reply ->
+        finish ();
+        reply
+    | exception e ->
+        (* Undeliverable: still emit the envelope so the flight recorder
+           shows the failed RPC as the last thing that happened *)
+        finish ();
+        raise e
+  end
+  else
+    match t.fault with
+    | None -> request_reply_reliable t ~src ~dst ~service
+    | Some plan -> request_reply_faulty t plan ~klass ~src ~dst ~service
 
 (* A one-way message whose effect is applied at the destination handler;
    the sender does not block.  Returns the time the handler finishes.

@@ -7,6 +7,7 @@
 
 module Metrics = Olden_trace.Metrics
 module Json = Olden_trace.Json
+module Span = Olden_span.Span
 
 type mech = Local | Cache | Migrate | Fallback
 
@@ -46,6 +47,15 @@ type t = {
   recovery_h : Metrics.histogram;
   site_reg : Metrics.t; (* per-site histograms, kept out of window rows *)
   site_h : (int, Metrics.histogram) Hashtbl.t; (* sid * 4 + mech_index *)
+  (* Exemplars: per mechanism, the trace ids of the worst episodes seen,
+     in fixed parallel int arrays so recording stays allocation-free.
+     Populated only while span tracing is on (the trace id is what makes
+     an exemplar useful); filtered against a percentile threshold at
+     report time. *)
+  ex_n : int array; (* exemplars held, per mech_index *)
+  ex_cy : int array array; (* [mech].(slot) episode cycles *)
+  ex_tp : int array array; (* [mech].(slot) trace proc *)
+  ex_ts : int array array; (* [mech].(slot) trace seq *)
   mutable mark : int; (* left edge of the open window *)
   mutable prev_stats : (string * int) list;
   mutable prev_busy : int array;
@@ -55,6 +65,8 @@ type t = {
   mutable rev_windows : window list;
   mutable finished : bool;
 }
+
+let exemplar_slots = 16
 
 let create ~interval ~nprocs ~probe =
   if interval < 1 then invalid_arg "Monitor.create: interval < 1";
@@ -77,6 +89,10 @@ let create ~interval ~nprocs ~probe =
     recovery_h = Metrics.histogram lat "recovery_stall_cycles";
     site_reg = Metrics.create ();
     site_h = Hashtbl.create 64;
+    ex_n = Array.make 4 0;
+    ex_cy = Array.init 4 (fun _ -> Array.make exemplar_slots 0);
+    ex_tp = Array.init 4 (fun _ -> Array.make exemplar_slots 0);
+    ex_ts = Array.init 4 (fun _ -> Array.make exemplar_slots 0);
     mark = 0;
     prev_stats = probe.stats ();
     prev_busy = probe.busy ();
@@ -153,8 +169,38 @@ let install m =
 let uninstall () = active := None
 let is_on () = match !active with Some _ -> true | None -> false
 
+(* Keep the worst [exemplar_slots] episodes per mechanism: append while
+   there is room, otherwise displace the (first) smallest held exemplar
+   when the new episode is strictly worse — deterministic, bounded, and
+   allocation-free. *)
+let note_exemplar t ~mech ~cycles =
+  let m = mech_index mech in
+  let tp = Span.trace_proc () in
+  if tp >= 0 then begin
+    let ts = Span.trace_seq () in
+    let n = t.ex_n.(m) in
+    if n < exemplar_slots then begin
+      t.ex_cy.(m).(n) <- cycles;
+      t.ex_tp.(m).(n) <- tp;
+      t.ex_ts.(m).(n) <- ts;
+      t.ex_n.(m) <- n + 1
+    end
+    else begin
+      let worst = ref 0 in
+      for i = 1 to n - 1 do
+        if t.ex_cy.(m).(i) < t.ex_cy.(m).(!worst) then worst := i
+      done;
+      if cycles > t.ex_cy.(m).(!worst) then begin
+        t.ex_cy.(m).(!worst) <- cycles;
+        t.ex_tp.(m).(!worst) <- tp;
+        t.ex_ts.(m).(!worst) <- ts
+      end
+    end
+  end
+
 let deref_m t ~sid ~mech ~cycles =
   Metrics.observe t.deref_h.(mech_index mech) cycles;
+  if Span.is_on () then note_exemplar t ~mech ~cycles;
   if sid >= 0 then begin
     let key = (sid * 4) + mech_index mech in
     let h =
@@ -257,6 +303,49 @@ let site_summaries ?(site_names = []) t =
            | None -> Printf.sprintf "site#%d" sid
          in
          (sid, label, mech_name mechs.(key mod 4), summarize h))
+
+(* --- Exemplars ---------------------------------------------------------- *)
+
+type exemplar = {
+  ex_mech : mech;
+  ex_cycles : int;
+  ex_trace_proc : int;
+  ex_trace_seq : int;
+}
+
+let deref_quantile t mech q = Metrics.quantile t.deref_h.(mech_index mech) q
+
+(* The retained exemplars at or above the [percentile] threshold of
+   their mechanism's own latency histogram, worst first (ties broken by
+   trace id, so the order is deterministic). *)
+let exemplars ?(percentile = 0.99) t =
+  let out = ref [] in
+  Array.iter
+    (fun m ->
+      let mi = mech_index m in
+      if Metrics.observations t.deref_h.(mi) > 0 then begin
+        let threshold = Metrics.quantile t.deref_h.(mi) percentile in
+        for i = 0 to t.ex_n.(mi) - 1 do
+          if t.ex_cy.(mi).(i) >= threshold then
+            out :=
+              {
+                ex_mech = m;
+                ex_cycles = t.ex_cy.(mi).(i);
+                ex_trace_proc = t.ex_tp.(mi).(i);
+                ex_trace_seq = t.ex_ts.(mi).(i);
+              }
+              :: !out
+        done
+      end)
+    mechs;
+  List.sort
+    (fun a b ->
+      if a.ex_cycles <> b.ex_cycles then compare b.ex_cycles a.ex_cycles
+      else
+        compare
+          (a.ex_trace_proc, a.ex_trace_seq)
+          (b.ex_trace_proc, b.ex_trace_seq))
+    !out
 
 (* --- Serialization ----------------------------------------------------- *)
 
@@ -362,7 +451,12 @@ let csv t =
   in
   let buf = Buffer.create 4096 in
   Buffer.add_string buf "t0,t1";
-  List.iter (fun n -> Buffer.add_char buf ','; Buffer.add_string buf n)
+  (* stat names are identifiers today, but quote defensively: one odd
+     label must not shift every column after it *)
+  List.iter
+    (fun n ->
+      Buffer.add_char buf ',';
+      Buffer.add_string buf (Json.csv_field n))
     stat_names;
   for p = 0 to t.nprocs - 1 do
     Buffer.add_string buf (Printf.sprintf ",p%d_busy,p%d_comm,p%d_idle,p%d_recovery_stall" p p p p)
@@ -384,4 +478,31 @@ let csv t =
         w.w_procs;
       Buffer.add_char buf '\n')
     ws;
+  Buffer.contents buf
+
+(* Latency summaries as CSV: one row per mechanism, episode kind, and
+   (site, mechanism) pair.  Site labels are "field@function" strings
+   from user programs — always quoted through [Json.csv_field] so
+   commas or quotes in a label cannot corrupt the row. *)
+let latency_csv ?site_names t =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf
+    "scope,kind,sid,site,count,sum,min,max,mean,p50,p90,p99,p999\n";
+  let row ~scope ~kind ~sid ~site s =
+    Buffer.add_string buf
+      (Printf.sprintf "%s,%s,%s,%s,%d,%d,%d,%d,%.3f,%d,%d,%d,%d\n"
+         (Json.csv_field scope) (Json.csv_field kind) sid
+         (Json.csv_field site) s.count s.sum s.min s.max s.mean s.p50 s.p90
+         s.p99 s.p999)
+  in
+  List.iter
+    (fun (m, s) -> row ~scope:"deref" ~kind:m ~sid:"" ~site:"" s)
+    (deref_summaries t);
+  List.iter
+    (fun (k, s) -> row ~scope:"episode" ~kind:k ~sid:"" ~site:"" s)
+    (episode_summaries t);
+  List.iter
+    (fun (sid, label, m, s) ->
+      row ~scope:"site" ~kind:m ~sid:(string_of_int sid) ~site:label s)
+    (site_summaries ?site_names t);
   Buffer.contents buf

@@ -44,6 +44,10 @@ type mech =
 
 val mech_name : mech -> string
 
+val mech_index : mech -> int
+(** 0 = local, 1 = cache, 2 = migrate, 3 = fallback — the mechanism
+    code spans carry in their [b] payload. *)
+
 (** Closures over the running machine, supplied by the driver
     ([Common.execute]); the monitor has no dependency on the machine
     layer, so every layer above [olden_trace] may call into it. *)
@@ -152,6 +156,29 @@ val site_summaries :
 (** [(sid, label, mech, summary)] sorted by sid then mechanism;
     [site_names] maps sids to labels (e.g. [Site.labels ()]). *)
 
+(** {2 Exemplars}
+
+    While span tracing is on ({!Olden_span.Span.is_on}), the monitor
+    retains the trace ids of the worst dereference episodes per
+    mechanism (a small fixed number of slots, recorded without
+    allocating), so tail-latency percentiles can be traced back to the
+    concrete causal chains that produced them. *)
+
+type exemplar = {
+  ex_mech : mech;
+  ex_cycles : int;  (** the episode's end-to-end latency *)
+  ex_trace_proc : int;  (** trace id: origin processor... *)
+  ex_trace_seq : int;  (** ...and root sequence number *)
+}
+
+val exemplars : ?percentile:float -> t -> exemplar list
+(** Retained exemplars at or above the [percentile] (default 0.99)
+    threshold of their own mechanism's latency histogram, worst first;
+    deterministic order. *)
+
+val deref_quantile : t -> mech -> float -> int
+(** The mechanism's latency quantile ({!Metrics.quantile}). *)
+
 (** {2 Serialization} (docs/OBSERVABILITY.md) *)
 
 val latency_json : ?site_names:(int * string) list -> t -> Json.t
@@ -170,4 +197,11 @@ val timeseries_jsonl :
 val csv : t -> string
 (** One row per window, one column per series: [t0], [t1], every
     [Stats] field, then [pN_busy], [pN_comm], [pN_idle],
-    [pN_recovery_stall] for each processor. *)
+    [pN_recovery_stall] for each processor.  Header labels pass through
+    {!Json.csv_field}, so an odd stat name cannot shift columns. *)
+
+val latency_csv : ?site_names:(int * string) list -> t -> string
+(** Latency summaries as CSV: one row per mechanism, episode kind, and
+    (site, mech) pair.  Site labels (and every text field) are quoted
+    through {!Json.csv_field} — commas, quotes, or newlines in a label
+    cannot corrupt the row. *)

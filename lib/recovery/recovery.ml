@@ -102,6 +102,14 @@ let crash_and_recover t ~proc ~(log : Write_log.t) =
   let s = Machine.stats t.machine in
   let ps = t.procs.(proc) in
   let t0 = Machine.now t.machine proc in
+  (* the whole warm restart is one Crash envelope span: the per-home
+     recovery announcements below are retried request/replies, so their
+     Rpc spans (and any drop/backoff events) nest under it — a crash in
+     the middle of a dereference shows up inside that episode's tree *)
+  let module Span = Olden_span.Span in
+  let span_on = Span.is_on () in
+  let sprev = if span_on then Span.parent () else -1 in
+  let sid = if span_on then Span.enter () else -1 in
   if ps.crashes = 0 then
     ps.ever_at_first_crash <- Translation.entries_ever (Cache.table t.cache proc);
   ps.crashes <- ps.crashes + 1;
@@ -144,6 +152,9 @@ let crash_and_recover t ~proc ~(log : Write_log.t) =
   s.Stats.recovery_stall_cycles <- s.Stats.recovery_stall_cycles + stall;
   if Olden_monitor.Monitor.is_on () then
     Olden_monitor.Monitor.recovery_stall ~cycles:stall;
+  if span_on then
+    Span.exit_emit ~id:sid ~prev:sprev ~kind:Span.Crash ~proc ~t0
+      ~t1:(Machine.now t.machine proc) ~a:lost ~b:!homes;
   emit ~proc ~time:(Machine.now t.machine proc)
     (Trace.Recover { homes = !homes; stall })
 

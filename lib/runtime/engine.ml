@@ -18,6 +18,7 @@ module C = Olden_config
 module Cache = Olden_cache.Cache_system
 module Write_log = Olden_cache.Write_log
 module Trace = Olden_trace.Trace
+module Span = Olden_span.Span
 module Monitor = Olden_monitor.Monitor
 module Recovery = Olden_recovery.Recovery
 open Effects
@@ -223,16 +224,47 @@ let migrate_to t ~site ~target ~penalty ~ep0
   advance t c.C.migrate_send;
   if Trace.is_on () then emit t ~site (Trace.Migrate_send { target });
   Machine.count_bytes t.machine 256 (* registers + PC + frame *);
-  let ready_at = now t + c.C.net_latency + penalty in
+  let send_done = now t in
+  let ready_at = send_done + c.C.net_latency + penalty in
+  (* the trace context crosses the wire inside the scheduled closure:
+     saved here, restored when the state arrives, so the hops at the
+     target join this episode's tree.  The hop intervals telescope —
+     send [ep0, send_done], wire, penalty, queue, replay, recv, service —
+     so their durations sum exactly to the episode latency. *)
+  let sctx =
+    if Span.is_on () then begin
+      Span.child ~kind:Span.Send ~proc:source ~t0:ep0 ~t1:send_done ~a:target
+        ~b:0;
+      Span.child ~kind:Span.Wire ~proc:source ~t0:send_done
+        ~t1:(send_done + c.C.net_latency) ~a:0 ~b:0;
+      if penalty > 0 then
+        Span.child ~kind:Span.Penalty ~proc:target
+          ~t0:(send_done + c.C.net_latency) ~t1:ready_at ~a:penalty ~b:0;
+      Span.save ()
+    end
+    else Span.no_ctx
+  in
   schedule_event t ~proc:target ~ready_at
     {
       thread;
       go =
         (fun () ->
+          let span_on = Span.is_on () in
+          let t_arr = Machine.now t.machine target in
+          if span_on then begin
+            Span.restore sctx;
+            if t_arr > ready_at then
+              Span.child ~kind:Span.Queue ~proc:target ~t0:ready_at ~t1:t_arr
+                ~a:0 ~b:0
+          end;
           (* the target may have crashed while the state was in flight:
              recover first, then install — the transfer itself survives
              (it is retried network state, not victim cache state) *)
           check_crash t ~proc:target ~thread;
+          let t_rc = Machine.now t.machine target in
+          if span_on && t_rc > t_arr then
+            Span.child ~kind:Span.Replay ~proc:target ~t0:t_arr ~t1:t_rc ~a:0
+              ~b:0;
           Machine.advance t.machine target c.C.migrate_recv;
           if Trace.is_on () then
             Trace.emit
@@ -241,15 +273,26 @@ let migrate_to t ~site ~target ~penalty ~ep0
                 kind = Trace.Migrate_arrive { source } };
           (* an incoming migration is an acquire point *)
           Cache.on_migration_received t.cache ~proc:target;
+          let t_recv = Machine.now t.machine target in
+          if span_on then
+            Span.child ~kind:Span.Recv ~proc:target ~t0:t_rc ~t1:t_recv ~a:0
+              ~b:0;
           if Monitor.is_on () then
             (* episode entry ([ep0]) to restart here: the migration leg *)
             Monitor.migration
               ~cycles:(Machine.now t.machine target - ep0);
           let v = complete () in
+          if span_on then
+            Span.child ~kind:Span.Service ~proc:target ~t0:t_recv
+              ~t1:(Machine.now t.machine target) ~a:0 ~b:0;
           if Monitor.is_on () then
             (* entry to completion of the interrupted dereference *)
             Monitor.deref ~sid:site ~mech:Monitor.Migrate
               ~cycles:(Machine.now t.machine target - ep0);
+          if span_on then
+            Span.close_root
+              ~t1:(Machine.now t.machine target)
+              ~a:site ~b:2 (* mech code: migrate *);
           Effect.Deep.continue k v);
     }
 
@@ -372,23 +415,50 @@ let completed_mech t (site : Site.t) =
     | C.Cache -> Monitor.Cache
     | C.Migrate -> Monitor.Local (* completed immediately: data was local *)
 
+let mech_code = function
+  | Monitor.Local -> 0
+  | Monitor.Cache -> 1
+  | Monitor.Migrate -> 2
+  | Monitor.Fallback -> 3
+
+(* Span roots open here, at episode entry, *before* the body runs: if the
+   body raises [Must_perform] the root stays open in the ambient context
+   and the effect-handler arm continues the same episode (the arm is
+   always entered with the root already open — [Ops] tries the fast path
+   first).  [Monitor.deref] runs before [close_root] so exemplars can
+   read the trace id of the episode they record. *)
+
 let immediate_load t (site : Site.t) g field =
-  if not (Monitor.is_on ()) then immediate_load_u t site g field
+  let mon = Monitor.is_on () in
+  let sp = Span.is_on () in
+  if not (mon || sp) then immediate_load_u t site g field
   else begin
     let ep0 = now t in
+    if sp && not (Span.root_open ()) then
+      Span.open_root ~kind:Span.Deref ~proc:t.cur_proc ~t0:ep0;
     let v = immediate_load_u t site g field in
-    Monitor.deref ~sid:site.Site.sid ~mech:(completed_mech t site)
-      ~cycles:(now t - ep0);
+    let mech = completed_mech t site in
+    if mon then
+      Monitor.deref ~sid:site.Site.sid ~mech ~cycles:(now t - ep0);
+    if sp then
+      Span.close_root ~t1:(now t) ~a:site.Site.sid ~b:(mech_code mech);
     v
   end
 
 let immediate_store t (site : Site.t) g field v =
-  if not (Monitor.is_on ()) then immediate_store_u t site g field v
+  let mon = Monitor.is_on () in
+  let sp = Span.is_on () in
+  if not (mon || sp) then immediate_store_u t site g field v
   else begin
     let ep0 = now t in
+    if sp && not (Span.root_open ()) then
+      Span.open_root ~kind:Span.Deref ~proc:t.cur_proc ~t0:ep0;
     immediate_store_u t site g field v;
-    Monitor.deref ~sid:site.Site.sid ~mech:(completed_mech t site)
-      ~cycles:(now t - ep0)
+    let mech = completed_mech t site in
+    if mon then
+      Monitor.deref ~sid:site.Site.sid ~mech ~cycles:(now t - ep0);
+    if sp then
+      Span.close_root ~t1:(now t) ~a:site.Site.sid ~b:(mech_code mech)
   end
 
 let immediate_touch t (cell : fut) =
@@ -447,6 +517,12 @@ let try_migrate t ~(site : Site.t) ~home =
       Machine.stall t.machine t.cur_proc penalty;
       if Trace.is_on () then
         emit t ~site:site.Site.sid (Trace.Migrate_fallback { home; attempts });
+      if Span.is_on () then begin
+        Span.child ~kind:Span.Stall ~proc:t.cur_proc ~t0:(now t - penalty)
+          ~t1:(now t) ~a:penalty ~b:attempts;
+        Span.child ~kind:Span.Fallback ~proc:t.cur_proc ~t0:(now t)
+          ~t1:(now t) ~a:home ~b:attempts
+      end;
       None
 
 let rec handler t : (unit, unit) Effect.Deep.handler =
@@ -465,7 +541,7 @@ let rec handler t : (unit, unit) Effect.Deep.handler =
     | Load (site, g, field) ->
         Some
           (fun k ->
-            let ep0 = if Monitor.is_on () then now t else 0 in
+            let ep0 = if Monitor.is_on () || Span.is_on () then now t else 0 in
             match immediate_load t site g field with
             | v -> Effect.Deep.continue k v
             | exception Must_perform -> (
@@ -473,6 +549,8 @@ let rec handler t : (unit, unit) Effect.Deep.handler =
                    captured *)
                 let c = costs t in
                 let home = Gptr.proc g in
+                if Span.is_on () && not (Span.root_open ()) then
+                  Span.open_root ~kind:Span.Deref ~proc:t.cur_proc ~t0:ep0;
                 advance t c.C.pointer_test;
                 match try_migrate t ~site ~home with
                 | Some penalty ->
@@ -485,20 +563,32 @@ let rec handler t : (unit, unit) Effect.Deep.handler =
                         Machine.advance t.machine home c.C.local_ref;
                         Memory.load t.memory g field)
                 | None ->
+                    let sp = Span.is_on () in
+                    let prev = if sp then Span.parent () else -1 in
+                    let cid = if sp then Span.enter () else -1 in
+                    let cs0 = now t in
                     let v = cached_load t site g field in
+                    if sp then
+                      Span.exit_emit ~id:cid ~prev ~kind:Span.Cache_service
+                        ~proc:t.cur_proc ~t0:cs0 ~t1:(now t) ~a:home ~b:0;
                     if Monitor.is_on () then
                       Monitor.deref ~sid:site.Site.sid
                         ~mech:Monitor.Fallback ~cycles:(now t - ep0);
+                    if sp then
+                      Span.close_root ~t1:(now t) ~a:site.Site.sid
+                        ~b:3 (* mech code: fallback *);
                     Effect.Deep.continue k v))
     | Store (site, g, field, v) ->
         Some
           (fun k ->
-            let ep0 = if Monitor.is_on () then now t else 0 in
+            let ep0 = if Monitor.is_on () || Span.is_on () then now t else 0 in
             match immediate_store t site g field v with
             | () -> Effect.Deep.continue k ()
             | exception Must_perform -> (
                 let c = costs t in
                 let home = Gptr.proc g in
+                if Span.is_on () && not (Span.root_open ()) then
+                  Span.open_root ~kind:Span.Deref ~proc:t.cur_proc ~t0:ep0;
                 advance t c.C.pointer_test;
                 match try_migrate t ~site ~home with
                 | Some penalty ->
@@ -513,10 +603,20 @@ let rec handler t : (unit, unit) Effect.Deep.handler =
                         Cache.note_migrate_write t.cache ~proc:home g ~field
                           ~log:t.cur_thread.log)
                 | None ->
+                    let sp = Span.is_on () in
+                    let prev = if sp then Span.parent () else -1 in
+                    let cid = if sp then Span.enter () else -1 in
+                    let cs0 = now t in
                     cached_store t site g field v;
+                    if sp then
+                      Span.exit_emit ~id:cid ~prev ~kind:Span.Cache_service
+                        ~proc:t.cur_proc ~t0:cs0 ~t1:(now t) ~a:home ~b:0;
                     if Monitor.is_on () then
                       Monitor.deref ~sid:site.Site.sid
                         ~mech:Monitor.Fallback ~cycles:(now t - ep0);
+                    if sp then
+                      Span.close_root ~t1:(now t) ~a:site.Site.sid
+                        ~b:3 (* mech code: fallback *);
                     Effect.Deep.continue k ()))
     | Future body ->
         Some
@@ -595,10 +695,16 @@ let rec handler t : (unit, unit) Effect.Deep.handler =
             else begin
               let c = costs t in
               let s = stats t in
-              let ep0 = if Monitor.is_on () then now t else 0 in
+              let sp = Span.is_on () in
+              let ep0 = if Monitor.is_on () || sp then now t else 0 in
               s.Stats.returns <- s.Stats.returns + 1;
               let thread = t.cur_thread in
               let source = t.cur_proc in
+              (* a return stub is its own episode: a fresh root whose
+                 children are its send/wire/penalty/queue/replay/recv
+                 hops and any fault events along the way *)
+              if sp && not (Span.root_open ()) then
+                Span.open_root ~kind:Span.Return ~proc:source ~t0:ep0;
               (* a return is also a release point *)
               Cache.on_migration_sent t.cache ~proc:t.cur_proc
                 ~log:thread.log;
@@ -616,13 +722,40 @@ let rec handler t : (unit, unit) Effect.Deep.handler =
                 | Machine.Delivered { penalty } -> penalty
                 | Machine.Gave_up _ -> assert false
               in
-              let ready_at = now t + c.C.net_latency + penalty in
+              let send_done = now t in
+              let ready_at = send_done + c.C.net_latency + penalty in
+              let sctx =
+                if sp then begin
+                  Span.child ~kind:Span.Send ~proc:source ~t0:ep0
+                    ~t1:send_done ~a:target ~b:0;
+                  Span.child ~kind:Span.Wire ~proc:source ~t0:send_done
+                    ~t1:(send_done + c.C.net_latency) ~a:0 ~b:0;
+                  if penalty > 0 then
+                    Span.child ~kind:Span.Penalty ~proc:target
+                      ~t0:(send_done + c.C.net_latency) ~t1:ready_at
+                      ~a:penalty ~b:0;
+                  Span.save ()
+                end
+                else Span.no_ctx
+              in
               schedule_event t ~proc:target ~ready_at
                 {
                   thread;
                   go =
                     (fun () ->
+                      let span_on = Span.is_on () in
+                      let t_arr = Machine.now t.machine target in
+                      if span_on then begin
+                        Span.restore sctx;
+                        if t_arr > ready_at then
+                          Span.child ~kind:Span.Queue ~proc:target
+                            ~t0:ready_at ~t1:t_arr ~a:0 ~b:0
+                      end;
                       check_crash t ~proc:target ~thread;
+                      let t_rc = Machine.now t.machine target in
+                      if span_on && t_rc > t_arr then
+                        Span.child ~kind:Span.Replay ~proc:target ~t0:t_arr
+                          ~t1:t_rc ~a:0 ~b:0;
                       Machine.advance t.machine target c.C.return_recv;
                       if Trace.is_on () then
                         Trace.emit
@@ -631,9 +764,16 @@ let rec handler t : (unit, unit) Effect.Deep.handler =
                             kind = Trace.Return_arrive { source } };
                       Cache.on_return_received t.cache ~proc:target
                         ~log:thread.log;
+                      if span_on then
+                        Span.child ~kind:Span.Recv ~proc:target ~t0:t_rc
+                          ~t1:(Machine.now t.machine target) ~a:0 ~b:0;
                       if Monitor.is_on () then
                         Monitor.return_stub
                           ~cycles:(Machine.now t.machine target - ep0);
+                      if span_on then
+                        Span.close_root
+                          ~t1:(Machine.now t.machine target)
+                          ~a:target ~b:0;
                       Effect.Deep.continue k ());
                 }
             end)
@@ -755,9 +895,27 @@ let step t =
     t.cur_proc <- proc;
     t.cur_thread <- task.thread;
     if Trace.is_on () then Trace.set_thread task.thread.tid;
+    (* a task must not inherit the ambient span context of whatever ran
+       last: cross-task context travels only inside scheduled closures
+       (via [Span.save]/[restore]), which re-install it themselves *)
+    if Span.is_on () then Span.clear ();
     task.go ();
     true
   end
+
+(* One line per processor for flight-recorder dumps: where each clock
+   stands, what work is still queued, and the last span emitted there. *)
+let flight_state t =
+  let busy = Machine.busy_cycles t.machine in
+  let comm = Machine.comm_cycles t.machine in
+  List.init t.cfg.C.nprocs (fun p ->
+      Printf.sprintf
+        "p%d clock=%d busy=%d comm=%d events=%d worklist=%d last_span=%d" p
+        (Machine.now t.machine p)
+        busy.(p) comm.(p)
+        (Event_queue.length t.events.(p))
+        (Stack.length t.worklists.(p))
+        (Span.last_span_on p))
 
 (* The drained-but-blocked diagnostic: which sites the stuck threads
    parked at, and how many pending continuations each processor holds —
@@ -800,14 +958,33 @@ let deadlock_message t =
       (String.concat " "
          (List.map (fun (p, c) -> Printf.sprintf "p%d=%d" p c) pending))
   end;
+  (* span tracing localizes the wedge further: the last span each parked
+     processor emitted, and a flight-recorder dump when one is running *)
+  let parked_procs =
+    List.sort_uniq compare (List.map (fun (p, _) -> p) parked)
+  in
+  if Span.is_on () && parked_procs <> [] then begin
+    Buffer.add_string buf "; last span per parked proc: ";
+    Buffer.add_string buf
+      (String.concat " "
+         (List.map
+            (fun p -> Printf.sprintf "p%d=#%d" p (Span.last_span_on p))
+            parked_procs))
+  end;
+  (match Span.flight_dump ~reason:"deadlock" ~state:(flight_state t) with
+  | Some path -> Buffer.add_string buf ("; flight recorder: " ^ path)
+  | None -> ());
   Buffer.contents buf
 
 (* Run [program] to completion as the initial thread on processor 0. *)
 let exec t program =
   (* clear the ambient emitter context so events fired before the first
-     dereference don't inherit a stale thread/site from a previous run *)
+     dereference don't inherit a stale thread/site from a previous run;
+     span ids and per-proc sequences restart so same-seed runs export
+     byte-identical spans *)
   Trace.set_thread (-1);
   Trace.set_site (-1);
+  Span.reset ();
   let main_thread = new_thread t in
   schedule_event t ~proc:0 ~ready_at:0
     {

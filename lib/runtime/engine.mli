@@ -58,6 +58,11 @@ val report : t -> report
 val phase_snapshots : t -> (string * int * Stats.t) list
 (** Each phase mark with the statistics snapshot taken at it. *)
 
+val flight_state : t -> string list
+(** One line per processor (clock, busy/comm cycles, queued events,
+    work-list depth, last span id) — the machine-state section of a
+    flight-recorder dump ({!Olden_span.Span.flight_dump}). *)
+
 val interval : t -> start:string -> stop:string option -> int * Stats.t
 (** Duration and statistics of the region between two phase marks (or
     from [start] to the end of the run).

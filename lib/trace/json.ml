@@ -277,3 +277,24 @@ let to_list = function List items -> items | _ -> []
 
 let string_value = function String s -> Some s | _ -> None
 let int_value = function Int i -> Some i | _ -> None
+
+(* --- CSV field quoting -------------------------------------------------- *)
+
+(* RFC 4180: a field containing a comma, quote, CR, or LF is wrapped in
+   double quotes with embedded quotes doubled; anything else passes
+   through unchanged (so numeric columns stay bare). *)
+let csv_field s =
+  let needs_quoting =
+    String.exists (function '"' | ',' | '\n' | '\r' -> true | _ -> false) s
+  in
+  if not needs_quoting then s
+  else begin
+    let b = Buffer.create (String.length s + 8) in
+    Buffer.add_char b '"';
+    String.iter
+      (fun c ->
+        if c = '"' then Buffer.add_string b "\"\"" else Buffer.add_char b c)
+      s;
+    Buffer.add_char b '"';
+    Buffer.contents b
+  end

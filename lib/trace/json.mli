@@ -33,3 +33,8 @@ val to_list : t -> t list
 
 val string_value : t -> string option
 val int_value : t -> int option
+
+val csv_field : string -> string
+(** RFC 4180 quoting for one CSV field: wrapped in double quotes (with
+    embedded quotes doubled) when it contains a comma, quote, or
+    newline; returned unchanged otherwise. *)

@@ -16,4 +16,5 @@ let () =
       ("chaos", Test_chaos.suite);
       ("recovery", Test_recovery.suite);
       ("monitor", Test_monitor.suite);
+      ("span", Test_span.suite);
     ]

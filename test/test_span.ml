@@ -1,0 +1,339 @@
+(* Causal span tracing: the golden 2-processor treeadd span tree, byte
+   determinism of the olden-spans/v1 export across all ten benchmarks,
+   exemplar trace ids naming real completed episodes whose root duration
+   is the recorded latency, exact hop tiling of migration episodes, the
+   flight-recorder dump on a forced deadlock, and zero perturbation of
+   the simulation whether tracing is on or off. *)
+
+open Olden
+module B = Olden_benchmarks
+
+let check = Alcotest.check
+let int = Alcotest.int
+let bool = Alcotest.bool
+let string = Alcotest.string
+
+(* Small scales so the whole suite stays fast (test_chaos's table). *)
+let test_scale (s : B.Common.spec) =
+  match s.B.Common.name with
+  | "TreeAdd" -> 256
+  | "Power" -> 8
+  | "TSP" -> 32
+  | "MST" -> 8
+  | "Bisort" -> 128
+  | "Voronoi" -> 64
+  | "EM3D" -> 8
+  | "Barnes-Hut" -> 16
+  | "Perimeter" -> 16
+  | "Health" -> 8
+  | _ -> 16
+
+let spec name =
+  List.find (fun (s : B.Common.spec) -> s.B.Common.name = name)
+    B.Registry.specs
+
+(* One spanned run: fresh site registry so site ids are reproducible. *)
+let spanned ?faults ?(nprocs = 8) ?(coherence = Config.Local)
+    (s : B.Common.spec) =
+  Site.reset ();
+  let cfg = Config.make ~nprocs ~coherence ?faults () in
+  let o, spans =
+    Span.collect (fun () -> s.B.Common.run cfg ~scale:(test_scale s))
+  in
+  check bool (s.B.Common.name ^ " verified") true o.B.Common.ok;
+  (o, spans)
+
+(* --- Golden 2-processor treeadd span tree -------------------------------- *)
+
+let run_treeadd () =
+  Site.reset ();
+  let cfg = Config.make ~nprocs:2 () in
+  let o, spans =
+    Span.collect (fun () ->
+        B.Treeadd.spec.B.Common.run cfg ~scale:1_000_000)
+  in
+  check bool "verified" true o.B.Common.ok;
+  spans
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let test_golden () =
+  let got = Span.jsonl (run_treeadd ()) in
+  let want = read_file "golden/treeadd_p2_spans.jsonl" in
+  check string "matches the committed golden span stream" want got
+
+let test_treeadd_stream () =
+  let spans = run_treeadd () in
+  check bool "spans emitted" true (Array.length spans > 0);
+  let count p =
+    Array.fold_left (fun n s -> if p s then n + 1 else n) 0 spans
+  in
+  (* treeadd migrates: its episodes carry the full hop chain *)
+  check bool "migrate episodes present" true
+    (count (fun (s : Span.span) ->
+         s.Span.kind = Span.Deref && s.Span.b = 2) > 0);
+  check bool "send hops present" true
+    (count (fun s -> s.Span.kind = Span.Send) > 0);
+  (* every non-root names a parent that exists, with the same trace id *)
+  let by_id = Hashtbl.create 512 in
+  Array.iter (fun (s : Span.span) -> Hashtbl.replace by_id s.Span.id s) spans;
+  Array.iter
+    (fun (s : Span.span) ->
+      if s.Span.parent >= 0 then
+        match Hashtbl.find_opt by_id s.Span.parent with
+        | None -> Alcotest.failf "span %d: parent %d missing" s.Span.id s.Span.parent
+        | Some p ->
+            check bool "child shares its parent's trace id" true
+              (p.Span.trace_proc = s.Span.trace_proc
+              && p.Span.trace_seq = s.Span.trace_seq))
+    spans
+
+(* MST's accumulation phase sends return stubs home: their roots carry
+   the same propagated hop chain as migrations. *)
+let test_return_stub_roots () =
+  let _, spans = spanned (spec "MST") in
+  let returns =
+    Array.to_list spans
+    |> List.filter (fun (s : Span.span) -> s.Span.kind = Span.Return)
+  in
+  check bool "return-stub roots present" true (returns <> []);
+  List.iter
+    (fun (r : Span.span) ->
+      check int "return roots have no parent" (-1) r.Span.parent;
+      let kids =
+        Array.to_list spans
+        |> List.filter (fun (s : Span.span) -> s.Span.parent = r.Span.id)
+      in
+      check bool "return root carries its hop chain" true
+        (List.exists (fun (s : Span.span) -> s.Span.kind = Span.Send) kids))
+    returns
+
+(* --- Determinism: same seed, byte-identical export ------------------------ *)
+
+let test_run_twice_byte_identical () =
+  List.iter
+    (fun (s : B.Common.spec) ->
+      let _, spans1 = spanned s in
+      let _, spans2 = spanned s in
+      check string
+        (s.B.Common.name ^ " olden-spans/v1 byte-identical")
+        (Span.jsonl spans1) (Span.jsonl spans2))
+    B.Registry.specs
+
+(* --- Exemplars name real episodes ----------------------------------------- *)
+
+(* Run with the monitor and the span collector together (what olden-run
+   explain does) and hand back both. *)
+let monitored_spanned ?faults ?(nprocs = 8) ?(coherence = Config.Local)
+    (s : B.Common.spec) =
+  Site.reset ();
+  let cfg = Config.make ~nprocs ~coherence ?faults () in
+  B.Common.monitor_interval := Some 10_000;
+  let o, spans =
+    Fun.protect
+      ~finally:(fun () -> B.Common.monitor_interval := None)
+      (fun () ->
+        Span.collect (fun () -> s.B.Common.run cfg ~scale:(test_scale s)))
+  in
+  let m = Option.get !B.Common.last_monitor in
+  B.Common.last_monitor := None;
+  check bool (s.B.Common.name ^ " verified") true o.B.Common.ok;
+  (m, spans)
+
+let root_of spans ~trace_proc ~trace_seq =
+  Array.fold_left
+    (fun acc (s : Span.span) ->
+      if
+        s.Span.parent = -1
+        && s.Span.trace_proc = trace_proc
+        && s.Span.trace_seq = trace_seq
+      then Some s
+      else acc)
+    None spans
+
+let check_exemplars name (m : Monitor.t) spans =
+  let exemplars = Monitor.exemplars ~percentile:0.99 m in
+  check bool (name ^ " retained exemplars") true (exemplars <> []);
+  List.iter
+    (fun (e : Monitor.exemplar) ->
+      match
+        root_of spans ~trace_proc:e.Monitor.ex_trace_proc
+          ~trace_seq:e.Monitor.ex_trace_seq
+      with
+      | None ->
+          Alcotest.failf "%s: exemplar trace %d:%d has no completed root"
+            name e.Monitor.ex_trace_proc e.Monitor.ex_trace_seq
+      | Some root ->
+          check bool (name ^ " exemplar root is a dereference") true
+            (root.Span.kind = Span.Deref);
+          check int
+            (name ^ " exemplar latency equals the root span duration")
+            e.Monitor.ex_cycles
+            (root.Span.t1 - root.Span.t0);
+          check int
+            (name ^ " exemplar mechanism matches the root")
+            (Monitor.mech_index e.Monitor.ex_mech)
+            root.Span.b)
+    exemplars
+
+let test_exemplars_real () =
+  let m, spans =
+    monitored_spanned ~faults:(Config.Faults.mixed ~seed:1 ()) (spec "EM3D")
+  in
+  check_exemplars "em3d/mix" m spans;
+  let m, spans =
+    monitored_spanned
+      ~faults:(Config.Faults.crash_mix ~seed:2 ())
+      ~coherence:Config.Global (spec "Health")
+  in
+  check_exemplars "health/crash-mix" m spans
+
+(* --- Hop accounting: the chain tiles the episode -------------------------- *)
+
+let test_hop_tiling () =
+  let _, spans = spanned ~faults:(Config.Faults.mixed ~seed:1 ()) (spec "EM3D") in
+  let checked = ref 0 in
+  Array.iter
+    (fun (root : Span.span) ->
+      if root.Span.parent = -1 && root.Span.kind = Span.Deref && root.Span.b = 2
+      then begin
+        (* a migrated dereference: its direct hop children are contiguous
+           and tile [first hop start, episode end] exactly — the per-hop
+           cycles the explain view prints sum to the episode latency *)
+        let hops =
+          Array.to_list spans
+          |> List.filter (fun (s : Span.span) ->
+                 s.Span.parent = root.Span.id && Span.is_hop s.Span.kind)
+          |> List.sort (fun (a : Span.span) b ->
+                 compare (a.Span.t0, a.Span.id) (b.Span.t0, b.Span.id))
+        in
+        check bool "migrate episode has hops" true (hops <> []);
+        let rec contiguous t = function
+          | [] -> t
+          | (h : Span.span) :: rest ->
+              check int "hops contiguous" t h.Span.t0;
+              contiguous h.Span.t1 rest
+        in
+        let t_end = contiguous (List.hd hops).Span.t0 hops in
+        check int "last hop ends at the episode end" root.Span.t1 t_end;
+        let hop_sum =
+          List.fold_left (fun a (h : Span.span) -> a + h.Span.t1 - h.Span.t0) 0 hops
+        in
+        check bool "hop cycles within the episode latency" true
+          (hop_sum <= root.Span.t1 - root.Span.t0);
+        incr checked
+      end)
+    spans;
+  check bool "saw migrated episodes" true (!checked > 0)
+
+(* --- Flight recorder ------------------------------------------------------- *)
+
+let test_flight_dump_on_deadlock () =
+  let path = Filename.temp_file "olden_flight" ".dump" in
+  Span.flight_set_path path;
+  Span.flight_enable ();
+  let site = Site.migrate "t.f" in
+  let msg =
+    Fun.protect
+      ~finally:(fun () -> Span.flight_disable ())
+      (fun () ->
+        match
+          let engine = Engine.create (Config.make ~nprocs:4 ()) in
+          Engine.exec engine (fun () ->
+              let r = ref None in
+              let f =
+                Ops.future (fun () ->
+                    let a = Ops.alloc ~proc:1 2 in
+                    Ops.store_int site a 0 1;
+                    match !r with
+                    | Some g -> Ops.touch g
+                    | None -> Value.Int 0)
+              in
+              let g = Ops.future (fun () -> Ops.touch f) in
+              r := Some g;
+              ignore (Ops.touch f))
+        with
+        | exception Olden_runtime.Engine.Deadlock msg -> msg
+        | () -> Alcotest.fail "expected a deadlock")
+  in
+  (* the enriched report: last span per parked processor + dump path *)
+  let contains hay needle =
+    let lh = String.length hay and ln = String.length needle in
+    let rec go i = i + ln <= lh && (String.sub hay i ln = needle || go (i + 1)) in
+    go 0
+  in
+  check bool "report names the last span per parked proc" true
+    (contains msg "last span per parked proc");
+  check bool "report names the dump file" true
+    (contains msg ("flight recorder: " ^ path));
+  let dump = read_file path in
+  Sys.remove path;
+  check bool "dump states the reason" true (contains dump "reason: deadlock");
+  check bool "dump carries machine state" true (contains dump "machine state:");
+  check bool "dump replays the last span events" true
+    (contains dump "last events (oldest first):");
+  check bool "dump shows dereference spans" true (contains dump "deref")
+
+(* --- Off means off ---------------------------------------------------------- *)
+
+let test_off_by_default () =
+  check bool "no span sink installed" false (Span.is_on ());
+  (* the hooks are no-ops rather than errors when nothing is installed *)
+  Span.child ~kind:Span.Drop ~proc:0 ~t0:0 ~t1:0 ~a:0 ~b:0;
+  Span.clear ();
+  check int "no ambient trace" (-1) (Span.trace_proc ())
+
+let test_span_neutral () =
+  (* collecting spans must not perturb the simulation: identical result,
+     cycles, and statistics with the collector on and off *)
+  let s = spec "MST" in
+  Site.reset ();
+  let plain = s.B.Common.run (Config.make ~nprocs:8 ()) ~scale:(test_scale s) in
+  let o, _ = spanned s in
+  check string "checksum unchanged" plain.B.Common.checksum o.B.Common.checksum;
+  check int "total cycles unchanged" plain.B.Common.total_cycles
+    o.B.Common.total_cycles;
+  check string "stats unchanged"
+    (Json.to_string (Stats.to_json plain.B.Common.total_stats))
+    (Json.to_string (Stats.to_json o.B.Common.total_stats))
+
+(* --- Chrome export ---------------------------------------------------------- *)
+
+let test_chrome_export () =
+  let spans = run_treeadd () in
+  let j = Json.of_string (Span.chrome_to_string ~nprocs:2 spans) in
+  let events = Json.to_list (Option.get (Json.member "traceEvents" j)) in
+  check bool "has events" true (events <> []);
+  (* cross-processor episodes produce flow arrows in start/finish pairs *)
+  let phase e =
+    Option.get (Option.bind (Json.member "ph" e) Json.string_value)
+  in
+  let starts = List.length (List.filter (fun e -> phase e = "s") events) in
+  let finishes = List.length (List.filter (fun e -> phase e = "f") events) in
+  check bool "flow arrows present" true (starts > 0);
+  check int "flow starts pair with finishes" starts finishes
+
+let suite =
+  [
+    Alcotest.test_case "golden treeadd span stream" `Quick test_golden;
+    Alcotest.test_case "treeadd span tree well-formed" `Quick
+      test_treeadd_stream;
+    Alcotest.test_case "return stubs open propagated roots" `Quick
+      test_return_stub_roots;
+    Alcotest.test_case "run-twice byte-identical export (all ten)" `Slow
+      test_run_twice_byte_identical;
+    Alcotest.test_case "exemplars name real episodes" `Quick
+      test_exemplars_real;
+    Alcotest.test_case "migration hops tile the episode" `Quick
+      test_hop_tiling;
+    Alcotest.test_case "flight recorder dumps on deadlock" `Quick
+      test_flight_dump_on_deadlock;
+    Alcotest.test_case "off by default" `Quick test_off_by_default;
+    Alcotest.test_case "span collection never perturbs the run" `Quick
+      test_span_neutral;
+    Alcotest.test_case "chrome export flow arrows" `Quick test_chrome_export;
+  ]

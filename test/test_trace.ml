@@ -38,6 +38,15 @@ let test_json_accessors () =
     (List.length (Json.to_list (Option.get (Json.member "ys" j))));
   check bool "missing member" true (Json.member "zzz" j = None)
 
+let test_csv_field_quoting () =
+  (* RFC 4180: fields with commas, quotes, or line breaks are wrapped in
+     double quotes, embedded quotes doubled; plain fields pass through *)
+  check string "plain" "t->left@treeadd" (Json.csv_field "t->left@treeadd");
+  check string "comma" "\"a,b\"" (Json.csv_field "a,b");
+  check string "quote" "\"say \"\"hi\"\"\"" (Json.csv_field "say \"hi\"");
+  check string "newline" "\"two\nlines\"" (Json.csv_field "two\nlines");
+  check string "empty" "" (Json.csv_field "")
+
 (* --- Metrics -------------------------------------------------------------- *)
 
 let test_metrics_counters () =
@@ -343,6 +352,7 @@ let suite =
   [
     Alcotest.test_case "json roundtrip" `Quick test_json_roundtrip;
     Alcotest.test_case "json accessors" `Quick test_json_accessors;
+    Alcotest.test_case "csv field quoting" `Quick test_csv_field_quoting;
     Alcotest.test_case "metrics counters" `Quick test_metrics_counters;
     Alcotest.test_case "metrics quantiles" `Quick test_metrics_quantile;
     Alcotest.test_case "metrics windowed deltas" `Quick test_metrics_delta;
