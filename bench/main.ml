@@ -22,25 +22,36 @@ let ppf = Format.std_formatter
 
 let rule () = Format.printf "%s@." (String.make 78 '-')
 
+(* The snapshot modes below accept --domains N: each benchmark row is one
+   job on an Olden_parallel pool, and the engine inside each run is
+   sharded the same way.  Every job starts from a full Site.reset, so
+   site ids are job-local and the artifacts are byte-identical for any
+   pool size — CI cmp's a --domains 1 run against a --domains 4 run. *)
+let sweep_rows ~domains job =
+  let rows, _ =
+    Olden_parallel.Sweep.run ~domains
+      (fun ~label:_ s -> job s)
+      (List.map (fun (s : Common.spec) -> (s.Common.name, s)) Registry.specs)
+  in
+  List.map (fun (p : _ Olden_parallel.Sweep.point) -> p.Olden_parallel.Sweep.value) rows
+
 (* Machine-readable counterpart of Table 2: one olden-metrics/v1 snapshot
    per benchmark (8 processors, harness scale, traced so the snapshot
    includes event-derived histograms), written to BENCH_table2.json in
    the working directory. *)
-let metrics_snapshots () =
+let metrics_snapshots ~domains () =
   let module Json = Olden_trace.Json in
   let nprocs = 8 in
   let rows =
-    List.map
-      (fun (s : Common.spec) ->
-        let cfg = C.make ~nprocs () in
+    sweep_rows ~domains (fun (s : Common.spec) ->
+        let cfg = C.make ~nprocs ~host_domains:domains () in
         let scale = s.Common.default_scale in
-        Common.record_trace := true;
-        Olden_runtime.Site.reset_profiles ();
+        (Common.hooks ()).record_trace <- true;
+        Olden_runtime.Site.reset ();
         let o = s.Common.run cfg ~scale in
-        Common.record_trace := false;
-        let events = Option.value ~default:[||] !Common.last_trace in
+        (Common.hooks ()).record_trace <- false;
+        let events = Option.value ~default:[||] (Common.hooks ()).last_trace in
         Common.metrics_snapshot ~events s ~cfg ~scale o)
-      Registry.specs
   in
   let file = "BENCH_table2.json" in
   let oc = open_out file in
@@ -63,26 +74,25 @@ let metrics_snapshots () =
    carrying the end-to-end dereference/episode latency quantiles
    (olden-latency/v1, documented in docs/OBSERVABILITY.md).  Deterministic,
    so CI diffs it against bench/baseline_latency.json. *)
-let latency_snapshots () =
+let latency_snapshots ~domains () =
   let module Json = Olden_trace.Json in
   let nprocs = 8 in
   let interval = 100_000 in
   let rows =
-    List.map
-      (fun (s : Common.spec) ->
-        let cfg = C.make ~nprocs () in
+    sweep_rows ~domains (fun (s : Common.spec) ->
+        let cfg = C.make ~nprocs ~host_domains:domains () in
         let scale = s.Common.default_scale in
-        Common.monitor_interval := Some interval;
+        (Common.hooks ()).monitor_interval <- Some interval;
         (* full reset (not just profiles): site ids restart at 0 per
            benchmark, so per-site labels are stable run to run *)
         Olden_runtime.Site.reset ();
         let o =
           Fun.protect
-            ~finally:(fun () -> Common.monitor_interval := None)
+            ~finally:(fun () -> (Common.hooks ()).monitor_interval <- None)
             (fun () -> s.Common.run cfg ~scale)
         in
-        let m = Option.get !Common.last_monitor in
-        Common.last_monitor := None;
+        let m = Option.get (Common.hooks ()).last_monitor in
+        (Common.hooks ()).last_monitor <- None;
         Json.Obj
           [
             ("benchmark", Json.String s.Common.name);
@@ -98,7 +108,6 @@ let latency_snapshots () =
                 ~site_names:(Olden_runtime.Site.labels ())
                 m );
           ])
-      Registry.specs
   in
   let file = "BENCH_latency.json" in
   let oc = open_out file in
@@ -121,24 +130,23 @@ let latency_snapshots () =
    per benchmark (8 processors, harness scale) counting causal spans per
    kind — a cheap, fully deterministic canary for the olden-spans/v1
    exporter (CI additionally byte-compares two full exports). *)
-let spans_census () =
+let spans_census ~domains () =
   let module Json = Olden_trace.Json in
   let module Span = Olden_span.Span in
   let nprocs = 8 in
   let rows =
-    List.map
-      (fun (s : Common.spec) ->
-        let cfg = C.make ~nprocs () in
+    sweep_rows ~domains (fun (s : Common.spec) ->
+        let cfg = C.make ~nprocs ~host_domains:domains () in
         let scale = s.Common.default_scale in
-        Common.record_spans := true;
-        Olden_runtime.Site.reset_profiles ();
+        (Common.hooks ()).record_spans <- true;
+        Olden_runtime.Site.reset ();
         let o =
           Fun.protect
-            ~finally:(fun () -> Common.record_spans := false)
+            ~finally:(fun () -> (Common.hooks ()).record_spans <- false)
             (fun () -> s.Common.run cfg ~scale)
         in
-        let spans = Option.value ~default:[||] !Common.last_spans in
-        Common.last_spans := None;
+        let spans = Option.value ~default:[||] (Common.hooks ()).last_spans in
+        (Common.hooks ()).last_spans <- None;
         let counts = Hashtbl.create 8 in
         Array.iter
           (fun (sp : Span.span) ->
@@ -158,7 +166,6 @@ let spans_census () =
             ("spans", Json.Int (Array.length spans));
             ("per_kind", Json.Obj per_kind);
           ])
-      Registry.specs
   in
   let file = "BENCH_spans.json" in
   let oc = open_out file in
@@ -226,15 +233,15 @@ let tables () =
   rule ();
   Em3d.pp_sweep ppf (Em3d.remote_sweep ());
   rule ();
-  metrics_snapshots ();
+  metrics_snapshots ~domains:1 ();
   rule ()
 
 (* Host-side throughput of the simulator itself over the Table-2 suite;
    the machine-readable report feeds CI's warn-only wall-clock comparison
    (see docs/PERFORMANCE.md). *)
-let hostperf () =
+let hostperf ~domains () =
   let module Json = Olden_trace.Json in
-  let report = Hostperf.run () in
+  let report = Hostperf.run ~domains () in
   Format.printf "%a" Hostperf.pp report;
   let file = "BENCH_hostperf.json" in
   let oc = open_out file in
@@ -315,15 +322,38 @@ let micro () =
         results)
     bech_tests
 
+(* --domains N anywhere after the mode word sizes the snapshot sweeps'
+   domain pool (and the engine's shard count inside each run); outputs
+   are byte-identical for any value. *)
+let parse_domains () =
+  let domains = ref 1 in
+  let argv = Sys.argv in
+  for i = 1 to Array.length argv - 1 do
+    if argv.(i) = "--domains" then
+      if i + 1 >= Array.length argv then begin
+        prerr_endline "bench: --domains needs a value";
+        exit 2
+      end
+      else
+        match int_of_string_opt argv.(i + 1) with
+        | Some n when n >= 1 -> domains := n
+        | _ ->
+            Printf.eprintf "bench: --domains must be at least 1 (got %s)\n"
+              argv.(i + 1);
+            exit 2
+  done;
+  !domains
+
 let () =
   let what = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
+  let domains = parse_domains () in
   (match what with
   | "tables" -> tables ()
   | "micro" -> micro ()
-  | "snapshots" -> metrics_snapshots ()
-  | "hostperf" -> hostperf ()
-  | "latency" -> latency_snapshots ()
-  | "spans" -> spans_census ()
+  | "snapshots" -> metrics_snapshots ~domains ()
+  | "hostperf" -> hostperf ~domains ()
+  | "latency" -> latency_snapshots ~domains ()
+  | "spans" -> spans_census ~domains ()
   | _ ->
       tables ();
       micro ());

@@ -71,6 +71,25 @@ let policy_t =
     & info [ "m"; "policy" ] ~docv:"POLICY"
         ~doc:"Mechanism policy: heuristic, migrate-only, or cache-only.")
 
+let domains_t =
+  Arg.(
+    value & opt int 1
+    & info [ "d"; "domains" ] ~docv:"N"
+        ~doc:
+          "Host OCaml domains.  For a single run this sets the engine's \
+           scheduler shard count (results are bit-identical for any \
+           value); for sweep subcommands (chaos, hostperf) it sizes the \
+           domain pool that runs independent points concurrently.")
+
+(* --domains is validated by hand (not via cmdliner's parser) so every
+   subcommand shares the one usage-error path: message on stderr, exit 2. *)
+let check_domains n =
+  if n < 1 then begin
+    Format.eprintf "olden-run: --domains must be at least 1 (got %d)@." n;
+    exit 2
+  end;
+  n
+
 let faults_name_t =
   Arg.(
     value
@@ -165,12 +184,12 @@ let with_out file f =
 (* Run one benchmark with the trace collector installed when any output
    asks for events; returns the outcome and the (possibly empty) stream. *)
 let run_collected (spec : B.Common.spec) cfg ~scale ~want_events =
-  B.Common.record_trace := want_events;
+  (B.Common.hooks ()).record_trace <- want_events;
   Olden_runtime.Site.reset_profiles ();
   let o = spec.B.Common.run cfg ~scale in
-  B.Common.record_trace := false;
+  (B.Common.hooks ()).record_trace <- false;
   let events =
-    if want_events then Option.value ~default:[||] !B.Common.last_trace
+    if want_events then Option.value ~default:[||] (B.Common.hooks ()).last_trace
     else [||]
   in
   (o, events)
@@ -206,18 +225,21 @@ let timeline_t =
 
 let bench_cmd =
   let run name procs scale coherence policy timeline sites trace_file
-      jsonl_file metrics_file faults_name fault_seed =
+      jsonl_file metrics_file faults_name fault_seed domains =
+    let domains = check_domains domains in
     let spec = find_spec name in
     let scale = if scale = 0 then spec.B.Common.default_scale else scale in
     let faults = faults_of ~name:faults_name ~seed:fault_seed in
-    let cfg = C.make ~nprocs:procs ~coherence ~policy ?faults () in
-    B.Common.record_timeline := timeline;
+    let cfg =
+      C.make ~nprocs:procs ~coherence ~policy ~host_domains:domains ?faults ()
+    in
+    (B.Common.hooks ()).record_timeline <- timeline;
     let want_events =
       Option.is_some trace_file || Option.is_some jsonl_file
       || Option.is_some metrics_file
     in
     let o, events = run_collected spec cfg ~scale ~want_events in
-    B.Common.record_timeline := false;
+    (B.Common.hooks ()).record_timeline <- false;
     Format.printf "%s on %d processor(s), scale 1/%d, %s coherence, %s policy@."
       spec.B.Common.name procs scale
       (C.coherence_to_string coherence)
@@ -231,7 +253,7 @@ let bench_cmd =
       (B.Common.commas o.B.Common.total_cycles)
       (B.Common.commas (B.Common.measured_cycles spec o));
     Format.printf "%a@." Stats.pp (B.Common.measured_stats spec o);
-    (match (timeline, !B.Common.last_timeline) with
+    (match (timeline, (B.Common.hooks ()).last_timeline) with
     | true, Some chart -> Format.printf "%s" chart
     | _ -> ());
     if sites then begin
@@ -249,7 +271,7 @@ let bench_cmd =
     Term.(
       const run $ name_t $ procs_t $ scale_t $ coherence_t $ policy_t
       $ timeline_t $ sites_t $ trace_file_t $ jsonl_file_t $ metrics_file_t
-      $ faults_name_t $ fault_seed_t)
+      $ faults_name_t $ fault_seed_t $ domains_t)
 
 let head_t =
   Arg.(
@@ -304,8 +326,8 @@ let header spec ~procs ~scale ~coherence ~policy (o : B.Common.outcome) =
    (exactly, when handler contention is off), and migration in-flight
    time is reported with its restart-busy overlap called out. *)
 let pp_reconciliation ppf ~(cfg : C.t) ~makespan entries =
-  let busy = Array.fold_left ( + ) 0 !B.Common.last_busy in
-  let comm = Array.fold_left ( + ) 0 !B.Common.last_comm in
+  let busy = Array.fold_left ( + ) 0 (B.Common.hooks ()).last_busy in
+  let comm = Array.fold_left ( + ) 0 (B.Common.hooks ()).last_comm in
   let nprocs = cfg.C.nprocs in
   let total = nprocs * makespan in
   let idle = total - busy - comm in
@@ -421,8 +443,8 @@ let critical_path_cmd =
     Format.printf "%a"
       (fun ppf rows -> Profile.Critical_path.pp_breakdown ppf ~makespan rows)
       (Profile.Critical_path.breakdown
-         ~recovery:!B.Common.last_recovery_stall ~makespan
-         ~busy:!B.Common.last_busy ~comm:!B.Common.last_comm ());
+         ~recovery:(B.Common.hooks ()).last_recovery_stall ~makespan
+         ~busy:(B.Common.hooks ()).last_busy ~comm:(B.Common.hooks ()).last_comm ());
     if not o.B.Common.ok then exit 1
   in
   Cmd.v
@@ -487,8 +509,9 @@ let hostperf_procs_t =
         ~doc:"Processor count (the suite's committed baseline uses 8).")
 
 let hostperf_cmd =
-  let run procs repeats out baseline =
-    let report = B.Hostperf.run ~nprocs:procs ~repeats () in
+  let run procs repeats out baseline domains =
+    let domains = check_domains domains in
+    let report = B.Hostperf.run ~nprocs:procs ~repeats ~domains () in
     Format.printf "%a" B.Hostperf.pp report;
     Option.iter
       (fun file ->
@@ -540,7 +563,9 @@ let hostperf_cmd =
           suite: wall-clock per benchmark, simulated cycles/sec and \
           events/sec; writes BENCH_hostperf.json.  Run under dune's release \
           profile for representative numbers.")
-    Term.(const run $ hostperf_procs_t $ repeats_t $ out_t $ baseline_t)
+    Term.(
+      const run $ hostperf_procs_t $ repeats_t $ out_t $ baseline_t
+      $ domains_t)
 
 (* --- Chaos harness ------------------------------------------------------- *)
 
@@ -549,9 +574,16 @@ module Check = Olden_check.Invariants
 (* One benchmark under one fault schedule: run fault-free first for the
    reference heap digest and checksum, then the faulty runs; each must
    complete, verify, produce the same checksum, pass every invariant, and
-   end with the reference heap. *)
+   end with the reference heap.
+
+   The matrix runs on a domain pool (--domains): references first (each
+   benchmark one point), then every (benchmark, schedule, seed) point as
+   an independent job.  All printing happens after the sweeps from
+   results in submission order, so stdout is byte-identical for any pool
+   size; the pool's own timing summary goes to stderr. *)
 let chaos_cmd =
-  let run names procs scale schedules seeds coherence policy =
+  let run names procs scale schedules seeds coherence policy domains =
+    let domains = check_domains domains in
     let specs =
       match names with [] -> B.Registry.specs | names -> List.map find_spec names
     in
@@ -564,6 +596,98 @@ let chaos_cmd =
     List.iter
       (fun s -> ignore (faults_of ~name:(Some s) ~seed:1))
       schedules;
+    let scale_of (spec : B.Common.spec) =
+      if scale = 0 then spec.B.Common.default_scale else scale
+    in
+    (* Phase 1: fault-free references. *)
+    let ref_job ~label:_ (spec : B.Common.spec) =
+      let cfg = C.make ~nprocs:procs ~coherence ~policy () in
+      let digest = ref "" in
+      let violations = ref [] in
+      (B.Common.hooks ()).inspect_engine <-
+        Some
+          (fun e ->
+            digest := Check.heap_digest e;
+            violations := Check.check e);
+      Olden_runtime.Site.reset_profiles ();
+      let o =
+        Fun.protect
+          ~finally:(fun () -> (B.Common.hooks ()).inspect_engine <- None)
+          (fun () -> spec.B.Common.run cfg ~scale:(scale_of spec))
+      in
+      let violations =
+        List.map
+          (fun v -> Format.asprintf "%a" Check.pp_violation v)
+          !violations
+      in
+      (o, !digest, violations)
+    in
+    let refs, _ =
+      Olden.Sweep.run ~domains ref_job
+        (List.map
+           (fun (spec : B.Common.spec) -> (spec.B.Common.name, spec))
+           specs)
+    in
+    let refs =
+      List.map2
+        (fun spec (p : _ Olden.Sweep.point) -> (spec, p.Olden.Sweep.value))
+        specs refs
+    in
+    (* Phase 2: the faulty matrix, one pool job per point.  Jobs catch
+       their own exceptions (a wedged run is a result, not an abort). *)
+    let faulty_job ~label:_ ((spec : B.Common.spec), ref_digest, sched, seed) =
+      let faults = Option.get (C.Faults.by_name sched ~seed) in
+      let cfg = C.make ~nprocs:procs ~coherence ~policy ~faults () in
+      (* each faulty run gets its own flight-recorder path, so a
+         failure's post-mortem names the run that produced it *)
+      Olden.Span.flight_set_path
+        (Printf.sprintf "flight-%s-%s-%d.dump" spec.B.Common.name sched seed);
+      let violations = ref [] in
+      let expected_heap =
+        if spec.B.Common.heap_stable then Some ref_digest else None
+      in
+      (B.Common.hooks ()).inspect_engine <-
+        Some (fun e -> violations := Check.check ?expected_heap e);
+      Olden_runtime.Site.reset_profiles ();
+      match
+        Fun.protect
+          ~finally:(fun () -> (B.Common.hooks ()).inspect_engine <- None)
+          (fun () -> spec.B.Common.run cfg ~scale:(scale_of spec))
+      with
+      | exception e ->
+          (* a deadlock already dumped the recorder (with machine state)
+             from inside the engine; dump the retained ring for anything
+             else that escaped *)
+          let flight =
+            match e with
+            | Olden_runtime.Engine.Deadlock _ -> None
+            | _ ->
+                Olden.Span.flight_dump ~reason:(Printexc.to_string e)
+                  ~state:[]
+          in
+          Error (Printexc.to_string e, flight)
+      | o ->
+          Ok
+            ( o,
+              List.map
+                (fun v -> Format.asprintf "%a" Check.pp_violation v)
+                !violations )
+    in
+    let faulty_points =
+      List.concat_map
+        (fun ((spec : B.Common.spec), (_, digest, _)) ->
+          List.concat_map
+            (fun sched ->
+              List.init seeds (fun i ->
+                  let seed = i + 1 in
+                  ( Printf.sprintf "%s/%s/seed=%d" spec.B.Common.name sched
+                      seed,
+                    (spec, digest, sched, seed) )))
+            schedules)
+        refs
+    in
+    let faulty, pool = Olden.Sweep.run ~domains faulty_job faulty_points in
+    (* Reporting, in submission order. *)
     let runs = ref 0 and failures = ref 0 in
     let fail fmt =
       Format.kasprintf
@@ -572,72 +696,35 @@ let chaos_cmd =
           Format.printf "    FAILED: %s@." msg)
         fmt
     in
+    let remaining = ref faulty in
+    let next () =
+      match !remaining with
+      | [] -> assert false
+      | p :: tl ->
+          remaining := tl;
+          (p : _ Olden.Sweep.point).Olden.Sweep.value
+    in
     List.iter
-      (fun (spec : B.Common.spec) ->
-        let scale = if scale = 0 then spec.B.Common.default_scale else scale in
-        let cfg = C.make ~nprocs:procs ~coherence ~policy () in
-        let ref_digest = ref "" in
-        let ref_violations = ref [] in
-        B.Common.inspect_engine :=
-          Some
-            (fun e ->
-              ref_digest := Check.heap_digest e;
-              ref_violations := Check.check e);
-        Olden_runtime.Site.reset_profiles ();
-        let ref_o =
-          Fun.protect
-            ~finally:(fun () -> B.Common.inspect_engine := None)
-            (fun () -> spec.B.Common.run cfg ~scale)
-        in
+      (fun ((spec : B.Common.spec), (ref_o, _, ref_violations)) ->
         Format.printf "%s (%d procs, scale 1/%d): fault-free %s cycles@."
-          spec.B.Common.name procs scale
+          spec.B.Common.name procs (scale_of spec)
           (B.Common.commas ref_o.B.Common.total_cycles);
         if not ref_o.B.Common.ok then
           fail "fault-free run failed verification";
-        List.iter
-          (fun v -> fail "fault-free run: %a" Check.pp_violation v)
-          !ref_violations;
+        List.iter (fun v -> fail "fault-free run: %s" v) ref_violations;
         List.iter
           (fun sched ->
             for seed = 1 to seeds do
               incr runs;
-              let faults = Option.get (C.Faults.by_name sched ~seed) in
-              let cfg = C.make ~nprocs:procs ~coherence ~policy ~faults () in
-              (* each faulty run gets its own flight-recorder path, so a
-                 failure's post-mortem names the run that produced it *)
-              Olden.Span.flight_set_path
-                (Printf.sprintf "flight-%s-%s-%d.dump" spec.B.Common.name
-                   sched seed);
-              let violations = ref [] in
-              let expected_heap =
-                if spec.B.Common.heap_stable then Some !ref_digest else None
-              in
-              B.Common.inspect_engine :=
-                Some
-                  (fun e -> violations := Check.check ?expected_heap e);
-              Olden_runtime.Site.reset_profiles ();
-              match
-                Fun.protect
-                  ~finally:(fun () -> B.Common.inspect_engine := None)
-                  (fun () -> spec.B.Common.run cfg ~scale)
-              with
-              | exception e ->
+              match next () with
+              | Error (msg, flight) ->
                   Format.printf "  %-10s seed=%d wedged@." sched seed;
-                  (* a deadlock already dumped the recorder (with machine
-                     state) from inside the engine; dump the retained ring
-                     for anything else that escaped *)
-                  (match e with
-                  | Olden_runtime.Engine.Deadlock _ -> ()
-                  | _ -> (
-                      match
-                        Olden.Span.flight_dump
-                          ~reason:(Printexc.to_string e) ~state:[]
-                      with
-                      | Some path ->
-                          Format.printf "    flight recorder: %s@." path
-                      | None -> ()));
-                  fail "%s" (Printexc.to_string e)
-              | o ->
+                  Option.iter
+                    (fun path ->
+                      Format.printf "    flight recorder: %s@." path)
+                    flight;
+                  fail "%s" msg
+              | Ok (o, violations) ->
                   let s = o.B.Common.total_stats in
                   Format.printf
                     "  %-10s seed=%d %s cycles drops=%d delays=%d dups=%d \
@@ -651,11 +738,12 @@ let chaos_cmd =
                   then
                     fail "checksum %s differs from fault-free %s"
                       o.B.Common.checksum ref_o.B.Common.checksum;
-                  List.iter (fun v -> fail "%a" Check.pp_violation v) !violations
+                  List.iter (fun v -> fail "%s" v) violations
             done)
           schedules)
-      specs;
+      refs;
     Format.printf "chaos: %d faulty run(s), %d failure(s)@." !runs !failures;
+    if domains > 1 then Format.eprintf "%a@." Olden.Sweep.pp_stats pool;
     if !failures > 0 then exit 1
   in
   let names_t = Arg.(value & pos_all string [] & info [] ~docv:"BENCHMARK") in
@@ -687,7 +775,7 @@ let chaos_cmd =
           invariant checker.")
     Term.(
       const run $ names_t $ chaos_procs_t $ scale_t $ schedules_t $ seeds_t
-      $ coherence_t $ policy_t)
+      $ coherence_t $ policy_t $ domains_t)
 
 (* One benchmark under a crash schedule, reporting the warm-restart work:
    which processors crashed, how much cached state each lost and rebuilt,
@@ -711,7 +799,7 @@ let recovery_cmd =
         "warning: schedule has no crash probability; try --faults crash@.";
     let cfg = C.make ~nprocs:procs ~coherence ~policy ~faults () in
     let rows = ref [] in
-    B.Common.inspect_engine :=
+    (B.Common.hooks ()).inspect_engine <-
       Some
         (fun e ->
           match Olden_runtime.Engine.recovery e with
@@ -720,7 +808,7 @@ let recovery_cmd =
     Olden_runtime.Site.reset_profiles ();
     let o =
       Fun.protect
-        ~finally:(fun () -> B.Common.inspect_engine := None)
+        ~finally:(fun () -> (B.Common.hooks ()).inspect_engine <- None)
         (fun () -> spec.B.Common.run cfg ~scale)
     in
     header spec ~procs ~scale ~coherence ~policy o;
@@ -765,16 +853,16 @@ module Mon = Olden.Monitor
    hand back the outcome plus the finished (final-window-flushed)
    monitor. *)
 let run_monitored (spec : B.Common.spec) cfg ~scale ~interval =
-  B.Common.monitor_interval := Some interval;
+  (B.Common.hooks ()).monitor_interval <- Some interval;
   Olden_runtime.Site.reset_profiles ();
   let o =
     Fun.protect
-      ~finally:(fun () -> B.Common.monitor_interval := None)
+      ~finally:(fun () -> (B.Common.hooks ()).monitor_interval <- None)
       (fun () -> spec.B.Common.run cfg ~scale)
   in
-  match !B.Common.last_monitor with
+  match (B.Common.hooks ()).last_monitor with
   | Some m ->
-      B.Common.last_monitor := None;
+      (B.Common.hooks ()).last_monitor <- None;
       (o, m)
   | None -> assert false
 
@@ -791,7 +879,8 @@ let pp_summary_rows title rows =
 
 let monitor_cmd =
   let run name procs scale coherence policy interval out csv_file sites
-      all_schemes faults_name fault_seed =
+      all_schemes faults_name fault_seed domains =
+    let domains = check_domains domains in
     if interval < 1 then begin
       Format.eprintf "olden-run monitor: --interval must be at least 1@.";
       exit 2
@@ -820,7 +909,10 @@ let monitor_cmd =
       let ok = ref true in
       List.iter
         (fun coherence ->
-          let cfg = C.make ~nprocs:procs ~coherence ~policy ?faults () in
+          let cfg =
+            C.make ~nprocs:procs ~coherence ~policy ~host_domains:domains
+              ?faults ()
+          in
           let o, m = run_monitored spec cfg ~scale ~interval in
           if not o.B.Common.ok then ok := false;
           List.iter
@@ -833,7 +925,10 @@ let monitor_cmd =
       if not !ok then exit 1
     end
     else begin
-      let cfg = C.make ~nprocs:procs ~coherence ~policy ?faults () in
+      let cfg =
+        C.make ~nprocs:procs ~coherence ~policy ~host_domains:domains ?faults
+          ()
+      in
       let o, m = run_monitored spec cfg ~scale ~interval in
       header spec ~procs ~scale ~coherence ~policy o;
       Option.iter
@@ -936,7 +1031,7 @@ let monitor_cmd =
     Term.(
       const run $ name_t $ procs_t $ scale_t $ coherence_t $ policy_t
       $ interval_t $ out_t $ csv_file_t $ sites_t $ all_schemes_t
-      $ faults_name_t $ fault_seed_t)
+      $ faults_name_t $ fault_seed_t $ domains_t)
 
 (* --- Causal spans --------------------------------------------------------- *)
 
@@ -950,24 +1045,27 @@ let site_label sid =
 (* One run with the span collector installed; hands back the outcome and
    the causal span stream in emission order. *)
 let run_spanned (spec : B.Common.spec) cfg ~scale =
-  B.Common.record_spans := true;
+  (B.Common.hooks ()).record_spans <- true;
   Olden_runtime.Site.reset_profiles ();
   let o =
     Fun.protect
-      ~finally:(fun () -> B.Common.record_spans := false)
+      ~finally:(fun () -> (B.Common.hooks ()).record_spans <- false)
       (fun () -> spec.B.Common.run cfg ~scale)
   in
-  let spans = Option.value ~default:[||] !B.Common.last_spans in
-  B.Common.last_spans := None;
+  let spans = Option.value ~default:[||] (B.Common.hooks ()).last_spans in
+  (B.Common.hooks ()).last_spans <- None;
   (o, spans)
 
 let spans_cmd =
   let run name procs scale coherence policy out chrome head faults_name
-      fault_seed =
+      fault_seed domains =
+    let domains = check_domains domains in
     let spec = find_spec name in
     let scale = if scale = 0 then spec.B.Common.default_scale else scale in
     let faults = faults_of ~name:faults_name ~seed:fault_seed in
-    let cfg = C.make ~nprocs:procs ~coherence ~policy ?faults () in
+    let cfg =
+      C.make ~nprocs:procs ~coherence ~policy ~host_domains:domains ?faults ()
+    in
     let o, spans = run_spanned spec cfg ~scale in
     header spec ~procs ~scale ~coherence ~policy o;
     Option.iter
@@ -1032,7 +1130,7 @@ let spans_cmd =
           exports the stream as olden-spans/v1 JSONL or Chrome trace JSON.")
     Term.(
       const run $ name_t $ procs_t $ scale_t $ coherence_t $ policy_t
-      $ out_t $ chrome_t $ head_t $ faults_name_t $ fault_seed_t)
+      $ out_t $ chrome_t $ head_t $ faults_name_t $ fault_seed_t $ domains_t)
 
 let explain_cmd =
   let run name procs scale coherence policy interval percentile top
@@ -1048,22 +1146,22 @@ let explain_cmd =
     (* monitor and span collector together: the monitor's latency
        histograms retain the trace ids of their worst episodes, and the
        span stream holds the causal trees those ids name *)
-    B.Common.monitor_interval := Some interval;
-    B.Common.record_spans := true;
+    (B.Common.hooks ()).monitor_interval <- Some interval;
+    (B.Common.hooks ()).record_spans <- true;
     Olden_runtime.Site.reset_profiles ();
     let o =
       Fun.protect
         ~finally:(fun () ->
-          B.Common.monitor_interval := None;
-          B.Common.record_spans := false)
+          (B.Common.hooks ()).monitor_interval <- None;
+          (B.Common.hooks ()).record_spans <- false)
         (fun () -> spec.B.Common.run cfg ~scale)
     in
     let m =
-      match !B.Common.last_monitor with Some m -> m | None -> assert false
+      match (B.Common.hooks ()).last_monitor with Some m -> m | None -> assert false
     in
-    B.Common.last_monitor := None;
-    let spans = Option.value ~default:[||] !B.Common.last_spans in
-    B.Common.last_spans := None;
+    (B.Common.hooks ()).last_monitor <- None;
+    let spans = Option.value ~default:[||] (B.Common.hooks ()).last_spans in
+    (B.Common.hooks ()).last_spans <- None;
     header spec ~procs ~scale ~coherence ~policy o;
     Option.iter
       (fun f -> Format.printf "faults: %s@." (C.Faults.to_string f))

@@ -59,51 +59,56 @@ let measured_stats spec outcome =
 
 (* --- Driving a build/kernel program ----------------------------------- *)
 
-(* Driver hook: when set, [execute] records busy intervals and leaves a
-   rendered Gantt chart in [last_timeline] (used by olden-run's
-   --timeline). *)
-let record_timeline = ref false
-let last_timeline : string option ref = ref None
+(* Driver hooks and the results [execute] leaves behind, bundled in one
+   domain-local record: benchmark jobs running on different domains of
+   the parallel sweep driver set their own flags and read their own
+   results without interfering.  See the .mli for per-field docs. *)
+type hooks = {
+  mutable record_timeline : bool;
+  mutable last_timeline : string option;
+  mutable record_trace : bool;
+  mutable last_trace : Trace.event array option;
+  mutable last_busy : int array;
+  mutable last_clocks : int array;
+  mutable last_comm : int array;
+  mutable last_recovery_stall : int array;
+  mutable inspect_engine : (Engine.t -> unit) option;
+  mutable monitor_interval : int option;
+  mutable last_monitor : Monitor.t option;
+  mutable record_spans : bool;
+  mutable last_spans : Span.span array option;
+}
 
-(* Driver hook: when set, [execute] installs a trace collector for the
-   duration of the run and leaves the event stream in [last_trace].  When
-   clear, [execute] leaves the sink alone, so a caller may instead wrap
-   the whole run in [Trace.collect] itself.  [execute] always leaves the
-   machine's per-processor busy cycles and final clocks behind for
-   metrics snapshots. *)
-let record_trace = ref false
-let last_trace : Trace.event array option ref = ref None
-let last_busy : int array ref = ref [||]
-let last_clocks : int array ref = ref [||]
-let last_comm : int array ref = ref [||]
-let last_recovery_stall : int array ref = ref [||]
+let hooks_key =
+  Domain.DLS.new_key (fun () ->
+      {
+        record_timeline = false;
+        last_timeline = None;
+        record_trace = false;
+        last_trace = None;
+        last_busy = [||];
+        last_clocks = [||];
+        last_comm = [||];
+        last_recovery_stall = [||];
+        inspect_engine = None;
+        monitor_interval = None;
+        last_monitor = None;
+        record_spans = false;
+        last_spans = None;
+      })
 
-(* Driver hook: called with the finished engine before [execute] returns,
-   while heap, caches, and directories are still reachable — the chaos
-   harness's window for running the invariant checker. *)
-let inspect_engine : (Engine.t -> unit) option ref = ref None
-
-(* Driver hook: when set, [execute] creates a monitor sampling at that
-   simulated-cycle interval, installs it for the run, and leaves the
-   finished (final-window-flushed) monitor in [last_monitor]. *)
-let monitor_interval : int option ref = ref None
-let last_monitor : Monitor.t option ref = ref None
-
-(* Driver hook: when set, [execute] installs a span collector for the
-   duration of the run and leaves the causal span stream in
-   [last_spans]. *)
-let record_spans = ref false
-let last_spans : Span.span array option ref = ref None
+let hooks () = Domain.DLS.get hooks_key
 
 (* The program receives the engine so its verification step can inspect
    the heap directly (at host level, free of simulated cost). *)
 let execute (cfg : C.t) ~(program : Engine.t -> string * bool) : outcome =
+  let h = hooks () in
   let engine = Engine.create cfg in
-  if !record_timeline then
+  if h.record_timeline then
     Machine.set_record_intervals (Engine.machine engine) true;
   let result = ref ("", false) in
   let collector =
-    if !record_trace then begin
+    if h.record_trace then begin
       let c = Trace.Collector.create () in
       Trace.install (Trace.Collector.add c);
       Some c
@@ -111,7 +116,7 @@ let execute (cfg : C.t) ~(program : Engine.t -> string * bool) : outcome =
     else None
   in
   let span_collector =
-    if !record_spans then begin
+    if h.record_spans then begin
       let c = Span.Collector.create () in
       Span.install (Span.Collector.add c);
       Some c
@@ -141,7 +146,7 @@ let execute (cfg : C.t) ~(program : Engine.t -> string * bool) : outcome =
                   | Some r -> Recovery.stall_cycles r
                   | None -> Array.make nprocs 0);
             })
-      !monitor_interval
+      h.monitor_interval
   in
   Option.iter Monitor.install monitor;
   Fun.protect
@@ -156,27 +161,27 @@ let execute (cfg : C.t) ~(program : Engine.t -> string * bool) : outcome =
   (match monitor with
   | Some m ->
       Monitor.finish m ~makespan:(Machine.makespan (Engine.machine engine));
-      last_monitor := Some m
+      h.last_monitor <- Some m
   | None -> ());
   (match collector with
-  | Some c -> last_trace := Some (Trace.Collector.events c)
+  | Some c -> h.last_trace <- Some (Trace.Collector.events c)
   | None -> ());
   (match span_collector with
-  | Some c -> last_spans := Some (Span.Collector.spans c)
+  | Some c -> h.last_spans <- Some (Span.Collector.spans c)
   | None -> ());
-  last_busy := Machine.busy_cycles (Engine.machine engine);
-  last_clocks := Machine.clocks (Engine.machine engine);
-  last_comm := Machine.comm_cycles (Engine.machine engine);
-  (last_recovery_stall :=
-     match Engine.recovery engine with
+  h.last_busy <- Machine.busy_cycles (Engine.machine engine);
+  h.last_clocks <- Machine.clocks (Engine.machine engine);
+  h.last_comm <- Machine.comm_cycles (Engine.machine engine);
+  (h.last_recovery_stall <-
+     (match Engine.recovery engine with
      | Some r -> Recovery.stall_cycles r
-     | None -> Array.make (Machine.nprocs (Engine.machine engine)) 0);
-  if !record_timeline then
-    last_timeline :=
+     | None -> Array.make (Machine.nprocs (Engine.machine engine)) 0));
+  if h.record_timeline then
+    h.last_timeline <-
       Some
         (Format.asprintf "%a" (Olden_runtime.Timeline.render ?width:None)
            (Engine.machine engine));
-  (match !inspect_engine with Some f -> f engine | None -> ());
+  (match h.inspect_engine with Some f -> f engine | None -> ());
   let report = Engine.report engine in
   let kernel_cycles, kernel_stats =
     match List.assoc_opt "kernel" report.Engine.phases with
@@ -210,25 +215,26 @@ let site_name sid =
    latency/burst histograms) is included under "metrics". *)
 let metrics_snapshot ?events (spec : spec) ~(cfg : C.t) ~scale (o : outcome) :
     Json.t =
-  let makespan = Array.fold_left max 0 !last_clocks in
+  let h = hooks () in
+  let makespan = Array.fold_left max 0 h.last_clocks in
   let per_proc =
-    List.init (Array.length !last_busy) (fun p ->
+    List.init (Array.length h.last_busy) (fun p ->
         let comm =
-          if p < Array.length !last_comm then !last_comm.(p) else 0
+          if p < Array.length h.last_comm then h.last_comm.(p) else 0
         in
         let stall =
-          if p < Array.length !last_recovery_stall then
-            !last_recovery_stall.(p)
+          if p < Array.length h.last_recovery_stall then
+            h.last_recovery_stall.(p)
           else 0
         in
         Json.Obj
           [
             ("proc", Json.Int p);
-            ("busy_cycles", Json.Int !last_busy.(p));
+            ("busy_cycles", Json.Int h.last_busy.(p));
             ("comm_cycles", Json.Int comm);
-            ("idle_cycles", Json.Int (makespan - !last_busy.(p) - comm));
+            ("idle_cycles", Json.Int (makespan - h.last_busy.(p) - comm));
             ("recovery_stall_cycles", Json.Int stall);
-            ("clock", Json.Int !last_clocks.(p));
+            ("clock", Json.Int h.last_clocks.(p));
           ])
   in
   let per_site =

@@ -47,53 +47,53 @@ val measured_cycles : spec -> outcome -> int
 
 val measured_stats : spec -> outcome -> Stats.t
 
-val record_timeline : bool ref
-(** When set, {!execute} records busy intervals and leaves a rendered
-    Gantt chart in {!last_timeline} (a driver convenience). *)
+type hooks = {
+  mutable record_timeline : bool;
+      (** When set, {!execute} records busy intervals and leaves a
+          rendered Gantt chart in [last_timeline] (a driver
+          convenience). *)
+  mutable last_timeline : string option;
+  mutable record_trace : bool;
+      (** When set, {!execute} installs a trace collector for the run and
+          leaves the event stream in [last_trace].  When clear the sink
+          is left alone, so a caller may wrap the run in [Trace.collect]
+          itself. *)
+  mutable last_trace : Trace.event array option;
+  mutable last_busy : int array;
+      (** Per-processor busy cycles of the most recent {!execute}. *)
+  mutable last_clocks : int array;
+      (** Per-processor final clocks of the most recent {!execute}. *)
+  mutable last_comm : int array;
+      (** Per-processor communication-stall cycles of the most recent
+          {!execute} (time blocked on request/reply round trips). *)
+  mutable last_recovery_stall : int array;
+      (** Per-processor crash-recovery stall cycles of the most recent
+          {!execute} (all zero when the run had no fault schedule). *)
+  mutable inspect_engine : (Engine.t -> unit) option;
+      (** When set, {!execute} calls this with the finished engine before
+          returning, while heap, caches, and directories are still
+          reachable — the hook the chaos harness uses to run the
+          invariant checker. *)
+  mutable monitor_interval : int option;
+      (** When set, {!execute} creates a {!Monitor} sampling at that
+          simulated-cycle interval, installs it for the run, and leaves
+          the finished monitor (final window flushed) in
+          [last_monitor]. *)
+  mutable last_monitor : Monitor.t option;
+  mutable record_spans : bool;
+      (** When set, {!execute} installs a causal span collector
+          ({!Olden_span.Span}) for the run and leaves the span stream in
+          [last_spans].  Independently of this flag, any run with a fault
+          schedule enables the allocation-free flight recorder for its
+          duration (contents are retained after the run for
+          post-mortems). *)
+  mutable last_spans : Olden_span.Span.span array option;
+}
 
-val last_timeline : string option ref
-
-val record_trace : bool ref
-(** When set, {!execute} installs a trace collector for the run and
-    leaves the event stream in {!last_trace}.  When clear the sink is
-    left alone, so a caller may wrap the run in [Trace.collect] itself. *)
-
-val last_trace : Trace.event array option ref
-
-val record_spans : bool ref
-(** When set, {!execute} installs a causal span collector
-    ({!Olden_span.Span}) for the run and leaves the span stream in
-    {!last_spans}.  Independently of this flag, any run with a fault
-    schedule enables the allocation-free flight recorder for its
-    duration (contents are retained after the run for post-mortems). *)
-
-val last_spans : Olden_span.Span.span array option ref
-
-val last_busy : int array ref
-(** Per-processor busy cycles of the most recent {!execute}. *)
-
-val last_clocks : int array ref
-(** Per-processor final clocks of the most recent {!execute}. *)
-
-val last_comm : int array ref
-(** Per-processor communication-stall cycles of the most recent
-    {!execute} (time blocked on request/reply round trips). *)
-
-val last_recovery_stall : int array ref
-(** Per-processor crash-recovery stall cycles of the most recent
-    {!execute} (all zero when the run had no fault schedule). *)
-
-val inspect_engine : (Engine.t -> unit) option ref
-(** When set, {!execute} calls this with the finished engine before
-    returning, while heap, caches, and directories are still reachable —
-    the hook the chaos harness uses to run the invariant checker. *)
-
-val monitor_interval : int option ref
-(** When set, {!execute} creates a {!Monitor} sampling at that
-    simulated-cycle interval, installs it for the run, and leaves the
-    finished monitor (final window flushed) in {!last_monitor}. *)
-
-val last_monitor : Monitor.t option ref
+val hooks : unit -> hooks
+(** The calling domain's driver hooks.  Domain-local: benchmark jobs
+    running on different domains of the parallel sweep driver
+    ({!Olden_parallel}) each see their own flags and results. *)
 
 val site_name : int -> string option
 (** Site-id to label lookup against the global registry (for trace

@@ -28,10 +28,14 @@ type row = {
 type report = {
   nprocs : int;
   repeats : int;
+  domains : int; (* host domains the suite's runs were spread over *)
   rows : row list;
   total_wall : float; (* sum of per-benchmark best times *)
   total_cycles : int;
   total_events : int;
+  suite_wall : float; (* wall time of the whole sweep, all repeats *)
+  pool_busy : float array; (* per-domain seconds spent running jobs *)
+  pool_wait : float array; (* per-domain seconds idle (startup + tail) *)
 }
 
 (* One "event" is one simulated operation the runtime dispatched: a
@@ -67,12 +71,35 @@ let time_spec (s : Common.spec) ~nprocs ~repeats =
     verified = o.Common.ok;
   }
 
-let run ?(nprocs = 8) ?(repeats = 3) () =
-  let rows = List.map (time_spec ~nprocs ~repeats) Registry.specs in
+(* Each benchmark (with its repeats) is one sweep point; with [domains]
+   > 1 the points run concurrently on a domain pool, which is where the
+   host-side speedup of the parallel sweep driver shows up.  Per-point
+   numbers are unchanged by pooling (each job times itself), but they do
+   get noisier under co-scheduling — the committed baselines are always
+   taken at [domains = 1]. *)
+let run ?(nprocs = 8) ?(repeats = 3) ?(domains = 1) () =
+  let points = List.map (fun s -> (s.Common.name, s)) Registry.specs in
+  let results, pool =
+    Olden_parallel.Sweep.run ~domains
+      (fun ~label:_ s -> time_spec s ~nprocs ~repeats)
+      points
+  in
+  let rows = List.map (fun p -> p.Olden_parallel.Sweep.value) results in
   let total_wall = List.fold_left (fun a r -> a +. r.wall_seconds) 0. rows in
   let total_cycles = List.fold_left (fun a r -> a + r.sim_cycles) 0 rows in
   let total_events = List.fold_left (fun a r -> a + r.sim_events) 0 rows in
-  { nprocs; repeats; rows; total_wall; total_cycles; total_events }
+  {
+    nprocs;
+    repeats;
+    domains = pool.Olden_parallel.Domain_pool.domains;
+    rows;
+    total_wall;
+    total_cycles;
+    total_events;
+    suite_wall = pool.Olden_parallel.Domain_pool.wall_seconds;
+    pool_busy = pool.Olden_parallel.Domain_pool.busy_seconds;
+    pool_wait = pool.Olden_parallel.Domain_pool.wait_seconds;
+  }
 
 (* --- JSON ---------------------------------------------------------------- *)
 
@@ -99,7 +126,21 @@ let to_json t =
       ("schema", Json.String schema);
       ("nprocs", Json.Int t.nprocs);
       ("repeats", Json.Int t.repeats);
+      ("domains", Json.Int t.domains);
       ("benchmarks", Json.List (List.map row_to_json t.rows));
+      ( "suite",
+        Json.Obj
+          [
+            ("wall_seconds", Json.Float t.suite_wall);
+            ( "per_domain",
+              Json.List
+                (List.init (Array.length t.pool_busy) (fun i ->
+                     Json.Obj
+                       [
+                         ("busy_seconds", Json.Float t.pool_busy.(i));
+                         ("wait_seconds", Json.Float t.pool_wait.(i));
+                       ])) );
+          ] );
       ( "aggregate",
         Json.Obj
           [
@@ -157,14 +198,32 @@ let of_json j =
       let total_wall =
         List.fold_left (fun a r -> a +. r.wall_seconds) 0. rows
       in
+      (* the suite block is absent from pre-parallel baselines; default
+         to a serial pool so comparisons keep working *)
+      let suite = member "suite" j in
+      let busy, wait =
+        match Option.bind suite (member "per_domain") with
+        | Some (List ds) ->
+            ( Array.of_list
+                (List.filter_map (fun d -> flt "busy_seconds" d) ds),
+              Array.of_list
+                (List.filter_map (fun d -> flt "wait_seconds" d) ds) )
+        | _ -> ([||], [||])
+      in
       Ok
         {
           nprocs = Option.value ~default:0 (int_m "nprocs" j);
           repeats = Option.value ~default:0 (int_m "repeats" j);
+          domains = Option.value ~default:1 (int_m "domains" j);
           rows;
           total_wall;
           total_cycles = List.fold_left (fun a r -> a + r.sim_cycles) 0 rows;
           total_events = List.fold_left (fun a r -> a + r.sim_events) 0 rows;
+          suite_wall =
+            Option.value ~default:total_wall
+              (Option.bind suite (flt "wall_seconds"));
+          pool_busy = busy;
+          pool_wait = wait;
         }
   | Some s -> Error (Printf.sprintf "unexpected schema %S (want %S)" s schema)
   | None -> Error "not an olden-hostperf snapshot (no schema field)"
@@ -207,7 +266,22 @@ let pp ppf t =
     (Common.commas t.total_cycles)
     (Common.commas t.total_events)
     (mega (float_of_int t.total_cycles /. t.total_wall))
-    (mega (float_of_int t.total_events /. t.total_wall))
+    (mega (float_of_int t.total_events /. t.total_wall));
+  if t.domains > 1 then begin
+    let busy = Array.fold_left ( +. ) 0. t.pool_busy in
+    Format.fprintf ppf
+      "  suite on %d host domains: %.1f ms wall (%.0f%% parallel \
+       efficiency)@."
+      t.domains
+      (1000. *. t.suite_wall)
+      (100. *. busy /. (float_of_int t.domains *. t.suite_wall));
+    Array.iteri
+      (fun i b ->
+        Format.fprintf ppf "    domain %d: %6.1f ms busy, %6.1f ms waiting@."
+          i (1000. *. b)
+          (1000. *. t.pool_wait.(i)))
+      t.pool_busy
+  end
 
 (* Wall-clock comparison against a committed baseline.  Host timing is
    noisy (different machines, load, thermal state), so this never gates:

@@ -21,18 +21,31 @@ type row = {
 type report = {
   nprocs : int;
   repeats : int;
+  domains : int;
+      (** host domains the suite's benchmark jobs were spread over *)
   rows : row list;
   total_wall : float;  (** sum of per-benchmark best times *)
   total_cycles : int;
   total_events : int;
+  suite_wall : float;
+      (** wall time of the whole sweep (all repeats, submission to last
+          join) — with [domains > 1] this is what shrinks while
+          [total_wall] stays roughly flat *)
+  pool_busy : float array;  (** per-domain seconds spent running jobs *)
+  pool_wait : float array;
+      (** per-domain seconds idle (startup and tail of the sweep) *)
 }
 
 val events_of : Stats.t -> int
 (** Simulated operation events of a run: dereferences (both mechanisms),
     thread movements, future operations, and messages. *)
 
-val run : ?nprocs:int -> ?repeats:int -> unit -> report
-(** Time the whole Table-2 suite; defaults: 8 processors, best of 3. *)
+val run : ?nprocs:int -> ?repeats:int -> ?domains:int -> unit -> report
+(** Time the whole Table-2 suite; defaults: 8 processors, best of 3,
+    serial.  With [domains > 1] each benchmark (with its repeats) is one
+    job on an {!Olden_parallel.Domain_pool}; per-row numbers are then
+    noisier under co-scheduling, so committed baselines are taken
+    serially. *)
 
 val to_json : report -> Olden_trace.Json.t
 val of_json : Olden_trace.Json.t -> (report, string) result

@@ -285,6 +285,13 @@ type t = {
       (* None: the reliable network the paper assumes — bit-identical to
          runs predating the fault layer *)
   retry : retry_spec; (* consulted only when [faults] is [Some _] *)
+  host_domains : int;
+      (* host-side execution shards: simulated processors are partitioned
+         into this many shards of the engine's conservative parallel-DES
+         scheduler (epochs bounded by the cross-processor lookahead,
+         cross-shard events exchanged through mailboxes at epoch
+         barriers).  Results are bit-identical for any value; 1 is the
+         classic single-shard scheduler. *)
 }
 
 let default =
@@ -300,12 +307,14 @@ let default =
     seed = 0x01de5 land 0xffff;
     faults = None;
     retry = default_retry;
+    host_domains = 1;
   }
 
 let make ?(nprocs = 32) ?(costs = default_costs) ?(coherence = Local)
     ?(policy = Heuristic) ?(handler_contention = false)
     ?(return_invalidate_refinement = true) ?(trace = false) ?(seed = 42)
-    ?faults ?(retry = default_retry) () =
+    ?faults ?(retry = default_retry) ?(host_domains = 1) () =
+  if host_domains < 1 then invalid_arg "Olden_config.make: host_domains < 1";
   {
     nprocs;
     costs;
@@ -318,7 +327,17 @@ let make ?(nprocs = 32) ?(costs = default_costs) ?(coherence = Local)
     seed;
     faults;
     retry;
+    host_domains;
   }
+
+(* The minimum delay any cross-processor event carries, in cycles: every
+   cross-processor wakeup, migration leg, return, retransmit, and
+   recovery message is scheduled at least one network traversal after the
+   clock that sends it, and fault perturbations only ever add delay.
+   This is the conservative parallel-DES lookahead: within an epoch of
+   this width no shard can receive an event that should have pre-empted
+   work it already agreed to run. *)
+let lookahead t = t.costs.net_latency
 
 (* The sequential baseline is the same program compiled without Olden:
    one processor, no locality tests, no cache probes, no future machinery. *)

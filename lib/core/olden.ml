@@ -46,3 +46,5 @@ module Depgraph = Olden_trace.Depgraph
 module Attribution = Olden_profile.Attribution
 module Critical_path = Olden_profile.Critical_path
 module Snapshot_diff = Olden_profile.Snapshot_diff
+module Domain_pool = Olden_parallel.Domain_pool
+module Sweep = Olden_parallel.Sweep

@@ -156,18 +156,24 @@ let finish t ~makespan =
 
 let windows t = List.rev t.rev_windows
 
-(* --- The process-wide sink -------------------------------------------- *)
+(* --- The domain-wide sink --------------------------------------------- *)
 
-let active : t option ref = ref None
+(* One installed monitor per domain: runs on different domains of the
+   parallel sweep driver sample independently. *)
+let active_key : t option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
+
+let active () = Domain.DLS.get active_key
 
 let install m =
-  (match !active with
+  let a = active () in
+  (match !a with
   | Some _ -> invalid_arg "Monitor.install: a monitor is already installed"
   | None -> ());
-  active := Some m
+  a := Some m
 
-let uninstall () = active := None
-let is_on () = match !active with Some _ -> true | None -> false
+let uninstall () = active () := None
+let is_on () = match !(active ()) with Some _ -> true | None -> false
 
 (* Keep the worst [exemplar_slots] episodes per mechanism: append while
    there is room, otherwise displace the (first) smallest held exemplar
@@ -222,28 +228,29 @@ let deref_m t ~sid ~mech ~cycles =
     Metrics.observe h cycles
   end
 
-let tick time = match !active with None -> () | Some t -> tick_m t time
+let tick time =
+  match !(active ()) with None -> () | Some t -> tick_m t time
 
 let deref ~sid ~mech ~cycles =
-  match !active with None -> () | Some t -> deref_m t ~sid ~mech ~cycles
+  match !(active ()) with None -> () | Some t -> deref_m t ~sid ~mech ~cycles
 
 let migration ~cycles =
-  match !active with
+  match !(active ()) with
   | None -> ()
   | Some t -> Metrics.observe t.migration_h cycles
 
 let return_stub ~cycles =
-  match !active with
+  match !(active ()) with
   | None -> ()
   | Some t -> Metrics.observe t.return_h cycles
 
 let retry_wait ~cycles =
-  match !active with
+  match !(active ()) with
   | None -> ()
   | Some t -> Metrics.observe t.retry_h cycles
 
 let recovery_stall ~cycles =
-  match !active with
+  match !(active ()) with
   | None -> ()
   | Some t -> Metrics.observe t.recovery_h cycles
 

@@ -1,0 +1,30 @@
+(* Labeled sweep matrices over a domain pool: each point is an
+   independent (label, input) job; results keep submission order and
+   carry per-point wall time, so drivers can print a matrix identically
+   for any pool size while still reporting where the host time went. *)
+
+type 'b point = { label : string; seconds : float; value : 'b }
+
+let run ?domains f points =
+  let results, stats =
+    Domain_pool.map ?domains
+      (fun (label, input) ->
+        let t0 = Unix.gettimeofday () in
+        let value = f ~label input in
+        { label; seconds = Unix.gettimeofday () -. t0; value })
+      points
+  in
+  (results, stats)
+
+let pp_stats ppf (st : Domain_pool.stats) =
+  Format.fprintf ppf
+    "pool: %d domain%s, %.2fs wall, %.0f%% parallel efficiency"
+    st.Domain_pool.domains
+    (if st.Domain_pool.domains = 1 then "" else "s")
+    st.Domain_pool.wall_seconds
+    (100. *. Domain_pool.efficiency st);
+  Array.iteri
+    (fun i b ->
+      Format.fprintf ppf "@.  domain %d: %.2fs busy, %.2fs waiting" i b
+        st.Domain_pool.wait_seconds.(i))
+    st.Domain_pool.busy_seconds

@@ -1,0 +1,25 @@
+(** Labeled sweep matrices over a {!Domain_pool}: the driver behind
+    parallel chaos/bench matrices.  Each point is an independent
+    (label, input) job; results keep submission order and carry
+    per-point wall time, so a driver prints the same matrix for any
+    pool size. *)
+
+type 'b point = {
+  label : string;
+  seconds : float;  (** host wall time of this point's job *)
+  value : 'b;
+}
+
+val run :
+  ?domains:int ->
+  (label:string -> 'a -> 'b) ->
+  (string * 'a) list ->
+  'b point list * Domain_pool.stats
+(** [run ~domains f points] evaluates [f ~label input] for every
+    [(label, input)] point on a pool of [domains] workers (default 1);
+    results are in submission order.  Failure and determinism semantics
+    are {!Domain_pool.map}'s. *)
+
+val pp_stats : Format.formatter -> Domain_pool.stats -> unit
+(** Human-readable pool summary: wall time, parallel efficiency, and
+    per-domain busy/wait seconds. *)

@@ -38,6 +38,45 @@ type work_item = { pushed_at : int; wseq : int; wtask : task }
 
 type phase_mark = { pname : string; at : int; snapshot : Stats.t }
 
+type source = Src_event | Src_work
+
+(* --- Host-side scheduler shards (conservative parallel DES) -----------
+
+   Simulated processors are partitioned into [cfg.host_domains] contiguous
+   shards.  Each shard caches the best runnable candidate over its own
+   processors' event queues and work lists, so the per-step scan costs
+   O(shards) comparisons plus one O(nprocs/shards) rescan of the shard
+   whose state changed, instead of a full O(nprocs) sweep.
+
+   The cache is sound because of the conservative-DES lookahead
+   ({!Olden_config.lookahead}): every cross-processor event carries at
+   least one network traversal of delay, so an event scheduled into
+   another shard mid-epoch can never be due before the epoch's horizon.
+   Cross-shard events are therefore routed through per-(src,dst)
+   mailboxes and only merged into the destination queues at an epoch
+   barrier — the moment the global frontier reaches the earliest deferred
+   arrival — in (ready_at, seq) order.  Within a shard, and for every
+   clock the executing task can touch (Machine only ever moves the
+   executing processor's clock), a single dirty bit on the executing
+   shard restores exactness.  Execution itself stays serialized in global
+   (start, prio, avail, seq) order, so results are bit-identical for any
+   shard count. *)
+
+type shard = {
+  s_lo : int;
+  s_hi : int; (* procs [s_lo, s_hi) *)
+  mutable s_dirty : bool;
+  (* cached best candidate; [c_proc = -1] when the shard has nothing *)
+  mutable c_start : int;
+  mutable c_prio : int;
+  mutable c_avail : int;
+  mutable c_seq : int;
+  mutable c_proc : int;
+  mutable c_src : source;
+}
+
+type mail = { m_proc : int; m_ready : int; m_seq : int; m_task : task }
+
 type t = {
   cfg : C.t;
   machine : Machine.t;
@@ -56,6 +95,14 @@ type t = {
       (* (processor, label) per parked waiter — deadlock diagnostics *)
   mutable phases : phase_mark list; (* newest first *)
   mutable finished : bool;
+  (* conservative parallel-DES sharding (see above) *)
+  shards : shard array;
+  shard_of : int array; (* proc -> shard index *)
+  mailboxes : mail list ref array array; (* [src_shard].[dst_shard], newest first *)
+  mutable exec_shard : int; (* shard of the task being executed, -1 outside *)
+  mutable mailbox_min : int; (* earliest deferred ready_at, max_int when none *)
+  mutable epochs : int; (* barriers taken (mailbox flushes) *)
+  mutable deferred : int; (* cross-shard events routed through mailboxes *)
 }
 
 let create cfg =
@@ -63,6 +110,23 @@ let create cfg =
   let memory = Memory.create ~nprocs:cfg.C.nprocs in
   let cache = Cache.create cfg machine memory in
   let dummy_thread = { tid = 0; log = Write_log.create () } in
+  let nprocs = cfg.C.nprocs in
+  let nshards = max 1 (min cfg.C.host_domains nprocs) in
+  let chunk = (nprocs + nshards - 1) / nshards in
+  let shards =
+    Array.init nshards (fun i ->
+        {
+          s_lo = i * chunk;
+          s_hi = min nprocs ((i + 1) * chunk);
+          s_dirty = true;
+          c_start = max_int;
+          c_prio = max_int;
+          c_avail = max_int;
+          c_seq = max_int;
+          c_proc = -1;
+          c_src = Src_event;
+        })
+  in
   {
     cfg;
     machine;
@@ -86,6 +150,13 @@ let create cfg =
     parked = [];
     phases = [];
     finished = false;
+    shards;
+    shard_of = Array.init nprocs (fun p -> min (p / chunk) (nshards - 1));
+    mailboxes = Array.init nshards (fun _ -> Array.init nshards (fun _ -> ref []));
+    exec_shard = -1;
+    mailbox_min = max_int;
+    epochs = 0;
+    deferred = 0;
   }
 
 let memory t = t.memory
@@ -105,13 +176,35 @@ let next_seq t =
   t.seq <- t.seq + 1;
   t.seq
 
+(* Schedule a task.  Same-shard events go straight into the processor's
+   queue (the shard rescans before it is consulted again); cross-shard
+   events are deferred into the (src,dst) mailbox until the next epoch
+   barrier.  The lookahead invariant — every cross-processor event
+   carries at least [Olden_config.lookahead] cycles of delay from the
+   clock that sends it — is what makes the deferral order-preserving,
+   and is asserted here at every deferral. *)
 let schedule_event t ~proc ~ready_at task =
-  Event_queue.push t.events.(proc) ~ready_at ~seq:(next_seq t) task
+  let seq = next_seq t in
+  let ds = t.shard_of.(proc) in
+  if t.exec_shard >= 0 && ds <> t.exec_shard then begin
+    assert (
+      ready_at
+      >= Machine.now t.machine t.cur_proc + C.lookahead t.cfg);
+    let mb = t.mailboxes.(t.exec_shard).(ds) in
+    mb := { m_proc = proc; m_ready = ready_at; m_seq = seq; m_task = task } :: !mb;
+    if ready_at < t.mailbox_min then t.mailbox_min <- ready_at;
+    t.deferred <- t.deferred + 1
+  end
+  else begin
+    Event_queue.push t.events.(proc) ~ready_at ~seq task;
+    t.shards.(ds).s_dirty <- true
+  end
 
 let push_work t ~proc task =
   Stack.push
     { pushed_at = Machine.now t.machine proc; wseq = next_seq t; wtask = task }
-    t.worklists.(proc)
+    t.worklists.(proc);
+  t.shards.(t.shard_of.(proc)).s_dirty <- true
 
 let now t = Machine.now t.machine t.cur_proc
 let advance t cycles = Machine.advance t.machine t.cur_proc cycles
@@ -480,11 +573,15 @@ let immediate_touch t (cell : fut) =
    [Ops] reads it to run non-suspending operations as plain calls,
    performing the effect only when [Must_perform] says the fiber must be
    captured (or when no engine is running, where the effect surfaces the
-   usual [Effect.Unhandled]). *)
-let current : t option ref = ref None
+   usual [Effect.Unhandled]).  Domain-local so engines on different
+   domains of the parallel sweep driver never see each other. *)
+let current_key : t option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
+
+let current () = Domain.DLS.get current_key
 
 let engine () =
-  match !current with Some t -> t | None -> raise_notrace Must_perform
+  match !(current ()) with Some t -> t | None -> raise_notrace Must_perform
 
 let fast_work n = immediate_work (engine ()) n
 let fast_self () = (engine ()).cur_proc
@@ -785,6 +882,9 @@ let rec handler t : (unit, unit) Effect.Deep.handler =
             for p = 0 to t.cfg.C.nprocs - 1 do
               Machine.wait_until t.machine p m
             done;
+            (* the one place a task moves clocks outside its own shard:
+               every cached shard candidate may now be stale *)
+            Array.iter (fun s -> s.s_dirty <- true) t.shards;
             t.phases <-
               { pname = name; at = m; snapshot = Stats.copy (stats t) }
               :: t.phases;
@@ -800,29 +900,26 @@ let rec handler t : (unit, unit) Effect.Deep.handler =
 
 (* --- The scheduler loop -------------------------------------------- *)
 
-type source = Src_event | Src_work
-
 (* Pick the next item to run: globally minimal start time.  At equal start
    times a processor steals from its own work list before accepting an
    arrived migration: futurecall continuations unfold depth-first and keep
    generating parallelism, so draining them first is what keeps spawn
    chains from being starved by arriving bodies (the continuation was
    saved by a thread that already owned the processor).  Remaining ties
-   fall back to readiness time, then creation order, for determinism. *)
-let step t =
-  let n = t.cfg.C.nprocs in
-  (* This scan runs once per simulated event, so it is allocation-free:
-     the best candidate's key lives in local int refs (the lexicographic
-     (start, prio, avail, seq) comparison is spelled out) instead of an
-     option of a tuple, and the queues are inspected through their
-     alloc-free accessors rather than option-returning peeks. *)
-  let best_start = ref max_int in
-  let best_prio = ref max_int in
-  let best_avail = ref max_int in
-  let best_seq = ref max_int in
-  let best_proc = ref (-1) in
-  let best_src = ref Src_event in
-  for p = 0 to n - 1 do
+   fall back to readiness time, then creation order, for determinism.
+
+   The scan is sharded: each shard caches its own best candidate, and a
+   step rescans only shards marked dirty (the executing shard, shards
+   that received a direct push, every shard after a phase barrier), then
+   compares the [host_domains] cached keys.  [rescan] is the original
+   allocation-free scan body limited to one shard's processors. *)
+let rescan t (s : shard) =
+  s.c_start <- max_int;
+  s.c_prio <- max_int;
+  s.c_avail <- max_int;
+  s.c_seq <- max_int;
+  s.c_proc <- -1;
+  for p = s.s_lo to s.s_hi - 1 do
     let clock = Machine.now t.machine p in
     let q = t.events.(p) in
     if not (Event_queue.is_empty q) then begin
@@ -831,19 +928,19 @@ let step t =
       let start = if clock > avail then clock else avail in
       let seq = it.Event_queue.seq in
       if
-        start < !best_start
-        || (start = !best_start
-           && (1 < !best_prio
-              || (1 = !best_prio
-                 && (avail < !best_avail
-                    || (avail = !best_avail && seq < !best_seq)))))
+        start < s.c_start
+        || (start = s.c_start
+           && (1 < s.c_prio
+              || (1 = s.c_prio
+                 && (avail < s.c_avail
+                    || (avail = s.c_avail && seq < s.c_seq)))))
       then begin
-        best_start := start;
-        best_prio := 1;
-        best_avail := avail;
-        best_seq := seq;
-        best_proc := p;
-        best_src := Src_event
+        s.c_start <- start;
+        s.c_prio <- 1;
+        s.c_avail <- avail;
+        s.c_seq <- seq;
+        s.c_proc <- p;
+        s.c_src <- Src_event
       end
     end;
     let wl = t.worklists.(p) in
@@ -852,31 +949,99 @@ let step t =
       let avail = w.pushed_at in
       let start = if clock > avail then clock else avail in
       if
-        start < !best_start
-        || (start = !best_start
-           && (0 < !best_prio
-              || (0 = !best_prio
-                 && (avail < !best_avail
-                    || (avail = !best_avail && w.wseq < !best_seq)))))
+        start < s.c_start
+        || (start = s.c_start
+           && (0 < s.c_prio
+              || (0 = s.c_prio
+                 && (avail < s.c_avail
+                    || (avail = s.c_avail && w.wseq < s.c_seq)))))
       then begin
-        best_start := start;
-        best_prio := 0;
-        best_avail := avail;
-        best_seq := w.wseq;
-        best_proc := p;
-        best_src := Src_work
+        s.c_start <- start;
+        s.c_prio <- 0;
+        s.c_avail <- avail;
+        s.c_seq <- w.wseq;
+        s.c_proc <- p;
+        s.c_src <- Src_work
       end
     end
   done;
-  if !best_proc < 0 then false
+  s.s_dirty <- false
+
+(* Candidate keys are unique (seq is globally unique), so this order is
+   total and independent of the shard partition. *)
+let shard_before (a : shard) (b : shard) =
+  a.c_start < b.c_start
+  || (a.c_start = b.c_start
+     && (a.c_prio < b.c_prio
+        || (a.c_prio = b.c_prio
+           && (a.c_avail < b.c_avail
+              || (a.c_avail = b.c_avail && a.c_seq < b.c_seq)))))
+
+(* Epoch barrier: merge every (src,dst) mailbox into the destination
+   queues, in (ready_at, seq) order per destination shard. *)
+let flush_mailboxes t =
+  let nshards = Array.length t.shards in
+  for d = 0 to nshards - 1 do
+    let pending = ref [] in
+    for s = 0 to nshards - 1 do
+      let mb = t.mailboxes.(s).(d) in
+      if !mb <> [] then begin
+        pending := List.rev_append !mb !pending;
+        mb := []
+      end
+    done;
+    match !pending with
+    | [] -> ()
+    | mails ->
+        List.sort
+          (fun a b ->
+            if a.m_ready <> b.m_ready then compare a.m_ready b.m_ready
+            else compare a.m_seq b.m_seq)
+          mails
+        |> List.iter (fun m ->
+               Event_queue.push t.events.(m.m_proc) ~ready_at:m.m_ready
+                 ~seq:m.m_seq m.m_task);
+        t.shards.(d).s_dirty <- true
+  done;
+  t.mailbox_min <- max_int;
+  t.epochs <- t.epochs + 1
+
+let step t =
+  (* Refresh dirty shards and pick the globally minimal candidate,
+     flushing the mailboxes whenever the frontier has reached the
+     earliest deferred arrival (the epoch barrier; the lookahead
+     invariant keeps such flushes at least [Olden_config.lookahead]
+     cycles of virtual time apart). *)
+  let nshards = Array.length t.shards in
+  let rec pick () =
+    let best = ref (-1) in
+    for i = 0 to nshards - 1 do
+      let s = t.shards.(i) in
+      if s.s_dirty then rescan t s;
+      if s.c_proc >= 0 && (!best < 0 || shard_before s t.shards.(!best)) then
+        best := i
+    done;
+    if
+      t.mailbox_min < max_int
+      && (!best < 0 || t.shards.(!best).c_start >= t.mailbox_min)
+    then begin
+      flush_mailboxes t;
+      pick ()
+    end
+    else !best
+  in
+  let bi = pick () in
+  if bi < 0 then false
   else begin
-    let proc = !best_proc in
+    let sh = t.shards.(bi) in
+    let proc = sh.c_proc in
+    let best_start = sh.c_start in
     (* [best_start] is the global virtual time: it never decreases across
        steps, so it drives the monitor's interval windows *)
-    if Monitor.is_on () then Monitor.tick !best_start;
-    Machine.wait_until t.machine proc !best_start;
+    if Monitor.is_on () then Monitor.tick best_start;
+    Machine.wait_until t.machine proc best_start;
     let task =
-      match !best_src with
+      match sh.c_src with
       | Src_event -> (Event_queue.take t.events.(proc)).Event_queue.payload
       | Src_work ->
           let w = Stack.pop t.worklists.(proc) in
@@ -894,12 +1059,17 @@ let step t =
     in
     t.cur_proc <- proc;
     t.cur_thread <- task.thread;
+    t.exec_shard <- bi;
     if Trace.is_on () then Trace.set_thread task.thread.tid;
     (* a task must not inherit the ambient span context of whatever ran
        last: cross-task context travels only inside scheduled closures
        (via [Span.save]/[restore]), which re-install it themselves *)
     if Span.is_on () then Span.clear ();
     task.go ();
+    t.exec_shard <- -1;
+    (* the executed task popped this shard's queue, moved this shard's
+       clock, and may have pushed same-shard events *)
+    sh.s_dirty <- true;
     true
   end
 
@@ -997,16 +1167,30 @@ let exec t program =
               t.finished <- true)
             () (handler t));
     };
-  let saved = !current in
-  current := Some t;
+  let cur = current () in
+  let saved = !cur in
+  cur := Some t;
   Fun.protect
-    ~finally:(fun () -> current := saved)
+    ~finally:(fun () -> cur := saved)
     (fun () ->
       while step t do
         ()
       done);
   if t.blocked > 0 then raise (Deadlock (deadlock_message t));
   if not t.finished then raise (Deadlock "main thread never completed")
+
+(* Host-side sharding counters: how often the conservative-DES machinery
+   actually engaged.  All zero when [host_domains = 1] (one shard never
+   defers). *)
+type domain_report = {
+  shards : int;
+  epochs : int; (* epoch barriers taken (mailbox flushes) *)
+  deferred_events : int; (* cross-shard events routed through mailboxes *)
+}
+
+let domain_report (t : t) =
+  { shards = Array.length t.shards; epochs = t.epochs;
+    deferred_events = t.deferred }
 
 type report = {
   makespan : int;

@@ -55,6 +55,18 @@ type report = {
 
 val report : t -> report
 
+type domain_report = {
+  shards : int;  (** host-side scheduler shards ([cfg.host_domains]) *)
+  epochs : int;  (** epoch barriers taken (mailbox flushes) *)
+  deferred_events : int;
+      (** cross-shard events routed through the (src,dst) mailboxes *)
+}
+
+val domain_report : t -> domain_report
+(** Counters of the conservative parallel-DES sharding.  With one shard
+    nothing is ever deferred and both counters stay zero; results are
+    bit-identical for any shard count (see docs/PERFORMANCE.md). *)
+
 val phase_snapshots : t -> (string * int * Stats.t) list
 (** Each phase mark with the statistics snapshot taken at it. *)
 

@@ -18,24 +18,35 @@ type t = {
   mutable fallbacks : int; (* migrations that gave up and cached instead *)
 }
 
-let registry : (int, t) Hashtbl.t = Hashtbl.create 64
-let counter = ref 0
+(* The registry is domain-local: benchmark jobs running on different
+   domains of the parallel sweep driver register sites independently, so
+   each job that calls [reset] first sees a deterministic sid sequence
+   regardless of what runs concurrently elsewhere. *)
+type registry = { tbl : (int, t) Hashtbl.t; mutable counter : int }
+
+let registry_key =
+  Domain.DLS.new_key (fun () -> { tbl = Hashtbl.create 64; counter = 0 })
+
+let registry () = Domain.DLS.get registry_key
 
 let make ?(mech = Olden_config.Migrate) sname =
-  incr counter;
+  let r = registry () in
+  r.counter <- r.counter + 1;
   let s =
-    { sid = !counter; sname; mech; loads = 0; stores = 0; remote = 0;
+    { sid = r.counter; sname; mech; loads = 0; stores = 0; remote = 0;
       migrations = 0; misses = 0; retries = 0; fallbacks = 0 }
   in
-  Hashtbl.replace registry s.sid s;
+  Hashtbl.replace r.tbl s.sid s;
   s
 
-(* Forget every site and restart the id counter.  Sites are process
-   globals, so a test that wants the same sids across repeated in-process
-   runs (e.g. the golden trace test) must reset between runs. *)
+(* Forget every site and restart the id counter.  Sites are domain
+   globals, so a run that wants the same sids as a fresh domain (e.g. the
+   golden trace test, or any job meant to be byte-comparable across
+   domain pools) must reset first. *)
 let reset () =
-  Hashtbl.reset registry;
-  counter := 0
+  let r = registry () in
+  Hashtbl.reset r.tbl;
+  r.counter <- 0
 
 let reset_profiles () =
   Hashtbl.iter
@@ -47,12 +58,12 @@ let reset_profiles () =
       s.misses <- 0;
       s.retries <- 0;
       s.fallbacks <- 0)
-    registry
+    (registry ()).tbl
 
 (* Sites with traffic, busiest first. *)
 let profile () =
   Hashtbl.fold (fun _ s acc -> if s.loads + s.stores > 0 then s :: acc else acc)
-    registry []
+    (registry ()).tbl []
   |> List.sort (fun a b -> compare (b.loads + b.stores) (a.loads + a.stores))
 
 let migrate sname = make ~mech:Olden_config.Migrate sname
@@ -63,7 +74,7 @@ let mechanism s = s.mech
 let name s = s.sname
 
 let all () =
-  Hashtbl.fold (fun _ s acc -> s :: acc) registry []
+  Hashtbl.fold (fun _ s acc -> s :: acc) (registry ()).tbl []
   |> List.sort (fun a b -> compare a.sid b.sid)
 
 (* Human-oriented label: registered names follow the "func.var->field"

@@ -8,42 +8,62 @@
    dump is the span layer's job ({!Span.flight_dump}), which keeps this
    module dependency-free.  Events survive {!disable}: the dump runs from
    a top-level exception handler, after the driver's cleanup path has
-   already turned recording off. *)
+   already turned recording off.
+
+   All recorder state is domain-local: chaos points running on different
+   domains of the parallel sweep driver each keep their own ring and dump
+   path, so concurrent faulty runs cannot interleave their post-mortems. *)
 
 let fields = 10
 (* slot layout: trace_proc, trace_seq, id, parent, kind code, proc, t0,
    t1, a, b *)
 
-let cap = ref 0
-let buf = ref [||]
-let head = ref 0 (* events ever recorded; the ring keeps the last [cap] *)
-let enabled = ref false
-let path = ref "flight-recorder.dump"
+type recorder = {
+  mutable cap : int;
+  mutable buf : int array;
+  mutable head : int; (* events ever recorded; the ring keeps the last [cap] *)
+  mutable enabled : bool;
+  mutable path : string;
+}
+
+let key =
+  Domain.DLS.new_key (fun () ->
+      {
+        cap = 0;
+        buf = [||];
+        head = 0;
+        enabled = false;
+        path = "flight-recorder.dump";
+      })
+
+let recorder () = Domain.DLS.get key
 
 let default_capacity = 512
 
 let enable ?(capacity = default_capacity) () =
   if capacity < 1 then invalid_arg "Flight.enable: capacity < 1";
-  if !cap <> capacity then begin
-    cap := capacity;
-    buf := Array.make (capacity * fields) 0
+  let r = recorder () in
+  if r.cap <> capacity then begin
+    r.cap <- capacity;
+    r.buf <- Array.make (capacity * fields) 0
   end;
-  head := 0;
-  enabled := true
+  r.head <- 0;
+  r.enabled <- true
 
-let disable () = enabled := false
-let is_enabled () = !enabled
-let capacity () = !cap
-let recorded () = !head
+let disable () = (recorder ()).enabled <- false
+let is_enabled () = (recorder ()).enabled
+let capacity () = (recorder ()).cap
+let recorded () = (recorder ()).head
 
-let set_path p = path := p
-let get_path () = !path
+let set_path p = (recorder ()).path <- p
+let get_path () = (recorder ()).path
 
 (* Record one event.  Callers guard on {!is_enabled}; nothing here
    allocates. *)
 let note ~tp ~ts ~id ~parent ~kind ~proc ~t0 ~t1 ~a ~b =
-  let base = !head mod !cap * fields in
-  let arr = !buf in
+  let r = recorder () in
+  let base = r.head mod r.cap * fields in
+  let arr = r.buf in
   arr.(base) <- tp;
   arr.(base + 1) <- ts;
   arr.(base + 2) <- id;
@@ -54,17 +74,18 @@ let note ~tp ~ts ~id ~parent ~kind ~proc ~t0 ~t1 ~a ~b =
   arr.(base + 7) <- t1;
   arr.(base + 8) <- a;
   arr.(base + 9) <- b;
-  head := !head + 1
+  r.head <- r.head + 1
 
 (* The retained events, oldest first, each as a [fields]-slot array. *)
 let events () =
-  if !cap = 0 then [||]
+  let r = recorder () in
+  if r.cap = 0 then [||]
   else begin
-    let n = min !head !cap in
-    let first = !head - n in
+    let n = min r.head r.cap in
+    let first = r.head - n in
     Array.init n (fun i ->
-        let base = (first + i) mod !cap * fields in
-        Array.sub !buf base fields)
+        let base = (first + i) mod r.cap * fields in
+        Array.sub r.buf base fields)
   end
 
 (* Dump the retained events plus caller-supplied per-processor state to
@@ -72,9 +93,10 @@ let events () =
    the kind codes).  Returns the path written, or [None] when nothing was
    ever recorded. *)
 let dump ~reason ~state ~render () =
-  if !cap = 0 then None
+  let r = recorder () in
+  if r.cap = 0 then None
   else begin
-    let file = !path in
+    let file = r.path in
     let oc = open_out file in
     Fun.protect
       ~finally:(fun () -> close_out oc)
@@ -82,7 +104,7 @@ let dump ~reason ~state ~render () =
         Printf.fprintf oc "olden flight-recorder dump\nreason: %s\n" reason;
         let evs = events () in
         Printf.fprintf oc "events retained: %d (of %d recorded, ring %d)\n"
-          (Array.length evs) !head !cap;
+          (Array.length evs) r.head r.cap;
         if state <> [] then begin
           output_string oc "machine state:\n";
           List.iter (fun line -> Printf.fprintf oc "  %s\n" line) state

@@ -135,20 +135,67 @@ let is_root = function Deref | Return -> true | _ -> false
 
 (* --- The sink ----------------------------------------------------------- *)
 
-let on = ref false
-let collector_on = ref false
-let the_sink : (span -> unit) ref = ref (fun _ -> ())
-let refresh_on () = on := !collector_on || Flight.is_enabled ()
-let is_on () = !on
+(* All ambient span state — the sink, the in-flight trace context, and
+   the per-processor sequence/last-span arrays — lives in one record
+   behind a domain-local key: engines running on different domains (the
+   parallel sweep driver) keep fully independent span streams, and
+   [Span.reset] per run keeps each stream's ids deterministic.  Hot hooks
+   pay one [Domain.DLS.get] and field loads. *)
+
+let max_procs = 1024
+
+type state = {
+  mutable on : bool;
+  mutable collector_on : bool;
+  mutable sink : span -> unit;
+  mutable next_id : int;
+  mutable ctx_tp : int; (* trace id of the episode in flight, -1 when none *)
+  mutable ctx_ts : int;
+  mutable ctx_parent : int; (* span id new children attach to *)
+  mutable root_id : int;
+  mutable root_t0 : int;
+  mutable root_proc : int;
+  mutable root_kind : int;
+  root_seq : int array; (* next trace_seq per processor *)
+  last_span : int array; (* last span id emitted per proc *)
+}
+
+let key =
+  Domain.DLS.new_key (fun () ->
+      {
+        on = false;
+        collector_on = false;
+        sink = (fun _ -> ());
+        next_id = 0;
+        ctx_tp = -1;
+        ctx_ts = -1;
+        ctx_parent = -1;
+        root_id = -1;
+        root_t0 = 0;
+        root_proc = -1;
+        root_kind = 0;
+        root_seq = Array.make max_procs 0;
+        last_span = Array.make max_procs (-1);
+      })
+
+let state () = Domain.DLS.get key
+
+let refresh_on () =
+  let g = state () in
+  g.on <- g.collector_on || Flight.is_enabled ()
+
+let is_on () = (state ()).on
 
 let install sink =
-  the_sink := sink;
-  collector_on := true;
+  let g = state () in
+  g.sink <- sink;
+  g.collector_on <- true;
   refresh_on ()
 
 let uninstall () =
-  collector_on := false;
-  the_sink := (fun _ -> ());
+  let g = state () in
+  g.collector_on <- false;
+  g.sink <- (fun _ -> ());
   refresh_on ()
 
 let flight_enable ?capacity () =
@@ -163,18 +210,6 @@ let flight_set_path = Flight.set_path
 let flight_path = Flight.get_path
 
 (* --- Ambient context ---------------------------------------------------- *)
-
-let max_procs = 1024
-let next_id = ref 0
-let ctx_tp = ref (-1) (* trace id of the episode in flight, -1 when none *)
-let ctx_ts = ref (-1)
-let ctx_parent = ref (-1) (* span id new children attach to *)
-let root_id = ref (-1)
-let root_t0 = ref 0
-let root_proc = ref (-1)
-let root_kind = ref 0
-let root_seq = Array.make max_procs 0 (* next trace_seq per processor *)
-let last_span = Array.make max_procs (-1) (* last span id emitted per proc *)
 
 type saved = {
   s_tp : int;
@@ -198,38 +233,43 @@ let no_ctx =
   }
 
 let save () =
+  let g = state () in
   {
-    s_tp = !ctx_tp;
-    s_ts = !ctx_ts;
-    s_parent = !ctx_parent;
-    s_root = !root_id;
-    s_rt0 = !root_t0;
-    s_rproc = !root_proc;
-    s_rkind = !root_kind;
+    s_tp = g.ctx_tp;
+    s_ts = g.ctx_ts;
+    s_parent = g.ctx_parent;
+    s_root = g.root_id;
+    s_rt0 = g.root_t0;
+    s_rproc = g.root_proc;
+    s_rkind = g.root_kind;
   }
 
 let restore s =
-  ctx_tp := s.s_tp;
-  ctx_ts := s.s_ts;
-  ctx_parent := s.s_parent;
-  root_id := s.s_root;
-  root_t0 := s.s_rt0;
-  root_proc := s.s_rproc;
-  root_kind := s.s_rkind
+  let g = state () in
+  g.ctx_tp <- s.s_tp;
+  g.ctx_ts <- s.s_ts;
+  g.ctx_parent <- s.s_parent;
+  g.root_id <- s.s_root;
+  g.root_t0 <- s.s_rt0;
+  g.root_proc <- s.s_rproc;
+  g.root_kind <- s.s_rkind
 
 let clear () = restore no_ctx
 
 let reset () =
-  next_id := 0;
+  let g = state () in
+  g.next_id <- 0;
   clear ();
-  Array.fill root_seq 0 max_procs 0;
-  Array.fill last_span 0 max_procs (-1)
+  Array.fill g.root_seq 0 max_procs 0;
+  Array.fill g.last_span 0 max_procs (-1)
 
-let trace_proc () = !ctx_tp
-let trace_seq () = !ctx_ts
-let parent () = !ctx_parent
-let root_open () = !root_id >= 0
-let last_span_on proc = if proc < max_procs then last_span.(proc) else -1
+let trace_proc () = (state ()).ctx_tp
+let trace_seq () = (state ()).ctx_ts
+let parent () = (state ()).ctx_parent
+let root_open () = (state ()).root_id >= 0
+
+let last_span_on proc =
+  if proc < max_procs then (state ()).last_span.(proc) else -1
 
 (* --- Emission ----------------------------------------------------------- *)
 
@@ -237,39 +277,44 @@ let last_span_on proc = if proc < max_procs then last_span.(proc) else -1
    stores raw ints.  Guarding each consumer separately keeps the
    flight-only path (chaos runs) allocation-free. *)
 let emit_raw ~tp ~ts ~id ~parent ~kind ~proc ~t0 ~t1 ~a ~b =
-  if proc >= 0 && proc < max_procs then last_span.(proc) <- id;
+  let g = state () in
+  if proc >= 0 && proc < max_procs then g.last_span.(proc) <- id;
   if Flight.is_enabled () then
     Flight.note ~tp ~ts ~id ~parent ~kind:(kind_code kind) ~proc ~t0 ~t1 ~a ~b;
-  if !collector_on then
-    !the_sink { trace_proc = tp; trace_seq = ts; id; parent; kind; proc; t0; t1; a; b }
+  if g.collector_on then
+    g.sink { trace_proc = tp; trace_seq = ts; id; parent; kind; proc; t0; t1; a; b }
 
 let fresh_id () =
-  let id = !next_id in
-  next_id := id + 1;
+  let g = state () in
+  let id = g.next_id in
+  g.next_id <- id + 1;
   id
 
 let open_root ~kind ~proc ~t0 =
-  let seq = root_seq.(proc) in
-  root_seq.(proc) <- seq + 1;
-  ctx_tp := proc;
-  ctx_ts := seq;
+  let g = state () in
+  let seq = g.root_seq.(proc) in
+  g.root_seq.(proc) <- seq + 1;
+  g.ctx_tp <- proc;
+  g.ctx_ts <- seq;
   let id = fresh_id () in
-  root_id := id;
-  ctx_parent := id;
-  root_t0 := t0;
-  root_proc := proc;
-  root_kind := kind_code kind
+  g.root_id <- id;
+  g.ctx_parent <- id;
+  g.root_t0 <- t0;
+  g.root_proc <- proc;
+  g.root_kind <- kind_code kind
 
 let close_root ~t1 ~a ~b =
-  if !root_id >= 0 then begin
-    emit_raw ~tp:!ctx_tp ~ts:!ctx_ts ~id:!root_id ~parent:(-1)
-      ~kind:(kind_of_code !root_kind) ~proc:!root_proc ~t0:!root_t0 ~t1 ~a ~b;
+  let g = state () in
+  if g.root_id >= 0 then begin
+    emit_raw ~tp:g.ctx_tp ~ts:g.ctx_ts ~id:g.root_id ~parent:(-1)
+      ~kind:(kind_of_code g.root_kind) ~proc:g.root_proc ~t0:g.root_t0 ~t1 ~a ~b;
     clear ()
   end
 
 let child ~kind ~proc ~t0 ~t1 ~a ~b =
-  emit_raw ~tp:!ctx_tp ~ts:!ctx_ts ~id:(fresh_id ()) ~parent:!ctx_parent ~kind
-    ~proc ~t0 ~t1 ~a ~b
+  let g = state () in
+  emit_raw ~tp:g.ctx_tp ~ts:g.ctx_ts ~id:(fresh_id ()) ~parent:g.ctx_parent
+    ~kind ~proc ~t0 ~t1 ~a ~b
 
 (* Nested envelope spans (RPC, crash): reserve the id up front so fault
    events emitted inside attach to it, emit the envelope on exit.
@@ -277,12 +322,13 @@ let child ~kind ~proc ~t0 ~t1 ~a ~b =
            ... ; exit_emit ~id ~prev ~kind ... *)
 let enter () =
   let id = fresh_id () in
-  ctx_parent := id;
+  (state ()).ctx_parent <- id;
   id
 
 let exit_emit ~id ~prev ~kind ~proc ~t0 ~t1 ~a ~b =
-  ctx_parent := prev;
-  emit_raw ~tp:!ctx_tp ~ts:!ctx_ts ~id ~parent:prev ~kind ~proc ~t0 ~t1 ~a ~b
+  let g = state () in
+  g.ctx_parent <- prev;
+  emit_raw ~tp:g.ctx_tp ~ts:g.ctx_ts ~id ~parent:prev ~kind ~proc ~t0 ~t1 ~a ~b
 
 (* --- Collector ----------------------------------------------------------- *)
 

@@ -55,30 +55,46 @@ type event = {
 
 (* --- The sink ---------------------------------------------------------- *)
 
-let on = ref false
-let the_sink : (event -> unit) ref = ref (fun _ -> ())
+(* All emitter state — the installed sink and the ambient thread/site
+   context — lives in one record behind a domain-local key, so engines
+   running on different domains (the parallel sweep driver) trace
+   independently.  One [Domain.DLS.get] per hook keeps the off path at a
+   couple of loads. *)
+type emitter = {
+  mutable on : bool;
+  mutable sink : event -> unit;
+  mutable cur_tid : int;
+  mutable cur_site : int;
+}
 
-let is_on () = !on
+let emitter_key =
+  Domain.DLS.new_key (fun () ->
+      { on = false; sink = (fun _ -> ()); cur_tid = -1; cur_site = -1 })
+
+let emitter () = Domain.DLS.get emitter_key
+
+let is_on () = (emitter ()).on
 
 let install sink =
-  the_sink := sink;
-  on := true
+  let e = emitter () in
+  e.sink <- sink;
+  e.on <- true
 
 let uninstall () =
-  on := false;
-  the_sink := fun _ -> ()
+  let e = emitter () in
+  e.on <- false;
+  e.sink <- (fun _ -> ())
 
-let emit ev = if !on then !the_sink ev
+let emit ev =
+  let e = emitter () in
+  if e.on then e.sink ev
 
 (* --- Emitter context --------------------------------------------------- *)
 
-let cur_tid = ref (-1)
-let cur_site = ref (-1)
-
-let set_thread tid = cur_tid := tid
-let set_site site = cur_site := site
-let thread () = !cur_tid
-let site () = !cur_site
+let set_thread tid = (emitter ()).cur_tid <- tid
+let set_site site = (emitter ()).cur_site <- site
+let thread () = (emitter ()).cur_tid
+let site () = (emitter ()).cur_site
 
 (* --- Collector --------------------------------------------------------- *)
 

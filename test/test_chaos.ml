@@ -75,9 +75,9 @@ let test_fault_determinism () =
 (* --- Chaos: invariants, checksum, heap ----------------------------------- *)
 
 let run_checked (s : B.Common.spec) cfg ~scale ~inspect =
-  B.Common.inspect_engine := Some inspect;
+  (B.Common.hooks ()).inspect_engine <- Some inspect;
   Fun.protect
-    ~finally:(fun () -> B.Common.inspect_engine := None)
+    ~finally:(fun () -> (B.Common.hooks ()).inspect_engine <- None)
     (fun () ->
       Site.reset ();
       s.B.Common.run cfg ~scale)

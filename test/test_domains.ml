@@ -1,0 +1,268 @@
+(* Multi-shard host execution: the conservative parallel-DES scheduler
+   partitions simulated processors across shards and exchanges
+   cross-shard events through epoch mailboxes, and the result must be a
+   pure function of the program and configuration — byte-identical
+   metrics snapshots, span streams, and time-series exports for any
+   shard count, faults off or on (including crash-and-restart runs),
+   with the multi-shard machinery demonstrably engaged. *)
+
+open Olden
+module B = Olden_benchmarks
+module Event_queue = Olden_runtime.Event_queue
+
+let check = Alcotest.check
+let string = Alcotest.string
+let bool = Alcotest.bool
+let int = Alcotest.int
+
+(* Small scales so the whole suite stays fast (test_benchmarks' table). *)
+let test_scale (s : B.Common.spec) =
+  match s.B.Common.name with
+  | "TreeAdd" -> 256
+  | "Power" -> 8
+  | "TSP" -> 32
+  | "MST" -> 8
+  | "Bisort" -> 128
+  | "Voronoi" -> 64
+  | "EM3D" -> 8
+  | "Barnes-Hut" -> 16
+  | "Perimeter" -> 16
+  | "Health" -> 8
+  | _ -> 16
+
+let snapshot ?faults ~host_domains (s : B.Common.spec) =
+  Site.reset ();
+  let cfg = Config.make ~nprocs:8 ~host_domains ?faults () in
+  let scale = test_scale s in
+  let o, events = Trace.collect (fun () -> s.B.Common.run cfg ~scale) in
+  check bool (s.B.Common.name ^ " verified") true o.B.Common.ok;
+  Json.to_string (B.Common.metrics_snapshot ~events s ~cfg ~scale o)
+
+(* --- Snapshots are byte-identical for any shard count ------------------- *)
+
+let test_sharding_invisible_faults_off () =
+  List.iter
+    (fun (s : B.Common.spec) ->
+      let base = snapshot ~host_domains:1 s in
+      List.iter
+        (fun d ->
+          check string
+            (Printf.sprintf "%s: domains=%d = domains=1" s.B.Common.name d)
+            base
+            (snapshot ~host_domains:d s))
+        [ 2; 4 ])
+    B.Registry.specs
+
+let test_sharding_invisible_faulty sched () =
+  List.iter
+    (fun (s : B.Common.spec) ->
+      let faults () = Option.get (Config.Faults.by_name sched ~seed:7) in
+      let base = snapshot ~faults:(faults ()) ~host_domains:1 s in
+      List.iter
+        (fun d ->
+          check string
+            (Printf.sprintf "%s %s: domains=%d = domains=1" s.B.Common.name
+               sched d)
+            base
+            (snapshot ~faults:(faults ()) ~host_domains:d s))
+        [ 2; 4 ])
+    B.Registry.specs
+
+(* --- Span and time-series exports, too ----------------------------------- *)
+
+let spans_jsonl ~host_domains (s : B.Common.spec) =
+  Site.reset ();
+  let cfg = Config.make ~nprocs:8 ~host_domains () in
+  let o, spans =
+    Span.collect (fun () -> s.B.Common.run cfg ~scale:(test_scale s))
+  in
+  check bool (s.B.Common.name ^ " verified") true o.B.Common.ok;
+  Span.jsonl spans
+
+let timeseries_jsonl ~host_domains (s : B.Common.spec) =
+  Site.reset ();
+  let cfg = Config.make ~nprocs:8 ~host_domains () in
+  (B.Common.hooks ()).monitor_interval <- Some 10_000;
+  let o =
+    Fun.protect
+      ~finally:(fun () -> (B.Common.hooks ()).monitor_interval <- None)
+      (fun () -> s.B.Common.run cfg ~scale:(test_scale s))
+  in
+  let m = Option.get (B.Common.hooks ()).last_monitor in
+  (B.Common.hooks ()).last_monitor <- None;
+  check bool (s.B.Common.name ^ " verified") true o.B.Common.ok;
+  Monitor.timeseries_jsonl ~site_names:(Site.labels ())
+    ~header:[ ("benchmark", Json.String s.B.Common.name) ]
+    m
+
+let test_exports_identical () =
+  List.iter
+    (fun name ->
+      let s =
+        List.find
+          (fun (s : B.Common.spec) -> s.B.Common.name = name)
+          B.Registry.specs
+      in
+      check string
+        (name ^ " span stream: domains=4 = domains=1")
+        (spans_jsonl ~host_domains:1 s)
+        (spans_jsonl ~host_domains:4 s);
+      check string
+        (name ^ " timeseries: domains=4 = domains=1")
+        (timeseries_jsonl ~host_domains:1 s)
+        (timeseries_jsonl ~host_domains:4 s))
+    [ "TreeAdd"; "EM3D" ]
+
+(* --- Determinism: run-twice at domains=4 --------------------------------- *)
+
+let test_run_twice () =
+  List.iter
+    (fun (s : B.Common.spec) ->
+      let faults = Config.Faults.mixed ~seed:7 () in
+      check string
+        (s.B.Common.name ^ ": domains=4 run-twice")
+        (snapshot ~faults ~host_domains:4 s)
+        (snapshot ~faults ~host_domains:4 s))
+    [ B.Treeadd.spec; B.Em3d.spec; B.Health.spec ]
+
+(* --- The sharded path actually engages ----------------------------------- *)
+
+let test_machinery_engages () =
+  let s = B.Em3d.spec in
+  let run ~host_domains =
+    Site.reset ();
+    let report = ref None in
+    (B.Common.hooks ()).inspect_engine <-
+      Some (fun e -> report := Some (Engine.domain_report e));
+    Fun.protect
+      ~finally:(fun () -> (B.Common.hooks ()).inspect_engine <- None)
+      (fun () ->
+        let o =
+          s.B.Common.run
+            (Config.make ~nprocs:8 ~host_domains ())
+            ~scale:(test_scale s)
+        in
+        check bool "verified" true o.B.Common.ok);
+    Option.get !report
+  in
+  let single = run ~host_domains:1 in
+  check int "one shard" 1 single.Engine.shards;
+  check int "one shard: nothing deferred" 0 single.Engine.deferred_events;
+  check int "one shard: no epochs" 0 single.Engine.epochs;
+  let quad = run ~host_domains:4 in
+  check int "four shards" 4 quad.Engine.shards;
+  check bool "cross-shard events were deferred" true
+    (quad.Engine.deferred_events > 0);
+  check bool "epoch barriers were taken" true (quad.Engine.epochs > 0)
+
+(* --- Sweep driver: pool size is invisible -------------------------------- *)
+
+let test_pool_order () =
+  let jobs = List.init 20 Fun.id in
+  let run domains =
+    let vs, st = Domain_pool.map ~domains (fun i -> (i * i) + 1) jobs in
+    check int "workers spawned" (min domains 20) st.Domain_pool.domains;
+    check int "per-worker stats sized to the pool"
+      st.Domain_pool.domains
+      (Array.length st.Domain_pool.busy_seconds);
+    vs
+  in
+  let inline = run 1 in
+  check (Alcotest.list int) "submission order"
+    (List.map (fun i -> (i * i) + 1) jobs)
+    inline;
+  check (Alcotest.list int) "pool of 4 = inline" inline (run 4)
+
+let test_pool_exception () =
+  (* the earliest failed job in submission order wins, whatever domain
+     ran it, and only after the pool has drained *)
+  let ran = Array.make 16 false in
+  match
+    Domain_pool.map ~domains:4
+      (fun i ->
+        ran.(i) <- true;
+        if i = 5 || i = 12 then failwith (Printf.sprintf "boom %d" i))
+      (List.init 16 Fun.id)
+  with
+  | _ -> Alcotest.fail "expected the sweep to re-raise"
+  | exception Failure m ->
+      check string "first failure by submission order" "boom 5" m;
+      check bool "later jobs still ran" true (Array.for_all Fun.id ran)
+
+let test_pool_runs_simulations () =
+  (* simulator runs as pool jobs: every formerly global piece of state
+     (site registry, trace emitter, hooks, engine pointer) is
+     domain-local, so results off a 4-domain pool must be byte-identical
+     to the inline ones *)
+  let specs = [ B.Treeadd.spec; B.Em3d.spec; B.Health.spec ] in
+  let points =
+    List.concat_map
+      (fun (s : B.Common.spec) ->
+        List.map
+          (fun sched -> (s.B.Common.name ^ "/" ^ sched, (s, sched)))
+          [ "none"; "mix"; "crash-mix" ])
+      specs
+  in
+  let job ~label:_ ((s : B.Common.spec), sched) =
+    let faults =
+      if sched = "none" then None
+      else Some (Option.get (Config.Faults.by_name sched ~seed:7))
+    in
+    snapshot ?faults ~host_domains:2 s
+  in
+  let run domains = Sweep.run ~domains job points in
+  let inline, _ = run 1 in
+  let pooled, st = run 4 in
+  check int "pool of 4" 4 st.Domain_pool.domains;
+  List.iter2
+    (fun (a : string Sweep.point) (b : string Sweep.point) ->
+      check string (a.Sweep.label ^ ": submission order kept") a.Sweep.label
+        b.Sweep.label;
+      check string (a.Sweep.label ^ ": pooled = inline") a.Sweep.value
+        b.Sweep.value)
+    inline pooled;
+  check bool "efficiency within [0,1]" true
+    (let e = Domain_pool.efficiency st in
+     e >= 0. && e <= 1.)
+
+(* --- Event_queue.take releases the vacated slot -------------------------- *)
+
+let test_take_releases_payload () =
+  (* after popping the last element the queue must not retain the
+     payload: a weak pointer to it dies at the next major collection *)
+  let q = Event_queue.create () in
+  let w = Weak.create 1 in
+  (let payload = ref 42 in
+   Weak.set w 0 (Some payload);
+   Event_queue.push q ~ready_at:1 ~seq:0 payload;
+   let got = Event_queue.take q in
+   check int "payload round-trips" 42 !(got.Event_queue.payload));
+  Gc.full_major ();
+  Gc.full_major ();
+  check bool "vacated slot does not retain the payload" true
+    (Weak.get w 0 = None)
+
+let suite =
+  [
+    Alcotest.test_case "snapshots identical for 1/2/4 shards (faults off)"
+      `Quick test_sharding_invisible_faults_off;
+    Alcotest.test_case "snapshots identical for 1/2/4 shards (mix)" `Quick
+      (test_sharding_invisible_faulty "mix");
+    Alcotest.test_case "snapshots identical for 1/2/4 shards (crash-mix)"
+      `Quick
+      (test_sharding_invisible_faulty "crash-mix");
+    Alcotest.test_case "span + timeseries exports identical across shards"
+      `Quick test_exports_identical;
+    Alcotest.test_case "domains=4 run-twice byte-identical" `Quick
+      test_run_twice;
+    Alcotest.test_case "multi-shard machinery engages" `Quick
+      test_machinery_engages;
+    Alcotest.test_case "pool keeps submission order for any size" `Quick
+      test_pool_order;
+    Alcotest.test_case "pool re-raises the earliest failure" `Quick
+      test_pool_exception;
+    Alcotest.test_case "simulations on a pool = inline, byte for byte"
+      `Quick test_pool_runs_simulations;
+    Alcotest.test_case "Event_queue.take releases the vacated slot" `Quick
+      test_take_releases_payload;
+  ]

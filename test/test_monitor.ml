@@ -34,14 +34,14 @@ let monitored ?faults ?(interval = 10_000) ?(nprocs = 8)
     ?(coherence = Config.Local) (s : B.Common.spec) =
   Site.reset ();
   let cfg = Config.make ~nprocs ~coherence ?faults () in
-  B.Common.monitor_interval := Some interval;
+  (B.Common.hooks ()).monitor_interval <- Some interval;
   let o =
     Fun.protect
-      ~finally:(fun () -> B.Common.monitor_interval := None)
+      ~finally:(fun () -> (B.Common.hooks ()).monitor_interval <- None)
       (fun () -> s.B.Common.run cfg ~scale:(test_scale s))
   in
-  let m = Option.get !B.Common.last_monitor in
-  B.Common.last_monitor := None;
+  let m = Option.get (B.Common.hooks ()).last_monitor in
+  (B.Common.hooks ()).last_monitor <- None;
   check bool (s.B.Common.name ^ " verified") true o.B.Common.ok;
   (o, m)
 
@@ -86,7 +86,7 @@ let test_windows_reconcile () =
       (* same for the per-processor busy/comm/idle/recovery cycles: the
          deltas sum to the machine's totals, and busy+comm+idle spans
          each window exactly *)
-      let nprocs = Array.length !B.Common.last_busy in
+      let nprocs = Array.length (B.Common.hooks ()).last_busy in
       for p = 0 to nprocs - 1 do
         let sum pick =
           List.fold_left
@@ -95,11 +95,11 @@ let test_windows_reconcile () =
         in
         check int
           (Printf.sprintf "%s p%d busy reconciles" name p)
-          !B.Common.last_busy.(p)
+          (B.Common.hooks ()).last_busy.(p)
           (sum (fun (b, _, _, _) -> b));
         check int
           (Printf.sprintf "%s p%d comm reconciles" name p)
-          !B.Common.last_comm.(p)
+          (B.Common.hooks ()).last_comm.(p)
           (sum (fun (_, c, _, _) -> c));
         check int
           (Printf.sprintf "%s p%d busy+comm+idle spans the run" name p)

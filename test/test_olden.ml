@@ -17,4 +17,5 @@ let () =
       ("recovery", Test_recovery.suite);
       ("monitor", Test_monitor.suite);
       ("span", Test_span.suite);
+      ("domains", Test_domains.suite);
     ]

@@ -243,8 +243,8 @@ let test_treeadd_reconciles () =
   check bool "attributed cycles are positive" true
     (Attribution.grand_total entries > 0);
   (* machine accounting: busy + comm + idle = nprocs x makespan *)
-  let busy = !B.Common.last_busy and comm = !B.Common.last_comm in
-  let makespan = Array.fold_left max 0 !B.Common.last_clocks in
+  let busy = (B.Common.hooks ()).last_busy and comm = (B.Common.hooks ()).last_comm in
+  let makespan = Array.fold_left max 0 (B.Common.hooks ()).last_clocks in
   let rows = Critical_path.breakdown ~makespan ~busy ~comm () in
   List.iter
     (fun r ->
@@ -281,7 +281,7 @@ let test_em3d_stalls_match_comm () =
   in
   check bool "cache stalls attributed" true (stalls > 0);
   check int "attributed stalls equal machine comm" stalls
-    (Array.fold_left ( + ) 0 !B.Common.last_comm)
+    (Array.fold_left ( + ) 0 (B.Common.hooks ()).last_comm)
 
 (* --- Snapshot diffing ------------------------------------------------------ *)
 

@@ -132,15 +132,15 @@ let monitored_spanned ?faults ?(nprocs = 8) ?(coherence = Config.Local)
     (s : B.Common.spec) =
   Site.reset ();
   let cfg = Config.make ~nprocs ~coherence ?faults () in
-  B.Common.monitor_interval := Some 10_000;
+  (B.Common.hooks ()).monitor_interval <- Some 10_000;
   let o, spans =
     Fun.protect
-      ~finally:(fun () -> B.Common.monitor_interval := None)
+      ~finally:(fun () -> (B.Common.hooks ()).monitor_interval <- None)
       (fun () ->
         Span.collect (fun () -> s.B.Common.run cfg ~scale:(test_scale s)))
   in
-  let m = Option.get !B.Common.last_monitor in
-  B.Common.last_monitor := None;
+  let m = Option.get (B.Common.hooks ()).last_monitor in
+  (B.Common.hooks ()).last_monitor <- None;
   check bool (s.B.Common.name ^ " verified") true o.B.Common.ok;
   (m, spans)
 
