@@ -12,6 +12,8 @@
                    worst-latency dereference episodes (tail exemplars).
      chaos         Sweep fault schedules; every run must verify.
      recovery      Run under a crash schedule; report warm-restart work.
+     failover      Run under a fail-stop schedule with home replication;
+                   report per-victim promotion work.
      hostperf      Measure the simulator's own host-side throughput.
      profile       Per-site dereference profile (folded stacks output).
      critical-path Longest dependency chain through the run.
@@ -97,8 +99,8 @@ let faults_name_t =
     & info [ "faults" ] ~docv:"SCHEDULE"
         ~doc:
           "Inject deterministic network faults: one of drop, delay, dup, \
-           outage, flaky-home, mix, crash, or crash-mix (see \
-           docs/ROBUSTNESS.md).")
+           outage, flaky-home, mix, crash, crash-mix, failstop, or \
+           failstop-mix (see docs/ROBUSTNESS.md).")
 
 let fault_seed_t =
   Arg.(
@@ -116,6 +118,14 @@ let faults_of ~name ~seed =
             (String.concat ", " C.Faults.names);
           exit 2)
     name
+
+(* A fail-stop schedule is only survivable with home-page replication:
+   named schedules carrying a death probability imply the default
+   replica spec (stride 1, resident threads covered). *)
+let replication_for faults =
+  match faults with
+  | Some f when f.C.failstop > 0. -> Some C.default_replica
+  | _ -> None
 
 let name_t =
   Arg.(required & pos 0 (some string) None & info [] ~docv:"BENCHMARK")
@@ -231,7 +241,8 @@ let bench_cmd =
     let scale = if scale = 0 then spec.B.Common.default_scale else scale in
     let faults = faults_of ~name:faults_name ~seed:fault_seed in
     let cfg =
-      C.make ~nprocs:procs ~coherence ~policy ~host_domains:domains ?faults ()
+      C.make ~nprocs:procs ~coherence ~policy ~host_domains:domains ?faults
+        ?replication:(replication_for faults) ()
     in
     (B.Common.hooks ()).record_timeline <- timeline;
     let want_events =
@@ -637,7 +648,10 @@ let chaos_cmd =
        their own exceptions (a wedged run is a result, not an abort). *)
     let faulty_job ~label:_ ((spec : B.Common.spec), ref_digest, sched, seed) =
       let faults = Option.get (C.Faults.by_name sched ~seed) in
-      let cfg = C.make ~nprocs:procs ~coherence ~policy ~faults () in
+      let cfg =
+        C.make ~nprocs:procs ~coherence ~policy ~faults
+          ?replication:(replication_for (Some faults)) ()
+      in
       (* each faulty run gets its own flight-recorder path, so a
          failure's post-mortem names the run that produced it *)
       Olden.Span.flight_set_path
@@ -728,11 +742,12 @@ let chaos_cmd =
                   let s = o.B.Common.total_stats in
                   Format.printf
                     "  %-10s seed=%d %s cycles drops=%d delays=%d dups=%d \
-                     retries=%d fallbacks=%d crashes=%d@."
+                     retries=%d fallbacks=%d crashes=%d failstops=%d@."
                     sched seed
                     (B.Common.commas o.B.Common.total_cycles)
                     s.Stats.msg_drops s.Stats.msg_delays s.Stats.msg_duplicates
-                    s.Stats.retries s.Stats.migration_fallbacks s.Stats.crashes;
+                    s.Stats.retries s.Stats.migration_fallbacks s.Stats.crashes
+                    s.Stats.failstops;
                   if not o.B.Common.ok then fail "verification failed";
                   if not (String.equal o.B.Common.checksum ref_o.B.Common.checksum)
                   then
@@ -759,7 +774,8 @@ let chaos_cmd =
       & info [ "schedules" ] ~docv:"LIST"
           ~doc:
             "Comma-separated fault schedules to sweep (drop, delay, dup, \
-             outage, flaky-home, mix, crash, crash-mix).")
+             outage, flaky-home, mix, crash, crash-mix, failstop, \
+             failstop-mix).")
   in
   let seeds_t =
     Arg.(
@@ -777,12 +793,37 @@ let chaos_cmd =
       const run $ names_t $ chaos_procs_t $ scale_t $ schedules_t $ seeds_t
       $ coherence_t $ policy_t $ domains_t)
 
+(* Shared JSON envelope of the recovery and failover reports
+   (olden-recovery/v1): the archivable form chaos CI uploads instead of
+   scraping stdout.  [totals] and [rows] are kind-specific. *)
+let recovery_report_json ~kind ~(spec : B.Common.spec) ~procs ~scale
+    ~coherence ~faults ~totals ~rows =
+  Olden.Json.Obj
+    [
+      ("schema", Olden.Json.String "olden-recovery/v1");
+      ("kind", Olden.Json.String kind);
+      ("benchmark", Olden.Json.String spec.B.Common.name);
+      ("procs", Olden.Json.Int procs);
+      ("scale", Olden.Json.Int scale);
+      ("coherence", Olden.Json.String (C.coherence_to_string coherence));
+      ("faults", Olden.Json.String (C.Faults.to_string faults));
+      ("totals", Olden.Json.Obj totals);
+      ("rows", Olden.Json.List rows);
+    ]
+
+let report_out_t =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "out" ] ~docv:"FILE"
+        ~doc:"Write the report as JSON (olden-recovery/v1).")
+
 (* One benchmark under a crash schedule, reporting the warm-restart work:
    which processors crashed, how much cached state each lost and rebuilt,
    how many recovery announcements went out, and the stall each restart
    cost the victim. *)
 let recovery_cmd =
-  let run name procs scale coherence policy faults_name fault_seed =
+  let run name procs scale coherence policy faults_name fault_seed out =
     let spec = find_spec name in
     let scale = if scale = 0 then spec.B.Common.default_scale else scale in
     let faults =
@@ -797,7 +838,10 @@ let recovery_cmd =
     if faults.C.crash <= 0. then
       Format.eprintf
         "warning: schedule has no crash probability; try --faults crash@.";
-    let cfg = C.make ~nprocs:procs ~coherence ~policy ~faults () in
+    let cfg =
+      C.make ~nprocs:procs ~coherence ~policy ~faults
+        ?replication:(replication_for (Some faults)) ()
+    in
     let rows = ref [] in
     (B.Common.hooks ()).inspect_engine <-
       Some
@@ -832,6 +876,42 @@ let recovery_cmd =
               r.Olden.Recovery.recovery_messages
               r.Olden.Recovery.stall_cycles)
           rows);
+    Option.iter
+      (fun file ->
+        let json =
+          recovery_report_json ~kind:"recovery" ~spec ~procs ~scale
+            ~coherence ~faults
+            ~totals:
+              [
+                ("crashes", Olden.Json.Int s.Stats.crashes);
+                ("pages_lost", Olden.Json.Int s.Stats.pages_lost_in_crash);
+                ( "recovery_messages",
+                  Olden.Json.Int s.Stats.recovery_messages );
+                ( "stall_cycles",
+                  Olden.Json.Int s.Stats.recovery_stall_cycles );
+              ]
+            ~rows:
+              (List.map
+                 (fun (r : Olden.Recovery.proc_report) ->
+                   Olden.Json.Obj
+                     [
+                       ("proc", Olden.Json.Int r.Olden.Recovery.proc);
+                       ("crashes", Olden.Json.Int r.Olden.Recovery.crashes);
+                       ( "pages_lost",
+                         Olden.Json.Int r.Olden.Recovery.pages_lost );
+                       ( "pages_refetched",
+                         Olden.Json.Int r.Olden.Recovery.pages_refetched );
+                       ( "recovery_messages",
+                         Olden.Json.Int r.Olden.Recovery.recovery_messages );
+                       ( "stall_cycles",
+                         Olden.Json.Int r.Olden.Recovery.stall_cycles );
+                     ])
+                 !rows)
+        in
+        with_out file (fun oc ->
+            output_string oc (Olden.Json.to_pretty_string json));
+        Format.printf "report: %s (olden-recovery/v1)@." file)
+      out;
     if not o.B.Common.ok then exit 1
   in
   Cmd.v
@@ -843,7 +923,121 @@ let recovery_cmd =
           cycles.")
     Term.(
       const run $ name_t $ procs_t $ scale_t $ coherence_t $ policy_t
-      $ faults_name_t $ fault_seed_t)
+      $ faults_name_t $ fault_seed_t $ report_out_t)
+
+(* One benchmark under a fail-stop schedule with home-page replication,
+   reporting the failover work: which processors died and when, which
+   backup each promoted, how many home pages moved, and what the
+   promotions cost. *)
+let failover_cmd =
+  let run name procs scale coherence policy faults_name fault_seed out =
+    let spec = find_spec name in
+    let scale = if scale = 0 then spec.B.Common.default_scale else scale in
+    let faults =
+      match
+        faults_of
+          ~name:(Some (Option.value faults_name ~default:"failstop"))
+          ~seed:fault_seed
+      with
+      | Some f -> f
+      | None -> assert false
+    in
+    if faults.C.failstop <= 0. then
+      Format.eprintf
+        "warning: schedule has no fail-stop probability; try --faults \
+         failstop@.";
+    let cfg =
+      C.make ~nprocs:procs ~coherence ~policy ~faults
+        ~replication:C.default_replica ()
+    in
+    let rows = ref [] in
+    (B.Common.hooks ()).inspect_engine <-
+      Some
+        (fun e ->
+          match Olden_runtime.Engine.failover e with
+          | Some fo -> rows := Olden.Failover.report fo
+          | None -> ());
+    Olden_runtime.Site.reset_profiles ();
+    let o =
+      Fun.protect
+        ~finally:(fun () -> (B.Common.hooks ()).inspect_engine <- None)
+        (fun () -> spec.B.Common.run cfg ~scale)
+    in
+    header spec ~procs ~scale ~coherence ~policy o;
+    Format.printf "faults: %s@." (C.Faults.to_string faults);
+    let s = o.B.Common.total_stats in
+    Format.printf
+      "fail-stops: %d total, %d home page(s) failed over, %d replica \
+       message(s), %d failover message(s), %d thread(s) lost@."
+      s.Stats.failstops s.Stats.pages_failed_over s.Stats.replica_messages
+      s.Stats.failover_messages s.Stats.threads_lost;
+    (match !rows with
+    | [] -> Format.printf "no processor died under this schedule/seed@."
+    | rows ->
+        Format.printf "%-7s %9s %9s %11s %11s %8s %12s %12s@." "victim"
+          "died-at" "successor" "pages-moved" "cached-lost" "msgs"
+          "threads-lost" "stall-cycles";
+        List.iter
+          (fun (r : Olden.Failover.proc_report) ->
+            Format.printf "p%-6d %9d p%-8d %11d %11d %8d %12d %12d@."
+              r.Olden.Failover.victim r.Olden.Failover.died_at
+              r.Olden.Failover.successor r.Olden.Failover.pages_failed_over
+              r.Olden.Failover.cached_pages_lost r.Olden.Failover.messages
+              r.Olden.Failover.threads_lost r.Olden.Failover.stall_cycles)
+          rows);
+    Option.iter
+      (fun file ->
+        let json =
+          recovery_report_json ~kind:"failover" ~spec ~procs ~scale
+            ~coherence ~faults
+            ~totals:
+              [
+                ("failstops", Olden.Json.Int s.Stats.failstops);
+                ( "pages_failed_over",
+                  Olden.Json.Int s.Stats.pages_failed_over );
+                ( "replica_messages",
+                  Olden.Json.Int s.Stats.replica_messages );
+                ( "failover_messages",
+                  Olden.Json.Int s.Stats.failover_messages );
+                ("threads_lost", Olden.Json.Int s.Stats.threads_lost);
+              ]
+            ~rows:
+              (List.map
+                 (fun (r : Olden.Failover.proc_report) ->
+                   Olden.Json.Obj
+                     [
+                       ("victim", Olden.Json.Int r.Olden.Failover.victim);
+                       ("died_at", Olden.Json.Int r.Olden.Failover.died_at);
+                       ( "successor",
+                         Olden.Json.Int r.Olden.Failover.successor );
+                       ( "pages_failed_over",
+                         Olden.Json.Int r.Olden.Failover.pages_failed_over );
+                       ( "cached_pages_lost",
+                         Olden.Json.Int r.Olden.Failover.cached_pages_lost );
+                       ("messages", Olden.Json.Int r.Olden.Failover.messages);
+                       ( "threads_lost",
+                         Olden.Json.Int r.Olden.Failover.threads_lost );
+                       ( "stall_cycles",
+                         Olden.Json.Int r.Olden.Failover.stall_cycles );
+                     ])
+                 !rows)
+        in
+        with_out file (fun oc ->
+            output_string oc (Olden.Json.to_pretty_string json));
+        Format.printf "report: %s (olden-recovery/v1)@." file)
+      out;
+    if not o.B.Common.ok then exit 1
+  in
+  Cmd.v
+    (Cmd.info "failover"
+       ~doc:
+         "Run one benchmark under a fail-stop schedule (default: failstop) \
+          with home-page replication and report per-victim failover work: \
+          death time, promoted successor, home pages moved, messages, and \
+          stall cycles.")
+    Term.(
+      const run $ name_t $ procs_t $ scale_t $ coherence_t $ policy_t
+      $ faults_name_t $ fault_seed_t $ report_out_t)
 
 (* --- Simulated-time monitor ---------------------------------------------- *)
 
@@ -911,7 +1105,7 @@ let monitor_cmd =
         (fun coherence ->
           let cfg =
             C.make ~nprocs:procs ~coherence ~policy ~host_domains:domains
-              ?faults ()
+              ?faults ?replication:(replication_for faults) ()
           in
           let o, m = run_monitored spec cfg ~scale ~interval in
           if not o.B.Common.ok then ok := false;
@@ -927,7 +1121,7 @@ let monitor_cmd =
     else begin
       let cfg =
         C.make ~nprocs:procs ~coherence ~policy ~host_domains:domains ?faults
-          ()
+          ?replication:(replication_for faults) ()
       in
       let o, m = run_monitored spec cfg ~scale ~interval in
       header spec ~procs ~scale ~coherence ~policy o;
@@ -1064,7 +1258,8 @@ let spans_cmd =
     let scale = if scale = 0 then spec.B.Common.default_scale else scale in
     let faults = faults_of ~name:faults_name ~seed:fault_seed in
     let cfg =
-      C.make ~nprocs:procs ~coherence ~policy ~host_domains:domains ?faults ()
+      C.make ~nprocs:procs ~coherence ~policy ~host_domains:domains ?faults
+        ?replication:(replication_for faults) ()
     in
     let o, spans = run_spanned spec cfg ~scale in
     header spec ~procs ~scale ~coherence ~policy o;
@@ -1142,7 +1337,10 @@ let explain_cmd =
     let spec = find_spec name in
     let scale = if scale = 0 then spec.B.Common.default_scale else scale in
     let faults = faults_of ~name:faults_name ~seed:fault_seed in
-    let cfg = C.make ~nprocs:procs ~coherence ~policy ?faults () in
+    let cfg =
+      C.make ~nprocs:procs ~coherence ~policy ?faults
+        ?replication:(replication_for faults) ()
+    in
     (* monitor and span collector together: the monitor's latency
        histograms retain the trace ids of their worst episodes, and the
        span stream holds the causal trees those ids name *)
@@ -1284,6 +1482,7 @@ let main =
       monitor_cmd;
       chaos_cmd;
       recovery_cmd;
+      failover_cmd;
       hostperf_cmd;
       trace_cmd;
       spans_cmd;
@@ -1321,20 +1520,15 @@ let () =
         Format.eprintf "olden-run: deadlock: %s@." msg;
         1
     | Machine.Undeliverable { dst; klass; attempts } ->
-        Format.eprintf
-          "olden-run: %s message to processor %d undeliverable after %d \
-           attempts@."
-          (Fault_plan.klass_to_string klass)
-          dst attempts;
-        (match
-           Olden.Span.flight_dump
-             ~reason:
-               (Printf.sprintf
-                  "%s message to p%d undeliverable after %d attempts"
-                  (Fault_plan.klass_to_string klass)
-                  dst attempts)
-             ~state:[]
-         with
+        let line = Machine.undeliverable_to_string ~dst ~klass ~attempts in
+        Format.eprintf "olden-run: %s@." line;
+        (match Olden.Span.flight_dump ~reason:line ~state:[] with
+        | Some path -> Format.eprintf "olden-run: flight recorder: %s@." path
+        | None -> ());
+        1
+    | Olden_runtime.Engine.Threads_lost msg ->
+        Format.eprintf "olden-run: threads lost: %s@." msg;
+        (match Olden.Span.flight_dump ~reason:msg ~state:[] with
         | Some path -> Format.eprintf "olden-run: flight recorder: %s@." path
         | None -> ());
         1

@@ -28,9 +28,12 @@ let create cfg machine memory =
       Array.init n (fun home ->
           (* the home's clock stamps the directory's own trace events;
              registration times are tracked only under a fault schedule,
-             for the recovery checker's sharer-epoch invariant *)
+             for the recovery checker's sharer-epoch invariant.  The
+             clock reads through the home map: after a fail-stop
+             failover the directory is served by the promoted backup,
+             so its stamps come from the successor's clock. *)
           Directory.create ~home
-            ~clock:(fun () -> Machine.now machine home)
+            ~clock:(fun () -> Machine.now machine (Machine.home_of machine home))
             ~track_registrations:(cfg.C.faults <> None) ());
   }
 
@@ -140,6 +143,31 @@ let read t ~proc gptr ~field =
     e.data.(G.word_offset_in_page addr)
   end
 
+(* Primary–backup mirroring: when replication is configured, every store
+   applied at a home page is also sent to the page's current backup as a
+   [Replica]-class one-way message, so the backup's copy stays
+   word-identical to the home's (what makes a fail-stop death of the
+   home survivable).  The mirror is pure cost model — the host-level
+   section array plays both roles — but the message rides the faulty
+   network like any other traffic: drops retry under backoff, and an
+   exhausted budget raises [Undeliverable] naming the [replica] class. *)
+let mirror_store t ~proc ~home =
+  match t.cfg.C.replication with
+  | None -> ()
+  | Some r ->
+      let backup =
+        Machine.backup_of t.machine ~stride:r.C.stride ~owner:home
+      in
+      if backup <> Machine.home_of t.machine home then begin
+        let c = costs t in
+        ignore
+          (Machine.one_way ~klass:Fault_plan.Replica t.machine ~src:proc
+             ~dst:backup ~service:c.C.store_service);
+        Machine.count_bytes t.machine (G.word_bytes + 8);
+        let s = stats t in
+        s.Stats.replica_messages <- s.Stats.replica_messages + 1
+      end
+
 (* Write-tracking overhead charged by the compiler-inserted code under the
    global and bilateral schemes (Appendix A: 7 cycles for non-shared pages,
    23 for shared ones). *)
@@ -174,7 +202,10 @@ let write t ~proc gptr ~field v ~(log : Write_log.t) =
   (match coherence t with
   | C.Bilateral -> Directory.record_write t.directories.(home) ~page_index ~line
   | C.Global | C.Local -> ());
-  if home = proc then Machine.advance t.machine proc c.C.local_ref
+  if home = proc then begin
+    Machine.advance t.machine proc c.C.local_ref;
+    mirror_store t ~proc ~home
+  end
   else begin
     Machine.advance t.machine proc c.C.cache_probe;
     s.Stats.cacheable_writes_remote <- s.Stats.cacheable_writes_remote + 1;
@@ -182,6 +213,7 @@ let write t ~proc gptr ~field v ~(log : Write_log.t) =
     ignore (Machine.one_way t.machine ~src:proc ~dst:home ~service:c.C.store_service);
     Machine.advance t.machine proc c.C.local_ref;
     Machine.count_bytes t.machine (G.word_bytes + 8);
+    mirror_store t ~proc ~home;
     (* keep our own cached copy coherent with our write *)
     let e = Translation.probe t.tables.(proc) ((home lsl 16) lor page_index) in
     if e != Translation.no_entry && Translation.line_valid e line then
@@ -191,12 +223,25 @@ let write t ~proc gptr ~field v ~(log : Write_log.t) =
 (* Also used by migration-mechanism writes: coherence must still know about
    them (they are heap writes visible at a release), but they are not
    counted as cacheable. *)
-let note_migrate_write t ~proc gptr ~field ~(log : Write_log.t) =
+let note_migrate_write t ~proc gptr ~field v ~(log : Write_log.t) =
   let home = Gptr.proc gptr and addr = Gptr.addr gptr + field in
   let page_index = G.page_of_word addr and line = G.line_of_word addr in
   charge_write_tracking t ~proc ~home ~page_index;
   let gpage = (home lsl 16) lor page_index in
   Write_log.record log ~gpage ~line ~home;
+  mirror_store t ~proc ~home;
+  (* after a failover the writer can be the promoted successor, serving
+     [home]'s pages while still holding a cached copy it made back when
+     the home was remote.  The release-time invalidation sweeps skip the
+     writer itself (its copy is normally updated in place by [write]),
+     so keep that copy coherent here the same way — on a healthy machine
+     a migration-mechanism write always runs at the home ([home = proc])
+     and this does nothing. *)
+  if home <> proc then begin
+    let e = Translation.probe t.tables.(proc) gpage in
+    if e != Translation.no_entry && Translation.line_valid e line then
+      e.data.(G.word_offset_in_page addr) <- v
+  end;
   match coherence t with
   | C.Bilateral -> Directory.record_write t.directories.(home) ~page_index ~line
   | C.Global | C.Local -> ()

@@ -30,10 +30,13 @@ val write : t -> proc:int -> Gptr.t -> field:int -> Value.t ->
     costs under the global/bilateral schemes, and write-log recording. *)
 
 val note_migrate_write : t -> proc:int -> Gptr.t -> field:int ->
-  log:Write_log.t -> unit
+  Value.t -> log:Write_log.t -> unit
 (** Record a heap write made through a migration site: it is not counted
     as cacheable traffic, but coherence must still see it at the next
-    release. *)
+    release.  Takes the stored value so a promoted successor's own
+    cached copy of an adopted page (made back when the page's home was
+    remote to it) stays coherent — the release-time invalidation sweeps
+    skip the writer itself. *)
 
 (** {2 Coherence events} *)
 

@@ -14,6 +14,7 @@ module Cache = Olden_cache.Cache_system
 module Directory = Olden_cache.Directory
 module Translation = Olden_cache.Translation
 module Recovery = Olden_recovery.Recovery
+module Failover = Olden_recovery.Failover
 module G = Olden_config.Geometry
 
 type violation = { rule : string; detail : string }
@@ -180,6 +181,54 @@ let check_crash_counters engine (s : Stats.t) =
           (C.coherence_to_string (E.config engine).C.coherence)
         :: bad
 
+(* Fail-stop failover invariants: no send may ever have resolved to a
+   dead processor (the home map must always have been rewritten before
+   traffic could chase a corpse); after the run every owner's home entry
+   names a live server; the death counters agree between Stats, the
+   machine's live set, and the failover ledger; and deaths can only have
+   happened with a replication layer configured to absorb them. *)
+let check_failover engine (s : Stats.t) =
+  match E.failover engine with
+  | None -> []
+  | Some fo ->
+      let machine = E.machine engine in
+      let nprocs = Machine.nprocs machine in
+      let bad = ref [] in
+      if Machine.dead_sends machine > 0 then
+        bad :=
+          violation "failover" "%d send(s) resolved to a dead processor"
+            (Machine.dead_sends machine)
+          :: !bad;
+      for owner = nprocs - 1 downto 0 do
+        let h = Machine.home_of machine owner in
+        if Machine.is_dead machine h then
+          bad :=
+            violation "failover"
+              "owner p%d's home map names p%d, which is dead" owner h
+          :: !bad
+      done;
+      let dead = nprocs - Machine.live_count machine in
+      if s.Stats.failstops <> dead then
+        bad :=
+          violation "failover"
+            "Stats.failstops=%d but %d processor(s) are dead"
+            s.Stats.failstops dead
+          :: !bad;
+      if Failover.failstops fo <> dead then
+        bad :=
+          violation "failover"
+            "failover ledger holds %d death(s) but %d processor(s) are dead"
+            (Failover.failstops fo) dead
+          :: !bad;
+      (match (E.config engine).C.replication with
+      | None when dead > 0 ->
+          bad :=
+            violation "failover"
+              "%d fail-stop(s) survived with no replication configured" dead
+            :: !bad
+      | _ -> ());
+      !bad
+
 (* No structurally impossible cache entries: caches hold remote pages
    only (a processor's own section is always accessed directly), and a
    valid line's local copy exists. *)
@@ -228,6 +277,7 @@ let check ?expected_heap engine =
     @ check_sharer_sets engine
     @ check_sharer_epochs engine
     @ check_crash_counters engine s
+    @ check_failover engine s
     @ check_tables engine
     @
     match expected_heap with

@@ -5,8 +5,11 @@
     that claim: exactly-once delivery (every duplicate suppressed), sane
     fault counters, the busy + comm + idle accounting identity, home
     directory sharer sets consistent with the translation tables, no
-    structurally impossible cache entries, and — given the digest of a
-    fault-free reference run — a structurally equal final heap.
+    structurally impossible cache entries, fail-stop failover soundness
+    (no send ever resolved to a dead processor, every home-map entry
+    names a live server, death counters agree across the layers), and —
+    given the digest of a fault-free reference run — a structurally
+    equal final heap.
 
     Used by [olden-run chaos] and the chaos test suite; see
     docs/ROBUSTNESS.md. *)

@@ -150,6 +150,8 @@ type fault_spec = {
          making cache fetches undeliverable *)
   crash : float; (* P(a processor crashes during a given window) *)
   crash_cycles : int; (* length of a crash-decision window *)
+  failstop : float; (* P(a processor dies for good during a given window) *)
+  failstop_cycles : int; (* length of a fail-stop-decision window *)
   fault_seed : int; (* schedule selector, independent of the workload seed *)
 }
 
@@ -187,8 +189,26 @@ let no_faults =
     migrate_drop = None;
     crash = 0.;
     crash_cycles = 0;
+    failstop = 0.;
+    failstop_cycles = 0;
     fault_seed = 0;
   }
+
+(* Primary–backup home replication: every write-through store applied at
+   a home page is mirrored to a deterministically chosen backup,
+   [(home + stride) mod nprocs], as a [Fault_plan.Replica]-class message
+   under the standard retry/backoff.  With the mirror in place a
+   fail-stop death of the home is survivable: failover promotes the
+   backup and rewrites the home map (docs/ROBUSTNESS.md).  [threads]
+   extends the mirror to resident thread state — with it off, threads
+   resident on a fail-stopped processor are lost and the run aborts with
+   a deterministic report. *)
+type replica_spec = {
+  stride : int; (* backup of home h is (h + stride) mod nprocs *)
+  threads : bool; (* replicate resident thread state too *)
+}
+
+let default_replica = { stride = 1; threads = true }
 
 (* Named fault schedules, for the chaos CLI and tests. *)
 module Faults = struct
@@ -213,17 +233,22 @@ module Faults = struct
   let crash ?(p = 0.02) ?(cycles = 4000) ~seed () =
     { no_faults with crash = p; crash_cycles = cycles; fault_seed = seed }
 
+  (* Fail-stop: each processor rolls a death die once per [cycles]-long
+     window; a hit kills it permanently — home pages fail over to the
+     replicated backup, the home map is rewritten, and the victim never
+     computes again.  Requires [replication] in the config. *)
+  let failstop ?(p = 0.02) ?(cycles = 4000) ~seed () =
+    { no_faults with failstop = p; failstop_cycles = cycles; fault_seed = seed }
+
   let mixed ?(p = 0.03) ~seed () =
     {
+      no_faults with
       drop = p;
       delay = 2. *. p;
       delay_cycles = 600;
       duplicate = p;
       outage = p /. 2.;
       outage_cycles = 2000;
-      migrate_drop = None;
-      crash = 0.;
-      crash_cycles = 0;
       fault_seed = seed;
     }
 
@@ -236,8 +261,20 @@ module Faults = struct
       crash_cycles = 4000;
     }
 
+  (* Fail-stop deaths layered on message faults: replica traffic and
+     failover announcements themselves ride the lossy network. *)
+  let failstop_mix ?(p = 0.02) ~seed () =
+    {
+      (mixed ~p:(p /. 2.) ~seed ()) with
+      failstop = p;
+      failstop_cycles = 4000;
+    }
+
   let names =
-    [ "drop"; "delay"; "dup"; "outage"; "flaky-home"; "mix"; "crash"; "crash-mix" ]
+    [
+      "drop"; "delay"; "dup"; "outage"; "flaky-home"; "mix"; "crash";
+      "crash-mix"; "failstop"; "failstop-mix";
+    ]
 
   let by_name name ~seed =
     match name with
@@ -249,17 +286,22 @@ module Faults = struct
     | "mix" | "mixed" -> Some (mixed ~seed ())
     | "crash" -> Some (crash ~seed ())
     | "crash-mix" | "crash_mix" -> Some (crash_mix ~seed ())
+    | "failstop" -> Some (failstop ~seed ())
+    | "failstop-mix" | "failstop_mix" -> Some (failstop_mix ~seed ())
     | _ -> None
 
   let to_string f =
     Printf.sprintf
-      "drop=%.3f delay=%.3f/%d dup=%.3f outage=%.3f/%d%s%s seed=%d" f.drop
+      "drop=%.3f delay=%.3f/%d dup=%.3f outage=%.3f/%d%s%s%s seed=%d" f.drop
       f.delay f.delay_cycles f.duplicate f.outage f.outage_cycles
       (match f.migrate_drop with
       | Some p -> Printf.sprintf " migrate-drop=%.3f" p
       | None -> "")
       (if f.crash > 0. then
          Printf.sprintf " crash=%.3f/%d" f.crash f.crash_cycles
+       else "")
+      (if f.failstop > 0. then
+         Printf.sprintf " failstop=%.3f/%d" f.failstop f.failstop_cycles
        else "")
       f.fault_seed
 end
@@ -285,6 +327,11 @@ type t = {
       (* None: the reliable network the paper assumes — bit-identical to
          runs predating the fault layer *)
   retry : retry_spec; (* consulted only when [faults] is [Some _] *)
+  replication : replica_spec option;
+      (* None: no home-page mirroring, the seed behaviour.  Some: every
+         write-through store is mirrored to the backup so the machine
+         survives fail-stop deaths.  Required when [faults] carries a
+         non-zero [failstop] probability. *)
   host_domains : int;
       (* host-side execution shards: simulated processors are partitioned
          into this many shards of the engine's conservative parallel-DES
@@ -307,14 +354,25 @@ let default =
     seed = 0x01de5 land 0xffff;
     faults = None;
     retry = default_retry;
+    replication = None;
     host_domains = 1;
   }
 
 let make ?(nprocs = 32) ?(costs = default_costs) ?(coherence = Local)
     ?(policy = Heuristic) ?(handler_contention = false)
     ?(return_invalidate_refinement = true) ?(trace = false) ?(seed = 42)
-    ?faults ?(retry = default_retry) ?(host_domains = 1) () =
+    ?faults ?(retry = default_retry) ?replication ?(host_domains = 1) () =
   if host_domains < 1 then invalid_arg "Olden_config.make: host_domains < 1";
+  (match (faults, replication) with
+  | Some f, None when f.failstop > 0. ->
+      invalid_arg
+        "Olden_config.make: a fail-stop schedule needs ~replication (a dead \
+         home is unrecoverable without a mirror)"
+  | _ -> ());
+  (match replication with
+  | Some r when r.stride < 1 ->
+      invalid_arg "Olden_config.make: replication stride must be >= 1"
+  | _ -> ());
   {
     nprocs;
     costs;
@@ -327,6 +385,7 @@ let make ?(nprocs = 32) ?(costs = default_costs) ?(coherence = Local)
     seed;
     faults;
     retry;
+    replication;
     host_domains;
   }
 

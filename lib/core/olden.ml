@@ -30,6 +30,7 @@ module Ops = Olden_runtime.Ops
 module Engine = Olden_runtime.Engine
 module Fault_plan = Fault_plan
 module Recovery = Olden_recovery.Recovery
+module Failover = Olden_recovery.Failover
 module Effects = Olden_runtime.Effects
 module Prng = Prng
 module Timeline = Olden_runtime.Timeline

@@ -18,12 +18,14 @@ type klass =
   | Migration (* forward thread-state transfer to a (possibly flaky) home *)
   | Return (* return-stub thread-state transfer back to the origin *)
   | Recovery (* warm-restart announcement from a crashed processor *)
+  | Replica (* write-through mirror of a home store to its backup *)
 
 let klass_to_string = function
   | Data -> "data"
   | Migration -> "migration"
   | Return -> "return"
   | Recovery -> "recovery"
+  | Replica -> "replica"
 
 type leg = Forward | Ack
 
@@ -69,6 +71,7 @@ let drop_probability t = function
         t.spec.Olden_config.migrate_drop
   | Return -> t.spec.Olden_config.drop
   | Recovery -> t.spec.Olden_config.drop
+  | Replica -> t.spec.Olden_config.drop
 
 let decide t ~klass ~leg ~seq ~attempt =
   let salt = match leg with Forward -> 0x0f0e | Ack -> 0x0acc in
@@ -115,12 +118,33 @@ let crash_due t ~proc ~time =
   let p = stream t ~seq:(proc * 0x51ed) ~attempt:window ~salt:0x0c4a in
   Prng.float p < s.Olden_config.crash
 
+(* Fail-stop decisions use the same windowed keying as crashes, under a
+   distinct salt so the two schedules draw independently.  A positive
+   window kills the processor permanently; the failover layer latches the
+   death so the window can only fire once. *)
+let failstop_due t ~proc ~time =
+  let s = t.spec in
+  s.Olden_config.failstop > 0.
+  && s.Olden_config.failstop_cycles > 0
+  &&
+  let window = time / s.Olden_config.failstop_cycles in
+  let p = stream t ~seq:(proc * 0x51ed) ~attempt:window ~salt:0x0f57 in
+  Prng.float p < s.Olden_config.failstop
+
 (* Bounded exponential backoff: wait [timeout * backoff^attempt] cycles
-   before retransmission [attempt + 1], capped at [max_timeout]. *)
+   before retransmission [attempt + 1], capped at [max_timeout].  The
+   accumulated wait is capped *inside* the loop: with max_attempts = 64,
+   [timeout * backoff^attempt] overflows the host int long before the
+   final [min] would apply, and a wrapped-negative wait would move clocks
+   backwards. *)
 let retry_wait t ~attempt =
   let r = t.retry in
+  let cap = r.Olden_config.max_timeout in
   let rec go wait k =
-    if k <= 0 || wait >= r.Olden_config.max_timeout then wait
-    else go (wait * r.Olden_config.backoff) (k - 1)
+    if k <= 0 || wait >= cap then wait
+    else
+      let next = wait * r.Olden_config.backoff in
+      if next < wait then cap (* overflow wrapped; the cap dominates *)
+      else go next (k - 1)
   in
-  min (go r.Olden_config.timeout attempt) r.Olden_config.max_timeout
+  min (go r.Olden_config.timeout attempt) cap

@@ -15,6 +15,7 @@ type klass =
   | Migration  (** forward thread-state transfer (honors [migrate_drop]) *)
   | Return  (** return-stub thread-state transfer *)
   | Recovery  (** warm-restart announcement from a crashed processor *)
+  | Replica  (** write-through mirror of a home store to its backup *)
 
 val klass_to_string : klass -> string
 
@@ -52,6 +53,14 @@ val crash_due : t -> proc:int -> time:int -> bool
     [time]?  Constant within each [crash_cycles]-long window; the caller
     must fire at most one crash per positive window. *)
 
+val failstop_due : t -> proc:int -> time:int -> bool
+(** Seeded fail-stop schedule: does [proc] die for good in the window
+    containing [time]?  Constant within each [failstop_cycles]-long
+    window (independent of the crash schedule); the failover layer
+    latches the death so a positive window fires at most once. *)
+
 val retry_wait : t -> attempt:int -> int
 (** Cycles a sender waits after losing [attempt] before retransmitting:
-    [timeout * backoff^attempt], capped at [max_timeout]. *)
+    [timeout * backoff^attempt], capped at [max_timeout].  The cap is
+    applied inside the accumulation, so high attempt counts (up to
+    [max_attempts]) can never overflow into a negative wait. *)

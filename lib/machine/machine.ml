@@ -20,6 +20,16 @@ type t = {
                        on request/reply round trips *)
   stats : Stats.t;
   fault : Fault_plan.t option; (* None: the network is reliable *)
+  home : int array;
+      (* the home map: [home.(owner)] is the processor currently serving
+         [owner]'s pages.  Identity until a fail-stop failover promotes a
+         backup; every message send resolves its destination through it,
+         so a request racing a death replays against the new home instead
+         of targeting a corpse. *)
+  dead : bool array; (* fail-stopped processors, permanently *)
+  mutable sends_to_dead : int;
+      (* sends whose *resolved* destination was still dead — must stay 0
+         when the failover protocol is correct (the checker asserts it) *)
   mutable intervals : (int * int * int) list;
       (* busy intervals (proc, start, stop), newest first, when recording *)
   mutable record_intervals : bool;
@@ -27,6 +37,13 @@ type t = {
 
 exception
   Undeliverable of { dst : int; klass : Fault_plan.klass; attempts : int }
+
+(* The one-line rendering every consumer (CLI, logs, tests) shares, so
+   "what died and where was it headed" reads the same everywhere. *)
+let undeliverable_to_string ~dst ~klass ~attempts =
+  Printf.sprintf "%s message to processor %d undeliverable after %d attempts"
+    (Fault_plan.klass_to_string klass)
+    dst attempts
 
 let create cfg =
   let n = cfg.Olden_config.nprocs in
@@ -41,6 +58,9 @@ let create cfg =
       Option.map
         (fun spec -> Fault_plan.create spec cfg.Olden_config.retry)
         cfg.Olden_config.faults;
+    home = Array.init n Fun.id;
+    dead = Array.make n false;
+    sends_to_dead = 0;
     intervals = [];
     record_intervals = false;
   }
@@ -53,6 +73,43 @@ let costs t = t.cfg.Olden_config.costs
 let stats t = t.stats
 let fault_plan t = t.fault
 let now t proc = t.clock.(proc)
+
+(* --- Fail-stop bookkeeping: the home map and the dead set ------------- *)
+
+let home_of t owner = t.home.(owner)
+let is_dead t proc = t.dead.(proc)
+let mark_dead t proc = t.dead.(proc) <- true
+let rehome t ~owner ~target = t.home.(owner) <- target
+
+let live_count t =
+  Array.fold_left (fun n d -> if d then n else n + 1) 0 t.dead
+
+let dead_sends t = t.sends_to_dead
+
+(* Every send resolves its destination through the home map: before any
+   failover this is the identity and perturbs nothing; afterwards traffic
+   aimed at a dead home lands at its promoted backup.  A resolved
+   destination that is still dead is a failover-protocol bug, counted so
+   the invariant checker can assert it never happened. *)
+let resolve t dst =
+  let d = t.home.(dst) in
+  if t.dead.(d) then t.sends_to_dead <- t.sends_to_dead + 1;
+  d
+
+(* The deterministic backup for [owner]'s home pages: the first live
+   processor at or after [(owner + stride) mod nprocs] that is not the
+   one currently serving them.  After a failover this walks past the
+   promoted backup to elect the fresh one. *)
+let backup_of t ~stride ~owner =
+  let n = nprocs t in
+  let serving = t.home.(owner) in
+  let rec go k =
+    if k >= n then serving
+    else
+      let c = (owner + stride + k) mod n in
+      if c <> serving && not t.dead.(c) then c else go (k + 1)
+  in
+  go 0
 
 (* Charge [cycles] of computation on [proc]. *)
 let advance t proc cycles =
@@ -235,8 +292,10 @@ let klass_code = function
   | Fault_plan.Migration -> 1
   | Fault_plan.Return -> 2
   | Fault_plan.Recovery -> 3
+  | Fault_plan.Replica -> 4
 
 let request_reply ?(klass = Fault_plan.Data) t ~src ~dst ~service =
+  let dst = resolve t dst in
   if Span.is_on () then begin
     (* one Rpc envelope span per logical round trip; the fault events
        the legs emit (drop/backoff/delay/dup) nest under it *)
@@ -271,7 +330,8 @@ let request_reply ?(klass = Fault_plan.Data) t ~src ~dst ~service =
    Under faults the transport layer retransmits in the background — lost
    attempts push the delivery time back by the backoff wait without
    touching the sender's clock, and the effect is applied exactly once. *)
-let one_way t ~src ~dst ~service =
+let one_way ?(klass = Fault_plan.Data) t ~src ~dst ~service =
+  let dst = resolve t dst in
   let c = costs t in
   match t.fault with
   | None ->
@@ -286,8 +346,8 @@ let one_way t ~src ~dst ~service =
       while !finish < 0 do
         let k = !attempt in
         let fwd =
-          Fault_plan.decide plan ~klass:Fault_plan.Data
-            ~leg:Fault_plan.Forward ~seq ~attempt:k
+          Fault_plan.decide plan ~klass ~leg:Fault_plan.Forward ~seq
+            ~attempt:k
         in
         t.stats.Stats.messages <- t.stats.Stats.messages + 1;
         let arrive =
@@ -301,8 +361,7 @@ let one_way t ~src ~dst ~service =
         if fwd.Fault_plan.dropped || outage then begin
           note_drop t ~dst ~time:arrive ~attempt:k ~outage;
           let wait =
-            note_retry t plan ~dst ~klass:Fault_plan.Data
-              ~time:t.clock.(src) ~attempt:k
+            note_retry t plan ~dst ~klass ~time:t.clock.(src) ~attempt:k
           in
           lag := !lag + wait;
           incr attempt
@@ -327,6 +386,7 @@ type delivery =
   | Gave_up of { penalty : int; attempts : int }
 
 let thread_delivery t ~dst ~klass ~send_time ~give_up_after =
+  let dst = resolve t dst in
   match t.fault with
   | None -> Delivered { penalty = 0 }
   | Some plan ->

@@ -14,6 +14,11 @@ exception
 (** A message exhausted [retry_spec.max_attempts] retransmissions; names
     the destination processor and the message class that failed. *)
 
+val undeliverable_to_string :
+  dst:int -> klass:Fault_plan.klass -> attempts:int -> string
+(** The canonical one-line rendering of an {!Undeliverable} payload —
+    what the CLI prints and what tests assert against. *)
+
 val create : Olden_config.t -> t
 
 val nprocs : t -> int
@@ -22,6 +27,43 @@ val stats : t -> Stats.t
 
 val fault_plan : t -> Fault_plan.t option
 (** The active fault schedule, when [cfg.faults] is set. *)
+
+(** {2 The home map and the dead set}
+
+    Fail-stop failover works through one indirection: every message send
+    resolves its destination processor through the home map, which is
+    the identity until a failover rewrites it (so the fault-free
+    simulation is bit-identical to a machine without the map).  The
+    failover layer ({!Olden_recovery.Failover}) marks victims dead and
+    points their entries at the promoted backup. *)
+
+val home_of : t -> int -> int
+(** [home_of t owner] is the processor currently serving [owner]'s home
+    pages: [owner] itself until a failover promotes a backup. *)
+
+val is_dead : t -> int -> bool
+(** Has this processor fail-stopped?  Permanent. *)
+
+val mark_dead : t -> int -> unit
+(** Record a fail-stop death.  The failover layer must also {!rehome}
+    every owner the victim was serving. *)
+
+val rehome : t -> owner:int -> target:int -> unit
+(** Point [owner]'s home-map entry at [target] (the promoted backup). *)
+
+val live_count : t -> int
+(** Processors not (yet) fail-stopped. *)
+
+val dead_sends : t -> int
+(** Sends whose destination, *after* home-map resolution, was still a
+    dead processor.  Zero when the failover protocol is correct — the
+    invariant checker asserts it. *)
+
+val backup_of : t -> stride:int -> owner:int -> int
+(** The deterministic backup for [owner]'s home pages: the first live
+    processor at or after [(owner + stride) mod nprocs] that is not the
+    one currently serving them.  Returns the serving processor itself
+    only when no other live processor exists (no mirror possible). *)
 
 val now : t -> int -> int
 (** Current cycle count of a processor's compute clock. *)
@@ -50,11 +92,14 @@ val request_reply :
     recognized by sequence number and do not re-execute the service.
     @raise Undeliverable when the retry budget is exhausted. *)
 
-val one_way : t -> src:int -> dst:int -> service:int -> int
+val one_way :
+  ?klass:Fault_plan.klass -> t -> src:int -> dst:int -> service:int -> int
 (** A non-blocking message; returns the time the handler finishes.  Under
     a fault schedule the transport retransmits in the background: losses
     push the delivery time back without blocking the sender, and the
-    handler effect is applied exactly once.
+    handler effect is applied exactly once.  [klass] (default [Data])
+    classifies the traffic for the fault plan and error reporting —
+    replica mirroring sends [Fault_plan.Replica].
     @raise Undeliverable when the retry budget is exhausted. *)
 
 type delivery =

@@ -37,6 +37,11 @@ type t = {
   mutable pages_lost_in_crash : int; (* live cached pages dropped by crashes *)
   mutable recovery_messages : int; (* warm-restart announcements sent *)
   mutable recovery_stall_cycles : int; (* victim cycles spent recovering *)
+  mutable replica_messages : int; (* write-through mirrors sent to backups *)
+  mutable failstops : int; (* processors permanently lost *)
+  mutable pages_failed_over : int; (* home pages promoted to a backup *)
+  mutable failover_messages : int; (* failover announcements + re-replication *)
+  mutable threads_lost : int; (* unreplicated work lost with a victim *)
 }
 
 let create () =
@@ -74,6 +79,11 @@ let create () =
     pages_lost_in_crash = 0;
     recovery_messages = 0;
     recovery_stall_cycles = 0;
+    replica_messages = 0;
+    failstops = 0;
+    pages_failed_over = 0;
+    failover_messages = 0;
+    threads_lost = 0;
   }
 
 (* Snapshot for phase-relative measurements.  Written out field by field
@@ -116,6 +126,11 @@ let copy t =
     pages_lost_in_crash = t.pages_lost_in_crash;
     recovery_messages = t.recovery_messages;
     recovery_stall_cycles = t.recovery_stall_cycles;
+    replica_messages = t.replica_messages;
+    failstops = t.failstops;
+    pages_failed_over = t.pages_failed_over;
+    failover_messages = t.failover_messages;
+    threads_lost = t.threads_lost;
   }
 
 (* Counter-wise difference [b - a]; used to isolate a kernel phase. *)
@@ -155,6 +170,11 @@ let diff b a =
     pages_lost_in_crash = b.pages_lost_in_crash - a.pages_lost_in_crash;
     recovery_messages = b.recovery_messages - a.recovery_messages;
     recovery_stall_cycles = b.recovery_stall_cycles - a.recovery_stall_cycles;
+    replica_messages = b.replica_messages - a.replica_messages;
+    failstops = b.failstops - a.failstops;
+    pages_failed_over = b.pages_failed_over - a.pages_failed_over;
+    failover_messages = b.failover_messages - a.failover_messages;
+    threads_lost = b.threads_lost - a.threads_lost;
   }
 
 let remote_read_fraction t =
@@ -208,6 +228,11 @@ let fields t =
     ("pages_lost_in_crash", t.pages_lost_in_crash);
     ("recovery_messages", t.recovery_messages);
     ("recovery_stall_cycles", t.recovery_stall_cycles);
+    ("replica_messages", t.replica_messages);
+    ("failstops", t.failstops);
+    ("pages_failed_over", t.pages_failed_over);
+    ("failover_messages", t.failover_messages);
+    ("threads_lost", t.threads_lost);
   ]
 
 let to_json t =
@@ -250,4 +275,11 @@ let pp ppf t =
       "@,\
        @[<v>crashes=%d pages-lost=%d recovery-msgs=%d recovery-stall=%d@]"
       t.crashes t.pages_lost_in_crash t.recovery_messages
-      t.recovery_stall_cycles
+      t.recovery_stall_cycles;
+  if t.failstops > 0 || t.replica_messages > 0 then
+    Format.fprintf ppf
+      "@,\
+       @[<v>failstops=%d pages-failed-over=%d replica-msgs=%d \
+       failover-msgs=%d threads-lost=%d@]"
+      t.failstops t.pages_failed_over t.replica_messages t.failover_messages
+      t.threads_lost

@@ -45,6 +45,15 @@ type t = {
       (** warm-restart announcements sent to homes (global scheme) *)
   mutable recovery_stall_cycles : int;
       (** cycles crash victims spent in the restart protocol *)
+  mutable replica_messages : int;
+      (** write-through mirrors sent to backup processors (replication) *)
+  mutable failstops : int;  (** processors permanently lost (fail-stop) *)
+  mutable pages_failed_over : int;
+      (** home pages whose service moved to a promoted backup *)
+  mutable failover_messages : int;
+      (** failover announcements and re-replication traffic *)
+  mutable threads_lost : int;
+      (** unreplicated tasks lost with a fail-stopped processor *)
 }
 
 val create : unit -> t

@@ -1,0 +1,67 @@
+(** Fail-stop failover: primary–backup home replication promoted on a
+    permanent processor death.
+
+    {!Recovery} handles crash-and-restart (the victim comes back; only
+    volatile cache state is lost).  This module handles the stronger
+    fault: a fail-stopped processor never computes again.  Survival
+    rests on the replication layer ({!Olden_config.replica_spec}) having
+    write-through-mirrored every home store to a deterministic backup;
+    failover promotes that backup, rewrites the machine's home map so
+    every later send resolves against it, handles dependents per
+    coherence scheme, and re-homes a fresh backup.
+
+    The engine drives it: {!pending} is consulted at task boundaries
+    (before the victim would run anything), {!fail_over} runs the
+    protocol, and the engine then moves or aborts the victim's resident
+    work itself, recording losses through {!note_threads_lost}. *)
+
+type t
+
+val create :
+  Olden_config.t -> Machine.t -> Olden_cache.Cache_system.t -> Memory.t -> t
+
+val schedule_failstop : t -> proc:int -> at:int -> unit
+(** Force a death of [proc] at the first task boundary at or after
+    simulated time [at] (tests); consumed before the seeded schedule is
+    consulted. *)
+
+val pending : t -> proc:int -> time:int -> bool
+(** Is a fail-stop death due on [proc] at [time]?  Forced orders fire
+    first, then the seeded schedule ({!Fault_plan.failstop_due}).
+    Always false for an already-dead processor and never true for the
+    last live one (the quorum-of-one guard). *)
+
+val fail_over : t -> victim:int -> int
+(** Run the failover protocol: mark the victim dead, drop its cached
+    state, re-home every owner it was serving to the deterministic
+    successor, prune (global) or suspect (bilateral) dependents, and
+    mirror the promoted pages to a fresh backup.  Returns the promoted
+    successor.
+    @raise Invalid_argument when the config carries no [replication]. *)
+
+val note_threads_lost : t -> proc:int -> count:int -> unit
+(** Record resident tasks lost with [proc] (engine-side bookkeeping for
+    the unreplicated-threads case). *)
+
+val failstops : t -> int
+(** Processors dead so far. *)
+
+val died_at : t -> proc:int -> int
+(** Simulated time of [proc]'s death; -1 while alive. *)
+
+val successor_of : t -> proc:int -> int
+(** The backup promoted for [proc]; -1 while alive. *)
+
+type proc_report = {
+  victim : int;
+  died_at : int;
+  successor : int;
+  pages_failed_over : int;  (** home pages whose service moved *)
+  cached_pages_lost : int;  (** victim's live cached page entries *)
+  messages : int;  (** announcements + re-replication sends *)
+  threads_lost : int;  (** unreplicated resident tasks lost *)
+  stall_cycles : int;  (** successor cycles spent on the promotion *)
+}
+
+val report : t -> proc_report list
+(** One row per dead processor, in processor order. *)

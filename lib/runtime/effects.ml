@@ -7,8 +7,19 @@
    ([Ops]) and the handler ([Engine]) need them. *)
 
 (* A simulated thread: carries the write log the coherence protocols need
-   at releases (outgoing migrations) and returns. *)
-type thread = { tid : int; log : Olden_cache.Write_log.t }
+   at releases (outgoing migrations) and returns, plus its seat — the
+   processor the migration protocol considers the thread to reside at.
+   On a healthy machine the seat always equals the physical processor;
+   they diverge only after a fail-stop failover, when a migration's
+   resolved target collapses onto the processor the thread already
+   occupies (the successor adopted the page's home).  The hop then moves
+   no state, but the protocol's release/acquire pair must still fire —
+   the seat is what detects such collapsed hops. *)
+type thread = {
+  tid : int;
+  mutable seat : int;
+  log : Olden_cache.Write_log.t;
+}
 
 type cell_state =
   | Done of Value.t
@@ -29,6 +40,11 @@ and fut = {
   fid : int;
   mutable state : cell_state;
   mutable resolver_proc : int;
+  mutable resolver_seat : int;
+      (* the resolver thread's seat: after a failover, resolver and
+         toucher can share a physical processor while the protocol still
+         considers them at different (virtual) locations, and the
+         acquire-side invalidation must not be skipped *)
   mutable resolver_log : Olden_cache.Write_log.t option;
 }
 

@@ -21,10 +21,16 @@ module Trace = Olden_trace.Trace
 module Span = Olden_span.Span
 module Monitor = Olden_monitor.Monitor
 module Recovery = Olden_recovery.Recovery
+module Failover = Olden_recovery.Failover
 open Effects
 
 exception Null_dereference of string
 exception Deadlock of string
+
+exception Threads_lost of string
+(* A processor fail-stopped with unreplicated resident work
+   ([replica_spec.threads = false]): the tasks are unrecoverable, so the
+   run aborts with a deterministic report instead of wedging. *)
 
 exception Must_perform
 (* Raised — with [raise_notrace], before any state is mutated — by the
@@ -83,6 +89,7 @@ type t = {
   memory : Memory.t;
   cache : Cache.t;
   recovery : Recovery.t option; (* Some iff a fault schedule is active *)
+  failover : Failover.t option; (* Some iff a fault schedule is active *)
   events : task Event_queue.t array; (* per processor *)
   worklists : work_item Stack.t array; (* per processor, LIFO *)
   mutable seq : int;
@@ -109,7 +116,7 @@ let create cfg =
   let machine = Machine.create cfg in
   let memory = Memory.create ~nprocs:cfg.C.nprocs in
   let cache = Cache.create cfg machine memory in
-  let dummy_thread = { tid = 0; log = Write_log.create () } in
+  let dummy_thread = { tid = 0; seat = 0; log = Write_log.create () } in
   let nprocs = cfg.C.nprocs in
   let nshards = max 1 (min cfg.C.host_domains nprocs) in
   let chunk = (nprocs + nshards - 1) / nshards in
@@ -139,6 +146,13 @@ let create cfg =
          bit-identical to fault-free ones *)
       (if cfg.C.faults <> None then Some (Recovery.create cfg machine cache)
        else None);
+    failover =
+      (* same deal as [recovery]: the fail-stop machinery exists whenever
+         faults do (tests force deaths under any schedule); with
+         [failstop = 0] it decides nothing and consumes no randomness *)
+      (if cfg.C.faults <> None then
+         Some (Failover.create cfg machine cache memory)
+       else None);
     events = Array.init cfg.C.nprocs (fun _ -> Event_queue.create ());
     worklists = Array.init cfg.C.nprocs (fun _ -> Stack.create ());
     seq = 0;
@@ -163,6 +177,7 @@ let memory t = t.memory
 let machine t = t.machine
 let cache t = t.cache
 let recovery t = t.recovery
+let failover t = t.failover
 let config t = t.cfg
 let stats t = Machine.stats t.machine
 let costs t = t.cfg.C.costs
@@ -170,7 +185,11 @@ let costs t = t.cfg.C.costs
 let new_thread t =
   let tid = t.next_tid in
   t.next_tid <- tid + 1;
-  { tid; log = Write_log.create () }
+  (* a fresh thread sits where its creator (virtually) sits: a future's
+     parent continuation spawned after a collapsed hop must keep
+     reporting the original owner as SELF, exactly like the fault-free
+     run *)
+  { tid; seat = t.cur_thread.seat; log = Write_log.create () }
 
 let next_seq t =
   t.seq <- t.seq + 1;
@@ -230,8 +249,14 @@ let emit t ?(site = -1) kind =
 let acquire_result t ~proc ~(toucher : thread) (cell : fut) =
   match cell.resolver_log with
   | Some log ->
-      if cell.resolver_proc <> proc then
-        Cache.on_return_received t.cache ~proc ~log;
+      (* seats, not just physical processors: after a failover the
+         resolver and toucher can share a processor while the protocol
+         still places them at different virtual locations, and the
+         invalidation must fire exactly as it would have between the
+         original processors (on a healthy machine seat = processor, so
+         the second test adds nothing) *)
+      if cell.resolver_proc <> proc || cell.resolver_seat <> toucher.seat
+      then Cache.on_return_received t.cache ~proc ~log;
       (* the resolver's writes become part of the toucher's causal past:
          a later release by the toucher must cover them too *)
       Write_log.absorb_written_procs toucher.log ~from:log
@@ -263,19 +288,32 @@ let resolve t (cell : fut) v =
              { fid = cell.fid; waiters = List.length waiters });
       Cache.on_migration_sent t.cache ~proc:t.cur_proc ~log:t.cur_thread.log;
       cell.resolver_proc <- t.cur_proc;
+      cell.resolver_seat <- t.cur_thread.seat;
       cell.resolver_log <- Some t.cur_thread.log;
       let c = costs t in
       List.iter
         (fun w ->
           t.blocked <- t.blocked - 1;
-          t.parked <- remove_parked t.parked ~proc:w.wproc ~label:w.wlabel;
-          let delay = if w.wproc <> t.cur_proc then c.C.net_latency else 0 in
-          schedule_event t ~proc:w.wproc ~ready_at:(now t + delay)
+          (* a waiter parked on a processor that has since fail-stopped
+             wakes on its promoted successor (where its work list and
+             parked-entry bookkeeping moved); the home map is the
+             identity until a failover, so this resolves to [wproc]
+             itself on a healthy machine *)
+          let wdest =
+            if Machine.is_dead t.machine w.wproc then
+              Machine.home_of t.machine w.wproc
+            else w.wproc
+          in
+          t.parked <- remove_parked t.parked ~proc:wdest ~label:w.wlabel;
+          let delay = if wdest <> t.cur_proc then c.C.net_latency else 0 in
+          schedule_event t ~proc:wdest ~ready_at:(now t + delay)
             {
               thread = w.wthread;
               go =
                 (fun () ->
-                  acquire_result t ~proc:w.wproc ~toucher:w.wthread cell;
+                  (* [t.cur_proc], not the captured destination: the
+                     event may have been re-homed again while queued *)
+                  acquire_result t ~proc:t.cur_proc ~toucher:w.wthread cell;
                   Effect.Deep.continue w.wk v);
             })
         (List.rev waiters)
@@ -303,7 +341,7 @@ let check_crash t ~proc ~(thread : thread) =
    migration.  [on_arrival] completes the interrupted operation there.
    [penalty] is the extra arrival latency charged by the faulty network
    (retransmission waits and delivery delays); zero on a reliable one. *)
-let migrate_to t ~site ~target ~penalty ~ep0
+let migrate_to t ~site ~target ~vseat ~penalty ~ep0
     ~(k : ('a, unit) Effect.Deep.continuation) ~(complete : unit -> 'a) =
   let c = costs t in
   let s = stats t in
@@ -342,6 +380,10 @@ let migrate_to t ~site ~target ~penalty ~ep0
       thread;
       go =
         (fun () ->
+          (* not the captured target: if the target fail-stopped while
+             the state was in flight, this event was re-homed and now
+             runs on the promoted successor's clock *)
+          let target = t.cur_proc in
           let span_on = Span.is_on () in
           let t_arr = Machine.now t.machine target in
           if span_on then begin
@@ -366,6 +408,10 @@ let migrate_to t ~site ~target ~penalty ~ep0
                 kind = Trace.Migrate_arrive { source } };
           (* an incoming migration is an acquire point *)
           Cache.on_migration_received t.cache ~proc:target;
+          (* the thread now sits at the page's (virtual) home: the
+             original owner, even when a failover routed the state to
+             the owner's promoted successor *)
+          thread.seat <- vseat;
           let t_recv = Machine.now t.machine target in
           if span_on then
             Span.child ~kind:Span.Recv ~proc:target ~t0:t_rc ~t1:t_recv ~a:0
@@ -405,7 +451,7 @@ let immediate_alloc t ~proc words =
   (* ALLOC needs no round trip even for a remote processor: each
      allocator owns chunks of every heap section, so the address is
      computed locally (Section 2's ALLOC library routine). *)
-  if proc = t.cur_proc then advance t c.C.alloc_local
+  if Machine.home_of t.machine proc = t.cur_proc then advance t c.C.alloc_local
   else begin
     (stats t).Stats.remote_allocs <- (stats t).Stats.remote_allocs + 1;
     advance t (c.C.alloc_local + c.C.alloc_service);
@@ -445,6 +491,22 @@ let cached_store t (site : Site.t) g field v =
   Cache.write t.cache ~proc:t.cur_proc g ~field v ~log:t.cur_thread.log;
   site.Site.retries <- site.Site.retries + s.Stats.retries - retries_before
 
+(* A migration whose source and home-map-resolved target are the same
+   physical processor: the thread already sits on the successor that
+   adopted the page's home, so no state crosses the network — but the
+   protocol's release/acquire pair must still fire.  Under the local and
+   bilateral schemes the acquire (cache flush / suspect-all) is what
+   invalidates stale cached copies, and under the global scheme the
+   release is what pushes the thread's pending invalidations; skipping
+   them just because a death collapsed the hop would let surviving
+   processors read pre-failover snapshots.  Fault-free runs never reach
+   here: the home map is the identity, so a local access always finds
+   [seat = Gptr.proc g]. *)
+let collapsed_hop t ~seat =
+  Cache.on_migration_sent t.cache ~proc:t.cur_proc ~log:t.cur_thread.log;
+  Cache.on_migration_received t.cache ~proc:t.cur_proc;
+  t.cur_thread.seat <- seat
+
 let immediate_load_u t (site : Site.t) g field =
   if Gptr.is_null g then raise (Null_dereference (Site.name site));
   let c = costs t in
@@ -458,7 +520,13 @@ let immediate_load_u t (site : Site.t) g field =
     match effective_mechanism t site with
     | C.Cache -> cached_load t site g field
     | C.Migrate ->
-        if Gptr.proc g = t.cur_proc then begin
+        (* the locality test reads through the home map: pages whose
+           home fail-stopped over to *this* processor are local now
+           (identity until a failover, so fault-free behaviour is
+           untouched) *)
+        let home = Gptr.proc g in
+        if Machine.home_of t.machine home = t.cur_proc then begin
+          if t.cur_thread.seat <> home then collapsed_hop t ~seat:home;
           site.Site.loads <- site.Site.loads + 1;
           advance t c.C.pointer_test;
           advance t c.C.local_ref;
@@ -481,13 +549,15 @@ let immediate_store_u t (site : Site.t) g field v =
     match effective_mechanism t site with
     | C.Cache -> cached_store t site g field v
     | C.Migrate ->
-        if Gptr.proc g = t.cur_proc then begin
+        let home = Gptr.proc g in
+        if Machine.home_of t.machine home = t.cur_proc then begin
+          if t.cur_thread.seat <> home then collapsed_hop t ~seat:home;
           site.Site.stores <- site.Site.stores + 1;
           advance t c.C.pointer_test;
           advance t c.C.local_ref;
           (stats t).Stats.local_refs <- (stats t).Stats.local_refs + 1;
           Memory.store t.memory g field v;
-          Cache.note_migrate_write t.cache ~proc:t.cur_proc g ~field
+          Cache.note_migrate_write t.cache ~proc:t.cur_proc g ~field v
             ~log:t.cur_thread.log
         end
         else raise_notrace Must_perform
@@ -584,7 +654,12 @@ let engine () =
   match !(current ()) with Some t -> t | None -> raise_notrace Must_perform
 
 let fast_work n = immediate_work (engine ()) n
-let fast_self () = (engine ()).cur_proc
+(* SELF is the thread's virtual seat, not the physical processor: after a
+   failover collapses a hop onto a promoted successor the program must
+   still see itself "at" the original owner, so seat-relative allocation
+   and [Ops.call]'s return stub behave exactly as on the healthy
+   machine.  Identity while no processor has died. *)
+let fast_self () = (engine ()).cur_thread.seat
 let fast_nprocs () = (engine ()).cfg.C.nprocs
 let fast_alloc ~proc words = immediate_alloc (engine ()) ~proc words
 let fast_load site g field = immediate_load (engine ()) site g field
@@ -630,7 +705,7 @@ let rec handler t : (unit, unit) Effect.Deep.handler =
           (fun k ->
             immediate_work t n;
             Effect.Deep.continue k ())
-    | Self -> Some (fun k -> Effect.Deep.continue k t.cur_proc)
+    | Self -> Some (fun k -> Effect.Deep.continue k t.cur_thread.seat)
     | Nprocs -> Some (fun k -> Effect.Deep.continue k t.cfg.C.nprocs)
     | Alloc (proc, words) ->
         Some
@@ -654,10 +729,14 @@ let rec handler t : (unit, unit) Effect.Deep.handler =
                     site.Site.loads <- site.Site.loads + 1;
                     site.Site.remote <- site.Site.remote + 1;
                     site.Site.migrations <- site.Site.migrations + 1;
-                    migrate_to t ~site:site.Site.sid ~target:home ~penalty
-                      ~ep0 ~k
+                    migrate_to t ~site:site.Site.sid
+                      ~target:(Machine.home_of t.machine home) ~vseat:home
+                      ~penalty ~ep0 ~k
                       ~complete:(fun () ->
-                        Machine.advance t.machine home c.C.local_ref;
+                        (* re-resolve: the home may have failed over
+                           while the state was in flight *)
+                        Machine.advance t.machine
+                          (Machine.home_of t.machine home) c.C.local_ref;
                         Memory.load t.memory g field)
                 | None ->
                     let sp = Span.is_on () in
@@ -692,12 +771,14 @@ let rec handler t : (unit, unit) Effect.Deep.handler =
                     site.Site.stores <- site.Site.stores + 1;
                     site.Site.remote <- site.Site.remote + 1;
                     site.Site.migrations <- site.Site.migrations + 1;
-                    migrate_to t ~site:site.Site.sid ~target:home ~penalty
-                      ~ep0 ~k
+                    migrate_to t ~site:site.Site.sid
+                      ~target:(Machine.home_of t.machine home) ~vseat:home
+                      ~penalty ~ep0 ~k
                       ~complete:(fun () ->
-                        Machine.advance t.machine home c.C.local_ref;
+                        let h = Machine.home_of t.machine home in
+                        Machine.advance t.machine h c.C.local_ref;
                         Memory.store t.memory g field v;
-                        Cache.note_migrate_write t.cache ~proc:home g ~field
+                        Cache.note_migrate_write t.cache ~proc:h g ~field v
                           ~log:t.cur_thread.log)
                 | None ->
                     let sp = Span.is_on () in
@@ -728,6 +809,7 @@ let rec handler t : (unit, unit) Effect.Deep.handler =
                 fid = t.next_fid;
                 state = Pending [];
                 resolver_proc = -1;
+                resolver_seat = -1;
                 resolver_log = None;
               }
             in
@@ -788,7 +870,23 @@ let rec handler t : (unit, unit) Effect.Deep.handler =
     | Return_to target ->
         Some
           (fun k ->
-            if target = t.cur_proc then Effect.Deep.continue k ()
+            (* the origin may have fail-stopped while the thread was
+               away; its promoted successor adopts the continuation *)
+            let origin = target in
+            let target = Machine.home_of t.machine origin in
+            if target = t.cur_proc then begin
+              (if t.cur_thread.seat <> origin then begin
+                 (* the return collapsed onto this processor through a
+                    failover: still a release at the (virtual) source
+                    and the origin's return-side acquire *)
+                 Cache.on_migration_sent t.cache ~proc:t.cur_proc
+                   ~log:t.cur_thread.log;
+                 Cache.on_return_received t.cache ~proc:t.cur_proc
+                   ~log:t.cur_thread.log;
+                 t.cur_thread.seat <- origin
+               end);
+              Effect.Deep.continue k ()
+            end
             else begin
               let c = costs t in
               let s = stats t in
@@ -840,6 +938,10 @@ let rec handler t : (unit, unit) Effect.Deep.handler =
                   thread;
                   go =
                     (fun () ->
+                      (* not the captured target: if it fail-stopped
+                         while the stub was in flight the event was
+                         re-homed and runs on the successor's clock *)
+                      let target = t.cur_proc in
                       let span_on = Span.is_on () in
                       let t_arr = Machine.now t.machine target in
                       if span_on then begin
@@ -861,6 +963,9 @@ let rec handler t : (unit, unit) Effect.Deep.handler =
                             kind = Trace.Return_arrive { source } };
                       Cache.on_return_received t.cache ~proc:target
                         ~log:thread.log;
+                      (* back at the (virtual) origin, wherever the home
+                         map routed the stub *)
+                      thread.seat <- origin;
                       if span_on then
                         Span.child ~kind:Span.Recv ~proc:target ~t0:t_rc
                           ~t1:(Machine.now t.machine target) ~a:0 ~b:0;
@@ -1000,11 +1105,101 @@ let flush_mailboxes t =
           mails
         |> List.iter (fun m ->
                Event_queue.push t.events.(m.m_proc) ~ready_at:m.m_ready
-                 ~seq:m.m_seq m.m_task);
-        t.shards.(d).s_dirty <- true
+                 ~seq:m.m_seq m.m_task;
+               (* per mail, not per mailbox: a failover may have
+                  rewritten [m_proc] to a successor in another shard *)
+               t.shards.(t.shard_of.(m.m_proc)).s_dirty <- true)
   done;
   t.mailbox_min <- max_int;
   t.epochs <- t.epochs + 1
+
+(* A fail-stop observed at the scheduler: run the failover protocol
+   (promote the backup, rewrite the home map, handle dependents), then
+   deal with the victim's resident work.  With [replica_spec.threads]
+   the victim's event queue, work list, deferred mail, and parked
+   waiters all move to the promoted successor — events keep their
+   (ready_at, seq) keys, so the global execution order stays total and
+   shard-count independent.  Without it the tasks are unrecoverable and
+   the run aborts with a deterministic report ([Threads_lost]). *)
+let fail_stop t fo ~victim =
+  let successor = Failover.fail_over fo ~victim in
+  let replicate_threads =
+    match t.cfg.C.replication with Some r -> r.C.threads | None -> false
+  in
+  let q = t.events.(victim) in
+  let wl = t.worklists.(victim) in
+  let mail_count = ref 0 in
+  Array.iter
+    (fun row ->
+      Array.iter
+        (fun mb ->
+          List.iter (fun m -> if m.m_proc = victim then incr mail_count) !mb)
+        row)
+    t.mailboxes;
+  let parked_count =
+    List.fold_left
+      (fun n (p, _) -> if p = victim then n + 1 else n)
+      0 t.parked
+  in
+  if replicate_threads then begin
+    (* resident events: re-home, keys unchanged *)
+    while not (Event_queue.is_empty q) do
+      let it = Event_queue.take q in
+      Event_queue.push t.events.(successor)
+        ~ready_at:it.Event_queue.ready_at ~seq:it.Event_queue.seq
+        it.Event_queue.payload
+    done;
+    (* resident continuations: pop all, re-push bottom-first so the
+       victim's LIFO order survives on top of the successor's stack *)
+    let stack = ref [] in
+    while not (Stack.is_empty wl) do
+      stack := Stack.pop wl :: !stack
+    done;
+    List.iter (fun w -> Stack.push w t.worklists.(successor)) !stack;
+    (* deferred cross-shard mail addressed to the victim *)
+    if !mail_count > 0 then
+      Array.iter
+        (fun row ->
+          Array.iter
+            (fun mb ->
+              mb :=
+                List.map
+                  (fun m ->
+                    if m.m_proc = victim then { m with m_proc = successor }
+                    else m)
+                  !mb)
+            row)
+        t.mailboxes;
+    (* parked-waiter bookkeeping follows the continuations *)
+    if parked_count > 0 then
+      t.parked <-
+        List.map
+          (fun (p, label) ->
+            if p = victim then (successor, label) else (p, label))
+          t.parked
+  end
+  else begin
+    let lost =
+      Event_queue.length q + Stack.length wl + !mail_count + parked_count
+    in
+    if lost > 0 then begin
+      let s = stats t in
+      s.Stats.threads_lost <- s.Stats.threads_lost + lost;
+      Failover.note_threads_lost fo ~proc:victim ~count:lost;
+      raise
+        (Threads_lost
+           (Printf.sprintf
+              "p%d fail-stopped with %d unreplicated resident task(s) \
+               (events=%d worklist=%d mail=%d parked=%d); rerun with \
+               replica threads enabled or treat the computation as lost"
+              victim lost (Event_queue.length q) (Stack.length wl)
+              !mail_count parked_count))
+    end
+  end;
+  (* the protocol moved several clocks (successor, announcement
+     targets) and two queues changed shape: every cached shard
+     candidate may be stale *)
+  Array.iter (fun s -> s.s_dirty <- true) t.shards
 
 let step t =
   (* Refresh dirty shards and pick the globally minimal candidate,
@@ -1036,6 +1231,15 @@ let step t =
     let sh = t.shards.(bi) in
     let proc = sh.c_proc in
     let best_start = sh.c_start in
+    match t.failover with
+    | Some fo when Failover.pending fo ~proc ~time:best_start ->
+        (* the pick observed a fail-stop: the victim dies *before*
+           running its task; the task either moves to the promoted
+           successor (replicated threads) or aborts the run.  The next
+           [step] re-picks against the rewritten queues. *)
+        fail_stop t fo ~victim:proc;
+        true
+    | _ ->
     (* [best_start] is the global virtual time: it never decreases across
        steps, so it drives the monitor's interval windows *)
     if Monitor.is_on () then Monitor.tick best_start;

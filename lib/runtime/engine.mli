@@ -23,6 +23,13 @@ exception Deadlock of string
 (** Raised when execution drains with parked touches outstanding, or the
     main thread never completes. *)
 
+exception Threads_lost of string
+(** Raised when a processor fail-stops holding resident work —
+    queued events, work-list continuations, deferred mail, or parked
+    waiters — and the replication layer does not cover thread state
+    ([replica_spec.threads = false]): the tasks are unrecoverable, so
+    the run aborts with a deterministic report instead of wedging. *)
+
 type t
 
 val create : Olden_config.t -> t
@@ -38,6 +45,11 @@ val recovery : t -> Olden_recovery.Recovery.t option
 (** The crash-and-restart layer; [Some] whenever a fault schedule is
     active (tests force crashes through it, the checker reads crash
     epochs from it). *)
+
+val failover : t -> Olden_recovery.Failover.t option
+(** The fail-stop failover layer; [Some] whenever a fault schedule is
+    active (tests force deaths through {!Olden_recovery.Failover.schedule_failstop},
+    the checker and the CLI read the promotion report from it). *)
 
 val config : t -> Olden_config.t
 

@@ -48,6 +48,7 @@ type kind =
   | Fallback (* event: migration degraded to caching; a = home, b = attempts *)
   | Rpc (* event: one request/reply envelope; a = dst, b = klass code *)
   | Crash (* event: crash + warm restart; a = pages lost, b = homes notified *)
+  | Failover (* event: fail-stop promotion; a = pages moved, b = victim *)
 
 type span = {
   trace_proc : int; (* trace id: processor that opened the root... *)
@@ -81,6 +82,7 @@ let kind_code = function
   | Fallback -> 15
   | Rpc -> 16
   | Crash -> 17
+  | Failover -> 18
 
 let kind_of_code = function
   | 0 -> Deref
@@ -101,6 +103,7 @@ let kind_of_code = function
   | 15 -> Fallback
   | 16 -> Rpc
   | 17 -> Crash
+  | 18 -> Failover
   | c -> invalid_arg (Printf.sprintf "Span.kind_of_code: %d" c)
 
 let kind_name = function
@@ -122,13 +125,15 @@ let kind_name = function
   | Fallback -> "fallback"
   | Rpc -> "rpc"
   | Crash -> "crash"
+  | Failover -> "failover"
 
 (* Hops tile an episode; events annotate it; roots own it. *)
 let is_hop = function
   | Send | Wire | Penalty | Queue | Replay | Recv | Service | Cache_service
   | Stall ->
       true
-  | Deref | Return | Drop | Backoff | Delay | Dup | Fallback | Rpc | Crash ->
+  | Deref | Return | Drop | Backoff | Delay | Dup | Fallback | Rpc | Crash
+  | Failover ->
       false
 
 let is_root = function Deref | Return -> true | _ -> false
@@ -527,7 +532,7 @@ let episode_tree spans ~trace_proc ~trace_seq =
   !root
 
 let mech_names = [| "local"; "cache"; "migrate"; "fallback" |]
-let klass_names = [| "data"; "migration"; "return"; "recovery" |]
+let klass_names = [| "data"; "migration"; "return"; "recovery"; "replica" |]
 
 let array_name names i =
   if i >= 0 && i < Array.length names then names.(i) else string_of_int i
@@ -565,6 +570,9 @@ let describe ~site_name sp =
           sp.b
     | Rpc -> Printf.sprintf "dst=%d klass=%s" sp.a (array_name klass_names sp.b)
     | Crash -> Printf.sprintf "%d pages lost, %d homes notified" sp.a sp.b
+    | Failover ->
+        Printf.sprintf "%d home pages promoted after p%d fail-stopped" sp.a
+          sp.b
   in
   Printf.sprintf "%-13s proc %d  %-22s %s" (kind_name sp.kind) sp.proc iv
     detail

@@ -26,6 +26,7 @@ type kind =
   | Fallback  (** event: migration degraded; a = home, b = attempts *)
   | Rpc  (** event: request/reply envelope; a = dst, b = klass code *)
   | Crash  (** event: crash + restart; a = pages lost, b = homes *)
+  | Failover  (** event: fail-stop promotion; a = pages moved, b = victim *)
 
 type span = {
   trace_proc : int;

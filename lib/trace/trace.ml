@@ -44,6 +44,8 @@ type kind =
   | Migrate_fallback of { home : int; attempts : int }
   | Crash of { pages_lost : int }
   | Recover of { homes : int; stall : int }
+  | Failstop of { pages_lost : int }
+  | Failover of { victim : int; pages : int; homes : int }
 
 type event = {
   time : int;  (* simulated cycles *)
@@ -156,6 +158,8 @@ let kind_name = function
   | Migrate_fallback _ -> "migrate_fallback"
   | Crash _ -> "crash"
   | Recover _ -> "recover"
+  | Failstop _ -> "failstop"
+  | Failover _ -> "failover"
 
 (* Payload fields beyond the common stamps, in a fixed order. *)
 let kind_args = function
@@ -200,9 +204,13 @@ let kind_args = function
         ("wait", Json.Int wait) ]
   | Migrate_fallback { home; attempts } ->
       [ ("home", Json.Int home); ("attempts", Json.Int attempts) ]
-  | Crash { pages_lost } -> [ ("pages_lost", Json.Int pages_lost) ]
+  | Crash { pages_lost } | Failstop { pages_lost } ->
+      [ ("pages_lost", Json.Int pages_lost) ]
   | Recover { homes; stall } ->
       [ ("homes", Json.Int homes); ("stall", Json.Int stall) ]
+  | Failover { victim; pages; homes } ->
+      [ ("victim", Json.Int victim); ("pages", Json.Int pages);
+        ("homes", Json.Int homes) ]
 
 (* One line per event: the JSONL schema (docs/OBSERVABILITY.md). *)
 let event_json ev =

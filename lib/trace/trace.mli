@@ -51,6 +51,11 @@ type kind =
   | Recover of { homes : int; stall : int }
       (** [proc] completed warm restart, announcing to [homes] homes and
           stalling for [stall] cycles *)
+  | Failstop of { pages_lost : int }
+      (** [proc] died for good, dropping [pages_lost] live cached pages *)
+  | Failover of { victim : int; pages : int; homes : int }
+      (** [proc] was promoted: [pages] home pages of [victim] re-homed
+          here, [homes] live processors notified *)
 
 type event = {
   time : int;  (** simulated cycles on [proc]'s clock *)

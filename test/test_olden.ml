@@ -15,6 +15,7 @@ let () =
       ("profile", Test_profile.suite);
       ("chaos", Test_chaos.suite);
       ("recovery", Test_recovery.suite);
+      ("failover", Test_failover.suite);
       ("monitor", Test_monitor.suite);
       ("span", Test_span.suite);
       ("domains", Test_domains.suite);
