@@ -10,6 +10,7 @@
      dune exec bench/main.exe -- hostperf    # only BENCH_hostperf.json
      dune exec bench/main.exe -- latency     # only BENCH_latency.json
      dune exec bench/main.exe -- spans       # only BENCH_spans.json
+     dune exec bench/main.exe -- serving     # only BENCH_serving.json
 
    Host-side throughput (hostperf) should be run under dune's release
    profile; the dev profile's checks distort the numbers.
@@ -183,6 +184,65 @@ let spans_census ~domains () =
   Format.printf "span census: %s (%d benchmarks, %d processors)@." file
     (List.length rows) nprocs
 
+(* Machine-readable open-system serving report: one row per (heap,
+   coherence scheme) pair, each carrying throughput, per-request-class
+   admission-to-completion quantiles, and an offered-load sweep with the
+   saturation knee (olden-serving/v1, documented in docs/SERVING.md).
+   Deterministic, so CI diffs it against bench/baseline_serving.json. *)
+let serving_snapshots ~domains () =
+  let module Json = Olden_trace.Json in
+  let module Serving = Olden.Serving in
+  let nprocs = 8 in
+  let scale = 64 in
+  let spec = C.Serving.make ~rate:0.5 ~duration:40_000 () in
+  let mix = Serving.default_mix in
+  let points =
+    List.concat_map
+      (fun heap ->
+        List.map
+          (fun coherence ->
+            ( Printf.sprintf "%s/%s" (Serving.heap_name heap)
+                (C.coherence_to_string coherence),
+              (heap, coherence) ))
+          [ C.Local; C.Global; C.Bilateral ])
+      Serving.all_heaps
+  in
+  let rows, _ =
+    Olden_parallel.Sweep.run ~domains
+      (fun ~label:_ (heap, coherence) ->
+        let cfg = C.make ~nprocs ~coherence ~host_domains:domains () in
+        let r = Serving.run ~scale ~cfg ~spec ~mix heap in
+        let sweep = Serving.saturation_sweep ~scale ~cfg ~spec ~mix heap in
+        Serving.result_json ~sweep r)
+      points
+  in
+  let rows =
+    List.map
+      (fun (p : _ Olden_parallel.Sweep.point) -> p.Olden_parallel.Sweep.value)
+      rows
+  in
+  let file = "BENCH_serving.json" in
+  let oc = open_out file in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc
+        (Json.to_pretty_string
+           (Json.Obj
+              [
+                ("schema", Json.String "olden-serving/v1");
+                ("nprocs", Json.Int nprocs);
+                ("scale", Json.Int scale);
+                ("profile", Json.String (C.Serving.profile_to_string spec.C.Serving.profile));
+                ("rate_rpk", Json.Float spec.C.Serving.rate);
+                ("duration", Json.Int spec.C.Serving.duration);
+                ("streams", Json.Int spec.C.Serving.streams);
+                ("arrival_seed", Json.Int spec.C.Serving.arrival_seed);
+                ("benchmarks", Json.List rows);
+              ])));
+  Format.printf "serving snapshots: %s (%d rows, %d processors)@." file
+    (List.length rows) nprocs
+
 let tables () =
   rule ();
   Tables.table1 ppf ();
@@ -354,6 +414,7 @@ let () =
   | "hostperf" -> hostperf ~domains ()
   | "latency" -> latency_snapshots ~domains ()
   | "spans" -> spans_census ~domains ()
+  | "serving" -> serving_snapshots ~domains ()
   | _ ->
       tables ();
       micro ());

@@ -5,6 +5,9 @@
      bench         Run one benchmark once and print its statistics.
      monitor       Run one benchmark with the simulated-time monitor on:
                    interval time-series (JSONL/CSV) + latency quantiles.
+     serve         Open-system serving: seeded arrival streams against a
+                   persistent heap; throughput, p50/p99/p999 per request
+                   class, optional offered-load sweep to the knee.
      trace         Run with event tracing on; print/export the stream.
      spans         Run with causal span tracing on; export olden-spans/v1
                    JSONL and/or Chrome trace JSON with flow arrows.
@@ -1227,6 +1230,226 @@ let monitor_cmd =
       $ interval_t $ out_t $ csv_file_t $ sites_t $ all_schemes_t
       $ faults_name_t $ fault_seed_t $ domains_t)
 
+(* --- Open-system serving -------------------------------------------------- *)
+
+module Serving = Olden.Serving
+
+let serve_cmd =
+  let run heap_arg procs scale profile_name rate duration streams arrival_seed
+      mix_str coherence all_schemes policy faults_name fault_seed domains sweep
+      out =
+    let domains = check_domains domains in
+    (* the serving knobs are validated by hand so every bad value leaves
+       through the one-line-usage-error path (stderr + exit 2), like the
+       other subcommands' hand-checked options *)
+    let profile =
+      match
+        C.Serving.profile_of_string (String.lowercase_ascii profile_name)
+      with
+      | Some p -> p
+      | None ->
+          Format.eprintf
+            "olden-run serve: unknown --profile %s (expected %s)@."
+            profile_name
+            (String.concat "|" C.Serving.profile_names);
+          exit 2
+    in
+    if not (rate > 0.) then begin
+      Format.eprintf "olden-run serve: --rate must be positive (got %g)@." rate;
+      exit 2
+    end;
+    if duration < 1 then begin
+      Format.eprintf
+        "olden-run serve: --duration must be at least 1 cycle (got %d)@."
+        duration;
+      exit 2
+    end;
+    if streams < 1 then begin
+      Format.eprintf
+        "olden-run serve: --streams must be at least 1 (got %d)@." streams;
+      exit 2
+    end;
+    let mix =
+      match Serving.mix_of_string mix_str with
+      | Ok m -> m
+      | Error e ->
+          Format.eprintf "olden-run serve: %s@." e;
+          exit 2
+    in
+    let heaps =
+      match heap_arg with
+      | None -> Serving.all_heaps
+      | Some h -> (
+          match Serving.heap_of_string h with
+          | Some h -> [ h ]
+          | None ->
+              Format.eprintf
+                "olden-run serve: unknown heap %s (expected %s)@." h
+                (String.concat "|" Serving.heap_names);
+              exit 2)
+    in
+    let faults = faults_of ~name:faults_name ~seed:fault_seed in
+    let spec =
+      C.Serving.make ~profile ~rate ~duration ~streams ~arrival_seed ()
+    in
+    let schemes =
+      if all_schemes then [ C.Local; C.Global; C.Bilateral ] else [ coherence ]
+    in
+    let scale = if scale = 0 then 64 else scale in
+    Format.printf "serving: %s  procs %d  scale 1/%d  %s policy%s@."
+      (C.Serving.to_string spec) procs scale
+      (C.policy_to_string policy)
+      (match faults with
+      | Some f -> "  faults " ^ C.Faults.to_string f
+      | None -> "");
+    let ok = ref true in
+    let rows =
+      List.concat_map
+        (fun heap ->
+          List.map
+            (fun coherence ->
+              let cfg =
+                C.make ~nprocs:procs ~coherence ~policy ~host_domains:domains
+                  ?faults ?replication:(replication_for faults) ()
+              in
+              let r = Serving.run ~scale ~cfg ~spec ~mix heap in
+              if not r.Serving.r_ok then ok := false;
+              Serving.pp_result ppf r;
+              let sweep_data =
+                if not sweep then None
+                else begin
+                  let points, knee =
+                    Serving.saturation_sweep ~domains ~scale ~cfg ~spec ~mix
+                      heap
+                  in
+                  List.iter
+                    (fun (p : Serving.sweep_point) ->
+                      Format.printf
+                        "    offered %6.2f/kcy  achieved %6.2f/kcy  p99 %8d@."
+                        p.Serving.sw_offered p.Serving.sw_achieved
+                        p.Serving.sw_p99)
+                    points;
+                  (match knee with
+                  | Some k ->
+                      Format.printf "    saturation knee at %.2f req/kcy@." k
+                  | None ->
+                      Format.printf
+                        "    no saturation knee in the swept range@.");
+                  Some (points, knee)
+                end
+              in
+              Serving.result_json ?sweep:sweep_data r)
+            schemes)
+        heaps
+    in
+    Option.iter
+      (fun file ->
+        with_out file (fun oc ->
+            output_string oc
+              (Olden.Json.to_pretty_string
+                 (Olden.Json.Obj
+                    [
+                      ("schema", Olden.Json.String "olden-serving/v1");
+                      ("nprocs", Olden.Json.Int procs);
+                      ("scale", Olden.Json.Int scale);
+                      ( "faults",
+                        match faults with
+                        | Some f -> Olden.Json.String (C.Faults.to_string f)
+                        | None -> Olden.Json.Null );
+                      ("fault_seed", Olden.Json.Int fault_seed);
+                      ("benchmarks", Olden.Json.List rows);
+                    ])));
+        Format.printf "serving snapshot: %s (olden-serving/v1)@." file)
+      out;
+    if not !ok then exit 1
+  in
+  let heap_t =
+    Arg.(
+      value
+      & pos 0 (some string) None
+      & info [] ~docv:"HEAP"
+          ~doc:"Served heap: treeadd, em3d, or health (default: all three).")
+  in
+  let profile_t =
+    Arg.(
+      value & opt string "poisson"
+      & info [ "profile" ] ~docv:"PROFILE"
+          ~doc:"Arrival process: poisson, bursty, or diurnal.")
+  in
+  let rate_t =
+    Arg.(
+      value & opt float 2.0
+      & info [ "rate" ] ~docv:"R"
+          ~doc:"Offered load in requests per 1000 simulated cycles.")
+  in
+  let duration_t =
+    Arg.(
+      value & opt int 100_000
+      & info [ "duration" ] ~docv:"CYCLES"
+          ~doc:"Arrival horizon in simulated cycles.")
+  in
+  let streams_t =
+    Arg.(
+      value & opt int 4
+      & info [ "streams" ] ~docv:"N"
+          ~doc:"Independent arrival streams the offered load is split over.")
+  in
+  let arrival_seed_t =
+    Arg.(
+      value & opt int 1
+      & info [ "arrival-seed" ] ~docv:"SEED"
+          ~doc:
+            "Seed of the arrival process (same seed = same arrivals), \
+             independent of the workload and fault seeds.")
+  in
+  let mix_t =
+    Arg.(
+      value & opt string "point=6,scan=3,update=1"
+      & info [ "mix" ] ~docv:"MIX"
+          ~doc:
+            "Weighted request-class mixture, e.g. point=6,scan=3,update=1; \
+             a bare class name means weight 1.")
+  in
+  let all_schemes_t =
+    Arg.(
+      value & flag
+      & info [ "all-schemes" ]
+          ~doc:
+            "Serve under all three coherence schemes and report each \
+             (throughput and tail latency per scheme).")
+  in
+  let sweep_t =
+    Arg.(
+      value & flag
+      & info [ "sweep" ]
+          ~doc:
+            "Offered-load sweep: rerun the serve across a rate ladder and \
+             report achieved throughput, worst p99, and the saturation \
+             knee.")
+  in
+  let out_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "out" ] ~docv:"FILE"
+          ~doc:"Write the serving snapshot as olden-serving/v1 JSON.")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Open-system serving: drive a persistent Olden heap (TreeAdd tree, \
+          EM3D graph, or Health villages) with a seeded open arrival stream \
+          (poisson, bursty, or diurnal), each request entering at a seeded \
+          ingress processor under the full migrate-vs-cache machinery.  \
+          Reports throughput and admission-to-completion p50/p99/p999 per \
+          request class from the simulated clock; --sweep locates the \
+          saturation knee.  Deterministic: same seeds and config give \
+          byte-identical snapshots for any --domains value.")
+    Term.(
+      const run $ heap_t $ procs_t $ scale_t $ profile_t $ rate_t $ duration_t
+      $ streams_t $ arrival_seed_t $ mix_t $ coherence_t $ all_schemes_t
+      $ policy_t $ faults_name_t $ fault_seed_t $ domains_t $ sweep_t $ out_t)
+
 (* --- Causal spans --------------------------------------------------------- *)
 
 module Span = Olden.Span
@@ -1480,6 +1703,7 @@ let main =
       list_cmd;
       bench_cmd;
       monitor_cmd;
+      serve_cmd;
       chaos_cmd;
       recovery_cmd;
       failover_cmd;

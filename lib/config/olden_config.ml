@@ -306,6 +306,57 @@ module Faults = struct
       f.fault_seed
 end
 
+(* Open-system serving knobs: the arrival process and horizon the
+   lib/serving driver runs under.  Deliberately a standalone spec rather
+   than a field of [t] — serving is a driver concern layered on top of a
+   machine config, and a batch run must not depend on (or even see)
+   these values. *)
+module Serving = struct
+  type profile =
+    | Poisson (* memoryless arrivals at the offered rate *)
+    | Bursty (* Markov-modulated on/off: dense bursts, long quiet gaps *)
+    | Diurnal (* the offered rate swings sinusoidally around the mean *)
+
+  let profile_to_string = function
+    | Poisson -> "poisson"
+    | Bursty -> "bursty"
+    | Diurnal -> "diurnal"
+
+  let profile_of_string = function
+    | "poisson" -> Some Poisson
+    | "bursty" -> Some Bursty
+    | "diurnal" -> Some Diurnal
+    | _ -> None
+
+  let profile_names = [ "poisson"; "bursty"; "diurnal" ]
+
+  type spec = {
+    profile : profile;
+    rate : float; (* offered load, requests per 1000 simulated cycles *)
+    duration : int; (* arrival horizon in simulated cycles *)
+    streams : int; (* independent arrival streams (ingress shards) *)
+    arrival_seed : int; (* arrival-process selector, independent of the
+                           workload and fault seeds *)
+  }
+
+  let make ?(profile = Poisson) ?(rate = 2.0) ?(duration = 100_000)
+      ?(streams = 4) ?(arrival_seed = 1) () =
+    if not (rate > 0.) then
+      invalid_arg "Olden_config.Serving.make: rate must be positive";
+    if duration < 1 then
+      invalid_arg "Olden_config.Serving.make: duration must be positive";
+    if streams < 1 then
+      invalid_arg "Olden_config.Serving.make: streams must be at least 1";
+    { profile; rate; duration; streams; arrival_seed }
+
+  let default = make ()
+
+  let to_string s =
+    Printf.sprintf "%s rate=%.2f/kcy duration=%d streams=%d seed=%d"
+      (profile_to_string s.profile)
+      s.rate s.duration s.streams s.arrival_seed
+end
+
 (* Experienced one-way migration latency, excluding queueing at the target. *)
 let migration_latency c = c.migrate_send + c.net_latency + c.migrate_recv
 

@@ -49,3 +49,4 @@ module Critical_path = Olden_profile.Critical_path
 module Snapshot_diff = Olden_profile.Snapshot_diff
 module Domain_pool = Olden_parallel.Domain_pool
 module Sweep = Olden_parallel.Sweep
+module Serving = Olden_serving.Serving

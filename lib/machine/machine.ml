@@ -33,6 +33,9 @@ type t = {
   mutable intervals : (int * int * int) list;
       (* busy intervals (proc, start, stop), newest first, when recording *)
   mutable record_intervals : bool;
+  ingress : int array;
+      (* open-loop serving requests admitted at each processor; identity
+         zero outside serving runs, so batch exports never see it *)
 }
 
 exception
@@ -63,6 +66,7 @@ let create cfg =
     sends_to_dead = 0;
     intervals = [];
     record_intervals = false;
+    ingress = Array.make n 0;
   }
 
 let set_record_intervals t flag = t.record_intervals <- flag
@@ -85,6 +89,17 @@ let live_count t =
   Array.fold_left (fun n d -> if d then n else n + 1) 0 t.dead
 
 let dead_sends t = t.sends_to_dead
+
+(* --- Serving ingress accounting --------------------------------------- *)
+
+let note_ingress t proc =
+  t.ingress.(proc) <- t.ingress.(proc) + 1;
+  t.stats.Stats.requests_admitted <- t.stats.Stats.requests_admitted + 1
+
+let note_request_done t =
+  t.stats.Stats.requests_completed <- t.stats.Stats.requests_completed + 1
+
+let ingress_counts t = Array.copy t.ingress
 
 (* Every send resolves its destination through the home map: before any
    failover this is the identity and perturbs nothing; afterwards traffic

@@ -68,6 +68,23 @@ val backup_of : t -> stride:int -> owner:int -> int
 val now : t -> int -> int
 (** Current cycle count of a processor's compute clock. *)
 
+(** {2 Serving ingress accounting}
+
+    The open-loop serving driver ({!Olden_serving.Serving}) admits each
+    request at a seeded ingress processor; the machine keeps the
+    per-processor admission tally so ingress load balance shows up in
+    serving snapshots.  All zero outside serving runs. *)
+
+val note_ingress : t -> int -> unit
+(** Count one request admitted at a processor (also bumps
+    [Stats.requests_admitted]). *)
+
+val note_request_done : t -> unit
+(** Count one injected request that ran to completion. *)
+
+val ingress_counts : t -> int array
+(** Per-processor requests admitted (a copy). *)
+
 val advance : t -> int -> int -> unit
 (** [advance t proc cycles] charges computation.
     @raise Invalid_argument on a negative cost. *)

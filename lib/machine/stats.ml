@@ -42,6 +42,8 @@ type t = {
   mutable pages_failed_over : int; (* home pages promoted to a backup *)
   mutable failover_messages : int; (* failover announcements + re-replication *)
   mutable threads_lost : int; (* unreplicated work lost with a victim *)
+  mutable requests_admitted : int; (* open-loop requests injected (serving) *)
+  mutable requests_completed : int; (* injected requests that ran to completion *)
 }
 
 let create () =
@@ -84,6 +86,8 @@ let create () =
     pages_failed_over = 0;
     failover_messages = 0;
     threads_lost = 0;
+    requests_admitted = 0;
+    requests_completed = 0;
   }
 
 (* Snapshot for phase-relative measurements.  Written out field by field
@@ -131,6 +135,8 @@ let copy t =
     pages_failed_over = t.pages_failed_over;
     failover_messages = t.failover_messages;
     threads_lost = t.threads_lost;
+    requests_admitted = t.requests_admitted;
+    requests_completed = t.requests_completed;
   }
 
 (* Counter-wise difference [b - a]; used to isolate a kernel phase. *)
@@ -175,6 +181,8 @@ let diff b a =
     pages_failed_over = b.pages_failed_over - a.pages_failed_over;
     failover_messages = b.failover_messages - a.failover_messages;
     threads_lost = b.threads_lost - a.threads_lost;
+    requests_admitted = b.requests_admitted - a.requests_admitted;
+    requests_completed = b.requests_completed - a.requests_completed;
   }
 
 let remote_read_fraction t =
@@ -233,6 +241,8 @@ let fields t =
     ("pages_failed_over", t.pages_failed_over);
     ("failover_messages", t.failover_messages);
     ("threads_lost", t.threads_lost);
+    ("requests_admitted", t.requests_admitted);
+    ("requests_completed", t.requests_completed);
   ]
 
 let to_json t =

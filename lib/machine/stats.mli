@@ -54,6 +54,10 @@ type t = {
       (** failover announcements and re-replication traffic *)
   mutable threads_lost : int;
       (** unreplicated tasks lost with a fail-stopped processor *)
+  mutable requests_admitted : int;
+      (** open-loop serving requests injected into the event queue *)
+  mutable requests_completed : int;
+      (** injected serving requests that ran to completion *)
 }
 
 val create : unit -> t

@@ -47,6 +47,8 @@ type t = {
   recovery_h : Metrics.histogram;
   site_reg : Metrics.t; (* per-site histograms, kept out of window rows *)
   site_h : (int, Metrics.histogram) Hashtbl.t; (* sid * 4 + mech_index *)
+  req_reg : Metrics.t; (* per-request-class admission→completion latency *)
+  req_h : (string, Metrics.histogram) Hashtbl.t; (* keyed by class label *)
   (* Exemplars: per mechanism, the trace ids of the worst episodes seen,
      in fixed parallel int arrays so recording stays allocation-free.
      Populated only while span tracing is on (the trace id is what makes
@@ -89,6 +91,8 @@ let create ~interval ~nprocs ~probe =
     recovery_h = Metrics.histogram lat "recovery_stall_cycles";
     site_reg = Metrics.create ();
     site_h = Hashtbl.create 64;
+    req_reg = Metrics.create ();
+    req_h = Hashtbl.create 8;
     ex_n = Array.make 4 0;
     ex_cy = Array.init 4 (fun _ -> Array.make exemplar_slots 0);
     ex_tp = Array.init 4 (fun _ -> Array.make exemplar_slots 0);
@@ -254,6 +258,30 @@ let recovery_stall ~cycles =
   | None -> ()
   | Some t -> Metrics.observe t.recovery_h cycles
 
+(* One served request's admission→completion latency, bucketed by its
+   class label.  The histogram registry is separate from the windowed
+   one (like per-site), so batch exports stay byte-identical when no
+   requests were served. *)
+let request_m t ~klass ~cycles =
+  let h =
+    match Hashtbl.find_opt t.req_h klass with
+    | Some h -> h
+    | None ->
+        let h =
+          Metrics.histogram t.req_reg
+            ~labels:[ ("class", klass) ]
+            "request_latency"
+        in
+        Hashtbl.replace t.req_h klass h;
+        h
+  in
+  Metrics.observe h cycles
+
+let request ~klass ~cycles =
+  match !(active ()) with
+  | None -> ()
+  | Some t -> request_m t ~klass ~cycles
+
 (* --- Latency summaries ------------------------------------------------- *)
 
 type summary = {
@@ -298,6 +326,11 @@ let episode_summaries t =
   |> List.filter_map (fun (name, h) ->
          if Metrics.observations h = 0 then None
          else Some (name, summarize h))
+
+let request_summaries t =
+  Hashtbl.fold (fun klass h acc -> (klass, h) :: acc) t.req_h []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+  |> List.map (fun (klass, h) -> (klass, summarize h))
 
 let site_summaries ?(site_names = []) t =
   Hashtbl.fold (fun key h acc -> (key, h) :: acc) t.site_h []
@@ -392,12 +425,28 @@ let latency_json ?site_names t =
           @ summary_fields s))
       (site_summaries ?site_names t)
   in
+  (* the request section appears only when requests were served, so
+     every batch (non-serving) export stays byte-identical *)
+  let request =
+    match request_summaries t with
+    | [] -> []
+    | rows ->
+        [
+          ( "request",
+            Json.List
+              (List.map
+                 (fun (k, s) ->
+                   Json.Obj (("class", Json.String k) :: summary_fields s))
+                 rows) );
+        ]
+  in
   Json.Obj
-    [
-      ("deref", Json.List deref);
-      ("episode", Json.List episode);
-      ("per_site", Json.List per_site);
-    ]
+    ([
+       ("deref", Json.List deref);
+       ("episode", Json.List episode);
+       ("per_site", Json.List per_site);
+     ]
+    @ request)
 
 let window_json w =
   Json.Obj
@@ -508,6 +557,11 @@ let latency_csv ?site_names t =
   List.iter
     (fun (k, s) -> row ~scope:"episode" ~kind:k ~sid:"" ~site:"" s)
     (episode_summaries t);
+  (* request-class labels come from the mix grammar — user-controlled,
+     so commas/quotes must survive the quoting in [row] *)
+  List.iter
+    (fun (k, s) -> row ~scope:"request" ~kind:k ~sid:"" ~site:"" s)
+    (request_summaries t);
   List.iter
     (fun (sid, label, m, s) ->
       row ~scope:"site" ~kind:m ~sid:(string_of_int sid) ~site:label s)

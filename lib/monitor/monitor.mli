@@ -107,6 +107,13 @@ val retry_wait : cycles:int -> unit
 val recovery_stall : cycles:int -> unit
 (** A crashed processor completed its warm-restart protocol. *)
 
+val request : klass:string -> cycles:int -> unit
+(** A served request completed: admission→completion latency [cycles],
+    bucketed under its request-class label (from the serving mix
+    grammar, e.g. ["point"]).  Adds a per-class dimension to the
+    latency exports; sections appear only when at least one request was
+    recorded, so batch runs export byte-identical documents. *)
+
 val finish : t -> makespan:int -> unit
 (** Close the final (partial) window at [makespan].  Idempotent. *)
 
@@ -156,6 +163,10 @@ val site_summaries :
 (** [(sid, label, mech, summary)] sorted by sid then mechanism;
     [site_names] maps sids to labels (e.g. [Site.labels ()]). *)
 
+val request_summaries : t -> (string * summary) list
+(** Per request class, sorted by class label; empty outside serving
+    runs. *)
+
 (** {2 Exemplars}
 
     While span tracing is on ({!Olden_span.Span.is_on}), the monitor
@@ -183,7 +194,9 @@ val deref_quantile : t -> mech -> float -> int
 
 val latency_json : ?site_names:(int * string) list -> t -> Json.t
 (** [{"deref":[..],"episode":[..],"per_site":[..]}] — the
-    [olden-latency/v1] per-run payload. *)
+    [olden-latency/v1] per-run payload.  Serving runs append a
+    ["request"] list (one summary per request class); the key is absent
+    when no requests were recorded. *)
 
 val timeseries_jsonl :
   ?site_names:(int * string) list ->
@@ -201,7 +214,8 @@ val csv : t -> string
     {!Json.csv_field}, so an odd stat name cannot shift columns. *)
 
 val latency_csv : ?site_names:(int * string) list -> t -> string
-(** Latency summaries as CSV: one row per mechanism, episode kind, and
-    (site, mech) pair.  Site labels (and every text field) are quoted
-    through {!Json.csv_field} — commas, quotes, or newlines in a label
-    cannot corrupt the row. *)
+(** Latency summaries as CSV: one row per mechanism, episode kind,
+    request class (serving runs only), and (site, mech) pair.  Site and
+    class labels (and every text field) are quoted through
+    {!Json.csv_field} — commas, quotes, or newlines in a label cannot
+    corrupt the row. *)

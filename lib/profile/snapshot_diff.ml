@@ -37,7 +37,9 @@ let snapshots_of_json j =
   match schema with
   | Some "olden-metrics/v1" ->
       Result.map (fun n -> [ (n, j) ]) (name_of j)
-  | Some (("olden-metrics-table/v1" | "olden-latency/v1") as schema) ->
+  | Some
+      (("olden-metrics-table/v1" | "olden-latency/v1" | "olden-serving/v1") as
+       schema) ->
       let rows =
         match Json.member "benchmarks" j with
         | Some (Json.List rows) -> Ok rows
@@ -67,57 +69,80 @@ let bool_field path s =
   in
   walk s path
 
-(* The compared metrics: path into the snapshot, gated or context-only. *)
+(* How a metric gates: [Gate_up] regresses when the value grows past the
+   tolerance (cycles, latency quantiles), [Gate_down] when it shrinks
+   (throughput: less is worse), [Context] never gates. *)
+type gate = Gate_up | Gate_down | Context
+
+(* The compared metrics: path into the snapshot, and how it gates. *)
 let metrics =
   [
-    ([ "measured_cycles" ], true);
-    ([ "total_cycles" ], true);
-    ([ "stats"; "migrations" ], false);
-    ([ "stats"; "cache_misses" ], false);
-    ([ "stats"; "messages" ], false);
+    ([ "measured_cycles" ], Gate_up);
+    ([ "total_cycles" ], Gate_up);
+    ([ "stats"; "migrations" ], Context);
+    ([ "stats"; "cache_misses" ], Context);
+    ([ "stats"; "messages" ], Context);
   ]
 
-(* Metric values of one snapshot row, as (name, gated, value).  Rows of
+(* Per-tag quantile lists shared by the latency and serving schemas. *)
+let tagged_group row ~list_key ~tag_key ~prefix ~quantiles =
+  match Json.member list_key row with
+  | Some (Json.List entries) ->
+      List.concat_map
+        (fun e ->
+          match Option.bind (Json.member tag_key e) Json.string_value with
+          | None -> []
+          | Some tag ->
+              List.filter_map
+                (fun (field, gate) ->
+                  Option.map
+                    (fun v ->
+                      (Printf.sprintf "%s.%s.%s" prefix tag field, gate, v))
+                    (int_field [ field ] e))
+                quantiles)
+        entries
+  | _ -> []
+
+(* Metric values of one snapshot row, as (name, gate, value).  Rows of
    the metrics schemas use the fixed [metrics] path list; rows of
    olden-latency/v1 (recognized by their "latency" member) compare the
    per-mechanism dereference quantiles — p99 gated, p50 and count as
-   context — and the per-episode-kind p99s as context. *)
+   context — and the per-episode-kind p99s as context; rows of
+   olden-serving/v1 (recognized by their "serving" member) gate the
+   throughput (downward) and the per-request-class p99s, with counts,
+   p50s, and the serve span as context. *)
 let row_metrics row =
-  match Json.member "latency" row with
-  | None ->
+  match (Json.member "serving" row, Json.member "latency" row) with
+  | Some srv, _ ->
       List.filter_map
-        (fun (path, gated) ->
+        (fun (path, gate) ->
           Option.map
-            (fun v -> (String.concat "." path, gated, v))
+            (fun v -> (String.concat "." path, gate, v))
+            (int_field path row))
+        [
+          ([ "throughput_rpm" ], Gate_down);
+          ([ "admitted" ], Context);
+          ([ "completed" ], Context);
+          ([ "serve_cycles" ], Context);
+        ]
+      @ tagged_group srv ~list_key:"request" ~tag_key:"class"
+          ~prefix:"serving.request"
+          ~quantiles:
+            [ ("p99", Gate_up); ("p50", Context); ("count", Context) ]
+  | None, Some lat ->
+      tagged_group lat ~list_key:"deref" ~tag_key:"mech"
+        ~prefix:"latency.deref"
+        ~quantiles:[ ("p99", Gate_up); ("p50", Context); ("count", Context) ]
+      @ tagged_group lat ~list_key:"episode" ~tag_key:"kind"
+          ~prefix:"latency.episode"
+          ~quantiles:[ ("p99", Context); ("count", Context) ]
+  | None, None ->
+      List.filter_map
+        (fun (path, gate) ->
+          Option.map
+            (fun v -> (String.concat "." path, gate, v))
             (int_field path row))
         metrics
-  | Some lat ->
-      let group ~list_key ~tag_key ~prefix ~quantiles =
-        match Json.member list_key lat with
-        | Some (Json.List entries) ->
-            List.concat_map
-              (fun e ->
-                match
-                  Option.bind (Json.member tag_key e) Json.string_value
-                with
-                | None -> []
-                | Some tag ->
-                    List.filter_map
-                      (fun (field, gated) ->
-                        Option.map
-                          (fun v ->
-                            ( Printf.sprintf "%s.%s.%s" prefix tag field,
-                              gated,
-                              v ))
-                          (int_field [ field ] e))
-                      quantiles)
-              entries
-        | _ -> []
-      in
-      group ~list_key:"deref" ~tag_key:"mech" ~prefix:"latency.deref"
-        ~quantiles:[ ("p99", true); ("p50", false); ("count", false) ]
-      @ group ~list_key:"episode" ~tag_key:"kind" ~prefix:"latency.episode"
-          ~quantiles:[ ("p99", false); ("count", false) ]
 
 let compare_json ~tolerance ~base ~current =
   Result.bind (snapshots_of_json base) (fun base_rows ->
@@ -148,7 +173,7 @@ let compare_json ~tolerance ~base ~current =
                     let cur_metrics = row_metrics c in
                     verified
                     @ List.filter_map
-                        (fun (metric, gated, bv) ->
+                        (fun (metric, gate, bv) ->
                           List.find_map
                             (fun (m, _, cv) ->
                               if String.equal m metric then Some cv else None)
@@ -159,14 +184,20 @@ let compare_json ~tolerance ~base ~current =
                                    else
                                      float_of_int (cv - bv) /. float_of_int bv
                                  in
+                                 let regressed =
+                                   match gate with
+                                   | Gate_up -> rel > tolerance
+                                   | Gate_down -> -.rel > tolerance
+                                   | Context -> false
+                                 in
                                  {
                                    benchmark = name;
                                    metric;
                                    base = bv;
                                    current = cv;
                                    rel;
-                                   gated;
-                                   regressed = gated && rel > tolerance;
+                                   gated = gate <> Context;
+                                   regressed;
                                  }))
                         (row_metrics b))
               base_rows
@@ -207,9 +238,11 @@ let pp ppf r =
     "baseline" "current" "delta";
   List.iter
     (fun d ->
+      (* a gated metric past the tolerance in the non-regressing
+         direction is an improvement, whichever direction gates *)
       let flag =
         if d.regressed then "  REGRESSED"
-        else if d.gated && d.rel < -.r.tolerance then "  improved"
+        else if d.gated && Float.abs d.rel > r.tolerance then "  improved"
         else ""
       in
       Format.fprintf ppf "%-12s %-22s %14d %14d %+7.1f%%%s@." d.benchmark

@@ -11,8 +11,12 @@
     cache misses, messages) are reported for context but never gate.
     For latency snapshots the gated metrics are the per-mechanism
     dereference p99s; p50, counts, and episode quantiles are context.
-    CI runs this via [olden-run diff], which exits non-zero on any
-    regression. *)
+    For serving snapshots ([olden-serving/v1], written by
+    [bench/main.exe -- serving] and [olden-run serve --out]) the gates
+    are per-scheme throughput — downward: less throughput is the
+    regression — and the per-request-class p99s; counts, p50s, and the
+    serve span are context.  CI runs this via [olden-run diff], which
+    exits non-zero on any regression. *)
 
 module Json = Olden_trace.Json
 

@@ -1383,6 +1383,48 @@ let exec t program =
   if t.blocked > 0 then raise (Deadlock (deadlock_message t));
   if not t.finished then raise (Deadlock "main thread never completed")
 
+(* Open-loop injection: admit a fresh thread into the event queue at an
+   absolute simulated time, independent of the main program's control
+   flow.  This is how the serving driver turns the engine into an open
+   system — each injected request starts at its ingress processor as a
+   brand-new thread and runs under the full migrate-vs-cache machinery,
+   exactly like work the program spawned itself.
+
+   Called from inside the running program (the serving driver injects
+   the whole arrival schedule from its main thread), so cross-shard
+   pushes are subject to the lookahead contract: [ready_at] must be at
+   least [Olden_config.lookahead] cycles past the injecting processor's
+   clock.  [on_complete] runs inside the request's fiber on the
+   processor that finished it, with that processor's clock — the serving
+   driver measures admission→completion latency from it. *)
+let inject t ~proc ~ready_at ?on_complete fn =
+  (* an ingress processor that has fail-stopped redirects to its
+     promoted successor, like every other send (identity on a healthy
+     machine) *)
+  let proc =
+    if Machine.is_dead t.machine proc then Machine.home_of t.machine proc
+    else proc
+  in
+  let thread = new_thread t in
+  (* the request resides at its ingress processor, not wherever the
+     injecting thread happens to sit *)
+  thread.seat <- proc;
+  Machine.note_ingress t.machine proc;
+  schedule_event t ~proc ~ready_at
+    {
+      thread;
+      go =
+        (fun () ->
+          Effect.Deep.match_with
+            (fun () ->
+              fn ();
+              Machine.note_request_done t.machine;
+              match on_complete with
+              | Some f -> f ~proc:t.cur_proc ~finish:(now t)
+              | None -> ())
+            () (handler t));
+    }
+
 (* Host-side sharding counters: how often the conservative-DES machinery
    actually engaged.  All zero when [host_domains = 1] (one shard never
    defers). *)

@@ -57,6 +57,28 @@ val exec : t -> (unit -> unit) -> unit
 (** Run a program to completion as the initial thread on processor 0.
     Exceptions raised by the program propagate. *)
 
+val inject :
+  t ->
+  proc:int ->
+  ready_at:int ->
+  ?on_complete:(proc:int -> finish:int -> unit) ->
+  (unit -> unit) ->
+  unit
+(** Admit a fresh thread into [proc]'s event queue at absolute simulated
+    time [ready_at] — the open-loop entry point the serving driver uses
+    to turn the engine into an open system.  The thread runs under the
+    full effect handler (migration, caching, faults, failover), exactly
+    like program-spawned work; a dead ingress processor redirects to its
+    promoted successor.  Counts into [Stats.requests_admitted] /
+    [requests_completed] and the machine's per-processor ingress tally.
+
+    Must be called from inside the running program; a cross-shard
+    injection is subject to the multi-domain lookahead contract —
+    [ready_at] at least {!Olden_config.lookahead} cycles past the
+    injecting processor's clock.  [on_complete] runs inside the
+    injected fiber on the processor that finished it, receiving that
+    processor and its clock at completion. *)
+
 type report = {
   makespan : int;  (** finishing time in cycles *)
   stats : Stats.t;

@@ -49,6 +49,7 @@ type kind =
   | Rpc (* event: one request/reply envelope; a = dst, b = klass code *)
   | Crash (* event: crash + warm restart; a = pages lost, b = homes notified *)
   | Failover (* event: fail-stop promotion; a = pages moved, b = victim *)
+  | Request (* root: one served request; a = class code, b = ingress proc *)
 
 type span = {
   trace_proc : int; (* trace id: processor that opened the root... *)
@@ -83,6 +84,7 @@ let kind_code = function
   | Rpc -> 16
   | Crash -> 17
   | Failover -> 18
+  | Request -> 19
 
 let kind_of_code = function
   | 0 -> Deref
@@ -104,6 +106,7 @@ let kind_of_code = function
   | 16 -> Rpc
   | 17 -> Crash
   | 18 -> Failover
+  | 19 -> Request
   | c -> invalid_arg (Printf.sprintf "Span.kind_of_code: %d" c)
 
 let kind_name = function
@@ -126,6 +129,7 @@ let kind_name = function
   | Rpc -> "rpc"
   | Crash -> "crash"
   | Failover -> "failover"
+  | Request -> "request"
 
 (* Hops tile an episode; events annotate it; roots own it. *)
 let is_hop = function
@@ -133,10 +137,10 @@ let is_hop = function
   | Stall ->
       true
   | Deref | Return | Drop | Backoff | Delay | Dup | Fallback | Rpc | Crash
-  | Failover ->
+  | Failover | Request ->
       false
 
-let is_root = function Deref | Return -> true | _ -> false
+let is_root = function Deref | Return | Request -> true | _ -> false
 
 (* --- The sink ----------------------------------------------------------- *)
 
@@ -315,6 +319,18 @@ let close_root ~t1 ~a ~b =
       ~kind:(kind_of_code g.root_kind) ~proc:g.root_proc ~t0:g.root_t0 ~t1 ~a ~b;
     clear ()
   end
+
+(* A complete root episode in one shot (used for request roots, emitted
+   at completion).  Unlike [open_root]/[close_root] this never touches
+   the ambient context, so the dereference roots the request's body
+   opened and closed on its own clock are unaffected — the request root
+   gets its own trace id and stands alone in the stream. *)
+let root ~kind ~proc ~t0 ~t1 ~a ~b =
+  let g = state () in
+  let seq = g.root_seq.(proc) in
+  g.root_seq.(proc) <- seq + 1;
+  emit_raw ~tp:proc ~ts:seq ~id:(fresh_id ()) ~parent:(-1) ~kind ~proc ~t0 ~t1
+    ~a ~b
 
 let child ~kind ~proc ~t0 ~t1 ~a ~b =
   let g = state () in
@@ -533,6 +549,7 @@ let episode_tree spans ~trace_proc ~trace_seq =
 
 let mech_names = [| "local"; "cache"; "migrate"; "fallback" |]
 let klass_names = [| "data"; "migration"; "return"; "recovery"; "replica" |]
+let request_class_names = [| "point"; "scan"; "update" |]
 
 let array_name names i =
   if i >= 0 && i < Array.length names then names.(i) else string_of_int i
@@ -572,6 +589,10 @@ let describe ~site_name sp =
     | Crash -> Printf.sprintf "%d pages lost, %d homes notified" sp.a sp.b
     | Failover ->
         Printf.sprintf "%d home pages promoted after p%d fail-stopped" sp.a
+          sp.b
+    | Request ->
+        Printf.sprintf "class=%s ingress proc %d"
+          (array_name request_class_names sp.a)
           sp.b
   in
   Printf.sprintf "%-13s proc %d  %-22s %s" (kind_name sp.kind) sp.proc iv

@@ -27,6 +27,7 @@ type kind =
   | Rpc  (** event: request/reply envelope; a = dst, b = klass code *)
   | Crash  (** event: crash + restart; a = pages lost, b = homes *)
   | Failover  (** event: fail-stop promotion; a = pages moved, b = victim *)
+  | Request  (** root: one served request; a = class code, b = ingress proc *)
 
 type span = {
   trace_proc : int;
@@ -99,6 +100,12 @@ val open_root : kind:kind -> proc:int -> t0:int -> unit
 val close_root : t1:int -> a:int -> b:int -> unit
 (** Emit the open root (parent -1) and clear the context; no-op when no
     root is open. *)
+
+val root : kind:kind -> proc:int -> t0:int -> t1:int -> a:int -> b:int -> unit
+(** Emit one complete root episode (parent -1) under a fresh trace id
+    without touching the ambient context — used for request roots, which
+    are recorded at completion so the dereference roots inside the
+    request body keep their own episodes. *)
 
 val child : kind:kind -> proc:int -> t0:int -> t1:int -> a:int -> b:int -> unit
 (** Emit one span under the current context. *)

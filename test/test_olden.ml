@@ -19,4 +19,5 @@ let () =
       ("monitor", Test_monitor.suite);
       ("span", Test_span.suite);
       ("domains", Test_domains.suite);
+      ("serving", Test_serving.suite);
     ]
